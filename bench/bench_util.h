@@ -1,0 +1,166 @@
+// Shared helpers for the per-table/figure benchmark binaries.
+//
+// Every bench defaults to scaled-down inputs so the full suite completes on
+// a small machine; environment variables restore or tune the scale:
+//   IAWJ_PAPER_SCALE=1  run paper-sized workloads (Table 3 / §5.4 values)
+//   IAWJ_SCALE=<f>      explicit workload scale factor (overrides default)
+//   IAWJ_THREADS=<n>    worker threads (default 4; paper uses up to 8)
+#ifndef IAWJ_BENCH_BENCH_UTIL_H_
+#define IAWJ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/datagen/micro.h"
+#include "src/datagen/real_world.h"
+#include "src/join/runner.h"
+#include "src/report/report.h"
+
+namespace iawj::bench {
+
+struct Scale {
+  double workload = 0.05;  // multiplies stream sizes/rates
+  int threads = 4;
+  bool paper = false;
+};
+
+inline Scale GetScale(double default_workload_scale = 0.05) {
+  Scale scale;
+  scale.workload = default_workload_scale;
+  if (const char* env = std::getenv("IAWJ_PAPER_SCALE");
+      env != nullptr && std::string(env) == "1") {
+    scale.paper = true;
+    scale.workload = 1.0;
+    scale.threads = 8;
+  }
+  if (const char* env = std::getenv("IAWJ_SCALE"); env != nullptr) {
+    scale.workload = std::atof(env);
+  }
+  if (const char* env = std::getenv("IAWJ_THREADS"); env != nullptr) {
+    scale.threads = std::atoi(env);
+  }
+  return scale;
+}
+
+inline std::vector<AlgorithmId> AllAlgorithms() {
+  return {kAllAlgorithms, kAllAlgorithms + 8};
+}
+
+inline void PrintTitle(const std::string& title, const Scale& scale) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("# scale=%.3g threads=%d%s\n", scale.workload, scale.threads,
+              scale.paper ? " (paper scale)" : "");
+}
+
+// Runs one experiment with the given spec and prints nothing; convenience
+// wrapper keeping bench mains compact.
+inline RunResult RunJoin(AlgorithmId id, const Stream& r, const Stream& s,
+                         const JoinSpec& spec) {
+  JoinRunner runner;
+  return runner.Run(id, r, s, spec);
+}
+
+// Collects the standard metric rows of a bench run; when IAWJ_CSV_DIR is
+// set, FlushCsv writes them as <dir>/<name>.csv and a companion gnuplot
+// script for the throughput series.
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(std::string name)
+      : name_(std::move(name)),
+        table_({"workload", "algo", "tput_per_ms", "p95_latency_ms",
+                "t50_ms", "matches", "peak_mb"}) {}
+
+  void Add(const std::string& workload, const RunResult& result) {
+    table_.AddRow(
+        {workload, result.algorithm,
+         report::Table::Num(result.throughput_per_ms, 1),
+         report::Table::Num(result.p95_latency_ms, 3),
+         report::Table::Num(result.progress.TimeToFractionMs(0.5), 1),
+         std::to_string(result.matches),
+         report::Table::Num(
+             static_cast<double>(result.peak_tracked_bytes) / (1 << 20),
+             2)});
+  }
+
+  ~MetricsCollector() {
+    report::MaybeWriteCsv(table_, name_);
+    const std::string dir = report::CsvDir();
+    if (!dir.empty() && table_.num_rows() > 0) {
+      const std::string script = report::GnuplotScript(
+          name_, table_, "workload", "algo", "tput_per_ms");
+      std::FILE* f = std::fopen((dir + "/" + name_ + ".gp").c_str(), "w");
+      if (f != nullptr) {
+        std::fputs(script.c_str(), f);
+        std::fclose(f);
+      }
+    }
+  }
+
+ private:
+  std::string name_;
+  report::Table table_;
+};
+
+// Per-bench singleton used by PrintMetricsRow; set by PrintMetricsHeader.
+inline std::unique_ptr<MetricsCollector>& Collector() {
+  static std::unique_ptr<MetricsCollector> collector;
+  return collector;
+}
+
+// Standard per-algorithm metric row used by several figures.
+inline void PrintMetricsHeader(const std::string& csv_name = "") {
+  if (!csv_name.empty()) {
+    Collector() = std::make_unique<MetricsCollector>(csv_name);
+  }
+  std::printf("%-10s %-8s %14s %14s %12s %12s %12s\n", "workload", "algo",
+              "tput(in/ms)", "p95_lat(ms)", "t50%(ms)", "matches",
+              "peak_MB");
+}
+
+inline void PrintMetricsRow(const std::string& workload,
+                            const RunResult& result) {
+  if (Collector() != nullptr) Collector()->Add(workload, result);
+  std::printf("%-10s %-8s %14.1f %14.3f %12.1f %12llu %12.2f\n",
+              workload.c_str(), result.algorithm.c_str(),
+              result.throughput_per_ms, result.p95_latency_ms,
+              result.progress.TimeToFractionMs(0.5),
+              static_cast<unsigned long long>(result.matches),
+              static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+}
+
+// The four real-world workloads at the given scale.
+inline std::vector<Workload> RealWorkloads(const Scale& scale,
+                                           uint32_t window_ms = 1000) {
+  std::vector<Workload> workloads;
+  for (RealWorkload which : kAllRealWorkloads) {
+    workloads.push_back(GenerateRealWorld(
+        {.which = which, .scale = scale.workload, .window_ms = window_ms}));
+  }
+  return workloads;
+}
+
+// Spec preset for streaming (real-time gated) runs. On scaled-down runs the
+// window is also shortened so wall time stays small.
+inline JoinSpec StreamingSpec(const Scale& scale, uint32_t window_ms) {
+  JoinSpec spec;
+  spec.num_threads = scale.threads;
+  spec.window_ms = window_ms;
+  spec.clock_mode = Clock::Mode::kRealTime;
+  return spec;
+}
+
+// Spec preset for at-rest (instant clock) runs.
+inline JoinSpec AtRestSpec(const Scale& scale) {
+  JoinSpec spec;
+  spec.num_threads = scale.threads;
+  spec.window_ms = 1u << 30;
+  spec.clock_mode = Clock::Mode::kInstant;
+  return spec;
+}
+
+}  // namespace iawj::bench
+
+#endif  // IAWJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Extension: decision-tree validation (Figure 4 end-to-end).
+//
+// For a grid of Micro workloads spanning the tree's branches, measures all
+// eight algorithms, then checks where the tree's recommendation lands
+// relative to the best measured algorithm for the declared objective. The
+// paper offers the tree as guidance ("qualitative remarks are relative");
+// this bench quantifies how well it holds on this machine.
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/join/decision_tree.h"
+
+namespace {
+
+struct GridCase {
+  const char* name;
+  iawj::MicroSpec spec;
+  iawj::Objective objective;
+};
+
+double MetricOf(const iawj::RunResult& result, iawj::Objective objective) {
+  switch (objective) {
+    case iawj::Objective::kThroughput:
+      return result.throughput_per_ms;  // higher is better
+    case iawj::Objective::kLatency:
+      return -result.p95_latency_ms;  // lower is better
+    case iawj::Objective::kProgressiveness:
+      return -result.progress.TimeToFractionMs(0.5);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace iawj;
+  const bench::Scale scale = bench::GetScale(0.05);
+  bench::PrintTitle("Extension: decision tree validation on a Micro grid",
+                    scale);
+
+  const auto rate = [&](uint64_t paper_rate) {
+    return static_cast<uint64_t>(std::max(1.0, paper_rate * scale.workload));
+  };
+
+  std::vector<GridCase> grid;
+  {
+    MicroSpec low;
+    low.rate_r = low.rate_s = rate(200);
+    low.window_ms = 200;
+    low.dupe = 2;
+    grid.push_back({"low_rate/latency", low, Objective::kLatency});
+
+    MicroSpec high_dup;
+    high_dup.rate_r = high_dup.rate_s = rate(25600);
+    high_dup.window_ms = 200;
+    high_dup.dupe = 100;
+    grid.push_back({"high_rate_dupe/tput", high_dup, Objective::kThroughput});
+
+    MicroSpec high_uniq;
+    high_uniq.rate_r = high_uniq.rate_s = rate(25600);
+    high_uniq.window_ms = 200;
+    high_uniq.dupe = 1;
+    grid.push_back({"high_rate_uniq/tput", high_uniq,
+                    Objective::kThroughput});
+
+    MicroSpec med;
+    med.rate_r = med.rate_s = rate(6400);
+    med.window_ms = 200;
+    med.dupe = 100;
+    grid.push_back({"med_rate_dupe/prog", med, Objective::kProgressiveness});
+  }
+
+  // The tree's qualitative levels are relative to the machine/workload
+  // regime (paper §5.1); scale the rate/size thresholds with the workloads.
+  DecisionThresholds thresholds;
+  thresholds.low_rate_per_ms *= scale.workload;
+  thresholds.high_rate_per_ms *= scale.workload;
+  thresholds.large_input = static_cast<uint64_t>(
+      static_cast<double>(thresholds.large_input) * scale.workload);
+
+  std::printf("%-22s %-10s %-10s %8s\n", "case", "picked", "best",
+              "pick_gap");
+  int agree = 0;
+  for (const GridCase& gc : grid) {
+    const MicroWorkload w = GenerateMicro(gc.spec);
+    const WorkloadProfile profile =
+        ProfileFromStats(ComputeStats(w.r), ComputeStats(w.s), thresholds);
+    const AlgorithmId pick = RecommendAlgorithm(
+        profile, gc.objective, {.num_cores = scale.threads}, thresholds);
+
+    double best_metric = -1e300, pick_metric = 0;
+    AlgorithmId best = AlgorithmId::kNpj;
+    for (AlgorithmId id : bench::AllAlgorithms()) {
+      JoinSpec spec = bench::StreamingSpec(scale, gc.spec.window_ms);
+      const RunResult result = bench::RunJoin(id, w.r, w.s, spec);
+      const double metric = MetricOf(result, gc.objective);
+      if (metric > best_metric) {
+        best_metric = metric;
+        best = id;
+      }
+      if (id == pick) pick_metric = metric;
+    }
+    const double gap =
+        best_metric != 0 ? std::abs((best_metric - pick_metric) /
+                                    best_metric)
+                         : 0;
+    if (pick == best || gap < 0.25) ++agree;
+    std::printf("%-22s %-10s %-10s %7.1f%%\n", gc.name,
+                std::string(AlgorithmName(pick)).c_str(),
+                std::string(AlgorithmName(best)).c_str(), 100 * gap);
+  }
+  std::printf("# %d/%zu recommendations optimal or within 25%% of optimal\n",
+              agree, grid.size());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Extension ablation: bucket-chain vs linear-probing hash tables.
+//
+// The paper's hash algorithms use the Balkesen bucket-chain table
+// throughout; related work (Barber et al., memory-efficient hash joins)
+// argues for compact open-addressing schemes. This ablation swaps the table
+// behind PRJ and SHJ-JM and measures both duplication regimes: under unique
+// keys linear probing's flat array is very cache-friendly, under heavy
+// duplication its clusters degrade the same way bucket chains do.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace iawj;
+  const bench::Scale scale = bench::GetScale(0.05);
+  bench::PrintTitle("Extension: bucket-chain vs linear-probing tables",
+                    scale);
+  const uint64_t size = scale.paper ? 4'000'000 : 256'000;
+
+  std::printf("%-8s %-8s %-14s %12s %12s %12s\n", "algo", "dupe", "table",
+              "build/in", "probe/in", "work_ns/in");
+  for (double dupe : {1.0, 100.0}) {
+    MicroSpec mspec;
+    mspec.size_r = mspec.size_s = size;
+    mspec.window_ms = 1000;
+    mspec.dupe = dupe;
+    const MicroWorkload w = GenerateMicro(mspec);
+    for (AlgorithmId id : {AlgorithmId::kPrj, AlgorithmId::kShjJm}) {
+      for (HashTableKind kind :
+           {HashTableKind::kBucketChain, HashTableKind::kLinearProbe}) {
+        JoinSpec spec = bench::AtRestSpec(scale);
+        spec.hash_table_kind = kind;
+        const RunResult result = bench::RunJoin(id, w.r, w.s, spec);
+        const double inputs = static_cast<double>(result.inputs);
+        std::printf("%-8s %-8.0f %-14s %12.1f %12.1f %12.1f\n",
+                    result.algorithm.c_str(), dupe,
+                    kind == HashTableKind::kBucketChain ? "bucket-chain"
+                                                        : "linear-probe",
+                    result.phases.GetNs(Phase::kBuild) / inputs,
+                    result.phases.GetNs(Phase::kProbe) / inputs,
+                    result.WorkNsPerInput());
+      }
+    }
+  }
+  std::printf(
+      "# expectation: linear probing competitive (often ahead) at dupe=1; "
+      "both structures degrade under dupe=100 (clusters vs chains)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 17: impact of physical partitioning in SHJ-JM — copying each owned
+// tuple into worker-local storage (w/ partitioning) vs passing pointers into
+// the shared input arrays (w/o partitioning), data at rest.
+//
+// Paper shape: a cost shuffle, not a win — w/ partitioning pays more in the
+// partition phase but probes with better locality; overall costs end up
+// similar, which is why the pointer mode is the default.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace iawj;
+  const bench::Scale scale = bench::GetScale(0.05);
+  bench::PrintTitle("Figure 17: physical partitioning of SHJ-JM", scale);
+  const uint64_t size = scale.paper ? 2'000'000 : 128'000;
+
+  MicroSpec mspec;
+  mspec.size_r = mspec.size_s = size;
+  mspec.window_ms = 1000;
+  mspec.dupe = 4;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  std::printf("%-16s %12s %12s %12s %12s\n", "config", "partition/in",
+              "build/in", "probe/in", "overall/in");
+  for (bool physical : {true, false}) {
+    JoinSpec spec = bench::AtRestSpec(scale);
+    spec.eager_physical_partition = physical;
+    const RunResult result =
+        bench::RunJoin(AlgorithmId::kShjJm, w.r, w.s, spec);
+    const double inputs = static_cast<double>(result.inputs);
+    std::printf("%-16s %12.1f %12.1f %12.1f %12.1f\n",
+                physical ? "w/_partition" : "w/o_partition",
+                result.phases.GetNs(Phase::kPartition) / inputs,
+                result.phases.GetNs(Phase::kBuild) / inputs,
+                result.phases.GetNs(Phase::kProbe) / inputs,
+                result.WorkNsPerInput());
+  }
+  std::printf(
+      "# paper shape: w/ partitioning costs more to partition, less to "
+      "build/probe; overall similar (pointer mode is the default)\n");
+  return 0;
+}

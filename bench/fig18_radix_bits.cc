@@ -1,0 +1,39 @@
+// Figure 18: impact of PRJ's number of radix bits (#r), data at rest.
+//
+// Paper shape: the classic partition/probe tradeoff — more bits raise the
+// partitioning cost (more open write streams, TLB pressure) while shrinking
+// per-partition probe cost, with the sweet spot near 10 bits on the
+// evaluation machine.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace iawj;
+  const bench::Scale scale = bench::GetScale(0.05);
+  bench::PrintTitle("Figure 18: PRJ number of radix bits (#r)", scale);
+  const uint64_t size = scale.paper ? 4'000'000 : 256'000;
+
+  MicroSpec mspec;
+  mspec.size_r = mspec.size_s = size;
+  mspec.window_ms = 1000;
+  mspec.dupe = 2;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  std::printf("%-6s %14s %14s %14s\n", "#r", "partition/in", "build+probe/in",
+              "work_ns/in");
+  for (int bits : {8, 10, 12, 14, 16, 18}) {
+    JoinSpec spec = bench::AtRestSpec(scale);
+    spec.radix_bits = bits;
+    const RunResult result = bench::RunJoin(AlgorithmId::kPrj, w.r, w.s, spec);
+    const double inputs = static_cast<double>(result.inputs);
+    std::printf("%-6d %14.1f %14.1f %14.1f\n", bits,
+                result.phases.GetNs(Phase::kPartition) / inputs,
+                (result.phases.GetNs(Phase::kBuild) +
+                 result.phases.GetNs(Phase::kProbe)) /
+                    inputs,
+                result.WorkNsPerInput());
+  }
+  std::printf(
+      "# paper shape: partition cost rises with #r, probe cost falls; "
+      "total is U-shaped (paper's optimum: #r = 10)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6: progressiveness (cumulative fraction of matches over elapsed
+// time) of all algorithms on the four real-world workloads.
+//
+// Paper shape: the eager approach delivers the first matches far earlier
+// (e.g. SHJ-JM reaches 50% of Stock ~1.5x sooner than the best lazy
+// algorithm), but a fast lazy algorithm can finish outright before an eager
+// one reaches the same fraction (MPass vs PMJ-JM on Rovio).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace iawj;
+  const bench::Scale scale = bench::GetScale(0.05);
+  bench::PrintTitle("Figure 6: progressiveness on real-world workloads",
+                    scale);
+  std::printf("%-10s %-8s %10s %10s %10s %10s   %s\n", "workload", "algo",
+              "t10%(ms)", "t50%(ms)", "t90%(ms)", "t100%(ms)",
+              "curve (t:cum%)");
+  for (const Workload& w : bench::RealWorkloads(scale)) {
+    for (AlgorithmId id : bench::AllAlgorithms()) {
+      JoinSpec spec = bench::StreamingSpec(scale, 1000);
+      spec.clock_mode = w.suggested_clock;
+      const RunResult result = bench::RunJoin(id, w.r, w.s, spec);
+      std::printf("%-10s %-8s %10.1f %10.1f %10.1f %10.1f   ",
+                  w.name.c_str(), result.algorithm.c_str(),
+                  result.progress.TimeToFractionMs(0.10),
+                  result.progress.TimeToFractionMs(0.50),
+                  result.progress.TimeToFractionMs(0.90),
+                  result.progress.TimeToFractionMs(1.0));
+      // A compact sampling of the CDF for plotting.
+      const auto curve = result.progress.Curve();
+      const size_t step = curve.empty() ? 1 : std::max<size_t>(1, curve.size() / 6);
+      for (size_t i = 0; i < curve.size(); i += step) {
+        std::printf("%.0f:%.0f%% ", curve[i].first, curve[i].second * 100);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "# paper shape: eager (SHJ/PMJ) reach low fractions earliest; lazy can "
+      "surpass them at high fractions on heavy workloads (Rovio/DEBS)\n");
+  return 0;
+}

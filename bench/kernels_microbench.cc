@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the substrates: sort kernels
+// (vectorized vs scalar), bucket-chain hash build/probe, radix partitioning,
+// and merge strategies. These are the kernel-level numbers behind the
+// figure-level benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hash/bucket_chain.h"
+#include "src/partition/radix.h"
+#include "src/sort/avxsort.h"
+#include "src/sort/merge.h"
+
+namespace iawj {
+namespace {
+
+std::vector<uint64_t> RandomPacked(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.Next() & 0x7fffffff'ffffffffull;
+  return v;
+}
+
+std::vector<Tuple> RandomTuples(size_t n, uint32_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> v(n);
+  for (auto& t : v) {
+    t.key = static_cast<uint32_t>(rng.NextBounded(domain));
+    t.ts = static_cast<uint32_t>(rng.NextBounded(1000));
+  }
+  return v;
+}
+
+void BM_SortPacked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const sort::Options options{state.range(1) != 0};
+  const auto input = RandomPacked(n, 1);
+  std::vector<uint64_t> work(n);
+  for (auto _ : state) {
+    work = input;
+    sort::SortPacked(work.data(), n, options);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(options.use_simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_SortPacked)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 16, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+void BM_MergePacked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const sort::Options options{state.range(1) != 0};
+  auto a = RandomPacked(n, 2);
+  auto b = RandomPacked(n, 3);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<uint64_t> out(2 * n);
+  for (auto _ : state) {
+    sort::MergePacked(a.data(), n, b.data(), n, out.data(), options);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n);
+  state.SetLabel(options.use_simd ? "branchless" : "branchy");
+}
+BENCHMARK(BM_MergePacked)->Args({1 << 16, 0})->Args({1 << 16, 1});
+
+void BM_HashBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t domain = static_cast<uint32_t>(state.range(1));
+  const auto input = RandomTuples(n, domain, 4);
+  for (auto _ : state) {
+    BucketChainTable<> table(n);
+    NullTracer tracer;
+    for (const Tuple& t : input) table.Insert(t, tracer);
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(domain < n ? "duplicated" : "unique-ish");
+}
+BENCHMARK(BM_HashBuild)
+    ->Args({1 << 16, 1 << 30})
+    ->Args({1 << 16, 1 << 6});  // heavy duplication: long chains
+
+void BM_HashProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t domain = static_cast<uint32_t>(state.range(1));
+  const auto build = RandomTuples(n, domain, 5);
+  const auto probe = RandomTuples(n, domain, 6);
+  BucketChainTable<> table(n);
+  NullTracer tracer;
+  for (const Tuple& t : build) table.Insert(t, tracer);
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    for (const Tuple& t : probe) {
+      table.Probe(
+          t.key, [&](Tuple) { ++matches; }, tracer);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_HashProbe)->Args({1 << 16, 1 << 30})->Args({1 << 16, 1 << 8});
+
+void BM_RadixPartition(benchmark::State& state) {
+  const size_t n = 1 << 18;
+  const int bits = static_cast<int>(state.range(0));
+  const auto input = RandomTuples(n, 1 << 30, 7);
+  std::vector<Tuple> out(n);
+  std::vector<uint64_t> offsets;
+  NullTracer tracer;
+  for (auto _ : state) {
+    RadixPartitionSingle(input.data(), n, bits, out.data(), &offsets, tracer);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_RadixPartition)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_MultiwayMerge(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const size_t per_run = 1 << 14;
+  std::vector<std::vector<uint64_t>> data(k);
+  std::vector<sort::Run> runs;
+  for (int i = 0; i < k; ++i) {
+    data[i] = RandomPacked(per_run, 10 + i);
+    std::sort(data[i].begin(), data[i].end());
+    runs.push_back({data[i].data(), data[i].size()});
+  }
+  std::vector<uint64_t> out(per_run * k);
+  for (auto _ : state) {
+    sort::MultiwayMerge(runs, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(per_run) * k);
+}
+BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace iawj
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Ad-revenue correlation (the paper's §4.2.1 Rovio scenario): join an
+// advertisement stream with a purchase stream over a window with extreme key
+// duplication, at rest.
+//
+// High duplication is where the sort-based algorithms shine (paper §5.3.2 /
+// Figure 11): this example contrasts MPass against NPJ and prints the
+// execution-time breakdown that explains the gap (probe-dominated hash
+// chains vs cache-friendly sorted runs).
+//
+//   build/examples/ad_monitor
+#include <cstdio>
+
+#include "src/datagen/real_world.h"
+#include "src/join/runner.h"
+
+int main() {
+  using namespace iawj;
+
+  const Workload rovio = GenerateRealWorld(
+      {.which = RealWorkload::kRovio, .scale = 0.01, .window_ms = 1000});
+  std::printf("Rovio-style workload: ads R %s\n",
+              FormatStats(ComputeStats(rovio.r)).c_str());
+  std::printf("                purchases S %s\n\n",
+              FormatStats(ComputeStats(rovio.s)).c_str());
+
+  JoinSpec spec;
+  spec.num_threads = 4;
+  spec.window_ms = 1000;
+  spec.clock_mode = Clock::Mode::kInstant;  // analyze the closed window
+
+  JoinRunner runner;
+  for (AlgorithmId id : {AlgorithmId::kMpass, AlgorithmId::kNpj}) {
+    const RunResult result = runner.Run(id, rovio.r, rovio.s, spec);
+    std::printf("%s: %llu matches, %.1f ns of work per input tuple\n",
+                result.algorithm.c_str(),
+                static_cast<unsigned long long>(result.matches),
+                result.WorkNsPerInput());
+    for (int p = 0; p < kNumPhases; ++p) {
+      const Phase phase = static_cast<Phase>(p);
+      const uint64_t ns = result.phases.GetNs(phase);
+      if (ns == 0) continue;
+      std::printf("    %-10s %6.1f ns/input\n",
+                  std::string(PhaseName(phase)).c_str(),
+                  static_cast<double>(ns) / result.inputs);
+    }
+  }
+  std::printf(
+      "\nExpected: under ~thousands of duplicates per key, the sort join "
+      "(MPASS) spends far less in probe than the hash join (NPJ), whose "
+      "bucket chains grow with the duplication level.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Algorithm advisor: the paper's Figure 4 decision tree as a tool.
+//
+// Walks a grid of workload profiles and performance objectives and prints
+// the recommended algorithm for each, then validates one recommendation by
+// racing it against the alternatives on a generated workload.
+//
+//   build/examples/algorithm_advisor
+#include <cstdio>
+
+#include "src/datagen/micro.h"
+#include "src/join/decision_tree.h"
+#include "src/join/runner.h"
+
+namespace {
+
+const char* RateName(iawj::RateClass rate) {
+  switch (rate) {
+    case iawj::RateClass::kLow:
+      return "low";
+    case iawj::RateClass::kMedium:
+      return "medium";
+    case iawj::RateClass::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+const char* ObjectiveName(iawj::Objective objective) {
+  switch (objective) {
+    case iawj::Objective::kThroughput:
+      return "throughput";
+    case iawj::Objective::kLatency:
+      return "latency";
+    case iawj::Objective::kProgressiveness:
+      return "progress";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace iawj;
+
+  std::printf("Figure 4 decision tree over a profile grid:\n");
+  std::printf("%-8s %-8s %-6s %-12s -> %s\n", "rate", "dupe", "cores",
+              "objective", "recommendation");
+  for (RateClass rate :
+       {RateClass::kLow, RateClass::kMedium, RateClass::kHigh}) {
+    for (Level dupe : {Level::kLow, Level::kHigh}) {
+      for (int cores : {4, 16}) {
+        for (Objective objective :
+             {Objective::kThroughput, Objective::kLatency}) {
+          WorkloadProfile profile;
+          profile.rate_r = profile.rate_s = rate;
+          profile.key_duplication = dupe;
+          profile.input_size = Level::kHigh;
+          const AlgorithmId pick = RecommendAlgorithm(
+              profile, objective, HardwareProfile{.num_cores = cores});
+          std::printf("%-8s %-8s %-6d %-12s -> %s\n", RateName(rate),
+                      dupe == Level::kHigh ? "high" : "low", cores,
+                      ObjectiveName(objective),
+                      std::string(AlgorithmName(pick)).c_str());
+        }
+      }
+    }
+  }
+
+  // Validate one branch: high-duplication at-rest data should favour the
+  // sort-based lazy joins for throughput.
+  std::printf("\nValidation: dupe=100 at rest, throughput objective\n");
+  MicroSpec mspec;
+  mspec.size_r = mspec.size_s = 200'000;
+  mspec.window_ms = 1000;
+  mspec.dupe = 100;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  const WorkloadProfile profile =
+      ProfileFromStats(ComputeStats(w.r), ComputeStats(w.s));
+  // At-rest data == infinite arrival rate == "high".
+  WorkloadProfile at_rest = profile;
+  at_rest.rate_r = at_rest.rate_s = RateClass::kHigh;
+  const AlgorithmId pick =
+      RecommendAlgorithm(at_rest, Objective::kThroughput, {.num_cores = 8});
+  std::printf("recommended: %s\n", std::string(AlgorithmName(pick)).c_str());
+
+  JoinSpec spec;
+  spec.num_threads = 4;
+  JoinRunner runner;
+  for (AlgorithmId id :
+       {pick, AlgorithmId::kNpj, AlgorithmId::kShjJm}) {
+    const RunResult result = runner.Run(id, w.r, w.s, spec);
+    std::printf("  %-8s %10.1f tuples/ms%s\n", result.algorithm.c_str(),
+                result.throughput_per_ms,
+                id == pick ? "   <- recommended" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Inter-window joining built from IaWJ blocks: segment a 5-second ad-click
+// stream into 1-second tumbling windows, join each window with the
+// algorithm the adaptive policy picks for it, and report per-window and
+// aggregate results.
+//
+//   build/examples/window_pipeline_demo
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/join/adaptive.h"
+#include "src/join/window_pipeline.h"
+
+int main() {
+  using namespace iawj;
+
+  // Build a 5-second workload whose character changes mid-stream: sparse
+  // unique keys for the first half, a hot-key burst in the second half —
+  // the situation where a per-window algorithm choice pays off.
+  Rng rng(7);
+  std::vector<Tuple> r, s;
+  for (uint32_t ts = 0; ts < 5000; ++ts) {
+    const bool bursty = ts >= 2500;
+    const int per_ms = bursty ? 60 : 15;
+    const uint32_t domain = bursty ? 2000 : 1 << 20;
+    for (int i = 0; i < per_ms; ++i) {
+      r.push_back({ts, static_cast<uint32_t>(rng.NextBounded(domain))});
+      s.push_back({ts, static_cast<uint32_t>(rng.NextBounded(domain))});
+    }
+  }
+  const Stream stream_r = MakeStream(std::move(r));
+  const Stream stream_s = MakeStream(std::move(s));
+
+  JoinSpec spec;
+  spec.num_threads = 4;
+  spec.window_ms = 1000;
+
+  AdaptiveOptions options;
+  options.objective = Objective::kThroughput;
+  options.hardware.num_cores = spec.num_threads;
+  // This demo's rates sit far below the paper's thresholds; rescale.
+  options.thresholds.low_rate_per_ms = 10;
+  options.thresholds.high_rate_per_ms = 50;
+
+  // Wrap the adaptive policy so we can show which algorithm each window got.
+  std::vector<AlgorithmId> picks;
+  const PipelineResult result = RunTumblingWindows(
+      stream_r, stream_s, spec, [&](const Stream& wr, const Stream& ws) {
+        const AlgorithmId id = ChooseAlgorithm(wr, ws, options).algorithm;
+        picks.push_back(id);
+        return id;
+      });
+
+  std::printf("%-8s %-10s %12s %12s %14s\n", "window", "algorithm", "inputs",
+              "matches", "tput(in/ms)");
+  for (size_t i = 0; i < result.windows.size(); ++i) {
+    const WindowRun& w = result.windows[i];
+    std::printf("%-8u %-10s %12llu %12llu %14.1f\n", w.window_index,
+                std::string(AlgorithmName(picks[i])).c_str(),
+                static_cast<unsigned long long>(w.result.inputs),
+                static_cast<unsigned long long>(w.result.matches),
+                w.result.throughput_per_ms);
+  }
+  std::printf("\ntotal: %llu inputs -> %llu matches across %zu windows\n",
+              static_cast<unsigned long long>(result.total_inputs),
+              static_cast<unsigned long long>(result.total_matches),
+              result.windows.size());
+  std::printf(
+      "Expected: the sparse early windows and the hot-key later windows get "
+      "different algorithms (duplication drives the sort/hash choice).\n");
+  return 0;
+}

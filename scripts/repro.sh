@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction driver: configure, build, test, and regenerate every
+# table/figure, leaving CSVs + gnuplot scripts under results/.
+#
+# Usage:
+#   scripts/repro.sh                 # scaled-down (laptop) reproduction
+#   IAWJ_PAPER_SCALE=1 scripts/repro.sh   # paper-sized workloads
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+mkdir -p results
+export IAWJ_CSV_DIR="$PWD/results"
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Per-figure CSVs and gnuplot scripts: results/"
+echo "Console tables: bench_output.txt; test log: test_output.txt"

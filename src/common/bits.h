@@ -1,0 +1,25 @@
+// Small bit-manipulation helpers shared by the hash and partition substrates.
+#ifndef IAWJ_COMMON_BITS_H_
+#define IAWJ_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace iawj {
+
+// Smallest power of two >= v (v > 0).
+inline uint64_t NextPow2(uint64_t v) { return std::bit_ceil(v); }
+
+// floor(log2(v)) for v > 0.
+inline int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+// ceil(log2(v)) for v > 0.
+inline int Log2Ceil(uint64_t v) {
+  return v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+inline bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_BITS_H_

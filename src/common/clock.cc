@@ -1,0 +1,32 @@
+#include "src/common/clock.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace iawj {
+
+Clock::Clock(Mode mode, double time_scale)
+    : mode_(mode), time_scale_(time_scale) {
+  IAWJ_CHECK_GT(time_scale, 0.0);
+}
+
+void Clock::Start() { start_ = std::chrono::steady_clock::now(); }
+
+double Clock::NowMs() const {
+  const auto wall = std::chrono::steady_clock::now() - start_;
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall).count();
+  return wall_ms * time_scale_;
+}
+
+void Clock::SleepUntilMs(double stream_ms) const {
+  if (mode_ == Mode::kInstant) return;
+  const double wall_target_ms = stream_ms / time_scale_;
+  const auto deadline =
+      start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(wall_target_ms));
+  std::this_thread::sleep_until(deadline);
+}
+
+}  // namespace iawj

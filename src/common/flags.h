@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for the CLI tools and benches.
+//
+// Supports --name=value and --name value forms plus boolean --name /
+// --no-name. Unknown flags are reported; positional arguments are returned
+// in order. No global registry — callers declare the flags they accept.
+#ifndef IAWJ_COMMON_FLAGS_H_
+#define IAWJ_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iawj {
+
+class FlagParser {
+ public:
+  // Parses argv; returns an error for malformed input. Flags may then be
+  // queried; Unknown() lists flags the caller never consumed.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+  int64_t GetInt(const std::string& name, int64_t default_value);
+  double GetDouble(const std::string& name, double default_value);
+  bool GetBool(const std::string& name, bool default_value);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flags present on the command line that were never queried.
+  std::vector<std::string> Unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_FLAGS_H_

@@ -1,0 +1,91 @@
+// Minimal logging and invariant-checking macros.
+//
+// The library does not use exceptions (per the project style); programmer
+// errors and violated invariants terminate the process through CHECK. The
+// D-prefixed variants compile away in release builds (NDEBUG).
+#ifndef IAWJ_COMMON_LOGGING_H_
+#define IAWJ_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace iawj {
+
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a check passes.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define IAWJ_LOG(severity)                                               \
+  ::iawj::internal_logging::LogMessage(::iawj::LogSeverity::k##severity, \
+                                       __FILE__, __LINE__)
+
+// The while-loop body runs at most once: a kFatal LogMessage aborts in its
+// destructor. The form keeps CHECKs streamable: IAWJ_CHECK(ok) << "detail".
+#define IAWJ_CHECK(cond)                                                   \
+  while (!(cond))                                                          \
+  ::iawj::internal_logging::LogMessage(::iawj::LogSeverity::kFatal,        \
+                                       __FILE__, __LINE__)                 \
+      << "Check failed: " #cond " "
+
+#define IAWJ_CHECK_OP(op, a, b)                                            \
+  while (!((a)op(b)))                                                      \
+  ::iawj::internal_logging::LogMessage(::iawj::LogSeverity::kFatal,        \
+                                       __FILE__, __LINE__)                 \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b)   \
+      << ") "
+
+#define IAWJ_CHECK_EQ(a, b) IAWJ_CHECK_OP(==, a, b)
+#define IAWJ_CHECK_NE(a, b) IAWJ_CHECK_OP(!=, a, b)
+#define IAWJ_CHECK_LT(a, b) IAWJ_CHECK_OP(<, a, b)
+#define IAWJ_CHECK_LE(a, b) IAWJ_CHECK_OP(<=, a, b)
+#define IAWJ_CHECK_GT(a, b) IAWJ_CHECK_OP(>, a, b)
+#define IAWJ_CHECK_GE(a, b) IAWJ_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define IAWJ_DCHECK(cond) \
+  while (false) ::iawj::internal_logging::NullStream() << !(cond)
+#define IAWJ_DCHECK_LT(a, b) IAWJ_DCHECK((a) < (b))
+#define IAWJ_DCHECK_LE(a, b) IAWJ_DCHECK((a) <= (b))
+#define IAWJ_DCHECK_EQ(a, b) IAWJ_DCHECK((a) == (b))
+#else
+#define IAWJ_DCHECK(cond) IAWJ_CHECK(cond)
+#define IAWJ_DCHECK_LT(a, b) IAWJ_CHECK_LT(a, b)
+#define IAWJ_DCHECK_LE(a, b) IAWJ_CHECK_LE(a, b)
+#define IAWJ_DCHECK_EQ(a, b) IAWJ_CHECK_EQ(a, b)
+#endif
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_LOGGING_H_

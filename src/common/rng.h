@@ -1,0 +1,55 @@
+// Deterministic, fast pseudo-random number generation for workload synthesis.
+//
+// All dataset generators seed explicitly so every experiment is reproducible
+// bit-for-bit across runs.
+#ifndef IAWJ_COMMON_RNG_H_
+#define IAWJ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace iawj {
+
+// xoshiro256** — fast, high-quality, and trivially seedable via splitmix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t x = seed;
+    for (auto& s : state_) s = SplitMix64(&x);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_RNG_H_

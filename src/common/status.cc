@@ -1,0 +1,17 @@
+#include "src/common/status.h"
+
+namespace iawj {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace iawj

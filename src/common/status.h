@@ -1,0 +1,44 @@
+// A small Status type for fallible configuration paths.
+//
+// The hot join paths never fail at runtime; Status is used where a caller can
+// hand the library an invalid configuration (e.g., zero threads, radix bits
+// out of range) and deserves a description rather than a process abort.
+#ifndef IAWJ_COMMON_STATUS_H_
+#define IAWJ_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace iawj {
+
+enum class StatusCode { kOk = 0, kInvalidArgument, kFailedPrecondition };
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  std::string_view message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace iawj {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  IAWJ_CHECK_GT(n, 0u);
+  IAWJ_CHECK_GE(theta, 0.0);
+  if (theta_ > 0) {
+    zetan_ = Zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+}
+
+uint64_t ZipfGenerator::Next() {
+  if (theta_ == 0) {
+    return rng_.NextBounded(n_);
+  }
+  // theta == 1 makes alpha infinite; nudge it like common implementations do.
+  const double theta = theta_ == 1.0 ? 0.99999 : theta_;
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  const double alpha = theta_ == 1.0 ? 1.0 / (1.0 - theta) : alpha_;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha));
+  if (v >= n_) v = n_ - 1;
+  return v;
+}
+
+}  // namespace iawj

@@ -1,0 +1,37 @@
+// Zipf-distributed value generation.
+//
+// The paper uses Zipf distributions for both key skew (skew_key) and arrival
+// timestamp skew (skew_ts); theta = 0 degenerates to uniform. We use the
+// classic Gray et al. rejection-free inversion with a precomputed zeta
+// constant, which is exact and O(1) per sample after O(n) setup.
+#ifndef IAWJ_COMMON_ZIPF_H_
+#define IAWJ_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace iawj {
+
+class ZipfGenerator {
+ public:
+  // Generates values in [0, n). theta >= 0; theta == 0 is uniform.
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  Rng rng_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_ZIPF_H_

@@ -1,0 +1,92 @@
+#include "src/datagen/micro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+
+namespace iawj {
+
+namespace {
+
+// Bijection on [0, 2^31): multiplication by an odd constant is invertible
+// modulo any power of two, so distinct key ids stay distinct.
+uint32_t ScatterKeyId(uint64_t id) {
+  return static_cast<uint32_t>((id * 2654435761ull) & 0x7fffffffull);
+}
+
+std::vector<Tuple> GenerateSide(uint64_t n, uint64_t unique_keys,
+                                double zipf_key, const MicroSpec& spec,
+                                uint64_t seed) {
+  std::vector<Tuple> tuples(n);
+
+  // Keys. zipf_key == 0 with dupe == 1 assigns each key id exactly once
+  // (the paper's "unique key set"); otherwise keys draw from the shared
+  // domain with the requested skew. The non-Zipf assignments are shuffled:
+  // without it the key sequence is an arithmetic progression (sequential
+  // ids through the bijection), which branch predictors and comparison
+  // sorts exploit — real generators (Kim et al.) emit random key order.
+  if (zipf_key == 0) {
+    for (uint64_t i = 0; i < n; ++i) {
+      tuples[i].key =
+          ScatterKeyId(spec.dupe <= 1.0 ? i : i % unique_keys);
+    }
+    Rng rng(seed ^ 0x51a4full);
+    for (uint64_t i = n; i > 1; --i) {
+      std::swap(tuples[i - 1].key, tuples[rng.NextBounded(i)].key);
+    }
+  } else {
+    ZipfGenerator zipf(unique_keys, zipf_key, seed ^ 0x5eedull);
+    for (uint64_t i = 0; i < n; ++i) {
+      tuples[i].key = ScatterKeyId(zipf.Next());
+    }
+  }
+
+  // Timestamps. Uniform arrivals space tuples at the arrival rate; skewed
+  // arrivals cluster tuples toward the start of the window (§5.4, Fig. 12).
+  const uint64_t window = std::max<uint32_t>(spec.window_ms, 1);
+  if (spec.zipf_ts == 0) {
+    const double rate = static_cast<double>(n) / static_cast<double>(window);
+    for (uint64_t i = 0; i < n; ++i) {
+      tuples[i].ts =
+          static_cast<uint32_t>(static_cast<double>(i) / std::max(rate, 1e-9));
+    }
+  } else {
+    ZipfGenerator zipf(window, spec.zipf_ts, seed ^ 0x715ull);
+    for (uint64_t i = 0; i < n; ++i) {
+      tuples[i].ts = static_cast<uint32_t>(zipf.Next());
+    }
+  }
+  return tuples;
+}
+
+}  // namespace
+
+MicroWorkload GenerateMicro(const MicroSpec& spec) {
+  IAWJ_CHECK_GE(spec.dupe, 1.0);
+  const uint64_t n_r = spec.size_r != 0
+                           ? spec.size_r
+                           : spec.rate_r * spec.window_ms;
+  const uint64_t n_s = spec.size_s != 0
+                           ? spec.size_s
+                           : spec.rate_s * spec.window_ms;
+  IAWJ_CHECK_GT(n_r, 0u);
+  IAWJ_CHECK_GT(n_s, 0u);
+
+  // Shared key domain so R and S tuples can match.
+  const uint64_t unique_keys = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(std::max(n_r, n_s)) /
+                               spec.dupe));
+
+  MicroWorkload workload;
+  const double zipf_s = spec.zipf_key_s < 0 ? spec.zipf_key : spec.zipf_key_s;
+  workload.r = MakeStream(
+      GenerateSide(n_r, unique_keys, spec.zipf_key, spec, spec.seed));
+  workload.s = MakeStream(
+      GenerateSide(n_s, unique_keys, zipf_s, spec, spec.seed ^ 0xabcdefull));
+  return workload;
+}
+
+}  // namespace iawj

@@ -1,0 +1,52 @@
+// The `Micro` synthetic workload (paper §4.2.1, based on Kim et al.).
+//
+// Every knob from the paper's Table 1 is tunable: arrival rate per stream,
+// window length, average key duplication, Zipf key skew and Zipf timestamp
+// skew. Key ids map through an odd-multiplier bijection on [0, 2^31) so keys
+// are scattered (no accidental radix friendliness) yet collision-free, and R
+// and S share the key domain so every key can match across streams.
+#ifndef IAWJ_DATAGEN_MICRO_H_
+#define IAWJ_DATAGEN_MICRO_H_
+
+#include <cstdint>
+
+#include "src/stream/stream.h"
+
+namespace iawj {
+
+struct MicroSpec {
+  // Arrival rates in tuples per msec (paper sweeps 1600..25600).
+  uint64_t rate_r = 1600;
+  uint64_t rate_s = 1600;
+  uint32_t window_ms = 1000;
+
+  // Average number of duplicates per key within one stream (dupe).
+  double dupe = 1.0;
+  // Zipf exponent of the key distribution (0 == unique/uniform usage).
+  double zipf_key = 0.0;
+  // Per-side override for the key skew; negative means "use zipf_key".
+  // The §5.4 key-skewness sweep skews R while keeping S near-uniform so the
+  // output cardinality stays linear in the input size.
+  double zipf_key_s = -1.0;
+  // Zipf exponent of the arrival-time distribution (0 == uniform arrivals;
+  // higher values skew tuples toward early timestamps, as in §5.4).
+  double zipf_ts = 0.0;
+
+  // When nonzero, override rate*window sizing (the §5.5 at-rest studies fix
+  // |R| and |S| explicitly).
+  uint64_t size_r = 0;
+  uint64_t size_s = 0;
+
+  uint64_t seed = 42;
+};
+
+struct MicroWorkload {
+  Stream r;
+  Stream s;
+};
+
+MicroWorkload GenerateMicro(const MicroSpec& spec);
+
+}  // namespace iawj
+
+#endif  // IAWJ_DATAGEN_MICRO_H_

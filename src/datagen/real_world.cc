@@ -1,0 +1,158 @@
+#include "src/datagen/real_world.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+
+namespace iawj {
+
+namespace {
+
+uint32_t ScatterKeyId(uint64_t id) {
+  return static_cast<uint32_t>((id * 2654435761ull) & 0x7fffffffull);
+}
+
+// Draws n keys over a shared domain with the given Zipf skew.
+void FillKeys(std::vector<Tuple>* tuples, uint64_t domain, double zipf_key,
+              uint64_t seed) {
+  ZipfGenerator zipf(std::max<uint64_t>(domain, 1), zipf_key, seed);
+  for (auto& t : *tuples) t.key = ScatterKeyId(zipf.Next());
+}
+
+// Uniform arrivals at `rate` tuples/ms.
+void FillUniformTs(std::vector<Tuple>* tuples, uint32_t window_ms) {
+  const double step =
+      static_cast<double>(window_ms) / std::max<size_t>(tuples->size(), 1);
+  for (size_t i = 0; i < tuples->size(); ++i) {
+    (*tuples)[i].ts = static_cast<uint32_t>(static_cast<double>(i) * step);
+  }
+}
+
+// Spiky arrivals (Figure 3a): a uniform base load plus bursts where many
+// tuples share the same time slot.
+void FillSpikyTs(std::vector<Tuple>* tuples, uint32_t window_ms, int spikes,
+                 double spike_fraction, Rng* rng) {
+  const size_t n = tuples->size();
+  const size_t burst = static_cast<size_t>(spike_fraction * n);
+  std::vector<uint32_t> spike_times(spikes);
+  for (auto& ts : spike_times) {
+    ts = static_cast<uint32_t>(rng->NextBounded(window_ms));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i < burst) {
+      (*tuples)[i].ts = spike_times[rng->NextBounded(spike_times.size())];
+    } else {
+      (*tuples)[i].ts = static_cast<uint32_t>(rng->NextBounded(window_ms));
+    }
+  }
+}
+
+}  // namespace
+
+std::string RealWorkloadName(RealWorkload which) {
+  switch (which) {
+    case RealWorkload::kStock:
+      return "Stock";
+    case RealWorkload::kRovio:
+      return "Rovio";
+    case RealWorkload::kYsb:
+      return "YSB";
+    case RealWorkload::kDebs:
+      return "DEBS";
+  }
+  return "?";
+}
+
+Workload GenerateRealWorld(const RealWorldSpec& spec) {
+  IAWJ_CHECK_GT(spec.scale, 0.0);
+  Workload w;
+  w.name = RealWorkloadName(spec.which);
+  Rng rng(spec.seed);
+  const uint32_t window = spec.window_ms;
+  const auto scaled = [&](double x) {
+    return std::max<uint64_t>(1, static_cast<uint64_t>(x * spec.scale));
+  };
+
+  switch (spec.which) {
+    case RealWorkload::kStock: {
+      // Trades (R) join quotes (S) on stock id. Low rates (61 and 77
+      // tuples/ms), moderate duplication (~68/~79), visible key skew, and
+      // spiky arrivals.
+      const uint64_t n_r = scaled(61.0 * window);
+      const uint64_t n_s = scaled(77.0 * window);
+      const uint64_t domain =
+          std::max<uint64_t>(1, std::max(n_r / 68, n_s / 79));
+      std::vector<Tuple> r(n_r), s(n_s);
+      FillKeys(&r, domain, 0.112 * 4, spec.seed ^ 1);  // amplified: see note
+      FillKeys(&s, domain, 0.158 * 4, spec.seed ^ 2);
+      // Table 3's skew_key values are fitted exponents on the real data;
+      // generating with those tiny thetas would be indistinguishable from
+      // uniform, so we amplify moderately to keep Stock "the more skewed
+      // workload" (§4.2.1 point iii) while staying far below Micro's skew
+      // sweep range.
+      FillSpikyTs(&r, window, /*spikes=*/8, /*spike_fraction=*/0.5, &rng);
+      FillSpikyTs(&s, window, /*spikes=*/8, /*spike_fraction=*/0.5, &rng);
+      w.r = MakeStream(std::move(r));
+      w.s = MakeStream(std::move(s));
+      break;
+    }
+    case RealWorkload::kRovio: {
+      // Advertisements (R) join purchases (S) with very heavy duplication
+      // (dupe ~ 17960 at paper scale) and steady arrivals (Figure 3b).
+      const uint64_t n_r = scaled(3000.0 * window);
+      const uint64_t n_s = scaled(3000.0 * window);
+      // Preserve the paper's tiny key *domain* (|R|/dupe ~ 167 ads at paper
+      // scale); duplication then scales with the stream size but stays far
+      // above every other workload, which is the property the analysis uses.
+      const uint64_t domain = 167;
+      std::vector<Tuple> r(n_r), s(n_s);
+      FillKeys(&r, domain, 0.042, spec.seed ^ 3);
+      FillKeys(&s, domain, 0.042, spec.seed ^ 4);
+      FillUniformTs(&r, window);
+      FillUniformTs(&s, window);
+      w.r = MakeStream(std::move(r));
+      w.s = MakeStream(std::move(s));
+      break;
+    }
+    case RealWorkload::kYsb: {
+      // Campaigns table (R, static, 1000 unique keys) joins the ad stream
+      // (S, high arrival rate, dupe(S) ~ 10^3 per campaign).
+      const uint64_t n_r = std::max<uint64_t>(16, scaled(1000));
+      const uint64_t n_s = scaled(10000.0 * window);
+      std::vector<Tuple> r(n_r), s(n_s);
+      for (uint64_t i = 0; i < n_r; ++i) {
+        r[i].key = ScatterKeyId(i);  // unique campaign ids (dupe(R)=1)
+        r[i].ts = 0;                 // table at rest
+      }
+      ZipfGenerator zipf(n_r, 0.033, spec.seed ^ 5);
+      for (auto& t : s) t.key = ScatterKeyId(zipf.Next());
+      FillUniformTs(&s, window);
+      w.r = MakeStream(std::move(r));
+      w.s = MakeStream(std::move(s));
+      break;
+    }
+    case RealWorkload::kDebs: {
+      // Posts (R) and comments (S) at rest: window length zero, infinite
+      // arrival rate, high duplication on both sides.
+      const uint64_t n_r = scaled(1e5);
+      const uint64_t n_s = scaled(1e6);
+      const uint64_t domain_r = std::max<uint64_t>(1, n_r / 173);
+      const uint64_t domain_s = std::max<uint64_t>(1, n_s / 1115);
+      std::vector<Tuple> r(n_r), s(n_s);
+      FillKeys(&r, domain_r, 0.003, spec.seed ^ 6);
+      FillKeys(&s, std::max(domain_r, domain_s), 0.011, spec.seed ^ 7);
+      for (auto& t : r) t.ts = 0;
+      for (auto& t : s) t.ts = 0;
+      w.r = MakeStream(std::move(r));
+      w.s = MakeStream(std::move(s));
+      w.suggested_clock = Clock::Mode::kInstant;
+      break;
+    }
+  }
+  return w;
+}
+
+}  // namespace iawj

@@ -1,0 +1,15 @@
+#include "src/hash/bucket_chain.h"
+
+#include <algorithm>
+
+namespace iawj {
+
+int BucketBitsForTuples(uint64_t expected_tuples) {
+  const uint64_t want_buckets =
+      std::max<uint64_t>(expected_tuples /
+                             BucketChainTable<>::kBucketCapacity,
+                         16);
+  return Log2Ceil(want_buckets);
+}
+
+}  // namespace iawj

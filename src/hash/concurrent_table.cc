@@ -1,0 +1,11 @@
+// ConcurrentBucketChainTable is header-only (templated on the tracer); this
+// translation unit exists to type-check the header standalone.
+#include "src/hash/concurrent_table.h"
+
+namespace iawj {
+
+// Force an instantiation so template errors surface at library build time.
+template class ConcurrentBucketChainTable<NullTracer>;
+template class ConcurrentBucketChainTable<SimTracer>;
+
+}  // namespace iawj

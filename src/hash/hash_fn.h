@@ -1,0 +1,31 @@
+// Hash functions used by the hash-join substrates.
+#ifndef IAWJ_HASH_HASH_FN_H_
+#define IAWJ_HASH_HASH_FN_H_
+
+#include <cstdint>
+
+namespace iawj {
+
+// Fibonacci/Knuth multiplicative hashing — one multiply, well-mixed high
+// bits. Callers take the top `bits` via ">> (32 - bits)" or mask after a
+// shift; HashToBucket does it for them.
+inline uint32_t MultHash32(uint32_t key) { return key * 2654435761u; }
+
+// Maps key to [0, 2^bits).
+inline uint32_t HashToBucket(uint32_t key, int bits) {
+  return bits == 0 ? 0 : MultHash32(key) >> (32 - bits);
+}
+
+// 64-bit mixer used for order-insensitive match checksums in tests/metrics.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace iawj
+
+#endif  // IAWJ_HASH_HASH_FN_H_

@@ -1,0 +1,96 @@
+#include "src/io/workload_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace iawj::io {
+
+namespace {
+constexpr char kMagic[8] = {'I', 'A', 'W', 'J', 'S', 'T', 'R', '1'};
+}  // namespace
+
+Status SaveStream(const Stream& stream, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = stream.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(stream.tuples.data()),
+            static_cast<std::streamsize>(count * sizeof(Tuple)));
+  return out.good() ? Status::Ok()
+                    : Status::FailedPrecondition("write to " + path +
+                                                 " failed");
+}
+
+Status LoadStream(const std::string& path, Stream* stream) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::FailedPrecondition("cannot open " + path);
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + " is not an IAWJ stream file");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) return Status::InvalidArgument(path + ": truncated header");
+  std::vector<Tuple> tuples(count);
+  in.read(reinterpret_cast<char*>(tuples.data()),
+          static_cast<std::streamsize>(count * sizeof(Tuple)));
+  if (!in) return Status::InvalidArgument(path + ": truncated tuple data");
+  // Re-sorting makes the loader robust to externally produced files.
+  *stream = MakeStream(std::move(tuples));
+  return Status::Ok();
+}
+
+Status SaveStreamCsv(const Stream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  out << "ts,key\n";
+  for (const Tuple& t : stream.tuples) {
+    out << t.ts << "," << t.key << "\n";
+  }
+  return out.good() ? Status::Ok()
+                    : Status::FailedPrecondition("write to " + path +
+                                                 " failed");
+}
+
+Status LoadStreamCsv(const std::string& path, Stream* stream) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::FailedPrecondition("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("ts,key", 0) != 0) {
+    return Status::InvalidArgument(path + ": missing 'ts,key' header");
+  }
+  std::vector<Tuple> tuples;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": expected 'ts,key'");
+    }
+    Tuple t;
+    t.ts = static_cast<uint32_t>(
+        std::strtoul(line.substr(0, comma).c_str(), nullptr, 10));
+    t.key = static_cast<uint32_t>(
+        std::strtoul(line.substr(comma + 1).c_str(), nullptr, 10));
+    tuples.push_back(t);
+  }
+  *stream = MakeStream(std::move(tuples));
+  return Status::Ok();
+}
+
+}  // namespace iawj::io

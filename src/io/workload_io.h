@@ -1,0 +1,27 @@
+// Workload persistence: save generated streams to disk and load them back,
+// so experiments can pin exact inputs (and external traces can be imported).
+//
+// Two formats:
+//  - binary: a small header + raw little-endian Tuple array (fast, exact);
+//  - csv:    "ts,key" rows with a header line (interoperable).
+#ifndef IAWJ_IO_WORKLOAD_IO_H_
+#define IAWJ_IO_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/stream/stream.h"
+
+namespace iawj::io {
+
+// Binary format.
+Status SaveStream(const Stream& stream, const std::string& path);
+Status LoadStream(const std::string& path, Stream* stream);
+
+// CSV format ("ts,key" with header).
+Status SaveStreamCsv(const Stream& stream, const std::string& path);
+Status LoadStreamCsv(const std::string& path, Stream* stream);
+
+}  // namespace iawj::io
+
+#endif  // IAWJ_IO_WORKLOAD_IO_H_

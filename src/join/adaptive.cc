@@ -1,0 +1,87 @@
+#include "src/join/adaptive.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace iawj {
+
+namespace {
+
+// Statistics over a bounded sample: enough to classify rate, duplication,
+// and skew without a full pass over huge windows. Naive duplicates-per-key
+// does not survive subsampling (a key with 50 copies in 200k tuples shows
+// ~0.25 copies in a 1k sample), so duplication uses the unbiased
+// self-join-size estimator: with sample frequencies f_i over m of N tuples,
+//   sum(F_i^2) ~= (sum(f_i^2) - m) * N^2 / (m * (m - 1)),
+// and the duplication intensity is sum(F_i^2) / N.
+StreamStats SampleStats(const Stream& stream, size_t limit) {
+  if (stream.size() <= limit) return ComputeStats(stream);
+  Stream sample;
+  // An evenly strided sample keeps the estimate unbiased even if key usage
+  // drifts over the window.
+  const size_t stride = stream.size() / limit;
+  sample.tuples.reserve(limit);
+  for (size_t i = 0; i < stream.size() && sample.tuples.size() < limit;
+       i += stride) {
+    sample.tuples.push_back(stream.tuples[i]);
+  }
+  StreamStats stats = ComputeStats(sample);
+  stats.num_tuples = stream.size();
+  stats.arrival_rate_per_ms =
+      static_cast<double>(stream.size()) / (stream.MaxTs() + 1);
+
+  std::unordered_map<uint32_t, uint64_t> freq;
+  freq.reserve(sample.size());
+  for (const Tuple& t : sample.tuples) ++freq[t.key];
+  double sum_f2 = 0;
+  for (const auto& [key, f] : freq) {
+    sum_f2 += static_cast<double>(f) * static_cast<double>(f);
+  }
+  const double m = static_cast<double>(sample.size());
+  const double n = static_cast<double>(stream.size());
+  const double sum_big_f2 =
+      std::max(n, (sum_f2 - m) * n * n / (m * (m - 1)));
+  stats.avg_duplicates_per_key = std::max(1.0, sum_big_f2 / n);
+  stats.unique_keys = static_cast<uint64_t>(
+      std::max(1.0, n / stats.avg_duplicates_per_key));
+  return stats;
+}
+
+}  // namespace
+
+AdaptiveChoice ChooseAlgorithm(const Stream& r, const Stream& s,
+                               const AdaptiveOptions& options) {
+  AdaptiveChoice choice;
+  const StreamStats stats_r = SampleStats(r, options.sample_limit);
+  const StreamStats stats_s = SampleStats(s, options.sample_limit);
+  choice.profile = ProfileFromStats(stats_r, stats_s, options.thresholds);
+  choice.algorithm = RecommendAlgorithm(choice.profile, options.objective,
+                                        options.hardware,
+                                        options.thresholds);
+  return choice;
+}
+
+RunResult RunAdaptive(const Stream& r, const Stream& s, const JoinSpec& spec,
+                      const AdaptiveOptions& options,
+                      AdaptiveChoice* choice_out) {
+  const AdaptiveChoice choice = ChooseAlgorithm(r, s, options);
+  if (choice_out != nullptr) *choice_out = choice;
+  JoinSpec adjusted = spec;
+  // JB needs a group size that divides the worker count; fall back to
+  // strict hash partitioning when the configured one does not.
+  if ((choice.algorithm == AlgorithmId::kShjJb ||
+       choice.algorithm == AlgorithmId::kPmjJb) &&
+      spec.num_threads % spec.jb_group_size != 0) {
+    adjusted.jb_group_size = 1;
+  }
+  JoinRunner runner;
+  return runner.Run(choice.algorithm, r, s, adjusted);
+}
+
+AlgorithmPolicy MakeAdaptivePolicy(const AdaptiveOptions& options) {
+  return [options](const Stream& r, const Stream& s) {
+    return ChooseAlgorithm(r, s, options).algorithm;
+  };
+}
+
+}  // namespace iawj

@@ -1,0 +1,48 @@
+// Adaptive IaWJ: pick the algorithm per window from measured workload
+// characteristics (the paper's future-work item (i): "an adaptive IaWJ
+// algorithm that considers all the factors including workload, metrics and
+// hardware").
+//
+// The policy samples the window's streams (statistics are computed on a
+// bounded prefix so the decision cost stays negligible), classifies them
+// through the Figure 4 thresholds, and asks the decision tree for the
+// algorithm matching the caller's objective.
+#ifndef IAWJ_JOIN_ADAPTIVE_H_
+#define IAWJ_JOIN_ADAPTIVE_H_
+
+#include "src/join/decision_tree.h"
+#include "src/join/runner.h"
+#include "src/join/window_pipeline.h"
+
+namespace iawj {
+
+struct AdaptiveOptions {
+  Objective objective = Objective::kThroughput;
+  HardwareProfile hardware;
+  DecisionThresholds thresholds;
+  // Cap on tuples sampled per stream when profiling a window.
+  size_t sample_limit = 65536;
+};
+
+struct AdaptiveChoice {
+  AlgorithmId algorithm = AlgorithmId::kNpj;
+  WorkloadProfile profile;
+};
+
+// Profiles the window inputs and returns the decision-tree pick.
+AdaptiveChoice ChooseAlgorithm(const Stream& r, const Stream& s,
+                               const AdaptiveOptions& options);
+
+// Runs one window adaptively. If `choice` is non-null it receives the
+// decision that was made.
+RunResult RunAdaptive(const Stream& r, const Stream& s, const JoinSpec& spec,
+                      const AdaptiveOptions& options,
+                      AdaptiveChoice* choice = nullptr);
+
+// An AlgorithmPolicy for the tumbling-window pipeline that re-decides on
+// every window.
+AlgorithmPolicy MakeAdaptivePolicy(const AdaptiveOptions& options);
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_ADAPTIVE_H_

@@ -1,0 +1,80 @@
+#include "src/join/context.h"
+
+#include "src/stream/distribution.h"
+
+namespace iawj {
+
+std::string_view AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kNpj:
+      return "NPJ";
+    case AlgorithmId::kPrj:
+      return "PRJ";
+    case AlgorithmId::kMway:
+      return "MWAY";
+    case AlgorithmId::kMpass:
+      return "MPASS";
+    case AlgorithmId::kShjJm:
+      return "SHJ-JM";
+    case AlgorithmId::kShjJb:
+      return "SHJ-JB";
+    case AlgorithmId::kPmjJm:
+      return "PMJ-JM";
+    case AlgorithmId::kPmjJb:
+      return "PMJ-JB";
+  }
+  return "?";
+}
+
+bool IsLazy(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kNpj:
+    case AlgorithmId::kPrj:
+    case AlgorithmId::kMway:
+    case AlgorithmId::kMpass:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSortBased(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kMway:
+    case AlgorithmId::kMpass:
+    case AlgorithmId::kPmjJm:
+    case AlgorithmId::kPmjJb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status JoinSpec::Validate(AlgorithmId id) const {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (window_ms < 1) {
+    return Status::InvalidArgument("window_ms must be >= 1");
+  }
+  if (time_scale <= 0) {
+    return Status::InvalidArgument("time_scale must be > 0");
+  }
+  if (id == AlgorithmId::kPrj && (radix_bits < 1 || radix_bits > 24)) {
+    return Status::InvalidArgument("radix_bits must be in [1, 24]");
+  }
+  if (id == AlgorithmId::kPrj && (radix_passes < 1 || radix_passes > 2)) {
+    return Status::InvalidArgument("radix_passes must be 1 or 2");
+  }
+  if ((id == AlgorithmId::kPmjJm || id == AlgorithmId::kPmjJb) &&
+      (pmj_delta <= 0 || pmj_delta > 1.0)) {
+    return Status::InvalidArgument("pmj_delta must be in (0, 1]");
+  }
+  if (id == AlgorithmId::kShjJb || id == AlgorithmId::kPmjJb) {
+    return Distribution::Validate(DistributionScheme::kJoinBiclique,
+                                  num_threads, jb_group_size);
+  }
+  return Status::Ok();
+}
+
+}  // namespace iawj

@@ -1,0 +1,161 @@
+// Core intra-window-join API: algorithm identifiers, configuration, the
+// per-worker match sink, and the execution context handed to algorithms.
+//
+// The runner (join/runner.h) owns the orchestration: it windows the inputs,
+// starts the virtual clock, spawns one worker thread per configured core,
+// and aggregates per-worker sinks and phase profiles into a RunResult.
+#ifndef IAWJ_JOIN_CONTEXT_H_
+#define IAWJ_JOIN_CONTEXT_H_
+
+#include <barrier>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/hash/hash_fn.h"
+#include "src/profiling/cache_sim.h"
+#include "src/profiling/phase.h"
+#include "src/profiling/progress.h"
+
+namespace iawj {
+
+// The eight studied algorithms (paper Table 2).
+enum class AlgorithmId {
+  kNpj,     // lazy,  hash, no physical partitioning
+  kPrj,     // lazy,  hash, radix replication
+  kMway,    // lazy,  sort, multiway merge
+  kMpass,   // lazy,  sort, successive two-way merges
+  kShjJm,   // eager, hash, join-matrix
+  kShjJb,   // eager, hash, join-biclique
+  kPmjJm,   // eager, sort, join-matrix
+  kPmjJb,   // eager, sort, join-biclique
+};
+
+inline constexpr AlgorithmId kAllAlgorithms[] = {
+    AlgorithmId::kNpj,   AlgorithmId::kPrj,   AlgorithmId::kMway,
+    AlgorithmId::kMpass, AlgorithmId::kShjJm, AlgorithmId::kShjJb,
+    AlgorithmId::kPmjJm, AlgorithmId::kPmjJb};
+
+std::string_view AlgorithmName(AlgorithmId id);
+bool IsLazy(AlgorithmId id);
+bool IsSortBased(AlgorithmId id);
+
+// Hash-table backend for PRJ partitions and the SHJ states (the NPJ shared
+// table is always the latched bucket chain).
+enum class HashTableKind { kBucketChain, kLinearProbe };
+
+// Every tunable the paper studies (Table 1 knobs live in the workload
+// generators; these are the algorithm-side knobs of §5.5/§5.6).
+struct JoinSpec {
+  int num_threads = 4;
+  uint32_t window_ms = 1000;
+
+  Clock::Mode clock_mode = Clock::Mode::kInstant;
+  double time_scale = 1.0;  // stream-ms advanced per wall-ms (kRealTime)
+
+  int radix_bits = 10;       // PRJ: number of radix bits (#r), Figure 18
+  int radix_passes = 1;      // PRJ: 1 or 2 partitioning passes (Balkesen)
+  double pmj_delta = 0.2;    // PMJ: sorting step size (fraction), Figure 15
+  int jb_group_size = 2;     // JB: core-group size (g), Figure 16
+  bool eager_physical_partition = false;  // SHJ/PMJ: copy vs pointer, Fig. 17
+  bool use_simd = true;      // sort kernels: AVX ablation, Figure 21
+  bool pin_threads = false;  // best-effort core pinning
+  HashTableKind hash_table_kind = HashTableKind::kBucketChain;
+
+  Status Validate(AlgorithmId id) const;
+};
+
+// Per-worker match collector. Never materializes matches: constant memory
+// regardless of result cardinality (§4.2.2's profiling methodology).
+class MatchSink {
+ public:
+  void Bind(const Clock* clock) { clock_ = clock; }
+
+  void OnMatch(uint32_t key, uint32_t r_ts, uint32_t s_ts) {
+    ++count_;
+    checksum_ += Mix64((static_cast<uint64_t>(key) << 32) ^
+                       Mix64((static_cast<uint64_t>(r_ts) << 32) | s_ts));
+    const double now = clock_->NowMs();
+    // Latency = match time minus the arrival of its later input (§4.1).
+    // With the instant clock everything "arrived" at time zero, so latency
+    // degenerates to completion time — the at-rest semantics DEBS uses.
+    const double input_ts =
+        clock_->mode() == Clock::Mode::kInstant
+            ? 0.0
+            : static_cast<double>(r_ts > s_ts ? r_ts : s_ts);
+    progress_.Record(now);
+    latency_.RecordMs(now - input_ts);
+    if (now > last_match_ms_) last_match_ms_ = now;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t checksum() const { return checksum_; }
+  double last_match_ms() const { return last_match_ms_; }
+  const ProgressRecorder& progress() const { return progress_; }
+  const LatencyHistogram& latency() const { return latency_; }
+
+ private:
+  const Clock* clock_ = nullptr;
+  uint64_t count_ = 0;
+  uint64_t checksum_ = 0;
+  double last_match_ms_ = 0;
+  ProgressRecorder progress_;
+  LatencyHistogram latency_;
+};
+
+// Everything a worker thread needs. Owned by the runner for one run.
+struct JoinContext {
+  std::span<const Tuple> r;
+  std::span<const Tuple> s;
+  const JoinSpec* spec = nullptr;
+  const Clock* clock = nullptr;
+  // Stream time at which the lazy algorithms may start processing (arrival
+  // of the last tuple of the window).
+  double window_close_ms = 0;
+
+  MatchSink* sinks = nullptr;        // [spec->num_threads]
+  PhaseProfile* profiles = nullptr;  // [spec->num_threads]
+  std::barrier<>* barrier = nullptr;
+  // Per-worker cache simulators; only set by the cache-profiling benches,
+  // which run algorithms instantiated with SimTracer.
+  CacheSim* const* cache_sims = nullptr;
+
+  MatchSink& sink(int t) const { return sinks[t]; }
+  PhaseProfile& profile(int t) const { return profiles[t]; }
+};
+
+// Builds the worker-local tracer for an algorithm instantiated with Tracer.
+template <typename Tracer>
+Tracer MakeWorkerTracer(const JoinContext& ctx, int worker);
+
+template <>
+inline NullTracer MakeWorkerTracer<NullTracer>(const JoinContext&, int) {
+  return NullTracer{};
+}
+
+template <>
+inline SimTracer MakeWorkerTracer<SimTracer>(const JoinContext& ctx,
+                                             int worker) {
+  return SimTracer(ctx.cache_sims[worker]);
+}
+
+// A join algorithm executes as spec->num_threads workers; Setup runs once on
+// the orchestrating thread before workers start (allocate shared state),
+// Teardown after they join.
+class JoinAlgorithm {
+ public:
+  virtual ~JoinAlgorithm() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual void Setup(const JoinContext& ctx) = 0;
+  virtual void RunWorker(const JoinContext& ctx, int worker) = 0;
+  virtual void Teardown() {}
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_CONTEXT_H_

@@ -1,0 +1,82 @@
+#include "src/join/decision_tree.h"
+
+namespace iawj {
+
+RateClass ClassifyRate(double tuples_per_ms,
+                       const DecisionThresholds& thresholds) {
+  if (tuples_per_ms < thresholds.low_rate_per_ms) return RateClass::kLow;
+  if (tuples_per_ms < thresholds.high_rate_per_ms) return RateClass::kMedium;
+  return RateClass::kHigh;
+}
+
+Level ClassifyDuplication(double dupe, const DecisionThresholds& thresholds) {
+  return dupe > thresholds.high_duplication ? Level::kHigh : Level::kLow;
+}
+
+WorkloadProfile ProfileFromStats(const StreamStats& r, const StreamStats& s,
+                                 const DecisionThresholds& thresholds) {
+  WorkloadProfile profile;
+  profile.rate_r = ClassifyRate(r.arrival_rate_per_ms, thresholds);
+  profile.rate_s = ClassifyRate(s.arrival_rate_per_ms, thresholds);
+  profile.key_duplication = ClassifyDuplication(
+      std::max(r.avg_duplicates_per_key, s.avg_duplicates_per_key),
+      thresholds);
+  profile.key_skew =
+      std::max(r.key_zipf_estimate, s.key_zipf_estimate) >
+              thresholds.high_key_skew
+          ? Level::kHigh
+          : Level::kLow;
+  profile.input_size = r.num_tuples + s.num_tuples > thresholds.large_input
+                           ? Level::kHigh
+                           : Level::kLow;
+  return profile;
+}
+
+namespace {
+
+// "When the key duplication is high, MPass and MWay are better options and
+// MPass scales better with a large core count. When the key duplication is
+// low, NPJ and PRJ are more effective, and PRJ performs better when the key
+// [skewness] is low and the number of tuples to join is large."
+AlgorithmId PickLazy(const WorkloadProfile& profile,
+                     const HardwareProfile& hardware,
+                     const DecisionThresholds& thresholds) {
+  if (profile.key_duplication == Level::kHigh) {
+    return hardware.num_cores >= thresholds.large_core_count
+               ? AlgorithmId::kMpass
+               : AlgorithmId::kMway;
+  }
+  if (profile.key_skew == Level::kLow && profile.input_size == Level::kHigh) {
+    return AlgorithmId::kPrj;
+  }
+  return AlgorithmId::kNpj;
+}
+
+}  // namespace
+
+AlgorithmId RecommendAlgorithm(const WorkloadProfile& profile,
+                               Objective objective,
+                               const HardwareProfile& hardware,
+                               const DecisionThresholds& thresholds) {
+  // "We recommend SHJ-JM whenever one input stream has low arrival rate."
+  if (profile.rate_r == RateClass::kLow || profile.rate_s == RateClass::kLow) {
+    return AlgorithmId::kShjJm;
+  }
+
+  // "We recommend the lazy approach when arrival rates are high."
+  const bool both_high = profile.rate_r == RateClass::kHigh &&
+                         profile.rate_s == RateClass::kHigh;
+  if (both_high) {
+    return PickLazy(profile, hardware, thresholds);
+  }
+
+  // Medium arrival rate: throughput wants the lazy approach; latency and
+  // progressiveness want PMJ-JB under high duplication, SHJ-JM otherwise.
+  if (objective == Objective::kThroughput) {
+    return PickLazy(profile, hardware, thresholds);
+  }
+  return profile.key_duplication == Level::kHigh ? AlgorithmId::kPmjJb
+                                                 : AlgorithmId::kShjJm;
+}
+
+}  // namespace iawj

@@ -1,0 +1,64 @@
+// The paper's decision tree for picking an IaWJ algorithm (Figure 4).
+//
+// Encodes §5.1's guidance: the lazy approach for high arrival rates (sort
+// joins under heavy key duplication, hash joins otherwise, with PRJ when the
+// keys are unskewed and the input is large), SHJ-JM whenever one stream is
+// slow, and at medium rates a metric-dependent choice between the lazy
+// algorithms (throughput) and PMJ-JB / SHJ-JM (latency/progressiveness).
+//
+// The qualitative levels are relative (the paper: "the quantitative value
+// depends on actual hardware and workloads"); Classify* helpers provide
+// defaults calibrated to the paper's sweeps and are parameterizable.
+#ifndef IAWJ_JOIN_DECISION_TREE_H_
+#define IAWJ_JOIN_DECISION_TREE_H_
+
+#include "src/join/context.h"
+#include "src/stream/stream.h"
+
+namespace iawj {
+
+enum class RateClass { kLow, kMedium, kHigh };
+enum class Level { kLow, kHigh };
+enum class Objective { kThroughput, kLatency, kProgressiveness };
+
+struct WorkloadProfile {
+  RateClass rate_r = RateClass::kMedium;
+  RateClass rate_s = RateClass::kMedium;
+  Level key_duplication = Level::kLow;
+  Level key_skew = Level::kLow;
+  Level input_size = Level::kLow;  // "number of tuples to join is large"
+};
+
+struct HardwareProfile {
+  int num_cores = 8;
+};
+
+// Classification thresholds (tuples/ms, duplicates/key, Zipf theta, tuples,
+// cores). Defaults follow the paper's experiment ranges.
+struct DecisionThresholds {
+  double low_rate_per_ms = 500;      // Stock-like rates are "low"
+  double high_rate_per_ms = 20000;   // the v=25600 regime is "high"
+  double high_duplication = 10;      // Figure 11 crossover
+  double high_key_skew = 1.0;        // Figure 13: PRJ degrades beyond ~1.2
+  uint64_t large_input = 4'000'000;  // tuples across both streams
+  int large_core_count = 8;          // "MPass scales better with large cores"
+};
+
+RateClass ClassifyRate(double tuples_per_ms,
+                       const DecisionThresholds& thresholds = {});
+Level ClassifyDuplication(double dupe,
+                          const DecisionThresholds& thresholds = {});
+
+// Derives a profile from measured workload statistics.
+WorkloadProfile ProfileFromStats(const StreamStats& r, const StreamStats& s,
+                                 const DecisionThresholds& thresholds = {});
+
+// Walks the Figure 4 tree.
+AlgorithmId RecommendAlgorithm(const WorkloadProfile& profile,
+                               Objective objective,
+                               const HardwareProfile& hardware,
+                               const DecisionThresholds& thresholds = {});
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_DECISION_TREE_H_

@@ -1,0 +1,184 @@
+#include "src/join/eager_engine.h"
+
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/join/pmj.h"
+#include "src/join/shj.h"
+
+namespace iawj {
+
+RouterState::~RouterState() {
+  mem::Add(-static_cast<int64_t>(last_dispatch_.size()) * kBytesPerEntry);
+}
+
+void RouterState::Note(uint32_t key, int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      last_dispatch_.try_emplace(key, static_cast<uint32_t>(worker));
+  it->second = static_cast<uint32_t>(worker);
+  ++dispatched_;
+  if (inserted) mem::Add(kBytesPerEntry);
+}
+
+template <typename Tracer>
+std::string_view EagerJoin<Tracer>::name() const {
+  if (kind_ == EagerKind::kShj) {
+    return scheme_ == DistributionScheme::kJoinMatrix ? "SHJ-JM" : "SHJ-JB";
+  }
+  return scheme_ == DistributionScheme::kJoinMatrix ? "PMJ-JM" : "PMJ-JB";
+}
+
+template <typename Tracer>
+void EagerJoin<Tracer>::Setup(const JoinContext& ctx) {
+  distribution_ = std::make_unique<Distribution>(
+      scheme_, ctx.spec->num_threads, ctx.spec->jb_group_size);
+  if (scheme_ == DistributionScheme::kJoinBiclique) {
+    router_ = std::make_unique<RouterState>();
+  }
+}
+
+template <typename Tracer>
+std::unique_ptr<EagerState> EagerJoin<Tracer>::MakeState(
+    const JoinContext& ctx, int worker, Tracer tracer) const {
+  (void)worker;
+  const int threads = ctx.spec->num_threads;
+  EagerStateConfig config;
+  config.pmj_delta = ctx.spec->pmj_delta;
+  config.store_pointers = !ctx.spec->eager_physical_partition;
+  config.use_simd = ctx.spec->use_simd;
+  if (scheme_ == DistributionScheme::kJoinMatrix) {
+    config.expected_r = ctx.r.size();  // R replicated to every worker
+    config.expected_s = ctx.s.size() / threads + 1;
+  } else {
+    // R replicated within one of T/g groups; S partitioned across workers.
+    config.expected_r =
+        ctx.r.size() / static_cast<uint64_t>(distribution_->num_groups()) + 1;
+    config.expected_s = ctx.s.size() / threads + 1;
+  }
+
+  if (kind_ == EagerKind::kPmj) {
+    return std::make_unique<PmjState<Tracer>>(config, std::move(tracer));
+  }
+  if (ctx.spec->hash_table_kind == HashTableKind::kLinearProbe) {
+    return std::make_unique<ShjLinearState<Tracer>>(config,
+                                                    std::move(tracer));
+  }
+  if (config.store_pointers) {
+    return std::make_unique<ShjPointerState<Tracer>>(config,
+                                                     std::move(tracer));
+  }
+  return std::make_unique<ShjValueState<Tracer>>(config, std::move(tracer));
+}
+
+template <typename Tracer>
+void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+  PhaseProfile& prof = ctx.profile(worker);
+  MatchSink& sink = ctx.sink(worker);
+  Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
+  const Distribution& dist = *distribution_;
+  const bool physical = ctx.spec->eager_physical_partition;
+  const bool jb = scheme_ == DistributionScheme::kJoinBiclique;
+
+  std::unique_ptr<EagerState> state = MakeState(ctx, worker, tracer);
+  RouterState* router = router_.get();
+
+  // Worker-local copies when physical partitioning is on. Reserved up front
+  // so value-table pointers never dangle (value states copy immediately
+  // anyway; pointer states are only used without physical partitioning).
+  mem::TrackedBuffer<Tuple> local_r;
+  mem::TrackedBuffer<Tuple> local_s;
+
+  PhaseStopwatch sw(&prof);
+  const std::span<const Tuple> r = ctx.r;
+  const std::span<const Tuple> s = ctx.s;
+  size_t ir = 0, is = 0;
+
+  // The §4.2.2 pull loop: alternate between streams, consuming whatever has
+  // arrived; stall only when the worker outruns both streams.
+  while (ir < r.size() || is < s.size()) {
+    bool progressed = false;
+
+    if (ir < r.size() && ctx.clock->HasArrived(r[ir].ts)) {
+      sw.Switch(Phase::kPartition);
+      tracer.SetPhase(Phase::kPartition);
+      const Tuple& t = r[ir];
+      tracer.Access(&t, sizeof(Tuple));
+      if (dist.OwnsR(worker, t, ir)) {
+        if (jb) router->Note(t.key, worker);
+        if (physical) {
+          local_r.PushBack(t);
+          state->OnR(local_r[local_r.size() - 1], sink, sw);
+        } else {
+          state->OnR(t, sink, sw);
+        }
+      }
+      ++ir;
+      progressed = true;
+    }
+
+    if (is < s.size() && ctx.clock->HasArrived(s[is].ts)) {
+      sw.Switch(Phase::kPartition);
+      tracer.SetPhase(Phase::kPartition);
+      const Tuple& t = s[is];
+      tracer.Access(&t, sizeof(Tuple));
+      if (dist.OwnsS(worker, t, is)) {
+        if (jb) router->Note(t.key, worker);
+        if (physical) {
+          local_s.PushBack(t);
+          state->OnS(local_s[local_s.size() - 1], sink, sw);
+        } else {
+          state->OnS(t, sink, sw);
+        }
+      }
+      ++is;
+      progressed = true;
+    }
+
+    if (!progressed) {
+      sw.Switch(Phase::kWait);
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+    }
+  }
+
+  state->Finish(sink, sw);
+  sw.Stop();
+}
+
+template class EagerJoin<NullTracer>;
+template class EagerJoin<SimTracer>;
+
+namespace {
+
+template <typename Tracer>
+std::unique_ptr<JoinAlgorithm> MakeEagerImpl(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kShjJm:
+      return std::make_unique<EagerJoin<Tracer>>(
+          EagerKind::kShj, DistributionScheme::kJoinMatrix);
+    case AlgorithmId::kShjJb:
+      return std::make_unique<EagerJoin<Tracer>>(
+          EagerKind::kShj, DistributionScheme::kJoinBiclique);
+    case AlgorithmId::kPmjJm:
+      return std::make_unique<EagerJoin<Tracer>>(
+          EagerKind::kPmj, DistributionScheme::kJoinMatrix);
+    case AlgorithmId::kPmjJb:
+      return std::make_unique<EagerJoin<Tracer>>(
+          EagerKind::kPmj, DistributionScheme::kJoinBiclique);
+    default:
+      IAWJ_LOG(Fatal) << "not an eager algorithm";
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<JoinAlgorithm> MakeEager(AlgorithmId id) {
+  return MakeEagerImpl<NullTracer>(id);
+}
+
+std::unique_ptr<JoinAlgorithm> MakeEagerTraced(AlgorithmId id) {
+  return MakeEagerImpl<SimTracer>(id);
+}
+
+}  // namespace iawj

@@ -1,0 +1,155 @@
+#include "src/join/handshake.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/memory/tracker.h"
+
+namespace iawj {
+
+void HandshakeJoin::Setup(const JoinContext& ctx) {
+  const int threads = ctx.spec->num_threads;
+  for (int parity = 0; parity < 2; ++parity) {
+    r_seg_[parity].assign(threads, {});
+    s_seg_[parity].assign(threads, {});
+  }
+  // Batch sizes chosen so a full drain takes ~64 steps per core.
+  r_batch_ = std::max<size_t>(1, ctx.r.size() / (64 * threads) + 1);
+  s_batch_ = std::max<size_t>(1, ctx.s.size() / (64 * threads) + 1);
+  r_injected_.store(0);
+  s_injected_.store(0);
+  flush_steps_.store(0);
+}
+
+void HandshakeJoin::Teardown() {
+  for (int parity = 0; parity < 2; ++parity) {
+    r_seg_[parity].clear();
+    s_seg_[parity].clear();
+  }
+}
+
+namespace {
+
+// Nested-loop probe of a moving batch against a resident segment — the
+// handshake join's per-hop work (the original compares segments by scan).
+void ProbeSegments(const std::vector<Tuple>& moving,
+                   const std::vector<Tuple>& resident, bool moving_is_r,
+                   MatchSink& sink) {
+  for (const Tuple& m : moving) {
+    for (const Tuple& res : resident) {
+      if (m.key != res.key) continue;
+      if (moving_is_r) {
+        sink.OnMatch(m.key, m.ts, res.ts);
+      } else {
+        sink.OnMatch(m.key, res.ts, m.ts);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void HandshakeJoin::RunWorker(const JoinContext& ctx, int worker) {
+  PhaseProfile& prof = ctx.profile(worker);
+  MatchSink& sink = ctx.sink(worker);
+  const int threads = ctx.spec->num_threads;
+  const int last = threads - 1;
+  PhaseStopwatch sw(&prof);
+
+  size_t r_cursor_local = 0;  // only meaningful on worker 0 / worker last
+  size_t s_cursor_local = 0;
+
+  int step = 0;
+  while (flush_steps_.load(std::memory_order_acquire) < threads + 2) {
+    const int cur = step & 1;
+    const int nxt = cur ^ 1;
+
+    // --- R phase: batches move one core to the right. ---
+    sw.Switch(Phase::kPartition);
+    Segment incoming_r;
+    if (worker == 0) {
+      // Inject the next R batch, gated by tuple arrival.
+      size_t taken = 0;
+      while (taken < r_batch_ && r_cursor_local < ctx.r.size() &&
+             ctx.clock->HasArrived(ctx.r[r_cursor_local].ts)) {
+        incoming_r.push_back(ctx.r[r_cursor_local]);
+        ++r_cursor_local;
+        ++taken;
+      }
+      r_injected_.store(r_cursor_local, std::memory_order_release);
+      if (taken == 0 && r_cursor_local < ctx.r.size()) {
+        sw.Switch(Phase::kWait);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    } else {
+      incoming_r = std::move(r_seg_[cur][worker - 1]);
+      r_seg_[cur][worker - 1].clear();
+    }
+
+    sw.Switch(Phase::kProbe);
+    ProbeSegments(incoming_r, s_seg_[cur][worker], /*moving_is_r=*/true,
+                  sink);
+
+    sw.Switch(Phase::kPartition);
+    if (worker == last) {
+      // Full-history semantics: R accumulates at the right end.
+      Segment& acc = r_seg_[nxt][last];
+      acc = std::move(r_seg_[cur][last]);
+      acc.insert(acc.end(), incoming_r.begin(), incoming_r.end());
+    } else {
+      r_seg_[nxt][worker] = std::move(incoming_r);
+    }
+    sw.Switch(Phase::kOther);
+    ctx.barrier->arrive_and_wait();
+
+    // --- S phase: batches move one core to the left. ---
+    sw.Switch(Phase::kPartition);
+    Segment incoming_s;
+    if (worker == last) {
+      size_t taken = 0;
+      while (taken < s_batch_ && s_cursor_local < ctx.s.size() &&
+             ctx.clock->HasArrived(ctx.s[s_cursor_local].ts)) {
+        incoming_s.push_back(ctx.s[s_cursor_local]);
+        ++s_cursor_local;
+        ++taken;
+      }
+      s_injected_.store(s_cursor_local, std::memory_order_release);
+    } else {
+      incoming_s = std::move(s_seg_[cur][worker + 1]);
+      s_seg_[cur][worker + 1].clear();
+    }
+
+    sw.Switch(Phase::kProbe);
+    ProbeSegments(incoming_s, r_seg_[nxt][worker], /*moving_is_r=*/false,
+                  sink);
+
+    sw.Switch(Phase::kPartition);
+    if (worker == 0) {
+      Segment& acc = s_seg_[nxt][0];
+      acc = std::move(s_seg_[cur][0]);
+      acc.insert(acc.end(), incoming_s.begin(), incoming_s.end());
+    } else {
+      s_seg_[nxt][worker] = std::move(incoming_s);
+    }
+    sw.Switch(Phase::kOther);
+    ctx.barrier->arrive_and_wait();
+
+    // --- Bookkeeping: count flush steps once both streams are injected. ---
+    if (worker == 0) {
+      if (r_injected_.load(std::memory_order_acquire) == ctx.r.size() &&
+          s_injected_.load(std::memory_order_acquire) == ctx.s.size()) {
+        flush_steps_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    ctx.barrier->arrive_and_wait();
+    ++step;
+  }
+  sw.Stop();
+}
+
+std::unique_ptr<JoinAlgorithm> MakeHandshake() {
+  return std::make_unique<HandshakeJoin>();
+}
+
+}  // namespace iawj

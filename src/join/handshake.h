@@ -1,0 +1,57 @@
+// Handshake join (Teubner & Mueller), adapted to the intra-window setting.
+//
+// The paper's §6 validates its scope by implementing the handshake join —
+// an inter-window algorithm in which tuples flow through a linear pipeline
+// of cores, R left-to-right and S right-to-left, joining against the
+// opposite stream's resident segment at every hop — and observing orders of
+// magnitude lower throughput than any of the eight IaWJ algorithms, due to
+// the constant per-hop state movement. This implementation reproduces that
+// validation experiment (bench/ext_handshake).
+//
+// Mechanics: workers advance in barrier-synchronized steps with two phases
+// per step. In the R phase each core takes the R batch from its left
+// neighbour (core 0 injects from the input, gated by the clock), probes it
+// against its resident S segment, and adopts it as its resident R batch; the
+// S phase mirrors right-to-left. Because R positions strictly increase and S
+// positions strictly decrease, every (r, s) pair is co-located exactly once,
+// so each match is emitted exactly once. Tuples accumulate at their far end
+// (full-history semantics: nothing expires inside the window).
+#ifndef IAWJ_JOIN_HANDSHAKE_H_
+#define IAWJ_JOIN_HANDSHAKE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/join/context.h"
+
+namespace iawj {
+
+class HandshakeJoin : public JoinAlgorithm {
+ public:
+  std::string_view name() const override { return "HSHAKE"; }
+
+  void Setup(const JoinContext& ctx) override;
+  void RunWorker(const JoinContext& ctx, int worker) override;
+  void Teardown() override;
+
+ private:
+  using Segment = std::vector<Tuple>;
+
+  // Double-buffered per-core segments; [step parity][core].
+  std::vector<Segment> r_seg_[2];
+  std::vector<Segment> s_seg_[2];
+
+  size_t r_batch_ = 1;
+  size_t s_batch_ = 1;
+  std::atomic<size_t> r_injected_{0};
+  std::atomic<size_t> s_injected_{0};
+  // Steps completed after both streams finished injecting (worker 0 owns).
+  std::atomic<int> flush_steps_{0};
+};
+
+std::unique_ptr<JoinAlgorithm> MakeHandshake();
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_HANDSHAKE_H_

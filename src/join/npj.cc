@@ -1,0 +1,57 @@
+#include "src/join/npj.h"
+
+namespace iawj {
+
+template <typename Tracer>
+void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+  PhaseProfile& prof = ctx.profile(worker);
+  MatchSink& sink = ctx.sink(worker);
+  Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
+
+  // Lazy approach: wait out the window before processing starts.
+  {
+    ScopedPhase wait(&prof, Phase::kWait);
+    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+  }
+
+  // Build: all threads insert their R portions into the shared table.
+  {
+    ScopedPhase build(&prof, Phase::kBuild);
+    tracer.SetPhase(Phase::kBuild);
+    const ChunkRange chunk =
+        ChunkForThread(ctx.r.size(), worker, ctx.spec->num_threads);
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      tracer.Access(&ctx.r[i], sizeof(Tuple));
+      table_->Insert(ctx.r[i], tracer);
+    }
+  }
+
+  ctx.barrier->arrive_and_wait();
+
+  // Probe: concurrently match assigned portions of S.
+  {
+    ScopedPhase probe(&prof, Phase::kProbe);
+    tracer.SetPhase(Phase::kProbe);
+    const ChunkRange chunk =
+        ChunkForThread(ctx.s.size(), worker, ctx.spec->num_threads);
+    for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      const Tuple s = ctx.s[i];
+      tracer.Access(&ctx.s[i], sizeof(Tuple));
+      table_->Probe(
+          s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+    }
+  }
+}
+
+template class NpjJoin<NullTracer>;
+template class NpjJoin<SimTracer>;
+
+std::unique_ptr<JoinAlgorithm> MakeNpj() {
+  return std::make_unique<NpjJoin<NullTracer>>();
+}
+
+std::unique_ptr<JoinAlgorithm> MakeNpjTraced() {
+  return std::make_unique<NpjJoin<SimTracer>>();
+}
+
+}  // namespace iawj

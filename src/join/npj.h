@@ -1,0 +1,42 @@
+// No-Partitioning Join (NPJ), Blanas et al. — lazy, hash, shared table.
+//
+// Both relations split into equisized per-thread portions; all threads
+// populate one shared latched hash table with R, synchronize on a barrier,
+// then concurrently probe with their portions of S (paper §3.1).
+#ifndef IAWJ_JOIN_NPJ_H_
+#define IAWJ_JOIN_NPJ_H_
+
+#include <memory>
+
+#include "src/hash/concurrent_table.h"
+#include "src/join/context.h"
+#include "src/partition/range.h"
+
+namespace iawj {
+
+template <typename Tracer = NullTracer>
+class NpjJoin : public JoinAlgorithm {
+ public:
+  std::string_view name() const override { return "NPJ"; }
+
+  void Setup(const JoinContext& ctx) override {
+    table_ = std::make_unique<ConcurrentBucketChainTable<Tracer>>(
+        ctx.r.size());
+  }
+
+  void RunWorker(const JoinContext& ctx, int worker) override;
+
+  void Teardown() override { table_.reset(); }
+
+ private:
+  std::unique_ptr<ConcurrentBucketChainTable<Tracer>> table_;
+};
+
+// Instantiates the production (NullTracer) variant.
+std::unique_ptr<JoinAlgorithm> MakeNpj();
+// Instantiates the cache-profiling (SimTracer) variant.
+std::unique_ptr<JoinAlgorithm> MakeNpjTraced();
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_NPJ_H_

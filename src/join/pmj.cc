@@ -1,0 +1,130 @@
+#include "src/join/pmj.h"
+
+#include <algorithm>
+
+namespace iawj {
+
+namespace {
+
+// Duplicate-aware merge join over two sorted packed arrays, emitting
+// (key, r_ts, s_ts) for every pair whose `accept` predicate passes.
+template <typename Tracer, typename Accept>
+void MergeJoinSorted(const uint64_t* r, size_t nr, const uint64_t* s,
+                     size_t ns, MatchSink& sink, Tracer& tracer,
+                     Accept&& accept) {
+  size_t i = 0, j = 0;
+  while (i < nr && j < ns) {
+    tracer.Access(&r[i], sizeof(uint64_t));
+    tracer.Access(&s[j], sizeof(uint64_t));
+    const uint32_t kr = PackedKey(r[i]);
+    const uint32_t ks = PackedKey(s[j]);
+    if (kr < ks) {
+      ++i;
+    } else if (kr > ks) {
+      ++j;
+    } else {
+      size_t i2 = i;
+      while (i2 < nr && PackedKey(r[i2]) == kr) ++i2;
+      size_t j2 = j;
+      while (j2 < ns && PackedKey(s[j2]) == ks) ++j2;
+      for (size_t a = i; a < i2; ++a) {
+        for (size_t b = j; b < j2; ++b) {
+          if (accept(a, b)) {
+            sink.OnMatch(kr, PackedTs(r[a]), PackedTs(s[b]));
+          }
+        }
+      }
+      i = i2;
+      j = j2;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename Tracer>
+PmjState<Tracer>::PmjState(const EagerStateConfig& config, Tracer tracer)
+    : run_threshold_(std::max<uint64_t>(
+          64, static_cast<uint64_t>(
+                  config.pmj_delta * static_cast<double>(config.expected_r +
+                                                         config.expected_s)))),
+      sort_options_{config.use_simd},
+      tracer_(std::move(tracer)) {}
+
+template <typename Tracer>
+void PmjState<Tracer>::OnR(const Tuple& r, MatchSink& sink,
+                           PhaseStopwatch& sw) {
+  sw.Switch(Phase::kBuild);
+  cur_r_.PushBack(PackTuple(r));
+  MaybeSealRun(sink, sw);
+}
+
+template <typename Tracer>
+void PmjState<Tracer>::OnS(const Tuple& s, MatchSink& sink,
+                           PhaseStopwatch& sw) {
+  sw.Switch(Phase::kBuild);
+  cur_s_.PushBack(PackTuple(s));
+  MaybeSealRun(sink, sw);
+}
+
+template <typename Tracer>
+void PmjState<Tracer>::MaybeSealRun(MatchSink& sink, PhaseStopwatch& sw) {
+  if (cur_r_.size() + cur_s_.size() >= run_threshold_) {
+    SealRun(sink, sw);
+  }
+}
+
+template <typename Tracer>
+void PmjState<Tracer>::SealRun(MatchSink& sink, PhaseStopwatch& sw) {
+  if (cur_r_.empty() && cur_s_.empty()) return;
+
+  sw.Switch(Phase::kSort);
+  sort::SortPacked(cur_r_.data(), cur_r_.size(), sort_options_);
+  sort::SortPacked(cur_s_.data(), cur_s_.size(), sort_options_);
+
+  // Intra-run matches are delivered immediately — PMJ's progressiveness.
+  sw.Switch(Phase::kProbe);
+  tracer_.SetPhase(Phase::kProbe);
+  MergeJoinSorted(cur_r_.data(), cur_r_.size(), cur_s_.data(), cur_s_.size(),
+                  sink, tracer_, [](size_t, size_t) { return true; });
+
+  runs_r_.push_back(std::move(cur_r_));
+  runs_s_.push_back(std::move(cur_s_));
+  cur_r_ = mem::TrackedBuffer<uint64_t>();
+  cur_s_ = mem::TrackedBuffer<uint64_t>();
+}
+
+template <typename Tracer>
+void PmjState<Tracer>::Finish(MatchSink& sink, PhaseStopwatch& sw) {
+  SealRun(sink, sw);
+  if (runs_r_.empty()) return;
+  if (runs_r_.size() == 1) return;  // every pair was intra-run
+
+  // Merge phase: combine all runs (values + run tags) for each side.
+  sw.Switch(Phase::kMerge);
+  size_t total_r = 0, total_s = 0;
+  std::vector<sort::Run> rr, sr;
+  for (const auto& run : runs_r_) {
+    rr.push_back({run.data(), run.size()});
+    total_r += run.size();
+  }
+  for (const auto& run : runs_s_) {
+    sr.push_back({run.data(), run.size()});
+    total_s += run.size();
+  }
+  mem::TrackedBuffer<uint64_t> rv(total_r), sv(total_s);
+  std::vector<uint32_t> rt(total_r), st(total_s);
+  sort::MultiwayMergeTagged(rr, rv.data(), rt.data());
+  sort::MultiwayMergeTagged(sr, sv.data(), st.data());
+
+  // Cross-run matches only; intra-run pairs were emitted at seal time.
+  sw.Switch(Phase::kProbe);
+  tracer_.SetPhase(Phase::kProbe);
+  MergeJoinSorted(rv.data(), total_r, sv.data(), total_s, sink, tracer_,
+                  [&](size_t a, size_t b) { return rt[a] != st[b]; });
+}
+
+template class PmjState<NullTracer>;
+template class PmjState<SimTracer>;
+
+}  // namespace iawj

@@ -1,0 +1,257 @@
+#include "src/join/prj.h"
+
+#include "src/hash/bucket_chain.h"
+#include "src/hash/linear_probe.h"
+#include "src/partition/radix.h"
+#include "src/partition/range.h"
+
+namespace iawj {
+
+namespace {
+
+// Radix of the second pass: bits [bits1, bits1 + bits2) of the key.
+inline uint32_t Radix2Of(uint32_t key, int bits1, int bits2) {
+  return (key >> bits1) & ((1u << bits2) - 1);
+}
+
+}  // namespace
+
+template <typename Tracer>
+void PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
+  const int bits = ctx.spec->radix_bits;
+  if (ctx.spec->radix_passes == 2 && bits >= 2) {
+    bits1_ = bits / 2;
+    bits2_ = bits - bits1_;
+  } else {
+    bits1_ = bits;
+    bits2_ = 0;
+  }
+  parts1_ = size_t{1} << bits1_;
+  parts_total_ = size_t{1} << bits;
+
+  const int threads = ctx.spec->num_threads;
+  r_out_.Resize(ctx.r.size());
+  s_out_.Resize(ctx.s.size());
+  hist_r_.assign(static_cast<size_t>(threads) * parts1_, 0);
+  hist_s_.assign(static_cast<size_t>(threads) * parts1_, 0);
+  offsets_r_.assign(parts1_ + 1, 0);
+  offsets_s_.assign(parts1_ + 1, 0);
+  if (bits2_ > 0) {
+    r_out2_.Resize(ctx.r.size());
+    s_out2_.Resize(ctx.s.size());
+    final_off_r_.assign(parts_total_ + 1, 0);
+    final_off_s_.assign(parts_total_ + 1, 0);
+  }
+  next_refine_.store(0);
+  next_join_.store(0);
+}
+
+template <typename Tracer>
+void PrjJoin<Tracer>::Teardown() {
+  r_out_ = mem::TrackedBuffer<Tuple>();
+  s_out_ = mem::TrackedBuffer<Tuple>();
+  r_out2_ = mem::TrackedBuffer<Tuple>();
+  s_out2_ = mem::TrackedBuffer<Tuple>();
+  hist_r_.clear();
+  hist_s_.clear();
+}
+
+namespace {
+
+// Computes this thread's scatter cursors: global partition offset plus the
+// histogram contributions of lower-numbered threads.
+std::vector<uint64_t> ScatterCursors(const std::vector<uint64_t>& hist,
+                                     const std::vector<uint64_t>& offsets,
+                                     size_t parts, int thread) {
+  std::vector<uint64_t> cursors(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    uint64_t below = 0;
+    for (int t = 0; t < thread; ++t) below += hist[t * parts + p];
+    cursors[p] = offsets[p] + below;
+  }
+  return cursors;
+}
+
+}  // namespace
+
+// Pass 2 (two-pass mode): refine each pass-1 partition by the remaining
+// radix bits, drained from a shared task queue. Writes disjoint slot ranges
+// of the final offset arrays, so no synchronization is needed beyond the
+// queue counter.
+template <typename Tracer>
+void PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
+  (void)ctx;
+  const size_t parts2 = size_t{1} << bits2_;
+  std::vector<uint64_t> hist(parts2);
+  while (true) {
+    const size_t p1 = next_refine_.fetch_add(1, std::memory_order_relaxed);
+    if (p1 >= parts1_) break;
+
+    const auto refine = [&](const mem::TrackedBuffer<Tuple>& in,
+                            mem::TrackedBuffer<Tuple>& out,
+                            const std::vector<uint64_t>& offsets1,
+                            std::vector<uint64_t>& final_off) {
+      const uint64_t begin = offsets1[p1], end = offsets1[p1 + 1];
+      std::fill(hist.begin(), hist.end(), 0);
+      for (uint64_t i = begin; i < end; ++i) {
+        ++hist[Radix2Of(in[i].key, bits1_, bits2_)];
+      }
+      // Exclusive prefix into the final offset slots for this p1 range.
+      uint64_t cursor = begin;
+      std::vector<uint64_t> cursors(parts2);
+      for (size_t p2 = 0; p2 < parts2; ++p2) {
+        final_off[p1 * parts2 + p2] = cursor;
+        cursors[p2] = cursor;
+        cursor += hist[p2];
+      }
+      for (uint64_t i = begin; i < end; ++i) {
+        tracer.Access(&in[i], sizeof(Tuple));
+        const uint32_t p2 = Radix2Of(in[i].key, bits1_, bits2_);
+        out[cursors[p2]] = in[i];
+        tracer.Access(&out[cursors[p2]], sizeof(Tuple));
+        ++cursors[p2];
+      }
+    };
+    refine(r_out_, r_out2_, offsets_r_, final_off_r_);
+    refine(s_out_, s_out2_, offsets_s_, final_off_s_);
+  }
+}
+
+template <typename Tracer>
+void PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
+                                     Tracer& tracer) {
+  PhaseProfile& prof = ctx.profile(worker);
+  MatchSink& sink = ctx.sink(worker);
+  const bool two_pass = bits2_ > 0;
+  const Tuple* r_data = two_pass ? r_out2_.data() : r_out_.data();
+  const Tuple* s_data = two_pass ? s_out2_.data() : s_out_.data();
+  const size_t num_parts = two_pass ? parts_total_ : parts1_;
+
+  const auto range_of = [&](size_t p, bool side_r, uint64_t* begin,
+                            uint64_t* end) {
+    if (two_pass) {
+      const auto& off = side_r ? final_off_r_ : final_off_s_;
+      *begin = off[p];
+      *end = p + 1 < parts_total_
+                 ? off[p + 1]
+                 : (side_r ? ctx.r.size() : ctx.s.size());
+    } else {
+      const auto& off = side_r ? offsets_r_ : offsets_s_;
+      *begin = off[p];
+      *end = off[p + 1];
+    }
+  };
+
+  // Build/probe one partition with the configured hash-table backend.
+  const auto join_one = [&](auto& table, uint64_t r_begin, uint64_t r_end,
+                            uint64_t s_begin, uint64_t s_end) {
+    {
+      ScopedPhase build(&prof, Phase::kBuild);
+      tracer.SetPhase(Phase::kBuild);
+      for (uint64_t i = r_begin; i < r_end; ++i) {
+        tracer.Access(&r_data[i], sizeof(Tuple));
+        table.Insert(r_data[i], tracer);
+      }
+    }
+    {
+      ScopedPhase probe(&prof, Phase::kProbe);
+      tracer.SetPhase(Phase::kProbe);
+      for (uint64_t i = s_begin; i < s_end; ++i) {
+        const Tuple s = s_data[i];
+        tracer.Access(&s_data[i], sizeof(Tuple));
+        table.Probe(
+            s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+      }
+    }
+  };
+
+  const bool linear =
+      ctx.spec->hash_table_kind == HashTableKind::kLinearProbe;
+  while (true) {
+    const size_t p = next_join_.fetch_add(1, std::memory_order_relaxed);
+    if (p >= num_parts) break;
+    uint64_t r_begin, r_end, s_begin, s_end;
+    range_of(p, /*side_r=*/true, &r_begin, &r_end);
+    range_of(p, /*side_r=*/false, &s_begin, &s_end);
+    if (r_begin == r_end || s_begin == s_end) continue;
+
+    if (linear) {
+      LinearProbeTable<Tracer> table(r_end - r_begin);
+      join_one(table, r_begin, r_end, s_begin, s_end);
+    } else {
+      BucketChainTable<Tracer> table(r_end - r_begin);
+      join_one(table, r_begin, r_end, s_begin, s_end);
+    }
+  }
+}
+
+template <typename Tracer>
+void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+  PhaseProfile& prof = ctx.profile(worker);
+  Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
+  const int threads = ctx.spec->num_threads;
+
+  {
+    ScopedPhase wait(&prof, Phase::kWait);
+    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+  }
+
+  const ChunkRange r_chunk = ChunkForThread(ctx.r.size(), worker, threads);
+  const ChunkRange s_chunk = ChunkForThread(ctx.s.size(), worker, threads);
+
+  {
+    ScopedPhase partition(&prof, Phase::kPartition);
+    tracer.SetPhase(Phase::kPartition);
+
+    // Pass 1: per-thread histograms over the low bits1_ bits.
+    RadixHistogram(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
+                   &hist_r_[static_cast<size_t>(worker) * parts1_]);
+    RadixHistogram(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
+                   &hist_s_[static_cast<size_t>(worker) * parts1_]);
+    ctx.barrier->arrive_and_wait();
+
+    // Worker 0 publishes pass-1 partition offsets.
+    if (worker == 0) {
+      for (size_t p = 0; p < parts1_; ++p) {
+        uint64_t total_r = 0, total_s = 0;
+        for (int t = 0; t < threads; ++t) {
+          total_r += hist_r_[static_cast<size_t>(t) * parts1_ + p];
+          total_s += hist_s_[static_cast<size_t>(t) * parts1_ + p];
+        }
+        offsets_r_[p + 1] = offsets_r_[p] + total_r;
+        offsets_s_[p + 1] = offsets_s_[p] + total_s;
+      }
+    }
+    ctx.barrier->arrive_and_wait();
+
+    // Pass-1 scatter into partition-contiguous buffers.
+    auto r_cursors = ScatterCursors(hist_r_, offsets_r_, parts1_, worker);
+    RadixScatter(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
+                 r_cursors.data(), r_out_.data(), tracer);
+    auto s_cursors = ScatterCursors(hist_s_, offsets_s_, parts1_, worker);
+    RadixScatter(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
+                 s_cursors.data(), s_out_.data(), tracer);
+    ctx.barrier->arrive_and_wait();
+
+    if (bits2_ > 0) {
+      RunSecondPass(ctx, tracer);
+      ctx.barrier->arrive_and_wait();
+    }
+  }
+
+  // Per-partition cache-resident joins from a shared task queue.
+  JoinPartitions(ctx, worker, tracer);
+}
+
+template class PrjJoin<NullTracer>;
+template class PrjJoin<SimTracer>;
+
+std::unique_ptr<JoinAlgorithm> MakePrj() {
+  return std::make_unique<PrjJoin<NullTracer>>();
+}
+
+std::unique_ptr<JoinAlgorithm> MakePrjTraced() {
+  return std::make_unique<PrjJoin<SimTracer>>();
+}
+
+}  // namespace iawj

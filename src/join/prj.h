@@ -1,0 +1,72 @@
+// Parallel Radix Join (PRJ), Kim et al. / Balkesen et al. — lazy, hash,
+// cache-aware physical replication.
+//
+// Both relations are radix-partitioned by the low #r bits of the key into
+// contiguous partitions; partitions then join independently with a
+// cache-resident bucket-chain hash table. Partitioning runs fully in
+// parallel (per-thread histograms, cooperative prefix sums, scatter) in one
+// pass, or — JoinSpec::radix_passes == 2 — in Balkesen's two-pass variant
+// that keeps the number of concurrently open write streams per pass at
+// 2^(#r/2), easing TLB pressure for large #r. The per-partition joins drain
+// from a shared atomic task queue, so key skew that collapses tuples into
+// few partitions serializes PRJ — the effect the paper measures in
+// Figure 13.
+#ifndef IAWJ_JOIN_PRJ_H_
+#define IAWJ_JOIN_PRJ_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/join/context.h"
+#include "src/memory/tracker.h"
+#include "src/profiling/cache_sim.h"
+
+namespace iawj {
+
+template <typename Tracer = NullTracer>
+class PrjJoin : public JoinAlgorithm {
+ public:
+  std::string_view name() const override { return "PRJ"; }
+
+  void Setup(const JoinContext& ctx) override;
+  void RunWorker(const JoinContext& ctx, int worker) override;
+  void Teardown() override;
+
+ private:
+  void RunSecondPass(const JoinContext& ctx, Tracer& tracer);
+  void JoinPartitions(const JoinContext& ctx, int worker, Tracer& tracer);
+
+  // Bit split: pass 1 uses the low bits1_ bits, pass 2 the next bits2_.
+  int bits1_ = 0;
+  int bits2_ = 0;
+  size_t parts1_ = 0;
+  size_t parts_total_ = 0;
+
+  // Pass-1 scattered copies, partition-contiguous.
+  mem::TrackedBuffer<Tuple> r_out_;
+  mem::TrackedBuffer<Tuple> s_out_;
+  // Pass-2 refined copies (radix_passes == 2 only).
+  mem::TrackedBuffer<Tuple> r_out2_;
+  mem::TrackedBuffer<Tuple> s_out2_;
+
+  // hist[t * parts1 + p]: tuples of pass-1 partition p in thread t's chunk.
+  std::vector<uint64_t> hist_r_;
+  std::vector<uint64_t> hist_s_;
+  // Pass-1 partition start offsets (size parts1 + 1).
+  std::vector<uint64_t> offsets_r_;
+  std::vector<uint64_t> offsets_s_;
+  // Final partition offsets (size parts_total + 1), memory order.
+  std::vector<uint64_t> final_off_r_;
+  std::vector<uint64_t> final_off_s_;
+
+  std::atomic<size_t> next_refine_{0};
+  std::atomic<size_t> next_join_{0};
+};
+
+std::unique_ptr<JoinAlgorithm> MakePrj();
+std::unique_ptr<JoinAlgorithm> MakePrjTraced();
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_PRJ_H_

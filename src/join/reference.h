@@ -1,0 +1,26 @@
+// Sequential nested-loop join: the correctness oracle for every algorithm.
+//
+// Produces the match count and the same order-insensitive checksum the
+// MatchSink accumulates, so tests can require bit-identical multisets of
+// matches from all eight parallel algorithms.
+#ifndef IAWJ_JOIN_REFERENCE_H_
+#define IAWJ_JOIN_REFERENCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/tuple.h"
+
+namespace iawj {
+
+struct ReferenceResult {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+};
+
+ReferenceResult NestedLoopJoin(std::span<const Tuple> r,
+                               std::span<const Tuple> s);
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_REFERENCE_H_

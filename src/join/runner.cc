@@ -1,0 +1,153 @@
+#include "src/join/runner.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "src/common/affinity.h"
+#include "src/common/logging.h"
+#include "src/join/eager_engine.h"
+#include "src/join/npj.h"
+#include "src/join/prj.h"
+#include "src/join/sortmerge.h"
+#include "src/memory/tracker.h"
+#include "src/profiling/resource.h"
+
+namespace iawj {
+
+double RunResult::WorkNsPerInput() const {
+  if (inputs == 0) return 0;
+  const uint64_t work = phases.TotalNs() - phases.GetNs(Phase::kWait);
+  return static_cast<double>(work) / static_cast<double>(inputs);
+}
+
+std::unique_ptr<JoinAlgorithm> CreateAlgorithm(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kNpj:
+      return MakeNpj();
+    case AlgorithmId::kPrj:
+      return MakePrj();
+    case AlgorithmId::kMway:
+      return MakeMway();
+    case AlgorithmId::kMpass:
+      return MakeMpass();
+    default:
+      return MakeEager(id);
+  }
+}
+
+std::unique_ptr<JoinAlgorithm> CreateTracedAlgorithm(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kNpj:
+      return MakeNpjTraced();
+    case AlgorithmId::kPrj:
+      return MakePrjTraced();
+    case AlgorithmId::kMway:
+      return MakeMwayTraced();
+    case AlgorithmId::kMpass:
+      return MakeMpassTraced();
+    default:
+      return MakeEagerTraced(id);
+  }
+}
+
+namespace {
+
+// Number of leading tuples whose timestamp falls inside [0, window_ms).
+size_t WindowPrefix(const Stream& stream, uint32_t window_ms) {
+  const auto it = std::upper_bound(
+      stream.tuples.begin(), stream.tuples.end(), window_ms - 1,
+      [](uint32_t w, const Tuple& t) { return w < t.ts; });
+  return static_cast<size_t>(it - stream.tuples.begin());
+}
+
+}  // namespace
+
+RunResult JoinRunner::Run(AlgorithmId id, const Stream& r, const Stream& s,
+                          const JoinSpec& spec) {
+  const Status status = spec.Validate(id);
+  IAWJ_CHECK(status.ok()) << status.ToString();
+  auto algorithm = CreateAlgorithm(id);
+  return RunWith(algorithm.get(), r, s, spec);
+}
+
+RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
+                              const Stream& s, const JoinSpec& spec,
+                              CacheSim* const* cache_sims) {
+  const int threads = spec.num_threads;
+  IAWJ_CHECK_GE(threads, 1);
+
+  mem::Reset();
+
+  // Intra-window join: only tuples of the concerned window participate.
+  const size_t nr = WindowPrefix(r, spec.window_ms);
+  const size_t ns = WindowPrefix(s, spec.window_ms);
+
+  Clock clock(spec.clock_mode, spec.time_scale);
+
+  JoinContext ctx;
+  ctx.r = std::span<const Tuple>(r.tuples.data(), nr);
+  ctx.s = std::span<const Tuple>(s.tuples.data(), ns);
+  ctx.spec = &spec;
+  ctx.clock = &clock;
+  ctx.cache_sims = cache_sims;
+
+  // The lazy approach starts once the last tuple of the window has arrived.
+  uint32_t last_ts = 0;
+  if (nr > 0) last_ts = std::max(last_ts, ctx.r[nr - 1].ts);
+  if (ns > 0) last_ts = std::max(last_ts, ctx.s[ns - 1].ts);
+  ctx.window_close_ms = static_cast<double>(last_ts);
+
+  std::vector<MatchSink> sinks(threads);
+  std::vector<PhaseProfile> profiles(threads);
+  for (auto& sink : sinks) sink.Bind(&clock);
+  ctx.sinks = sinks.data();
+  ctx.profiles = profiles.data();
+  std::barrier<> barrier(threads);
+  ctx.barrier = &barrier;
+
+  algorithm->Setup(ctx);
+
+  const double cpu_before = ResourceSampler::ProcessCpuTimeMs();
+  clock.Start();
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (spec.pin_threads) PinCurrentThreadToCore(t);
+      algorithm->RunWorker(ctx, t);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  RunResult result;
+  result.elapsed_ms = clock.NowMs();
+  result.cpu_time_ms = ResourceSampler::ProcessCpuTimeMs() - cpu_before;
+  result.algorithm = std::string(algorithm->name());
+  result.inputs = nr + ns;
+
+  algorithm->Teardown();
+
+  for (int t = 0; t < threads; ++t) {
+    result.matches += sinks[t].count();
+    result.checksum += sinks[t].checksum();
+    result.last_match_ms = std::max(result.last_match_ms,
+                                    sinks[t].last_match_ms());
+    result.progress.Merge(sinks[t].progress());
+    result.latency.Merge(sinks[t].latency());
+    result.phases.Merge(profiles[t]);
+  }
+  const double denominator =
+      result.matches > 0 ? result.last_match_ms : result.elapsed_ms;
+  if (denominator > 0) {
+    result.throughput_per_ms =
+        static_cast<double>(result.inputs) / denominator;
+  }
+  result.p95_latency_ms = result.latency.QuantileMs(0.95);
+  result.mean_latency_ms = result.latency.MeanMs();
+  result.peak_tracked_bytes = mem::PeakBytes();
+  return result;
+}
+
+}  // namespace iawj

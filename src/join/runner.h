@@ -1,0 +1,65 @@
+// Execution runner: the public entry point for running one IaWJ experiment.
+//
+// The runner windows the inputs, starts the virtual clock, spawns one worker
+// thread per configured core, and aggregates per-worker match sinks and
+// phase profiles into a RunResult carrying every metric the paper reports —
+// throughput, quantile latency, progressiveness, execution-time breakdown,
+// and peak tracked memory.
+#ifndef IAWJ_JOIN_RUNNER_H_
+#define IAWJ_JOIN_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/join/context.h"
+#include "src/profiling/cache_sim.h"
+#include "src/stream/stream.h"
+
+namespace iawj {
+
+struct RunResult {
+  std::string algorithm;
+  uint64_t inputs = 0;   // tuples inside the window, both streams
+  uint64_t matches = 0;
+  uint64_t checksum = 0;  // order-insensitive multiset checksum
+
+  double last_match_ms = 0;  // stream time of the final match
+  double elapsed_ms = 0;     // stream time of the whole run
+  // Paper §4.2.2: total inputs divided by the timestamp of the last match.
+  double throughput_per_ms = 0;
+  double p95_latency_ms = 0;
+  double mean_latency_ms = 0;
+
+  ProgressRecorder progress;
+  LatencyHistogram latency;
+  PhaseProfile phases;  // summed across workers
+  int64_t peak_tracked_bytes = 0;
+  double cpu_time_ms = 0;  // process CPU consumed during the run
+
+  // Per-input-tuple execution cost excluding wait, in nanoseconds of summed
+  // worker time (the paper's "cycles per input tuple" y-axis, modulo clock
+  // frequency).
+  double WorkNsPerInput() const;
+};
+
+// Creates a production algorithm instance.
+std::unique_ptr<JoinAlgorithm> CreateAlgorithm(AlgorithmId id);
+// Creates a cache-simulator-instrumented instance (see profiling/cache_sim.h).
+std::unique_ptr<JoinAlgorithm> CreateTracedAlgorithm(AlgorithmId id);
+
+class JoinRunner {
+ public:
+  // Runs `id` over the window [0, spec.window_ms) of r and s.
+  RunResult Run(AlgorithmId id, const Stream& r, const Stream& s,
+                const JoinSpec& spec);
+
+  // As Run, but with a caller-provided instance (e.g. a traced one) and
+  // optional per-worker cache simulators.
+  RunResult RunWith(JoinAlgorithm* algorithm, const Stream& r,
+                    const Stream& s, const JoinSpec& spec,
+                    CacheSim* const* cache_sims = nullptr);
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_RUNNER_H_

@@ -1,0 +1,12 @@
+// SHJ states are header-only templates; this translation unit type-checks
+// the header standalone and pins the two tracer instantiations.
+#include "src/join/shj.h"
+
+namespace iawj {
+
+template class ShjValueState<NullTracer>;
+template class ShjValueState<SimTracer>;
+template class ShjPointerState<NullTracer>;
+template class ShjPointerState<SimTracer>;
+
+}  // namespace iawj

@@ -1,0 +1,315 @@
+#include "src/join/sortmerge.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/partition/range.h"
+#include "src/sort/avxsort.h"
+#include "src/sort/merge.h"
+
+namespace iawj {
+
+namespace {
+
+// Duplicate-aware merge join of key-aligned sorted ranges.
+template <typename Tracer>
+void MergeJoinRange(const uint64_t* r, size_t r_begin, size_t r_end,
+                    const uint64_t* s, size_t s_begin, size_t s_end,
+                    MatchSink& sink, Tracer& tracer) {
+  size_t i = r_begin, j = s_begin;
+  while (i < r_end && j < s_end) {
+    tracer.Access(&r[i], sizeof(uint64_t));
+    tracer.Access(&s[j], sizeof(uint64_t));
+    const uint32_t kr = PackedKey(r[i]);
+    const uint32_t ks = PackedKey(s[j]);
+    if (kr < ks) {
+      ++i;
+    } else if (kr > ks) {
+      ++j;
+    } else {
+      size_t i2 = i;
+      while (i2 < r_end && PackedKey(r[i2]) == kr) ++i2;
+      size_t j2 = j;
+      while (j2 < s_end && PackedKey(s[j2]) == ks) ++j2;
+      for (size_t a = i; a < i2; ++a) {
+        const uint32_t r_ts = PackedTs(r[a]);
+        tracer.Access(&r[a], sizeof(uint64_t));
+        for (size_t b = j; b < j2; ++b) {
+          tracer.Access(&s[b], sizeof(uint64_t));
+          sink.OnMatch(kr, r_ts, PackedTs(s[b]));
+        }
+      }
+      i = i2;
+      j = j2;
+    }
+  }
+}
+
+// Packs a tuple chunk into the run buffer and sorts it.
+void SortChunk(std::span<const Tuple> input, const ChunkRange& chunk,
+               uint64_t* buf, const sort::Options& options) {
+  for (size_t i = chunk.begin; i < chunk.end; ++i) {
+    buf[i] = PackTuple(input[i]);
+  }
+  sort::SortPacked(buf + chunk.begin, chunk.size(), options);
+}
+
+// Evenly spaced key samples from each sorted run, used to pick MWay's
+// splitter keys.
+std::vector<uint32_t> SampleSplitterKeys(const uint64_t* buf, size_t n,
+                                         int num_threads) {
+  std::vector<uint32_t> samples;
+  const int per_run = 16;
+  for (int t = 0; t < num_threads; ++t) {
+    const ChunkRange run = ChunkForThread(n, t, num_threads);
+    for (int k = 0; k < per_run; ++k) {
+      if (run.size() == 0) continue;
+      const size_t pos = run.begin + run.size() * k / per_run;
+      samples.push_back(PackedKey(buf[pos]));
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<uint32_t> splitters(num_threads + 1, 0);
+  splitters[num_threads] = 0xffffffffu;
+  for (int t = 1; t < num_threads; ++t) {
+    splitters[t] =
+        samples.empty()
+            ? 0
+            : samples[samples.size() * static_cast<size_t>(t) / num_threads];
+  }
+  // Splitters must be non-decreasing (they are, post-sort).
+  return splitters;
+}
+
+struct Seg {
+  size_t begin;
+  size_t end;
+};
+
+std::vector<Seg> InitialSegments(size_t n, int num_threads) {
+  std::vector<Seg> segs;
+  segs.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    const ChunkRange c = ChunkForThread(n, t, num_threads);
+    segs.push_back({c.begin, c.end});
+  }
+  return segs;
+}
+
+}  // namespace
+
+template <typename Tracer>
+void SortMergeJoin<Tracer>::Setup(const JoinContext& ctx) {
+  const int threads = ctx.spec->num_threads;
+  r_buf_.Resize(ctx.r.size());
+  s_buf_.Resize(ctx.s.size());
+  r_merged_.Resize(ctx.r.size());
+  s_merged_.Resize(ctx.s.size());
+  splitter_keys_.assign(threads + 1, 0);
+  merge_off_r_.assign(threads + 1, 0);
+  merge_off_s_.assign(threads + 1, 0);
+  probe_split_r_.assign(threads + 1, 0);
+  probe_split_s_.assign(threads + 1, 0);
+  final_r_ = nullptr;
+  final_s_ = nullptr;
+}
+
+template <typename Tracer>
+void SortMergeJoin<Tracer>::Teardown() {
+  r_buf_ = mem::TrackedBuffer<uint64_t>();
+  s_buf_ = mem::TrackedBuffer<uint64_t>();
+  r_merged_ = mem::TrackedBuffer<uint64_t>();
+  s_merged_ = mem::TrackedBuffer<uint64_t>();
+}
+
+template <typename Tracer>
+void SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
+                                                  int worker,
+                                                  PhaseProfile& prof) {
+  const int threads = ctx.spec->num_threads;
+
+  // Worker 0 picks splitter keys and computes every worker's merge ranges:
+  // within run i, worker t owns [lb(run_i, key_t), lb(run_i, key_{t+1})),
+  // and its output starts at the sum of lower bounds across runs.
+  if (worker == 0) {
+    splitter_keys_ = SampleSplitterKeys(r_buf_.data(), ctx.r.size(), threads);
+    for (int t = 0; t <= threads; ++t) {
+      size_t off_r = 0, off_s = 0;
+      for (int run = 0; run < threads; ++run) {
+        const ChunkRange rr = ChunkForThread(ctx.r.size(), run, threads);
+        const ChunkRange sr = ChunkForThread(ctx.s.size(), run, threads);
+        off_r += LowerBoundKey(r_buf_.data() + rr.begin, rr.size(),
+                               splitter_keys_[t]);
+        off_s += LowerBoundKey(s_buf_.data() + sr.begin, sr.size(),
+                               splitter_keys_[t]);
+      }
+      merge_off_r_[t] = off_r;
+      merge_off_s_[t] = off_s;
+    }
+    merge_off_r_[threads] = ctx.r.size();
+    merge_off_s_[threads] = ctx.s.size();
+  }
+  ctx.barrier->arrive_and_wait();
+
+  {
+    ScopedPhase merge(&prof, Phase::kMerge);
+    const auto merge_side = [&](const mem::TrackedBuffer<uint64_t>& buf,
+                                size_t n, uint64_t* out, size_t out_begin) {
+      std::vector<sort::Run> runs;
+      for (int run = 0; run < threads; ++run) {
+        const ChunkRange c = ChunkForThread(n, run, threads);
+        const size_t lo = c.begin + LowerBoundKey(buf.data() + c.begin,
+                                                  c.size(),
+                                                  splitter_keys_[worker]);
+        const size_t hi =
+            c.begin + LowerBoundKey(buf.data() + c.begin, c.size(),
+                                    splitter_keys_[worker + 1]);
+        if (hi > lo) runs.push_back({buf.data() + lo, hi - lo});
+      }
+      sort::MultiwayMerge(runs, out + out_begin);
+    };
+    merge_side(r_buf_, ctx.r.size(), r_merged_.data(), merge_off_r_[worker]);
+    merge_side(s_buf_, ctx.s.size(), s_merged_.data(), merge_off_s_[worker]);
+  }
+
+  // The last splitter range also covers keys >= splitter[threads-1] up to
+  // the sentinel, so the merged arrays are complete and globally sorted.
+  if (worker == 0) {
+    probe_split_r_ = merge_off_r_;
+    probe_split_s_ = merge_off_s_;
+    final_r_ = r_merged_.data();
+    final_s_ = s_merged_.data();
+  }
+  ctx.barrier->arrive_and_wait();
+}
+
+template <typename Tracer>
+void SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
+                                                   int worker,
+                                                   PhaseProfile& prof) {
+  const int threads = ctx.spec->num_threads;
+  const sort::Options options{ctx.spec->use_simd};
+
+  {
+    ScopedPhase merge(&prof, Phase::kMerge);
+    // Successive two-way merge passes with a barrier per pass; every worker
+    // derives the same segment list deterministically.
+    const auto run_passes = [&](size_t n, uint64_t* a, uint64_t* b,
+                                const uint64_t** final_out) {
+      std::vector<Seg> segs = InitialSegments(n, threads);
+      uint64_t* src = a;
+      uint64_t* dst = b;
+      while (segs.size() > 1) {
+        const size_t jobs = segs.size() / 2;
+        for (size_t j = 0; j < jobs; ++j) {
+          if (j % static_cast<size_t>(threads) !=
+              static_cast<size_t>(worker)) {
+            continue;
+          }
+          const Seg& x = segs[2 * j];
+          const Seg& y = segs[2 * j + 1];
+          sort::MergePacked(src + x.begin, x.end - x.begin, src + y.begin,
+                            y.end - y.begin, dst + x.begin, options);
+        }
+        // Odd leftover segment: copied through by its deterministic owner.
+        if (segs.size() % 2 == 1 &&
+            jobs % static_cast<size_t>(threads) ==
+                static_cast<size_t>(worker)) {
+          const Seg& last = segs.back();
+          std::copy(src + last.begin, src + last.end, dst + last.begin);
+        }
+        std::vector<Seg> next;
+        next.reserve(jobs + 1);
+        for (size_t j = 0; j < jobs; ++j) {
+          next.push_back({segs[2 * j].begin, segs[2 * j + 1].end});
+        }
+        if (segs.size() % 2 == 1) next.push_back(segs.back());
+        segs = std::move(next);
+        std::swap(src, dst);
+        ctx.barrier->arrive_and_wait();
+      }
+      *final_out = src;
+    };
+    const uint64_t* final_r = nullptr;
+    const uint64_t* final_s = nullptr;
+    run_passes(ctx.r.size(), r_buf_.data(), r_merged_.data(), &final_r);
+    run_passes(ctx.s.size(), s_buf_.data(), s_merged_.data(), &final_s);
+    if (worker == 0) {
+      final_r_ = final_r;
+      final_s_ = final_s;
+    }
+  }
+
+  if (worker == 0) {
+    // Key-aligned probe ranges over the globally sorted arrays.
+    probe_split_r_ = KeyAlignedSplits(final_r_, ctx.r.size(), threads);
+    for (int t = 1; t < threads; ++t) {
+      const size_t pos = probe_split_r_[t];
+      probe_split_s_[t] =
+          pos < ctx.r.size()
+              ? LowerBoundKey(final_s_, ctx.s.size(), PackedKey(final_r_[pos]))
+              : ctx.s.size();
+    }
+    probe_split_s_[0] = 0;
+    probe_split_s_[threads] = ctx.s.size();
+  }
+  ctx.barrier->arrive_and_wait();
+}
+
+template <typename Tracer>
+void SortMergeJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+  PhaseProfile& prof = ctx.profile(worker);
+  MatchSink& sink = ctx.sink(worker);
+  Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
+  const int threads = ctx.spec->num_threads;
+  const sort::Options options{ctx.spec->use_simd};
+
+  {
+    ScopedPhase wait(&prof, Phase::kWait);
+    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+  }
+
+  {
+    ScopedPhase sort_phase(&prof, Phase::kSort);
+    SortChunk(ctx.r, ChunkForThread(ctx.r.size(), worker, threads),
+              r_buf_.data(), options);
+    SortChunk(ctx.s, ChunkForThread(ctx.s.size(), worker, threads),
+              s_buf_.data(), options);
+  }
+  ctx.barrier->arrive_and_wait();
+
+  if (strategy_ == MergeStrategy::kMultiway) {
+    RunMultiwayMergePhase(ctx, worker, prof);
+  } else {
+    RunMultiPassMergePhase(ctx, worker, prof);
+  }
+
+  {
+    ScopedPhase probe(&prof, Phase::kProbe);
+    tracer.SetPhase(Phase::kProbe);
+    MergeJoinRange(final_r_, probe_split_r_[worker],
+                   probe_split_r_[worker + 1], final_s_,
+                   probe_split_s_[worker], probe_split_s_[worker + 1], sink,
+                   tracer);
+  }
+}
+
+template class SortMergeJoin<NullTracer>;
+template class SortMergeJoin<SimTracer>;
+
+std::unique_ptr<JoinAlgorithm> MakeMway() {
+  return std::make_unique<SortMergeJoin<NullTracer>>(MergeStrategy::kMultiway);
+}
+std::unique_ptr<JoinAlgorithm> MakeMpass() {
+  return std::make_unique<SortMergeJoin<NullTracer>>(
+      MergeStrategy::kMultiPass);
+}
+std::unique_ptr<JoinAlgorithm> MakeMwayTraced() {
+  return std::make_unique<SortMergeJoin<SimTracer>>(MergeStrategy::kMultiway);
+}
+std::unique_ptr<JoinAlgorithm> MakeMpassTraced() {
+  return std::make_unique<SortMergeJoin<SimTracer>>(
+      MergeStrategy::kMultiPass);
+}
+
+}  // namespace iawj

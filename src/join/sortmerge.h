@@ -1,0 +1,72 @@
+// Sort-merge joins: MWay (Chhugani et al.) and MPass (Balkesen et al.) —
+// lazy, sort-based, equisized range partitioning (paper §3.1).
+//
+// Both algorithms share the structure: per-thread chunks are locally sorted
+// with the vectorized sort substrate, combined into globally sorted copies
+// of R and S, and finally merge-joined in parallel over key-aligned ranges.
+// They differ only in the combine step, exactly as the paper describes:
+// MWay multiway-merges all runs at once (each worker merging one key range
+// of every run), while MPass applies successive two-way merge passes with a
+// barrier per pass.
+#ifndef IAWJ_JOIN_SORTMERGE_H_
+#define IAWJ_JOIN_SORTMERGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/join/context.h"
+#include "src/memory/tracker.h"
+
+namespace iawj {
+
+enum class MergeStrategy { kMultiway, kMultiPass };
+
+template <typename Tracer = NullTracer>
+class SortMergeJoin : public JoinAlgorithm {
+ public:
+  explicit SortMergeJoin(MergeStrategy strategy) : strategy_(strategy) {}
+
+  std::string_view name() const override {
+    return strategy_ == MergeStrategy::kMultiway ? "MWAY" : "MPASS";
+  }
+
+  void Setup(const JoinContext& ctx) override;
+  void RunWorker(const JoinContext& ctx, int worker) override;
+  void Teardown() override;
+
+ private:
+  void RunMultiwayMergePhase(const JoinContext& ctx, int worker,
+                             PhaseProfile& prof);
+  void RunMultiPassMergePhase(const JoinContext& ctx, int worker,
+                              PhaseProfile& prof);
+
+  MergeStrategy strategy_;
+
+  // Packed (key<<32|ts) copies: locally sorted runs, then merged output.
+  mem::TrackedBuffer<uint64_t> r_buf_;
+  mem::TrackedBuffer<uint64_t> s_buf_;
+  mem::TrackedBuffer<uint64_t> r_merged_;
+  mem::TrackedBuffer<uint64_t> s_merged_;
+
+  // MWay: splitter keys (size T+1) and per-worker merge output ranges.
+  std::vector<uint32_t> splitter_keys_;
+  std::vector<size_t> merge_off_r_;
+  std::vector<size_t> merge_off_s_;
+
+  // Final probe ranges (size T+1), key-aligned between R and S.
+  std::vector<size_t> probe_split_r_;
+  std::vector<size_t> probe_split_s_;
+
+  // Where the globally sorted data ended up (MPass ping-pongs buffers).
+  const uint64_t* final_r_ = nullptr;
+  const uint64_t* final_s_ = nullptr;
+};
+
+std::unique_ptr<JoinAlgorithm> MakeMway();
+std::unique_ptr<JoinAlgorithm> MakeMpass();
+std::unique_ptr<JoinAlgorithm> MakeMwayTraced();
+std::unique_ptr<JoinAlgorithm> MakeMpassTraced();
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_SORTMERGE_H_

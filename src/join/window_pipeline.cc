@@ -1,0 +1,158 @@
+#include "src/join/window_pipeline.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace iawj {
+
+namespace {
+
+// Extracts tuples with ts in [start, start + length) and rebases their
+// timestamps to the window-local origin.
+Stream SliceWindow(const Stream& stream, uint64_t start, uint32_t length) {
+  const auto lo = std::lower_bound(
+      stream.tuples.begin(), stream.tuples.end(), start,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  const auto hi = std::lower_bound(
+      lo, stream.tuples.end(), start + length,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  Stream window;
+  window.tuples.reserve(static_cast<size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    window.tuples.push_back(
+        Tuple{static_cast<uint32_t>(it->ts - start), it->key});
+  }
+  return window;
+}
+
+}  // namespace
+
+PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
+                                  const JoinSpec& spec,
+                                  const AlgorithmPolicy& policy) {
+  IAWJ_CHECK_GE(spec.window_ms, 1u);
+  PipelineResult pipeline;
+
+  const uint64_t max_ts =
+      std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  const uint32_t num_windows =
+      static_cast<uint32_t>(max_ts / spec.window_ms) + 1;
+
+  JoinRunner runner;
+  for (uint32_t k = 0; k < num_windows; ++k) {
+    const uint64_t start = static_cast<uint64_t>(k) * spec.window_ms;
+    const Stream wr = SliceWindow(r, start, spec.window_ms);
+    const Stream ws = SliceWindow(s, start, spec.window_ms);
+    if (wr.size() == 0 && ws.size() == 0) continue;
+
+    const AlgorithmId id = policy(wr, ws);
+    WindowRun run;
+    run.window_index = k;
+    run.window_start_ms = start;
+    run.result = runner.Run(id, wr, ws, spec);
+    pipeline.total_inputs += run.result.inputs;
+    pipeline.total_matches += run.result.matches;
+    pipeline.total_checksum += run.result.checksum;
+    pipeline.total_elapsed_ms += run.result.elapsed_ms;
+    pipeline.windows.push_back(std::move(run));
+  }
+  return pipeline;
+}
+
+PipelineResult RunTumblingWindows(AlgorithmId id, const Stream& r,
+                                  const Stream& s, const JoinSpec& spec) {
+  return RunTumblingWindows(
+      r, s, spec, [id](const Stream&, const Stream&) { return id; });
+}
+
+namespace {
+
+// Shared driver: runs one IaWJ per (start, length) segment.
+PipelineResult RunSegments(
+    const Stream& r, const Stream& s, const JoinSpec& spec,
+    const std::vector<std::pair<uint64_t, uint32_t>>& segments,
+    const AlgorithmPolicy& policy) {
+  PipelineResult pipeline;
+  JoinRunner runner;
+  uint32_t index = 0;
+  for (const auto& [start, length] : segments) {
+    const Stream wr = SliceWindow(r, start, length);
+    const Stream ws = SliceWindow(s, start, length);
+    ++index;
+    if (wr.size() == 0 && ws.size() == 0) continue;
+
+    JoinSpec window_spec = spec;
+    window_spec.window_ms = length;
+    WindowRun run;
+    run.window_index = index - 1;
+    run.window_start_ms = start;
+    run.result = runner.Run(policy(wr, ws), wr, ws, window_spec);
+    pipeline.total_inputs += run.result.inputs;
+    pipeline.total_matches += run.result.matches;
+    pipeline.total_checksum += run.result.checksum;
+    pipeline.total_elapsed_ms += run.result.elapsed_ms;
+    pipeline.windows.push_back(std::move(run));
+  }
+  return pipeline;
+}
+
+}  // namespace
+
+PipelineResult RunSlidingWindows(const Stream& r, const Stream& s,
+                                 const JoinSpec& spec, uint32_t hop_ms,
+                                 const AlgorithmPolicy& policy) {
+  IAWJ_CHECK_GE(hop_ms, 1u);
+  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  std::vector<std::pair<uint64_t, uint32_t>> segments;
+  for (uint64_t start = 0; start <= max_ts; start += hop_ms) {
+    segments.emplace_back(start, spec.window_ms);
+  }
+  return RunSegments(r, s, spec, segments, policy);
+}
+
+PipelineResult RunSlidingWindows(AlgorithmId id, const Stream& r,
+                                 const Stream& s, const JoinSpec& spec,
+                                 uint32_t hop_ms) {
+  return RunSlidingWindows(
+      r, s, spec, hop_ms, [id](const Stream&, const Stream&) { return id; });
+}
+
+PipelineResult RunSessionWindows(const Stream& r, const Stream& s,
+                                 const JoinSpec& spec, uint32_t gap_ms,
+                                 const AlgorithmPolicy& policy) {
+  IAWJ_CHECK_GE(gap_ms, 1u);
+  // Merge the two arrival sequences and split wherever both streams are
+  // silent for at least gap_ms.
+  std::vector<uint32_t> arrivals;
+  arrivals.reserve(r.size() + s.size());
+  for (const Tuple& t : r.tuples) arrivals.push_back(t.ts);
+  for (const Tuple& t : s.tuples) arrivals.push_back(t.ts);
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<std::pair<uint64_t, uint32_t>> segments;
+  if (!arrivals.empty()) {
+    uint64_t session_start = arrivals.front();
+    uint32_t last = arrivals.front();
+    for (uint32_t ts : arrivals) {
+      if (ts - last >= gap_ms) {
+        segments.emplace_back(session_start,
+                              static_cast<uint32_t>(last - session_start) + 1);
+        session_start = ts;
+      }
+      last = ts;
+    }
+    segments.emplace_back(session_start,
+                          static_cast<uint32_t>(last - session_start) + 1);
+  }
+  return RunSegments(r, s, spec, segments, policy);
+}
+
+PipelineResult RunSessionWindows(AlgorithmId id, const Stream& r,
+                                 const Stream& s, const JoinSpec& spec,
+                                 uint32_t gap_ms) {
+  return RunSessionWindows(
+      r, s, spec, gap_ms, [id](const Stream&, const Stream&) { return id; });
+}
+
+}  // namespace iawj

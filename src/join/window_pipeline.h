@@ -1,0 +1,79 @@
+// Inter-window execution built from IaWJ building blocks.
+//
+// The paper scopes itself to a single window and notes that "designing
+// efficient inter-window join algorithms by taking IaWJ as a building block
+// is an exciting topic for further investigation" (§2). This pipeline is
+// that building-block composition for tumbling windows: the input streams
+// are segmented into consecutive windows of equal length, each window is
+// joined with a configurable IaWJ algorithm (optionally chosen per window
+// by the adaptive policy), and per-window metrics aggregate into a run
+// summary. Each window is replayed on its own clock, i.e. windows execute
+// back-to-back rather than overlapped — a deliberate simplification that
+// keeps per-window semantics identical to the paper's single-window runs.
+#ifndef IAWJ_JOIN_WINDOW_PIPELINE_H_
+#define IAWJ_JOIN_WINDOW_PIPELINE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/join/runner.h"
+
+namespace iawj {
+
+struct WindowRun {
+  uint32_t window_index = 0;
+  uint64_t window_start_ms = 0;
+  RunResult result;
+};
+
+struct PipelineResult {
+  std::vector<WindowRun> windows;
+  uint64_t total_inputs = 0;
+  uint64_t total_matches = 0;
+  uint64_t total_checksum = 0;  // sum of per-window checksums
+  double total_elapsed_ms = 0;  // sum of per-window elapsed stream time
+};
+
+// Chooses the algorithm for one window, given its (already segmented,
+// rebased) inputs. The default policy returns a fixed algorithm; the
+// adaptive policy (join/adaptive.h) plugs in here.
+using AlgorithmPolicy =
+    std::function<AlgorithmId(const Stream& r, const Stream& s)>;
+
+// Runs consecutive tumbling windows of spec.window_ms over r and s. Tuples
+// beyond the last complete window form a final partial window. The spec's
+// clock settings apply to every window (each window restarts the clock).
+PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
+                                  const JoinSpec& spec,
+                                  const AlgorithmPolicy& policy);
+
+// Convenience overload with a fixed algorithm.
+PipelineResult RunTumblingWindows(AlgorithmId id, const Stream& r,
+                                  const Stream& s, const JoinSpec& spec);
+
+// Sliding windows: one window of length spec.window_ms starts every hop_ms
+// (hop_ms <= window_ms overlaps). Each window instance is an independent
+// IaWJ, per the paper's §2 definition — matches in the overlap are reported
+// by every window containing them.
+PipelineResult RunSlidingWindows(const Stream& r, const Stream& s,
+                                 const JoinSpec& spec, uint32_t hop_ms,
+                                 const AlgorithmPolicy& policy);
+
+PipelineResult RunSlidingWindows(AlgorithmId id, const Stream& r,
+                                 const Stream& s, const JoinSpec& spec,
+                                 uint32_t hop_ms);
+
+// Session windows: a window closes once both streams are silent for at
+// least gap_ms; window lengths are data-dependent (spec.window_ms is
+// ignored for segmentation and set per session internally).
+PipelineResult RunSessionWindows(const Stream& r, const Stream& s,
+                                 const JoinSpec& spec, uint32_t gap_ms,
+                                 const AlgorithmPolicy& policy);
+
+PipelineResult RunSessionWindows(AlgorithmId id, const Stream& r,
+                                 const Stream& s, const JoinSpec& spec,
+                                 uint32_t gap_ms);
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_WINDOW_PIPELINE_H_

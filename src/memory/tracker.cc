@@ -1,0 +1,28 @@
+#include "src/memory/tracker.h"
+
+namespace iawj::mem {
+
+namespace {
+std::atomic<int64_t> g_current{0};
+std::atomic<int64_t> g_peak{0};
+}  // namespace
+
+void Add(int64_t bytes) {
+  const int64_t now = g_current.fetch_add(bytes) + bytes;
+  if (bytes > 0) {
+    int64_t peak = g_peak.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+int64_t CurrentBytes() { return g_current.load(); }
+int64_t PeakBytes() { return g_peak.load(); }
+
+void Reset() {
+  g_current.store(0);
+  g_peak.store(0);
+}
+
+}  // namespace iawj::mem

@@ -1,0 +1,11 @@
+#include "src/partition/radix.h"
+
+namespace iawj {
+
+void RadixHistogram(const Tuple* chunk, size_t n, int bits, uint64_t* hist) {
+  for (size_t i = 0; i < n; ++i) {
+    ++hist[RadixOf(chunk[i].key, bits)];
+  }
+}
+
+}  // namespace iawj

@@ -1,0 +1,57 @@
+// Radix partitioning (PRJ's first phase, paper §3.1 / Figure 18).
+//
+// Tuples scatter into 2^bits contiguous partitions by the low `bits` of the
+// join key — the same content-based physical replication the parallel radix
+// join uses to make each partition cache-resident. The building blocks are
+// exposed separately (histogram / prefix / scatter) so PRJ can run them
+// across threads with its own barriers, and so the number-of-radix-bits
+// sweep can time partitioning in isolation.
+#ifndef IAWJ_PARTITION_RADIX_H_
+#define IAWJ_PARTITION_RADIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/profiling/cache_sim.h"
+
+namespace iawj {
+
+inline uint32_t RadixOf(uint32_t key, int bits) {
+  return key & ((1u << bits) - 1);
+}
+
+// Counts tuples per partition into hist (size 2^bits, zeroed by the caller).
+void RadixHistogram(const Tuple* chunk, size_t n, int bits, uint64_t* hist);
+
+// Scatters tuples to out using per-partition write cursors (advanced as a
+// side effect). The tracer sees both the input scan and the scattered writes.
+template <typename Tracer>
+void RadixScatter(const Tuple* chunk, size_t n, int bits, uint64_t* cursors,
+                  Tuple* out, Tracer& tracer) {
+  for (size_t i = 0; i < n; ++i) {
+    tracer.Access(&chunk[i], sizeof(Tuple));
+    const uint32_t p = RadixOf(chunk[i].key, bits);
+    out[cursors[p]] = chunk[i];
+    tracer.Access(&out[cursors[p]], sizeof(Tuple));
+    ++cursors[p];
+  }
+}
+
+// Convenience single-threaded partition: fills out (size n) and offsets
+// (size 2^bits + 1).
+template <typename Tracer>
+void RadixPartitionSingle(const Tuple* input, size_t n, int bits, Tuple* out,
+                          std::vector<uint64_t>* offsets, Tracer& tracer) {
+  const size_t parts = size_t{1} << bits;
+  std::vector<uint64_t> hist(parts, 0);
+  RadixHistogram(input, n, bits, hist.data());
+  offsets->assign(parts + 1, 0);
+  for (size_t p = 0; p < parts; ++p) (*offsets)[p + 1] = (*offsets)[p] + hist[p];
+  std::vector<uint64_t> cursors(offsets->begin(), offsets->end() - 1);
+  RadixScatter(input, n, bits, cursors.data(), out, tracer);
+}
+
+}  // namespace iawj
+
+#endif  // IAWJ_PARTITION_RADIX_H_

@@ -1,0 +1,38 @@
+#include "src/partition/range.h"
+
+#include <algorithm>
+
+#include "src/common/tuple.h"
+
+namespace iawj {
+
+ChunkRange ChunkForThread(size_t n, int t, int num_threads) {
+  const size_t begin = n * static_cast<size_t>(t) / num_threads;
+  const size_t end = n * (static_cast<size_t>(t) + 1) / num_threads;
+  return ChunkRange{begin, end};
+}
+
+size_t LowerBoundKey(const uint64_t* sorted, size_t n, uint32_t key) {
+  const uint64_t needle = static_cast<uint64_t>(key) << 32;
+  return static_cast<size_t>(
+      std::lower_bound(sorted, sorted + n, needle) - sorted);
+}
+
+std::vector<size_t> KeyAlignedSplits(const uint64_t* sorted, size_t n,
+                                     int parts) {
+  std::vector<size_t> splits(parts + 1, n);
+  splits[0] = 0;
+  for (int p = 1; p < parts; ++p) {
+    size_t pos = n * static_cast<size_t>(p) / parts;
+    // Advance past the duplicate-key run the target position landed in.
+    while (pos < n && pos > 0 &&
+           PackedKey(sorted[pos]) == PackedKey(sorted[pos - 1])) {
+      ++pos;
+    }
+    splits[p] = std::max(pos, splits[p - 1]);
+  }
+  splits[parts] = n;
+  return splits;
+}
+
+}  // namespace iawj

@@ -1,0 +1,37 @@
+// Equisized chunking and key-aligned range splitting for the sort joins.
+//
+// MWay/MPass partition inputs into equisized per-thread chunks for local
+// sorting, and parallelize the final merge join by splitting the globally
+// sorted arrays at key boundaries so no duplicate-key span straddles two
+// threads.
+#ifndef IAWJ_PARTITION_RANGE_H_
+#define IAWJ_PARTITION_RANGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iawj {
+
+struct ChunkRange {
+  size_t begin;
+  size_t end;
+
+  size_t size() const { return end - begin; }
+};
+
+// The t-th of num_threads equisized chunks of [0, n).
+ChunkRange ChunkForThread(size_t n, int t, int num_threads);
+
+// Index of the first element of the sorted packed array whose key is >= key.
+size_t LowerBoundKey(const uint64_t* sorted, size_t n, uint32_t key);
+
+// Splits a sorted packed array into `parts` contiguous ranges whose
+// boundaries never fall inside a run of equal keys. Returns parts+1 split
+// positions (some ranges may be empty under heavy duplication).
+std::vector<size_t> KeyAlignedSplits(const uint64_t* sorted, size_t n,
+                                     int parts);
+
+}  // namespace iawj
+
+#endif  // IAWJ_PARTITION_RANGE_H_

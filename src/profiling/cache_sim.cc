@@ -1,0 +1,89 @@
+#include "src/profiling/cache_sim.h"
+
+#include "src/common/bits.h"
+#include "src/common/logging.h"
+
+namespace iawj {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config)
+    : line_bits_(Log2Floor(config.line_bytes)), ways_(config.ways) {
+  IAWJ_CHECK(IsPow2(config.line_bytes));
+  const uint64_t lines = config.size_bytes / config.line_bytes;
+  const uint64_t sets = lines / config.ways;
+  IAWJ_CHECK(IsPow2(sets));
+  set_mask_ = sets - 1;
+  tags_.assign(sets * config.ways, ~0ull);
+  lru_.assign(sets * config.ways, 0);
+}
+
+bool CacheLevel::Access(uint64_t addr) {
+  ++accesses_;
+  ++tick_;
+  const uint64_t line = addr >> line_bits_;
+  const uint64_t set = line & set_mask_;
+  const uint64_t base = set * static_cast<uint64_t>(ways_);
+  int victim = 0;
+  uint64_t oldest = ~0ull;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == line) {
+      lru_[base + w] = tick_;
+      return true;
+    }
+    if (lru_[base + w] < oldest) {
+      oldest = lru_[base + w];
+      victim = w;
+    }
+  }
+  ++misses_;
+  tags_[base + victim] = line;
+  lru_[base + victim] = tick_;
+  return false;
+}
+
+CacheCounters& CacheCounters::operator+=(const CacheCounters& other) {
+  accesses += other.accesses;
+  l1_misses += other.l1_misses;
+  l2_misses += other.l2_misses;
+  l3_misses += other.l3_misses;
+  tlb_misses += other.tlb_misses;
+  return *this;
+}
+
+CacheSim::CacheSim(const CacheLevelConfig& l1, const CacheLevelConfig& l2,
+                   const CacheLevelConfig& l3, int tlb_entries, int tlb_ways)
+    : l1_(l1),
+      l2_(l2),
+      l3_(l3),
+      tlb_({static_cast<uint64_t>(tlb_entries) * 4096, tlb_ways, 4096}) {}
+
+CacheSim CacheSim::XeonGold6126() {
+  return CacheSim({32 * 1024, 8, 64}, {1024 * 1024, 16, 64},
+                  {16 * 1024 * 1024, 16, 64},
+                  /*tlb_entries=*/64, /*tlb_ways=*/4);
+}
+
+void CacheSim::Access(const void* addr, uint64_t bytes) {
+  const uint64_t start = reinterpret_cast<uint64_t>(addr);
+  const uint64_t first_line = start >> 6;
+  const uint64_t last_line = (start + (bytes == 0 ? 0 : bytes - 1)) >> 6;
+  CacheCounters& c = counters_[phase_];
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    const uint64_t a = line << 6;
+    ++c.accesses;
+    if (!tlb_.Access(a)) ++c.tlb_misses;
+    if (l1_.Access(a)) continue;
+    ++c.l1_misses;
+    if (l2_.Access(a)) continue;
+    ++c.l2_misses;
+    if (l3_.Access(a)) continue;
+    ++c.l3_misses;
+  }
+}
+
+CacheCounters CacheSim::Total() const {
+  CacheCounters total;
+  for (const auto& c : counters_) total += c;
+  return total;
+}
+
+}  // namespace iawj

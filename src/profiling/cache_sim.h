@@ -1,0 +1,119 @@
+// Trace-driven cache-hierarchy simulator.
+//
+// The paper profiles cache behaviour with Intel PCM / perf (Figure 8,
+// Table 5, Figure 19a). Hardware counters are not portable (nor available in
+// the validation environment), so this simulator substitutes for them: the
+// hash, partition, and sort substrates expose instrumented variants that
+// forward every data access here, and the profiling benches replay the exact
+// algorithm code over the simulated hierarchy.
+//
+// The hierarchy is modelled after the paper's Xeon Gold 6126: 32 KiB 8-way
+// L1D, 1 MiB 16-way L2, 19 MiB L3 (modelled as 16 MiB 16-way so set counts
+// stay a power of two), 64 B lines, plus a 64-entry 4-way data TLB over 4 KiB
+// pages. Inclusive, LRU per set. What the paper's analysis uses — relative
+// miss counts between algorithms and phases — is a function of the access
+// pattern, which this reproduces; absolute counts differ from real silicon
+// (no prefetchers, no OoO overlap) and are labelled as simulated.
+#ifndef IAWJ_PROFILING_CACHE_SIM_H_
+#define IAWJ_PROFILING_CACHE_SIM_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/profiling/phase.h"
+
+namespace iawj {
+
+struct CacheLevelConfig {
+  uint64_t size_bytes;
+  int ways;
+  uint64_t line_bytes;
+};
+
+// One set-associative, LRU cache level.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheLevelConfig& config);
+
+  // Returns true on hit; on miss the line is installed.
+  bool Access(uint64_t addr);
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t misses() const { return misses_; }
+  void ResetCounters() { accesses_ = misses_ = 0; }
+
+ private:
+  uint64_t line_bits_;
+  uint64_t set_mask_;
+  int ways_;
+  // tags_[set * ways + way]; lru_[same index] is a recency stamp.
+  std::vector<uint64_t> tags_;
+  std::vector<uint64_t> lru_;
+  uint64_t tick_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Per-phase hierarchy miss counters.
+struct CacheCounters {
+  uint64_t accesses = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_misses = 0;
+  uint64_t tlb_misses = 0;
+
+  CacheCounters& operator+=(const CacheCounters& other);
+};
+
+class CacheSim {
+ public:
+  CacheSim(const CacheLevelConfig& l1, const CacheLevelConfig& l2,
+           const CacheLevelConfig& l3, int tlb_entries, int tlb_ways);
+
+  // The hierarchy used throughout the benches (paper's evaluation machine).
+  static CacheSim XeonGold6126();
+
+  void SetPhase(Phase phase) { phase_ = static_cast<int>(phase); }
+
+  // Simulates a data access of `bytes` bytes starting at `addr`, touching
+  // every cache line the range covers.
+  void Access(const void* addr, uint64_t bytes);
+
+  const CacheCounters& counters(Phase phase) const {
+    return counters_[static_cast<int>(phase)];
+  }
+  CacheCounters Total() const;
+
+ private:
+  CacheLevel l1_;
+  CacheLevel l2_;
+  CacheLevel l3_;
+  CacheLevel tlb_;
+  int phase_ = static_cast<int>(Phase::kOther);
+  std::array<CacheCounters, kNumPhases> counters_;
+};
+
+// Tracer hooks: the hash/partition/sort substrates are templated on a tracer
+// so the production build pays nothing (NullTracer methods inline away) while
+// the profiling benches plug in the simulator.
+struct NullTracer {
+  static constexpr bool kEnabled = false;
+  void Access(const void*, uint64_t) {}
+  void SetPhase(Phase) {}
+};
+
+class SimTracer {
+ public:
+  static constexpr bool kEnabled = true;
+  explicit SimTracer(CacheSim* sim) : sim_(sim) {}
+  void Access(const void* addr, uint64_t bytes) { sim_->Access(addr, bytes); }
+  void SetPhase(Phase phase) { sim_->SetPhase(phase); }
+
+ private:
+  CacheSim* sim_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_PROFILING_CACHE_SIM_H_

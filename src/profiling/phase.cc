@@ -1,0 +1,25 @@
+#include "src/profiling/phase.h"
+
+namespace iawj {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kWait:
+      return "wait";
+    case Phase::kPartition:
+      return "partition";
+    case Phase::kBuild:
+      return "build";
+    case Phase::kSort:
+      return "sort";
+    case Phase::kMerge:
+      return "merge";
+    case Phase::kProbe:
+      return "probe";
+    case Phase::kOther:
+      return "others";
+  }
+  return "unknown";
+}
+
+}  // namespace iawj

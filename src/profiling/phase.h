@@ -1,0 +1,115 @@
+// Per-thread execution-time breakdown (paper §5.3, Figure 7).
+//
+// Each worker attributes its wall time to one of six phases; the runner
+// aggregates per-thread profiles into the per-input-tuple breakdown the paper
+// reports: wait / partition / build-sort / merge / probe / others.
+#ifndef IAWJ_PROFILING_PHASE_H_
+#define IAWJ_PROFILING_PHASE_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+
+namespace iawj {
+
+enum class Phase : int {
+  kWait = 0,
+  kPartition,
+  kBuild,   // hash-table construction, or "sort" for sort-based algorithms
+  kSort,    // tuple sorting (sort-based algorithms)
+  kMerge,   // run/partition merging (sort-based algorithms)
+  kProbe,   // tuple matching
+  kOther,
+};
+inline constexpr int kNumPhases = 7;
+
+std::string_view PhaseName(Phase phase);
+
+// One worker thread's accumulated nanoseconds per phase. Not thread-safe;
+// each worker owns exactly one.
+class PhaseProfile {
+ public:
+  PhaseProfile() { ns_.fill(0); }
+
+  void AddNs(Phase phase, uint64_t ns) { ns_[static_cast<int>(phase)] += ns; }
+  uint64_t GetNs(Phase phase) const { return ns_[static_cast<int>(phase)]; }
+
+  void Merge(const PhaseProfile& other) {
+    for (int i = 0; i < kNumPhases; ++i) ns_[i] += other.ns_[i];
+  }
+
+  uint64_t TotalNs() const {
+    uint64_t total = 0;
+    for (auto v : ns_) total += v;
+    return total;
+  }
+
+ private:
+  std::array<uint64_t, kNumPhases> ns_;
+};
+
+// RAII phase attribution. Nesting is allowed: time spent in an inner scope is
+// charged to the inner phase only.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfile* profile, Phase phase)
+      : profile_(profile),
+        phase_(phase),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedPhase() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    profile_->AddNs(phase_, static_cast<uint64_t>(ns));
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfile* profile_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Manual start/stop timer for phases interleaved at tuple granularity, where
+// RAII scopes would be awkward (the eager engine's pull loop).
+class PhaseStopwatch {
+ public:
+  explicit PhaseStopwatch(PhaseProfile* profile) : profile_(profile) {}
+
+  void Switch(Phase phase) {
+    const auto now = std::chrono::steady_clock::now();
+    if (running_) {
+      profile_->AddNs(current_, static_cast<uint64_t>(
+                                    std::chrono::duration_cast<
+                                        std::chrono::nanoseconds>(now - mark_)
+                                        .count()));
+    }
+    current_ = phase;
+    mark_ = now;
+    running_ = true;
+  }
+
+  void Stop() {
+    if (!running_) return;
+    const auto now = std::chrono::steady_clock::now();
+    profile_->AddNs(current_,
+                    static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            now - mark_)
+                            .count()));
+    running_ = false;
+  }
+
+ private:
+  PhaseProfile* profile_;
+  Phase current_ = Phase::kOther;
+  std::chrono::steady_clock::time_point mark_;
+  bool running_ = false;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_PROFILING_PHASE_H_

@@ -1,0 +1,58 @@
+#include "src/profiling/resource.h"
+
+#include <sys/resource.h>
+
+#include <chrono>
+
+#include "src/memory/tracker.h"
+
+namespace iawj {
+
+ResourceSampler::ResourceSampler(double period_ms) : period_ms_(period_ms) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+double ResourceSampler::ProcessCpuTimeMs() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const auto to_ms = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) * 1000.0 +
+           static_cast<double>(tv.tv_usec) / 1000.0;
+  };
+  return to_ms(usage.ru_utime) + to_ms(usage.ru_stime);
+}
+
+void ResourceSampler::Start() {
+  samples_.clear();
+  start_wall_ = std::chrono::steady_clock::now();
+  start_cpu_ms_ = ProcessCpuTimeMs();
+  running_.store(true);
+  thread_ = std::thread(&ResourceSampler::Loop, this);
+}
+
+void ResourceSampler::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceSampler::Loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_wall_)
+            .count();
+    samples_.push_back(ResourceSample{elapsed, mem::CurrentBytes(),
+                                      ProcessCpuTimeMs() - start_cpu_ms_});
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(period_ms_));
+  }
+}
+
+double ResourceSampler::CpuUtilization(int num_threads) const {
+  if (samples_.empty() || num_threads <= 0) return 0;
+  const ResourceSample& last = samples_.back();
+  if (last.elapsed_ms <= 0) return 0;
+  return last.cpu_time_ms / (last.elapsed_ms * num_threads);
+}
+
+}  // namespace iawj

@@ -1,0 +1,57 @@
+// Resource-usage sampling (paper Table 6 and Figure 19b).
+//
+// A background sampler records (elapsed_ms, tracked_bytes, process CPU time)
+// at a fixed period while an experiment runs. CPU utilization is computed as
+// consumed CPU time over wall time normalized by worker count; memory
+// consumption over time comes from the allocation tracker.
+#ifndef IAWJ_PROFILING_RESOURCE_H_
+#define IAWJ_PROFILING_RESOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace iawj {
+
+struct ResourceSample {
+  double elapsed_ms;
+  int64_t tracked_bytes;
+  double cpu_time_ms;
+};
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(double period_ms = 5.0);
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void Start();
+  void Stop();
+
+  const std::vector<ResourceSample>& samples() const { return samples_; }
+
+  // Average CPU utilization over the sampling window as a fraction of
+  // `num_threads` fully-busy cores (can exceed 1.0 on an oversubscribed
+  // host where helper threads also burn cycles).
+  double CpuUtilization(int num_threads) const;
+
+  // Process CPU time consumed so far (user + system), milliseconds.
+  static double ProcessCpuTimeMs();
+
+ private:
+  void Loop();
+
+  double period_ms_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<ResourceSample> samples_;
+  std::chrono::steady_clock::time_point start_wall_;
+  double start_cpu_ms_ = 0;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_PROFILING_RESOURCE_H_

@@ -1,0 +1,146 @@
+#include "src/report/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace iawj::report {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  IAWJ_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  IAWJ_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << CsvEscape(cells[c]);
+      if (c + 1 < cells.size()) os << ",";
+    }
+    os << "\n";
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  out << ToCsv();
+  return out.good() ? Status::Ok()
+                    : Status::FailedPrecondition("write to " + path +
+                                                 " failed");
+}
+
+std::string CsvDir() {
+  const char* dir = std::getenv("IAWJ_CSV_DIR");
+  return dir == nullptr ? "" : dir;
+}
+
+void MaybeWriteCsv(const Table& table, const std::string& name) {
+  const std::string dir = CsvDir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  const Status status = table.WriteCsv(path);
+  if (!status.ok()) {
+    IAWJ_LOG(Warning) << "CSV emission failed: " << status.ToString();
+  } else {
+    std::printf("# wrote %s\n", path.c_str());
+  }
+}
+
+std::string GnuplotScript(const std::string& csv_name, const Table& table,
+                          const std::string& key_column,
+                          const std::string& series_column,
+                          const std::string& value_column) {
+  const auto column_index = [&](const std::string& name) {
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      if (table.columns()[c] == name) return static_cast<int>(c) + 1;  // 1-based
+    }
+    IAWJ_LOG(Fatal) << "no column " << name;
+    return 0;
+  };
+  const int key = column_index(key_column);
+  const int series = column_index(series_column);
+  const int value = column_index(value_column);
+
+  std::set<std::string> series_values;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    series_values.insert(table.row(i)[series - 1]);
+  }
+
+  std::ostringstream os;
+  os << "set datafile separator ','\n"
+     << "set key outside\n"
+     << "set xlabel '" << key_column << "'\n"
+     << "set ylabel '" << value_column << "'\n"
+     << "plot ";
+  bool first = true;
+  for (const std::string& sv : series_values) {
+    if (!first) os << ", \\\n     ";
+    first = false;
+    os << "'" << csv_name << ".csv' using " << key << ":((stringcolumn("
+       << series << ") eq '" << sv << "') ? column(" << value
+       << ") : 1/0) with linespoints title '" << sv << "'";
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace iawj::report

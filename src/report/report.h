@@ -1,0 +1,65 @@
+// Result reporting: aligned console tables, CSV emission, and gnuplot
+// script generation, so every bench can both print the paper's rows and
+// leave machine-readable artifacts behind.
+//
+// Benches write CSVs when IAWJ_CSV_DIR is set; the gnuplot emitter produces
+// a ready-to-run script per figure referencing those CSVs.
+#ifndef IAWJ_REPORT_REPORT_H_
+#define IAWJ_REPORT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iawj::report {
+
+// An in-memory table: named columns, string cells. Cheap and good enough
+// for experiment-sized outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Appends a row; the cell count must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  // Renders an aligned, human-readable table.
+  std::string ToText() const;
+
+  // Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  // Writes the CSV to path.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Returns the CSV output directory (IAWJ_CSV_DIR) or "" when disabled.
+std::string CsvDir();
+
+// If IAWJ_CSV_DIR is set, writes table as <dir>/<name>.csv; no-op otherwise.
+void MaybeWriteCsv(const Table& table, const std::string& name);
+
+// Emits a gnuplot script that plots `value_column` against `key_column`
+// with one line per distinct value of `series_column`, reading
+// <name>.csv. Returns the script text.
+std::string GnuplotScript(const std::string& csv_name,
+                          const Table& table,
+                          const std::string& key_column,
+                          const std::string& series_column,
+                          const std::string& value_column);
+
+}  // namespace iawj::report
+
+#endif  // IAWJ_REPORT_REPORT_H_

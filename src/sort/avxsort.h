@@ -1,0 +1,44 @@
+// Sorting kernels for 64-bit packed tuples (the paper's `avxsort` stand-in).
+//
+// Tuples sort by (key, ts), which — given Tuple's memory layout — is plain
+// unsigned order on the 64-bit image, so the kernels operate on uint64.
+//
+// Two code paths implement the same mergesort:
+//  - vectorized (Options::use_simd == true): base blocks sorted by a
+//    branchless bitonic sorting network (data-parallel compare-exchange
+//    passes the compiler turns into AVX2 min/max+blend sequences) and runs
+//    combined with a branchless two-pointer merge;
+//  - scalar (use_simd == false): std::sort on base blocks and a conventional
+//    branchy merge.
+//
+// Toggling use_simd at run time reproduces the paper's Figure 21 ablation
+// ("altering AVX instructions") without rebuilding.
+#ifndef IAWJ_SORT_AVXSORT_H_
+#define IAWJ_SORT_AVXSORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/tuple.h"
+
+namespace iawj::sort {
+
+struct Options {
+  bool use_simd = true;
+};
+
+// Sorts n packed tuples ascending.
+void SortPacked(uint64_t* data, size_t n, const Options& options);
+
+// Sorts n tuples by (key, ts).
+inline void SortTuples(Tuple* data, size_t n, const Options& options) {
+  SortPacked(reinterpret_cast<uint64_t*>(data), n, options);
+}
+
+// Merges sorted runs a and b into out (out must not alias inputs).
+void MergePacked(const uint64_t* a, size_t na, const uint64_t* b, size_t nb,
+                 uint64_t* out, const Options& options);
+
+}  // namespace iawj::sort
+
+#endif  // IAWJ_SORT_AVXSORT_H_

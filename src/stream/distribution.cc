@@ -1,0 +1,55 @@
+#include "src/stream/distribution.h"
+
+#include "src/common/logging.h"
+#include "src/hash/hash_fn.h"
+
+namespace iawj {
+
+Status Distribution::Validate(DistributionScheme scheme, int num_threads,
+                              int jb_group_size) {
+  if (num_threads < 1) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (scheme == DistributionScheme::kJoinBiclique) {
+    if (jb_group_size < 1 || num_threads % jb_group_size != 0) {
+      return Status::InvalidArgument(
+          "JB group size must be >= 1 and divide the thread count");
+    }
+  }
+  return Status::Ok();
+}
+
+Distribution::Distribution(DistributionScheme scheme, int num_threads,
+                           int jb_group_size)
+    : scheme_(scheme), num_threads_(num_threads) {
+  IAWJ_CHECK(Validate(scheme, num_threads, jb_group_size).ok());
+  if (scheme_ == DistributionScheme::kJoinBiclique) {
+    group_size_ = jb_group_size;
+  } else {
+    group_size_ = num_threads;  // JM == one group spanning all workers
+  }
+  num_groups_ = num_threads_ / group_size_;
+}
+
+int Distribution::GroupOfKey(uint32_t key) const {
+  return static_cast<int>(MultHash32(key) %
+                          static_cast<uint32_t>(num_groups_));
+}
+
+bool Distribution::OwnsR(int t, Tuple r, uint64_t seq) const {
+  (void)seq;
+  if (scheme_ == DistributionScheme::kJoinMatrix) return true;
+  return GroupOfKey(r.key) == t / group_size_;
+}
+
+bool Distribution::OwnsS(int t, Tuple s, uint64_t seq) const {
+  if (scheme_ == DistributionScheme::kJoinMatrix) {
+    return seq % static_cast<uint64_t>(num_threads_) ==
+           static_cast<uint64_t>(t);
+  }
+  if (GroupOfKey(s.key) != t / group_size_) return false;
+  return seq % static_cast<uint64_t>(group_size_) ==
+         static_cast<uint64_t>(t % group_size_);
+}
+
+}  // namespace iawj

@@ -1,0 +1,59 @@
+// Stream distribution schemes for the eager algorithms (paper §3.2.2).
+//
+// Each eager worker scans both input streams in arrival order; the
+// distribution scheme decides which tuples the worker *processes* (inserts
+// into its local join state and probes with). Correctness requires that for
+// every matching pair (r, s) exactly one worker processes both tuples:
+//
+//  - Join-Matrix (JM, content-insensitive): the join is an |R| x |S| matrix
+//    partitioned across workers. The default 1 x T layout replicates R to
+//    every worker and partitions S round-robin — exactly the configuration
+//    the paper assumes in §5.5 ("R is replicated while it still partitions
+//    S"). A general r x c layout is supported too.
+//  - Join-Biclique (JB, content-sensitive): workers form T/g core groups of
+//    size g; a key is routed to one group by hash. Within the group, R
+//    tuples replicate to all g members and S tuples go to one member.
+//    g == 1 degenerates to strict hash partitioning, g == T to JM, matching
+//    §5.5's description of the group-size knob.
+#ifndef IAWJ_STREAM_DISTRIBUTION_H_
+#define IAWJ_STREAM_DISTRIBUTION_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+
+namespace iawj {
+
+enum class DistributionScheme { kJoinMatrix, kJoinBiclique };
+
+class Distribution {
+ public:
+  // For kJoinMatrix, jb_group_size is ignored; for kJoinBiclique,
+  // jb_group_size must divide num_threads.
+  Distribution(DistributionScheme scheme, int num_threads, int jb_group_size);
+
+  static Status Validate(DistributionScheme scheme, int num_threads,
+                         int jb_group_size);
+
+  // Whether worker `t` processes the seq-th R-side tuple.
+  bool OwnsR(int t, Tuple r, uint64_t seq) const;
+  // Whether worker `t` processes the seq-th S-side tuple.
+  bool OwnsS(int t, Tuple s, uint64_t seq) const;
+
+  DistributionScheme scheme() const { return scheme_; }
+  int num_groups() const { return num_groups_; }
+  int group_size() const { return group_size_; }
+
+ private:
+  int GroupOfKey(uint32_t key) const;
+
+  DistributionScheme scheme_;
+  int num_threads_;
+  int group_size_;
+  int num_groups_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_STREAM_DISTRIBUTION_H_

@@ -1,0 +1,70 @@
+#include "src/stream/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+namespace iawj {
+
+uint32_t Stream::MaxTs() const {
+  return tuples.empty() ? 0 : tuples.back().ts;
+}
+
+Stream MakeStream(std::vector<Tuple> tuples) {
+  std::stable_sort(tuples.begin(), tuples.end(),
+                   [](Tuple a, Tuple b) { return a.ts < b.ts; });
+  return Stream{std::move(tuples)};
+}
+
+StreamStats ComputeStats(const Stream& stream) {
+  StreamStats stats;
+  stats.num_tuples = stream.size();
+  if (stream.size() == 0) return stats;
+  stats.arrival_rate_per_ms =
+      static_cast<double>(stream.size()) / (stream.MaxTs() + 1);
+
+  std::unordered_map<uint32_t, uint64_t> freq;
+  freq.reserve(stream.size());
+  for (const Tuple& t : stream.tuples) ++freq[t.key];
+  stats.unique_keys = freq.size();
+  stats.avg_duplicates_per_key =
+      static_cast<double>(stream.size()) / static_cast<double>(freq.size());
+
+  // Fit a Zipf exponent by least squares on log(rank) vs log(frequency) over
+  // the most frequent keys — the slope's negation estimates theta. A uniform
+  // distribution yields ~0, matching how Table 3 reports key skewness.
+  std::vector<uint64_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [key, count] : freq) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  const size_t top = std::min<size_t>(counts.size(), 1000);
+  if (top >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t rank = 0; rank < top; ++rank) {
+      const double x = std::log(static_cast<double>(rank + 1));
+      const double y = std::log(static_cast<double>(counts[rank]));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    const double n = static_cast<double>(top);
+    const double denom = n * sxx - sx * sx;
+    if (denom > 1e-12) {
+      stats.key_zipf_estimate = std::max(0.0, -(n * sxy - sx * sy) / denom);
+    }
+  }
+  return stats;
+}
+
+std::string FormatStats(const StreamStats& stats) {
+  std::ostringstream os;
+  os << "n=" << stats.num_tuples << " rate=" << stats.arrival_rate_per_ms
+     << "/ms unique=" << stats.unique_keys
+     << " dupe=" << stats.avg_duplicates_per_key
+     << " zipf~" << stats.key_zipf_estimate;
+  return os.str();
+}
+
+}  // namespace iawj

@@ -1,0 +1,46 @@
+// In-memory input streams and workload statistics.
+//
+// Following the paper's methodology (§4.2.2), datasets are fully populated in
+// memory with per-tuple arrival timestamps; the virtual clock (common/clock.h)
+// decides when each tuple becomes visible to the algorithms.
+#ifndef IAWJ_STREAM_STREAM_H_
+#define IAWJ_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+
+namespace iawj {
+
+struct Stream {
+  std::vector<Tuple> tuples;  // non-decreasing ts
+
+  size_t size() const { return tuples.size(); }
+  std::span<const Tuple> view() const { return tuples; }
+
+  // Largest arrival timestamp (0 for an empty stream).
+  uint32_t MaxTs() const;
+};
+
+// Sorts tuples by arrival timestamp and wraps them in a Stream.
+Stream MakeStream(std::vector<Tuple> tuples);
+
+// Workload statistics as reported in the paper's Table 3.
+struct StreamStats {
+  uint64_t num_tuples = 0;
+  double arrival_rate_per_ms = 0;  // num_tuples / (max_ts + 1)
+  uint64_t unique_keys = 0;
+  double avg_duplicates_per_key = 0;
+  double key_zipf_estimate = 0;  // theta fitted on the key-frequency ranks
+};
+
+StreamStats ComputeStats(const Stream& stream);
+
+std::string FormatStats(const StreamStats& stats);
+
+}  // namespace iawj
+
+#endif  // IAWJ_STREAM_STREAM_H_

@@ -1,0 +1,107 @@
+// Focused tests for the cache simulator's mechanics: set mapping,
+// associativity, LRU replacement, and hierarchy interaction. These pin the
+// behaviour the Figure 8 / Table 5 substitutions depend on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/profiling/cache_sim.h"
+
+namespace iawj {
+namespace {
+
+// A tiny single level: 4 sets x 2 ways x 64B lines = 512 B.
+CacheLevelConfig TinyConfig() { return {512, 2, 64}; }
+
+TEST(CacheLevel, HitsAfterInstall) {
+  CacheLevel level(TinyConfig());
+  EXPECT_FALSE(level.Access(0));  // cold
+  EXPECT_TRUE(level.Access(0));   // hit
+  EXPECT_TRUE(level.Access(32));  // same line
+  EXPECT_EQ(level.misses(), 1u);
+  EXPECT_EQ(level.accesses(), 3u);
+}
+
+TEST(CacheLevel, DistinctSetsDoNotConflict) {
+  CacheLevel level(TinyConfig());
+  // Lines 0..3 map to sets 0..3: all fit simultaneously.
+  for (uint64_t line = 0; line < 4; ++line) level.Access(line * 64);
+  for (uint64_t line = 0; line < 4; ++line) {
+    EXPECT_TRUE(level.Access(line * 64)) << line;
+  }
+}
+
+TEST(CacheLevel, AssociativityBoundsConflictSet) {
+  CacheLevel level(TinyConfig());
+  // Three lines mapping to set 0 (stride = 4 lines): only 2 ways.
+  const uint64_t a = 0, b = 4 * 64, c = 8 * 64;
+  level.Access(a);
+  level.Access(b);
+  EXPECT_TRUE(level.Access(a));
+  EXPECT_TRUE(level.Access(b));
+  level.Access(c);                 // evicts LRU = a
+  EXPECT_FALSE(level.Access(a));   // a was evicted
+  EXPECT_TRUE(level.Access(c));    // c resident
+}
+
+TEST(CacheLevel, LruEvictsLeastRecentlyUsed) {
+  CacheLevel level(TinyConfig());
+  const uint64_t a = 0, b = 4 * 64, c = 8 * 64;
+  level.Access(a);
+  level.Access(b);
+  level.Access(a);  // a is now MRU
+  level.Access(c);  // must evict b, not a
+  EXPECT_TRUE(level.Access(a));
+  EXPECT_FALSE(level.Access(b));
+}
+
+TEST(CacheSimHierarchy, L2AbsorbsL1Evictions) {
+  CacheSim sim = CacheSim::XeonGold6126();
+  // 256 KiB working set: larger than L1 (32 KiB), far smaller than L2.
+  std::vector<char> data(256 * 1024);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t i = 0; i < data.size(); i += 64) sim.Access(&data[i], 1);
+  }
+  const CacheCounters total = sim.Total();
+  const uint64_t lines = data.size() / 64;
+  EXPECT_GT(total.l1_misses, 2 * lines);     // L1 thrashes every pass
+  EXPECT_LE(total.l2_misses, lines + 16);    // only compulsory L2 misses
+  EXPECT_LE(total.l3_misses, lines + 16);
+}
+
+TEST(CacheSimHierarchy, TlbCountsPages) {
+  CacheSim sim = CacheSim::XeonGold6126();
+  // Touch 256 distinct pages: exceeds the 64-entry TLB.
+  std::vector<char> data(256 * 4096);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t p = 0; p < 256; ++p) sim.Access(&data[p * 4096], 1);
+  }
+  EXPECT_GT(sim.Total().tlb_misses, 256u);  // misses on both passes
+}
+
+TEST(CacheSimHierarchy, SequentialScanMissesOncePerLine) {
+  CacheSim sim = CacheSim::XeonGold6126();
+  std::vector<char> data(1024 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) sim.Access(&data[i], 1);
+  const CacheCounters total = sim.Total();
+  EXPECT_EQ(total.accesses, data.size());
+  const uint64_t lines = data.size() / 64;
+  // One miss per line (+1 when the heap buffer straddles a line boundary).
+  EXPECT_GE(total.l1_misses, lines);
+  EXPECT_LE(total.l1_misses, lines + 1);
+}
+
+TEST(CacheSimHierarchy, CountersSeparateByPhase) {
+  CacheSim sim = CacheSim::XeonGold6126();
+  std::vector<char> data(64 * 64);
+  sim.SetPhase(Phase::kPartition);
+  for (int i = 0; i < 64; ++i) sim.Access(&data[i * 64], 1);
+  sim.SetPhase(Phase::kProbe);
+  for (int i = 0; i < 64; ++i) sim.Access(&data[i * 64], 1);  // all hits
+  EXPECT_EQ(sim.counters(Phase::kPartition).l1_misses, 64u);
+  EXPECT_EQ(sim.counters(Phase::kProbe).l1_misses, 0u);
+  EXPECT_EQ(sim.counters(Phase::kProbe).accesses, 64u);
+}
+
+}  // namespace
+}  // namespace iawj

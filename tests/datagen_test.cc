@@ -1,0 +1,193 @@
+// Tests for the Micro generator and the real-world workload synthesizers:
+// generated data must exhibit the paper's Table 3 / Table 1 characteristics.
+#include <gtest/gtest.h>
+
+#include "src/datagen/micro.h"
+#include "src/datagen/real_world.h"
+
+namespace iawj {
+namespace {
+
+TEST(Micro, RespectsRateAndWindow) {
+  MicroSpec spec;
+  spec.rate_r = 100;
+  spec.rate_s = 200;
+  spec.window_ms = 500;
+  const MicroWorkload w = GenerateMicro(spec);
+  EXPECT_EQ(w.r.size(), 100u * 500);
+  EXPECT_EQ(w.s.size(), 200u * 500);
+  for (const Tuple& t : w.r.tuples) EXPECT_LT(t.ts, 500u);
+  const StreamStats stats = ComputeStats(w.r);
+  EXPECT_NEAR(stats.arrival_rate_per_ms, 100, 5);
+}
+
+TEST(Micro, UniqueKeysWhenDupeOne) {
+  MicroSpec spec;
+  spec.size_r = 10000;
+  spec.size_s = 10000;
+  spec.dupe = 1.0;
+  const MicroWorkload w = GenerateMicro(spec);
+  const StreamStats stats = ComputeStats(w.r);
+  EXPECT_EQ(stats.unique_keys, 10000u);
+}
+
+TEST(Micro, DuplicationMatchesSpec) {
+  for (double dupe : {2.0, 10.0, 100.0}) {
+    MicroSpec spec;
+    spec.size_r = 20000;
+    spec.size_s = 20000;
+    spec.dupe = dupe;
+    const MicroWorkload w = GenerateMicro(spec);
+    const StreamStats stats = ComputeStats(w.s);
+    EXPECT_NEAR(stats.avg_duplicates_per_key, dupe, dupe * 0.05);
+  }
+}
+
+TEST(Micro, MatchesScaleWithDuplication) {
+  // Fig. 11's premise: with |R|,|S| fixed, total matches grow ~dupe-fold.
+  auto matches_at = [](double dupe) {
+    MicroSpec spec;
+    spec.size_r = 5000;
+    spec.size_s = 5000;
+    spec.dupe = dupe;
+    const MicroWorkload w = GenerateMicro(spec);
+    uint64_t m = 0;
+    std::unordered_map<uint32_t, uint64_t> freq;
+    for (const Tuple& t : w.r.tuples) ++freq[t.key];
+    for (const Tuple& t : w.s.tuples) {
+      auto it = freq.find(t.key);
+      if (it != freq.end()) m += it->second;
+    }
+    return m;
+  };
+  const uint64_t m1 = matches_at(1);
+  const uint64_t m10 = matches_at(10);
+  EXPECT_NEAR(static_cast<double>(m10) / static_cast<double>(m1), 10.0, 2.0);
+}
+
+TEST(Micro, ZipfKeySkewConcentratesKeys) {
+  MicroSpec spec;
+  spec.size_r = 20000;
+  spec.size_s = 20000;
+  spec.dupe = 10;
+  spec.zipf_key = 1.6;
+  const MicroWorkload w = GenerateMicro(spec);
+  const StreamStats stats = ComputeStats(w.r);
+  // Under heavy skew the effective duplication of hot keys far exceeds the
+  // nominal dupe.
+  EXPECT_GT(stats.key_zipf_estimate, 0.5);
+}
+
+TEST(Micro, TimestampSkewFrontLoadsArrivals) {
+  MicroSpec uniform_spec, skewed_spec;
+  uniform_spec.size_r = uniform_spec.size_s = 10000;
+  skewed_spec.size_r = skewed_spec.size_s = 10000;
+  skewed_spec.zipf_ts = 1.6;
+  const MicroWorkload uniform = GenerateMicro(uniform_spec);
+  const MicroWorkload skewed = GenerateMicro(skewed_spec);
+  auto early_fraction = [](const Stream& s) {
+    size_t early = 0;
+    for (const Tuple& t : s.tuples) {
+      if (t.ts < 100) ++early;
+    }
+    return static_cast<double>(early) / s.size();
+  };
+  EXPECT_NEAR(early_fraction(uniform.r), 0.1, 0.05);
+  EXPECT_GT(early_fraction(skewed.r), 0.5);
+}
+
+TEST(RealWorld, StockHasLowRateAndSpikes) {
+  const Workload w =
+      GenerateRealWorld({.which = RealWorkload::kStock, .scale = 0.2});
+  const StreamStats r = ComputeStats(w.r);
+  const StreamStats s = ComputeStats(w.s);
+  EXPECT_NEAR(r.arrival_rate_per_ms, 61 * 0.2, 61 * 0.2 * 0.3);
+  EXPECT_NEAR(s.arrival_rate_per_ms, 77 * 0.2, 77 * 0.2 * 0.3);
+  // Spikes: some timestamp holds far more than the uniform share.
+  std::unordered_map<uint32_t, size_t> per_ts;
+  for (const Tuple& t : w.r.tuples) ++per_ts[t.ts];
+  size_t max_slot = 0;
+  for (const auto& [ts, n] : per_ts) max_slot = std::max(max_slot, n);
+  EXPECT_GT(max_slot, w.r.size() / 1000 * 10);
+}
+
+TEST(RealWorld, RovioHasVeryHighDuplication) {
+  const Workload w =
+      GenerateRealWorld({.which = RealWorkload::kRovio, .scale = 0.02});
+  const StreamStats r = ComputeStats(w.r);
+  EXPECT_LE(r.unique_keys, 167u);
+  EXPECT_GT(r.avg_duplicates_per_key, 100);
+}
+
+TEST(RealWorld, YsbHasUniqueStaticCampaignsAndStreamingAds) {
+  const Workload w =
+      GenerateRealWorld({.which = RealWorkload::kYsb, .scale = 0.05});
+  const StreamStats r = ComputeStats(w.r);
+  EXPECT_DOUBLE_EQ(r.avg_duplicates_per_key, 1.0);  // dupe(R) = 1
+  for (const Tuple& t : w.r.tuples) EXPECT_EQ(t.ts, 0u);  // table at rest
+  EXPECT_GT(ComputeStats(w.s).avg_duplicates_per_key, 50);
+}
+
+TEST(RealWorld, DebsIsFullyAtRest) {
+  const Workload w =
+      GenerateRealWorld({.which = RealWorkload::kDebs, .scale = 0.05});
+  EXPECT_EQ(w.suggested_clock, Clock::Mode::kInstant);
+  for (const Tuple& t : w.r.tuples) EXPECT_EQ(t.ts, 0u);
+  for (const Tuple& t : w.s.tuples) EXPECT_EQ(t.ts, 0u);
+  EXPECT_NEAR(static_cast<double>(w.s.size()) / w.r.size(), 10.0, 1.0);
+}
+
+TEST(Micro, DeterministicPerSeed) {
+  MicroSpec spec;
+  spec.size_r = spec.size_s = 5000;
+  spec.dupe = 7;
+  spec.zipf_key = 0.8;
+  const MicroWorkload a = GenerateMicro(spec);
+  const MicroWorkload b = GenerateMicro(spec);
+  EXPECT_EQ(a.r.tuples, b.r.tuples);
+  EXPECT_EQ(a.s.tuples, b.s.tuples);
+
+  spec.seed = 43;
+  const MicroWorkload c = GenerateMicro(spec);
+  EXPECT_NE(a.r.tuples, c.r.tuples);
+}
+
+TEST(Micro, SidesDrawIndependentKeys) {
+  // Same spec must not give R and S identical tuple sequences.
+  MicroSpec spec;
+  spec.size_r = spec.size_s = 1000;
+  spec.dupe = 5;
+  spec.zipf_key = 0.5;
+  const MicroWorkload w = GenerateMicro(spec);
+  EXPECT_NE(w.r.tuples, w.s.tuples);
+}
+
+TEST(Micro, PerSideKeySkewOverride) {
+  MicroSpec spec;
+  spec.size_r = spec.size_s = 20000;
+  spec.dupe = 10;
+  spec.zipf_key = 1.6;   // R heavily skewed
+  spec.zipf_key_s = 0.0; // S uniform
+  const MicroWorkload w = GenerateMicro(spec);
+  const StreamStats r = ComputeStats(w.r);
+  const StreamStats s = ComputeStats(w.s);
+  EXPECT_GT(r.key_zipf_estimate, s.key_zipf_estimate + 0.3);
+}
+
+TEST(RealWorld, DeterministicPerSeed) {
+  const RealWorldSpec spec{.which = RealWorkload::kStock, .scale = 0.05};
+  const Workload a = GenerateRealWorld(spec);
+  const Workload b = GenerateRealWorld(spec);
+  EXPECT_EQ(a.r.tuples, b.r.tuples);
+  EXPECT_EQ(a.s.tuples, b.s.tuples);
+}
+
+TEST(RealWorld, NamesAreStable) {
+  EXPECT_EQ(RealWorkloadName(RealWorkload::kStock), "Stock");
+  EXPECT_EQ(RealWorkloadName(RealWorkload::kRovio), "Rovio");
+  EXPECT_EQ(RealWorkloadName(RealWorkload::kYsb), "YSB");
+  EXPECT_EQ(RealWorkloadName(RealWorkload::kDebs), "DEBS");
+}
+
+}  // namespace
+}  // namespace iawj

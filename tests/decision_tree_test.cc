@@ -1,0 +1,121 @@
+// Tests for the Figure 4 decision tree: every leaf of the paper's tree must
+// be reachable and agree with §5.1's written guidance.
+#include <gtest/gtest.h>
+
+#include "src/datagen/real_world.h"
+#include "src/join/decision_tree.h"
+
+namespace iawj {
+namespace {
+
+WorkloadProfile BothRates(RateClass rate) {
+  WorkloadProfile p;
+  p.rate_r = rate;
+  p.rate_s = rate;
+  return p;
+}
+
+TEST(Classification, RateBands) {
+  EXPECT_EQ(ClassifyRate(61), RateClass::kLow);       // Stock
+  EXPECT_EQ(ClassifyRate(1600), RateClass::kMedium);  // Micro low end
+  EXPECT_EQ(ClassifyRate(12800), RateClass::kMedium);
+  EXPECT_EQ(ClassifyRate(25600), RateClass::kHigh);   // Micro high end
+}
+
+TEST(Classification, DuplicationCrossoverAtTen) {
+  EXPECT_EQ(ClassifyDuplication(1), Level::kLow);
+  EXPECT_EQ(ClassifyDuplication(10), Level::kLow);
+  EXPECT_EQ(ClassifyDuplication(11), Level::kHigh);     // Figure 11
+  EXPECT_EQ(ClassifyDuplication(17960), Level::kHigh);  // Rovio
+}
+
+TEST(DecisionTree, LowRateOnEitherStreamPicksShjJm) {
+  // "We recommend SHJ-JM whenever one input stream has low arrival rate."
+  WorkloadProfile p = BothRates(RateClass::kHigh);
+  p.rate_r = RateClass::kLow;
+  for (Objective obj : {Objective::kThroughput, Objective::kLatency,
+                        Objective::kProgressiveness}) {
+    EXPECT_EQ(RecommendAlgorithm(p, obj, {}), AlgorithmId::kShjJm);
+  }
+  p = BothRates(RateClass::kLow);
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {}),
+            AlgorithmId::kShjJm);
+}
+
+TEST(DecisionTree, HighRateHighDupePicksSortJoins) {
+  WorkloadProfile p = BothRates(RateClass::kHigh);
+  p.key_duplication = Level::kHigh;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {.num_cores = 16}),
+            AlgorithmId::kMpass);  // "MPass scales better with large cores"
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {.num_cores = 4}),
+            AlgorithmId::kMway);
+}
+
+TEST(DecisionTree, HighRateLowDupePicksHashJoins) {
+  WorkloadProfile p = BothRates(RateClass::kHigh);
+  p.key_duplication = Level::kLow;
+  p.key_skew = Level::kLow;
+  p.input_size = Level::kHigh;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {}),
+            AlgorithmId::kPrj);  // "PRJ ... skew low and input large"
+  p.key_skew = Level::kHigh;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {}),
+            AlgorithmId::kNpj);
+  p.key_skew = Level::kLow;
+  p.input_size = Level::kLow;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kThroughput, {}),
+            AlgorithmId::kNpj);
+}
+
+TEST(DecisionTree, MediumRateLatencyObjective) {
+  WorkloadProfile p = BothRates(RateClass::kMedium);
+  p.key_duplication = Level::kHigh;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kLatency, {}),
+            AlgorithmId::kPmjJb);
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kProgressiveness, {}),
+            AlgorithmId::kPmjJb);
+  p.key_duplication = Level::kLow;
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kLatency, {}),
+            AlgorithmId::kShjJm);
+}
+
+TEST(DecisionTree, MediumRateThroughputGoesLazy) {
+  WorkloadProfile p = BothRates(RateClass::kMedium);
+  p.key_duplication = Level::kLow;
+  const AlgorithmId pick = RecommendAlgorithm(p, Objective::kThroughput, {});
+  EXPECT_TRUE(IsLazy(pick));
+  p.key_duplication = Level::kHigh;
+  EXPECT_TRUE(IsLazy(RecommendAlgorithm(p, Objective::kThroughput, {})));
+}
+
+TEST(DecisionTree, ProfilesDerivedFromRealWorkloads) {
+  // Stock: low arrival rates on both streams -> SHJ-JM regardless of metric.
+  const Workload stock =
+      GenerateRealWorld({.which = RealWorkload::kStock, .scale = 1.0});
+  const WorkloadProfile p =
+      ProfileFromStats(ComputeStats(stock.r), ComputeStats(stock.s));
+  EXPECT_EQ(p.rate_r, RateClass::kLow);
+  EXPECT_EQ(RecommendAlgorithm(p, Objective::kLatency, {}),
+            AlgorithmId::kShjJm);
+
+  // Rovio (scaled): enormous key duplication classifies high.
+  const Workload rovio =
+      GenerateRealWorld({.which = RealWorkload::kRovio, .scale = 0.05});
+  const WorkloadProfile pr =
+      ProfileFromStats(ComputeStats(rovio.r), ComputeStats(rovio.s));
+  EXPECT_EQ(pr.key_duplication, Level::kHigh);
+}
+
+TEST(DecisionTree, HelpersExposeAlgorithmTaxonomy) {
+  EXPECT_TRUE(IsLazy(AlgorithmId::kNpj));
+  EXPECT_FALSE(IsLazy(AlgorithmId::kShjJm));
+  EXPECT_TRUE(IsSortBased(AlgorithmId::kMpass));
+  EXPECT_TRUE(IsSortBased(AlgorithmId::kPmjJb));
+  EXPECT_FALSE(IsSortBased(AlgorithmId::kPrj));
+  for (AlgorithmId id : kAllAlgorithms) {
+    EXPECT_FALSE(AlgorithmName(id).empty());
+  }
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,182 @@
+// Focused tests for the eager engine internals: PMJ run mechanics, SHJ
+// states, stalling behaviour, and the traced (cache-sim) variants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/datagen/micro.h"
+#include "src/join/pmj.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+#include "src/join/shj.h"
+
+namespace iawj {
+namespace {
+
+// Drives an EagerState directly with a synthetic clock and sink.
+struct StateHarness {
+  StateHarness() : clock(Clock::Mode::kInstant), sw(&profile) {
+    clock.Start();
+    sink.Bind(&clock);
+  }
+
+  Clock clock;
+  MatchSink sink;
+  PhaseProfile profile;
+  PhaseStopwatch sw;
+};
+
+TEST(PmjStateTest, SealsRunsAtDeltaAndFindsCrossRunMatches) {
+  StateHarness h;
+  EagerStateConfig config;
+  config.expected_r = 100;
+  config.expected_s = 100;
+  config.pmj_delta = 0.5;  // threshold = 100 tuples per run
+  PmjState<NullTracer> state(config, NullTracer{});
+
+  // 1st run: key 1 on R side only. 2nd run: key 1 on S side only.
+  // The match can only be found by the cross-run merge in Finish().
+  for (int i = 0; i < 100; ++i) {
+    state.OnR(Tuple{.ts = 0, .key = 1}, h.sink, h.sw);
+  }
+  EXPECT_EQ(state.num_runs(), 1u);
+  EXPECT_EQ(h.sink.count(), 0u);  // no S tuples yet
+
+  for (int i = 0; i < 100; ++i) {
+    state.OnS(Tuple{.ts = 0, .key = 1}, h.sink, h.sw);
+  }
+  EXPECT_EQ(state.num_runs(), 2u);
+  EXPECT_EQ(h.sink.count(), 0u);  // still: runs never met
+
+  state.Finish(h.sink, h.sw);
+  EXPECT_EQ(h.sink.count(), 100u * 100u);
+}
+
+TEST(PmjStateTest, IntraRunMatchesEmittedEagerly) {
+  StateHarness h;
+  EagerStateConfig config;
+  config.expected_r = 50;
+  config.expected_s = 50;
+  config.pmj_delta = 1.0;  // threshold = 100: everything is one run
+  PmjState<NullTracer> state(config, NullTracer{});
+  for (int i = 0; i < 50; ++i) {
+    state.OnR(Tuple{.ts = 0, .key = 9}, h.sink, h.sw);
+    state.OnS(Tuple{.ts = 0, .key = 9}, h.sink, h.sw);
+  }
+  // The 100th tuple triggers the seal, which merge-joins the run.
+  EXPECT_EQ(h.sink.count(), 50u * 50u);
+  state.Finish(h.sink, h.sw);
+  EXPECT_EQ(h.sink.count(), 50u * 50u);  // nothing double counted
+}
+
+TEST(PmjStateTest, TinyDeltaProducesManyRuns) {
+  StateHarness h;
+  EagerStateConfig config;
+  config.expected_r = 10000;
+  config.expected_s = 10000;
+  config.pmj_delta = 0.01;  // threshold = 200
+  PmjState<NullTracer> state(config, NullTracer{});
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Tuple t{.ts = 0, .key = static_cast<uint32_t>(rng.NextBounded(50))};
+    if (i % 2 == 0) {
+      state.OnR(t, h.sink, h.sw);
+    } else {
+      state.OnS(t, h.sink, h.sw);
+    }
+  }
+  state.Finish(h.sink, h.sw);
+  EXPECT_GE(state.num_runs(), 9u);
+}
+
+TEST(ShjStateTest, ValueAndPointerStatesAgree) {
+  Rng rng(2);
+  std::vector<Tuple> r(500), s(500);
+  for (auto& t : r) {
+    t = {.ts = static_cast<uint32_t>(rng.NextBounded(100)),
+         .key = static_cast<uint32_t>(rng.NextBounded(30))};
+  }
+  for (auto& t : s) {
+    t = {.ts = static_cast<uint32_t>(rng.NextBounded(100)),
+         .key = static_cast<uint32_t>(rng.NextBounded(30))};
+  }
+  const ReferenceResult expected = NestedLoopJoin(r, s);
+
+  EagerStateConfig config;
+  config.expected_r = r.size();
+  config.expected_s = s.size();
+
+  StateHarness hv;
+  ShjValueState<NullTracer> value_state(config, NullTracer{});
+  for (size_t i = 0; i < r.size(); ++i) {
+    value_state.OnR(r[i], hv.sink, hv.sw);
+    value_state.OnS(s[i], hv.sink, hv.sw);
+  }
+  EXPECT_EQ(hv.sink.count(), expected.matches);
+  EXPECT_EQ(hv.sink.checksum(), expected.checksum);
+
+  StateHarness hp;
+  ShjPointerState<NullTracer> pointer_state(config, NullTracer{});
+  for (size_t i = 0; i < r.size(); ++i) {
+    pointer_state.OnR(r[i], hp.sink, hp.sw);
+    pointer_state.OnS(s[i], hp.sink, hp.sw);
+  }
+  EXPECT_EQ(hp.sink.count(), expected.matches);
+  EXPECT_EQ(hp.sink.checksum(), expected.checksum);
+}
+
+TEST(EagerEngine, StallsWhenConsumingFasterThanArrival) {
+  // Slow trickle: the engine must accumulate wait time (paper §4.2.2: "the
+  // eager algorithms may still stall if they consume tuples faster than
+  // tuple arrival").
+  MicroSpec mspec;
+  mspec.rate_r = 2;
+  mspec.rate_s = 2;
+  mspec.window_ms = 60;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  JoinSpec spec;
+  spec.num_threads = 1;
+  spec.window_ms = 60;
+  spec.clock_mode = Clock::Mode::kRealTime;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kShjJm, w.r, w.s, spec);
+  EXPECT_GT(result.phases.GetNs(Phase::kWait), 10'000'000u);
+}
+
+TEST(TracedAlgorithms, ProduceSameResultsAndCountAccesses) {
+  MicroSpec mspec;
+  mspec.size_r = 2000;
+  mspec.size_s = 2000;
+  mspec.dupe = 5;
+  const MicroWorkload w = GenerateMicro(mspec);
+  const ReferenceResult expected = NestedLoopJoin(w.r.view(), w.s.view());
+
+  JoinSpec spec;
+  spec.num_threads = 2;
+  JoinRunner runner;
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(AlgorithmName(id));
+    std::vector<CacheSim> sims;
+    sims.reserve(spec.num_threads);
+    for (int t = 0; t < spec.num_threads; ++t) {
+      sims.push_back(CacheSim::XeonGold6126());
+    }
+    std::vector<CacheSim*> sim_ptrs;
+    for (auto& sim : sims) sim_ptrs.push_back(&sim);
+
+    auto traced = CreateTracedAlgorithm(id);
+    const RunResult result =
+        runner.RunWith(traced.get(), w.r, w.s, spec, sim_ptrs.data());
+    EXPECT_EQ(result.matches, expected.matches);
+    EXPECT_EQ(result.checksum, expected.checksum);
+
+    uint64_t accesses = 0;
+    for (const auto& sim : sims) accesses += sim.Total().accesses;
+    EXPECT_GT(accesses, w.r.size() + w.s.size());
+  }
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,67 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "src/common/flags.h"
+
+namespace iawj {
+namespace {
+
+FlagParser ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  FlagParser parser;
+  EXPECT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  return parser;
+}
+
+TEST(Flags, EqualsForm) {
+  FlagParser p = ParseOk({"--algo=npj", "--threads=8", "--delta=0.25"});
+  EXPECT_EQ(p.GetString("algo", ""), "npj");
+  EXPECT_EQ(p.GetInt("threads", 0), 8);
+  EXPECT_DOUBLE_EQ(p.GetDouble("delta", 0), 0.25);
+}
+
+TEST(Flags, SpaceForm) {
+  FlagParser p = ParseOk({"--algo", "mpass", "--threads", "2"});
+  EXPECT_EQ(p.GetString("algo", ""), "mpass");
+  EXPECT_EQ(p.GetInt("threads", 0), 2);
+}
+
+TEST(Flags, Booleans) {
+  FlagParser p = ParseOk({"--simd", "--no-realtime", "--verbose=false"});
+  EXPECT_TRUE(p.GetBool("simd", false));
+  EXPECT_FALSE(p.GetBool("realtime", true));
+  EXPECT_FALSE(p.GetBool("verbose", true));
+  EXPECT_TRUE(p.GetBool("absent", true));
+  EXPECT_FALSE(p.GetBool("absent2", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  FlagParser p = ParseOk({});
+  EXPECT_EQ(p.GetString("x", "fallback"), "fallback");
+  EXPECT_EQ(p.GetInt("y", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("z", 1.5), 1.5);
+}
+
+TEST(Flags, PositionalArguments) {
+  FlagParser p = ParseOk({"first", "--k=v", "second"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "first");
+  EXPECT_EQ(p.positional()[1], "second");
+}
+
+TEST(Flags, UnknownFlagsAreReported) {
+  FlagParser p = ParseOk({"--known=1", "--typo=2"});
+  (void)p.GetInt("known", 0);
+  const auto unknown = p.Unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Flags, BareDashDashIsError) {
+  const char* argv[] = {"prog", "--"};
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,100 @@
+// Tests for the handshake join extension (paper §6's scope-validation
+// algorithm): exact-once correctness across thread counts and workloads,
+// plus streaming behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/join/handshake.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+
+namespace iawj {
+namespace {
+
+std::vector<Tuple> RandomTuples(size_t n, uint32_t key_domain,
+                                uint32_t window_ms, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> tuples(n);
+  for (auto& t : tuples) {
+    t.key = static_cast<uint32_t>(rng.NextBounded(key_domain));
+    t.ts = static_cast<uint32_t>(rng.NextBounded(window_ms));
+  }
+  return tuples;
+}
+
+RunResult RunHandshake(const Stream& r, const Stream& s, int threads,
+                       Clock::Mode mode = Clock::Mode::kInstant,
+                       uint32_t window_ms = 1000) {
+  JoinSpec spec;
+  spec.num_threads = threads;
+  spec.window_ms = window_ms;
+  spec.clock_mode = mode;
+  auto algorithm = MakeHandshake();
+  JoinRunner runner;
+  return runner.RunWith(algorithm.get(), r, s, spec);
+}
+
+class HandshakeThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HandshakeThreadsTest, MatchesReferenceExactlyOnce) {
+  const int threads = GetParam();
+  struct Case {
+    size_t nr, ns;
+    uint32_t domain;
+    uint64_t seed;
+  };
+  for (const Case& c : std::vector<Case>{{400, 500, 60, 1},
+                                         {1000, 1000, 200, 2},
+                                         {50, 900, 10, 3},
+                                         {300, 300, 1, 4}}) {
+    SCOPED_TRACE(testing::Message() << c.nr << "x" << c.ns << " domain="
+                                    << c.domain);
+    const Stream r = MakeStream(RandomTuples(c.nr, c.domain, 1000, c.seed));
+    const Stream s =
+        MakeStream(RandomTuples(c.ns, c.domain, 1000, c.seed ^ 0xff));
+    const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
+    const RunResult result = RunHandshake(r, s, threads);
+    EXPECT_EQ(result.matches, expected.matches);
+    EXPECT_EQ(result.checksum, expected.checksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, HandshakeThreadsTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Handshake, EmptyInputs) {
+  const Stream empty;
+  const Stream r = MakeStream(RandomTuples(100, 10, 1000, 7));
+  EXPECT_EQ(RunHandshake(empty, empty, 2).matches, 0u);
+  EXPECT_EQ(RunHandshake(r, empty, 2).matches, 0u);
+  EXPECT_EQ(RunHandshake(empty, r, 2).matches, 0u);
+}
+
+TEST(Handshake, StreamingClockProducesSameMatches) {
+  const Stream r = MakeStream(RandomTuples(500, 40, 50, 8));
+  const Stream s = MakeStream(RandomTuples(500, 40, 50, 9));
+  const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
+  const RunResult result =
+      RunHandshake(r, s, 2, Clock::Mode::kRealTime, /*window_ms=*/50);
+  EXPECT_EQ(result.matches, expected.matches);
+  EXPECT_EQ(result.checksum, expected.checksum);
+}
+
+TEST(Handshake, IsDramaticallySlowerThanIaWJAlgorithms) {
+  // The §6 claim this extension exists to validate: per-hop state movement
+  // plus scan-based probing makes handshake orders of magnitude slower.
+  const Stream r = MakeStream(RandomTuples(4000, 4000, 1000, 10));
+  const Stream s = MakeStream(RandomTuples(4000, 4000, 1000, 11));
+  JoinSpec spec;
+  spec.num_threads = 2;
+  JoinRunner runner;
+  const RunResult npj = runner.Run(AlgorithmId::kNpj, r, s, spec);
+  const RunResult hs = RunHandshake(r, s, 2);
+  EXPECT_EQ(hs.matches, npj.matches);
+  EXPECT_GT(npj.throughput_per_ms, 10 * hs.throughput_per_ms);
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,176 @@
+// Unit tests for the hash substrate: hash functions, single-writer and
+// concurrent bucket-chain tables, pointer tables.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hash/bucket_chain.h"
+#include "src/hash/concurrent_table.h"
+#include "src/join/shj.h"
+#include "src/memory/tracker.h"
+
+namespace iawj {
+namespace {
+
+TEST(HashFn, BucketWithinRange) {
+  for (int bits : {1, 4, 10, 20}) {
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+      const uint32_t b =
+          HashToBucket(static_cast<uint32_t>(rng.Next()), bits);
+      EXPECT_LT(b, 1u << bits);
+    }
+  }
+  EXPECT_EQ(HashToBucket(12345, 0), 0u);
+}
+
+TEST(HashFn, Mix64Avalanches) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(1), 1u);
+  // Single-bit input flips change roughly half the output bits.
+  const int flipped = std::popcount(Mix64(0x1000) ^ Mix64(0x1001));
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(BucketBits, TargetsTwoTuplesPerBucket) {
+  EXPECT_GE(BucketBitsForTuples(1024), 9);   // >= 512 buckets
+  EXPECT_LE(BucketBitsForTuples(1024), 10);
+}
+
+template <typename Table>
+std::unordered_map<uint32_t, int> ProbeAll(const Table& table,
+                                           const std::vector<uint32_t>& keys) {
+  NullTracer tracer;
+  std::unordered_map<uint32_t, int> found;
+  for (uint32_t key : keys) {
+    table.Probe(
+        key, [&](const Tuple& t) { found[t.key]++; }, tracer);
+  }
+  return found;
+}
+
+TEST(BucketChainTable, InsertAndProbeWithDuplicates) {
+  mem::Reset();
+  {
+    BucketChainTable<> table(64);
+    NullTracer tracer;
+    for (uint32_t i = 0; i < 100; ++i) {
+      table.Insert(Tuple{.ts = i, .key = i % 10}, tracer);
+    }
+    EXPECT_EQ(table.size(), 100u);
+    int matches = 0;
+    uint64_t ts_sum = 0;
+    table.Probe(
+        3,
+        [&](Tuple t) {
+          ++matches;
+          EXPECT_EQ(t.key, 3u);
+          ts_sum += t.ts;
+        },
+        tracer);
+    EXPECT_EQ(matches, 10);  // keys 3, 13, ..., 93
+    EXPECT_EQ(ts_sum, 3u + 13 + 23 + 33 + 43 + 53 + 63 + 73 + 83 + 93);
+    // Missing key probes find nothing.
+    table.Probe(
+        999, [&](Tuple) { FAIL() << "unexpected match"; }, tracer);
+    EXPECT_GT(mem::CurrentBytes(), 0);
+  }
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+}
+
+TEST(BucketChainTable, GrowsBeyondEstimate) {
+  // All tuples share one key: one chain holding 100x the sizing estimate.
+  BucketChainTable<> table(16);
+  NullTracer tracer;
+  for (uint32_t i = 0; i < 50000; ++i) {
+    table.Insert(Tuple{.ts = i, .key = 7}, tracer);
+  }
+  int matches = 0;
+  table.Probe(
+      7, [&](Tuple) { ++matches; }, tracer);
+  EXPECT_EQ(matches, 50000);
+}
+
+TEST(ConcurrentTable, ParallelBuildFindsEverything) {
+  constexpr int kThreads = 8;
+  constexpr uint32_t kPerThread = 20000;
+  ConcurrentBucketChainTable<> table(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      NullTracer tracer;
+      for (uint32_t i = 0; i < kPerThread; ++i) {
+        const uint32_t key = (static_cast<uint32_t>(t) * kPerThread + i) % 997;
+        table.Insert(Tuple{.ts = i, .key = key}, tracer);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  NullTracer tracer;
+  uint64_t total = 0;
+  for (uint32_t key = 0; key < 997; ++key) {
+    table.Probe(
+        key, [&](Tuple) { ++total; }, tracer);
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ConcurrentTable, ContendedSingleKey) {
+  // Every thread hammers the same bucket: exercises latch + shared overflow.
+  constexpr int kThreads = 4;
+  constexpr uint32_t kPerThread = 10000;
+  ConcurrentBucketChainTable<> table(1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      NullTracer tracer;
+      for (uint32_t i = 0; i < kPerThread; ++i) {
+        table.Insert(Tuple{.ts = i, .key = 42}, tracer);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  NullTracer tracer;
+  uint64_t count = 0;
+  table.Probe(
+      42, [&](Tuple) { ++count; }, tracer);
+  EXPECT_EQ(count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(PointerTable, StoresReferencesNotCopies) {
+  std::vector<Tuple> storage(100);
+  for (uint32_t i = 0; i < 100; ++i) storage[i] = {.ts = i, .key = i % 5};
+  PointerBucketChainTable<> table(100);
+  NullTracer tracer;
+  for (const Tuple& t : storage) table.Insert(&t, tracer);
+  int matches = 0;
+  table.Probe(
+      2,
+      [&](const Tuple& t) {
+        ++matches;
+        // The matched object must be the original storage element.
+        EXPECT_GE(&t, storage.data());
+        EXPECT_LT(&t, storage.data() + storage.size());
+      },
+      tracer);
+  EXPECT_EQ(matches, 20);
+}
+
+TEST(Tables, MemoryAccountingScalesWithSize) {
+  mem::Reset();
+  const int64_t before = mem::CurrentBytes();
+  BucketChainTable<> small(1 << 8);
+  const int64_t small_bytes = mem::CurrentBytes() - before;
+  BucketChainTable<> large(1 << 16);
+  const int64_t large_bytes = mem::CurrentBytes() - before - small_bytes;
+  EXPECT_GT(large_bytes, 100 * small_bytes);
+}
+
+}  // namespace
+}  // namespace iawj

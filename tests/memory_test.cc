@@ -1,0 +1,75 @@
+// Unit tests for the memory tracker and tracked buffer.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/memory/tracker.h"
+
+namespace iawj {
+namespace {
+
+TEST(Tracker, AddPeakReset) {
+  mem::Reset();
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+  mem::Add(100);
+  mem::Add(50);
+  EXPECT_EQ(mem::CurrentBytes(), 150);
+  EXPECT_EQ(mem::PeakBytes(), 150);
+  mem::Add(-120);
+  EXPECT_EQ(mem::CurrentBytes(), 30);
+  EXPECT_EQ(mem::PeakBytes(), 150);
+  mem::Reset();
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+  EXPECT_EQ(mem::PeakBytes(), 0);
+}
+
+TEST(Tracker, ScopedBytesBalances) {
+  mem::Reset();
+  {
+    mem::ScopedBytes bytes(4096);
+    EXPECT_EQ(mem::CurrentBytes(), 4096);
+  }
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+  EXPECT_EQ(mem::PeakBytes(), 4096);
+}
+
+TEST(TrackedBuffer, TracksCapacityAndPreservesData) {
+  mem::Reset();
+  {
+    mem::TrackedBuffer<int> buf;
+    for (int i = 0; i < 10000; ++i) buf.PushBack(i);
+    EXPECT_EQ(buf.size(), 10000u);
+    for (int i = 0; i < 10000; ++i) ASSERT_EQ(buf[i], i);
+    EXPECT_GE(mem::CurrentBytes(),
+              static_cast<int64_t>(10000 * sizeof(int)));
+  }
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+}
+
+TEST(TrackedBuffer, MoveTransfersOwnership) {
+  mem::Reset();
+  mem::TrackedBuffer<int> a(128);
+  a[0] = 7;
+  const int64_t tracked = mem::CurrentBytes();
+  EXPECT_GT(tracked, 0);
+  mem::TrackedBuffer<int> b(std::move(a));
+  EXPECT_EQ(mem::CurrentBytes(), tracked);  // no double count
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(b.size(), 128u);
+  b = mem::TrackedBuffer<int>();
+  EXPECT_EQ(mem::CurrentBytes(), 0);
+}
+
+TEST(TrackedBuffer, ResizeAndClear) {
+  mem::Reset();
+  mem::TrackedBuffer<double> buf;
+  buf.Resize(64);
+  EXPECT_EQ(buf.size(), 64u);
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  // Clearing keeps capacity (and its accounting).
+  EXPECT_GT(mem::CurrentBytes(), 0);
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,141 @@
+// Unit and property tests for the partition substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/partition/radix.h"
+#include "src/partition/range.h"
+#include "src/sort/avxsort.h"
+
+namespace iawj {
+namespace {
+
+std::vector<Tuple> RandomTuples(size_t n, uint32_t key_domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> v(n);
+  for (auto& t : v) {
+    t.key = static_cast<uint32_t>(rng.NextBounded(key_domain));
+    t.ts = static_cast<uint32_t>(rng.NextBounded(1000));
+  }
+  return v;
+}
+
+TEST(RadixHistogram, CountsEveryTuple) {
+  const auto input = RandomTuples(10000, 1 << 16, 1);
+  const int bits = 6;
+  std::vector<uint64_t> hist(1 << bits, 0);
+  RadixHistogram(input.data(), input.size(), bits, hist.data());
+  uint64_t total = 0;
+  for (auto h : hist) total += h;
+  EXPECT_EQ(total, input.size());
+}
+
+TEST(RadixPartition, OutputIsPermutationAndPartitionPure) {
+  const auto input = RandomTuples(20000, 1 << 16, 2);
+  const int bits = 8;
+  std::vector<Tuple> out(input.size());
+  std::vector<uint64_t> offsets;
+  NullTracer tracer;
+  RadixPartitionSingle(input.data(), input.size(), bits, out.data(), &offsets,
+                       tracer);
+
+  ASSERT_EQ(offsets.size(), (1u << bits) + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), input.size());
+
+  // Partition purity: every tuple in partition p has radix p.
+  for (size_t p = 0; p < (1u << bits); ++p) {
+    for (uint64_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      EXPECT_EQ(RadixOf(out[i].key, bits), p);
+    }
+  }
+
+  // Permutation: multisets of (key, ts) match.
+  auto canon = [](std::vector<Tuple> v) {
+    std::vector<uint64_t> packed(v.size());
+    for (size_t i = 0; i < v.size(); ++i) packed[i] = PackTuple(v[i]);
+    std::sort(packed.begin(), packed.end());
+    return packed;
+  };
+  EXPECT_EQ(canon(out), canon(input));
+}
+
+TEST(RadixPartition, SkewedKeysCollapseIntoFewPartitions) {
+  // All keys equal: exactly one non-empty partition (PRJ's skew hazard).
+  std::vector<Tuple> input(1000, Tuple{.ts = 0, .key = 12345});
+  const int bits = 10;
+  std::vector<Tuple> out(input.size());
+  std::vector<uint64_t> offsets;
+  NullTracer tracer;
+  RadixPartitionSingle(input.data(), input.size(), bits, out.data(), &offsets,
+                       tracer);
+  int non_empty = 0;
+  for (size_t p = 0; p < (1u << bits); ++p) {
+    if (offsets[p + 1] > offsets[p]) ++non_empty;
+  }
+  EXPECT_EQ(non_empty, 1);
+}
+
+TEST(ChunkForThread, CoversWithoutOverlap) {
+  for (size_t n : {0, 1, 7, 100, 101}) {
+    for (int threads : {1, 2, 3, 8}) {
+      size_t covered = 0;
+      size_t prev_end = 0;
+      for (int t = 0; t < threads; ++t) {
+        const ChunkRange c = ChunkForThread(n, t, threads);
+        EXPECT_EQ(c.begin, prev_end);
+        covered += c.size();
+        prev_end = c.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(LowerBoundKeyFn, FindsFirstOfKey) {
+  std::vector<uint64_t> sorted = {
+      PackTuple({.ts = 0, .key = 1}), PackTuple({.ts = 1, .key = 1}),
+      PackTuple({.ts = 0, .key = 5}), PackTuple({.ts = 0, .key = 9})};
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 0), 0u);
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 1), 0u);
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 2), 2u);
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 5), 2u);
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 9), 3u);
+  EXPECT_EQ(LowerBoundKey(sorted.data(), sorted.size(), 10), 4u);
+}
+
+TEST(KeyAlignedSplitsFn, NeverSplitsDuplicateRuns) {
+  auto tuples = RandomTuples(5000, 40, 3);  // heavy duplication
+  std::vector<uint64_t> packed(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) packed[i] = PackTuple(tuples[i]);
+  std::sort(packed.begin(), packed.end());
+
+  for (int parts : {1, 2, 3, 7, 16}) {
+    const auto splits = KeyAlignedSplits(packed.data(), packed.size(), parts);
+    ASSERT_EQ(splits.size(), static_cast<size_t>(parts) + 1);
+    EXPECT_EQ(splits.front(), 0u);
+    EXPECT_EQ(splits.back(), packed.size());
+    for (int p = 1; p < parts; ++p) {
+      EXPECT_LE(splits[p - 1], splits[p]);
+      const size_t pos = splits[p];
+      if (pos > 0 && pos < packed.size()) {
+        EXPECT_NE(PackedKey(packed[pos]), PackedKey(packed[pos - 1]))
+            << "split lands inside a duplicate-key run";
+      }
+    }
+  }
+}
+
+TEST(KeyAlignedSplitsFn, AllSameKeyDegeneratesToOnePart) {
+  std::vector<uint64_t> packed(100, PackTuple({.ts = 0, .key = 7}));
+  const auto splits = KeyAlignedSplits(packed.data(), packed.size(), 4);
+  // All middle boundaries collapse to n.
+  for (int p = 1; p <= 4; ++p) EXPECT_EQ(splits[p], packed.size());
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,78 @@
+// Tests for the nested-loop oracle itself (verified against a literal
+// quadratic loop) and for checksum properties the cross-algorithm tests
+// depend on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/hash/hash_fn.h"
+#include "src/join/reference.h"
+
+namespace iawj {
+namespace {
+
+ReferenceResult BruteForce(const std::vector<Tuple>& r,
+                           const std::vector<Tuple>& s) {
+  ReferenceResult result;
+  for (const Tuple& a : r) {
+    for (const Tuple& b : s) {
+      if (a.key != b.key) continue;
+      ++result.matches;
+      result.checksum +=
+          Mix64((static_cast<uint64_t>(a.key) << 32) ^
+                Mix64((static_cast<uint64_t>(a.ts) << 32) | b.ts));
+    }
+  }
+  return result;
+}
+
+TEST(Reference, MatchesBruteForce) {
+  Rng rng(1);
+  std::vector<Tuple> r(200), s(300);
+  for (auto& t : r) {
+    t = {.ts = static_cast<uint32_t>(rng.NextBounded(100)),
+         .key = static_cast<uint32_t>(rng.NextBounded(40))};
+  }
+  for (auto& t : s) {
+    t = {.ts = static_cast<uint32_t>(rng.NextBounded(100)),
+         .key = static_cast<uint32_t>(rng.NextBounded(40))};
+  }
+  const ReferenceResult expected = BruteForce(r, s);
+  const ReferenceResult actual = NestedLoopJoin(r, s);
+  EXPECT_EQ(actual.matches, expected.matches);
+  EXPECT_EQ(actual.checksum, expected.checksum);
+  EXPECT_GT(actual.matches, 0u);
+}
+
+TEST(Reference, EmptyInputs) {
+  EXPECT_EQ(NestedLoopJoin({}, {}).matches, 0u);
+  std::vector<Tuple> r = {{.ts = 0, .key = 1}};
+  EXPECT_EQ(NestedLoopJoin(r, {}).matches, 0u);
+  EXPECT_EQ(NestedLoopJoin({}, r).matches, 0u);
+}
+
+TEST(Reference, ChecksumIsOrderInsensitive) {
+  std::vector<Tuple> r = {{.ts = 1, .key = 7}, {.ts = 2, .key = 7}};
+  std::vector<Tuple> s = {{.ts = 3, .key = 7}};
+  std::vector<Tuple> r_rev(r.rbegin(), r.rend());
+  EXPECT_EQ(NestedLoopJoin(r, s).checksum, NestedLoopJoin(r_rev, s).checksum);
+}
+
+TEST(Reference, ChecksumDistinguishesTsRoles) {
+  // (r_ts=1, s_ts=2) must differ from (r_ts=2, s_ts=1).
+  std::vector<Tuple> r1 = {{.ts = 1, .key = 7}};
+  std::vector<Tuple> s1 = {{.ts = 2, .key = 7}};
+  std::vector<Tuple> r2 = {{.ts = 2, .key = 7}};
+  std::vector<Tuple> s2 = {{.ts = 1, .key = 7}};
+  EXPECT_NE(NestedLoopJoin(r1, s1).checksum, NestedLoopJoin(r2, s2).checksum);
+}
+
+TEST(Reference, CountsCrossProductPerKey) {
+  std::vector<Tuple> r(5, Tuple{.ts = 0, .key = 3});
+  std::vector<Tuple> s(7, Tuple{.ts = 0, .key = 3});
+  EXPECT_EQ(NestedLoopJoin(r, s).matches, 35u);
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,73 @@
+// Tests for the report module: tables, CSV emission, gnuplot scripts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/report/report.h"
+
+namespace iawj {
+namespace {
+
+report::Table SampleTable() {
+  report::Table table({"rate", "algo", "tput"});
+  table.AddRow({"1600", "NPJ", "158.7"});
+  table.AddRow({"1600", "SHJ-JM", "160.4"});
+  table.AddRow({"3200", "NPJ", "306.8"});
+  table.AddRow({"3200", "SHJ-JM", "320.6"});
+  return table;
+}
+
+TEST(ReportTable, TextAlignsColumns) {
+  const std::string text = SampleTable().ToText();
+  // Header plus 4 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+  EXPECT_NE(text.find("rate"), std::string::npos);
+  EXPECT_NE(text.find("SHJ-JM"), std::string::npos);
+}
+
+TEST(ReportTable, CsvRoundTripStructure) {
+  const std::string csv = SampleTable().ToCsv();
+  EXPECT_EQ(csv.rfind("rate,algo,tput\n", 0), 0u);
+  EXPECT_NE(csv.find("3200,SHJ-JM,320.6\n"), std::string::npos);
+}
+
+TEST(ReportTable, CsvEscapesSpecialCells) {
+  report::Table table({"a", "b"});
+  table.AddRow({"x,y", "he said \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ReportTable, NumFormatsPrecision) {
+  EXPECT_EQ(report::Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(report::Table::Num(1000, 0), "1000");
+}
+
+TEST(ReportTable, WriteCsvCreatesFile) {
+  const std::string path = testing::TempDir() + "/iawj_report_test.csv";
+  ASSERT_TRUE(SampleTable().WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(in, first_line));
+  EXPECT_EQ(first_line, "rate,algo,tput");
+  std::remove(path.c_str());
+}
+
+TEST(ReportTable, WriteCsvFailsOnBadPath) {
+  EXPECT_FALSE(SampleTable().WriteCsv("/nonexistent-dir/x.csv").ok());
+}
+
+TEST(Gnuplot, EmitsOneSeriesPerDistinctValue) {
+  const report::Table table = SampleTable();
+  const std::string script =
+      report::GnuplotScript("fig9", table, "rate", "algo", "tput");
+  EXPECT_NE(script.find("title 'NPJ'"), std::string::npos);
+  EXPECT_NE(script.find("title 'SHJ-JM'"), std::string::npos);
+  EXPECT_NE(script.find("'fig9.csv'"), std::string::npos);
+  EXPECT_NE(script.find("set xlabel 'rate'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iawj

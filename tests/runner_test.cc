@@ -1,0 +1,198 @@
+// Tests for the runner and its metric collection: throughput/latency/
+// progressiveness semantics, phase breakdowns, real-time clock behaviour,
+// spec validation.
+#include <gtest/gtest.h>
+
+#include "src/datagen/micro.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+
+namespace iawj {
+namespace {
+
+MicroWorkload SmallWorkload() {
+  MicroSpec spec;
+  spec.size_r = 4000;
+  spec.size_s = 4000;
+  spec.window_ms = 100;
+  spec.dupe = 4;
+  spec.seed = 5;
+  return GenerateMicro(spec);
+}
+
+TEST(Runner, MetricsAreInternallyConsistent) {
+  const MicroWorkload w = SmallWorkload();
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  JoinRunner runner;
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(AlgorithmName(id));
+    const RunResult result = runner.Run(id, w.r, w.s, spec);
+    EXPECT_EQ(result.algorithm, AlgorithmName(id));
+    EXPECT_GT(result.matches, 0u);
+    EXPECT_EQ(result.progress.total(), result.matches);
+    EXPECT_EQ(result.latency.count(), result.matches);
+    EXPECT_GT(result.throughput_per_ms, 0);
+    EXPECT_GT(result.elapsed_ms, 0);
+    EXPECT_GE(result.elapsed_ms, result.last_match_ms);
+    EXPECT_LE(result.p95_latency_ms,
+              result.latency.QuantileMs(1.0) + 1e-9);
+    EXPECT_GE(result.p95_latency_ms, result.latency.QuantileMs(0.5) - 1e-9);
+    EXPECT_GT(result.phases.TotalNs(), 0u);
+    EXPECT_GT(result.peak_tracked_bytes, 0);
+  }
+}
+
+TEST(Runner, ThroughputDefinitionInputsOverLastMatch) {
+  const MicroWorkload w = SmallWorkload();
+  JoinSpec spec;
+  spec.num_threads = 1;
+  spec.window_ms = 100;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  EXPECT_NEAR(result.throughput_per_ms,
+              static_cast<double>(result.inputs) / result.last_match_ms,
+              1e-6);
+}
+
+TEST(Runner, LazyAlgorithmsWaitForWindowInRealTime) {
+  MicroSpec mspec;
+  mspec.rate_r = 20;
+  mspec.rate_s = 20;
+  mspec.window_ms = 50;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 50;
+  spec.clock_mode = Clock::Mode::kRealTime;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  // The lazy join cannot finish before the window closes...
+  EXPECT_GE(result.last_match_ms, 48.0);
+  // ...and its workers spend that time in the wait phase.
+  EXPECT_GT(result.phases.GetNs(Phase::kWait), 40'000'000u);
+}
+
+TEST(Runner, EagerDeliversMatchesBeforeWindowCloses) {
+  MicroSpec mspec;
+  mspec.rate_r = 50;
+  mspec.rate_s = 50;
+  mspec.window_ms = 60;
+  mspec.dupe = 5;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 60;
+  spec.clock_mode = Clock::Mode::kRealTime;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kShjJm, w.r, w.s, spec);
+  ASSERT_GT(result.matches, 0u);
+  // SHJ produces its first matches long before the window closes.
+  EXPECT_LT(result.progress.TimeToFractionMs(0.05), 55.0);
+}
+
+TEST(Runner, RealTimeAndInstantProduceSameMatches) {
+  MicroSpec mspec;
+  mspec.rate_r = 100;
+  mspec.rate_s = 100;
+  mspec.window_ms = 40;
+  mspec.dupe = 3;
+  const MicroWorkload w = GenerateMicro(mspec);
+  const ReferenceResult expected = NestedLoopJoin(w.r.view(), w.s.view());
+
+  JoinRunner runner;
+  for (AlgorithmId id : {AlgorithmId::kNpj, AlgorithmId::kShjJm,
+                         AlgorithmId::kPmjJb, AlgorithmId::kMpass}) {
+    SCOPED_TRACE(AlgorithmName(id));
+    for (Clock::Mode mode :
+         {Clock::Mode::kInstant, Clock::Mode::kRealTime}) {
+      JoinSpec spec;
+      spec.num_threads = 2;
+      spec.window_ms = 40;
+      spec.clock_mode = mode;
+      const RunResult result = runner.Run(id, w.r, w.s, spec);
+      EXPECT_EQ(result.matches, expected.matches);
+      EXPECT_EQ(result.checksum, expected.checksum);
+    }
+  }
+}
+
+TEST(Runner, TimeScaleAcceleratesStreams) {
+  MicroSpec mspec;
+  mspec.rate_r = 20;
+  mspec.rate_s = 20;
+  mspec.window_ms = 200;
+  const MicroWorkload w = GenerateMicro(mspec);
+
+  JoinSpec spec;
+  spec.num_threads = 1;
+  spec.window_ms = 200;
+  spec.clock_mode = Clock::Mode::kRealTime;
+  spec.time_scale = 10.0;  // 200 stream-ms in ~20 wall-ms
+  JoinRunner runner;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  EXPECT_GE(result.last_match_ms, 190.0);  // stream time still ~window
+  EXPECT_LT(wall_ms, 150.0);               // but wall time compressed
+}
+
+TEST(Runner, ValidateRejectsBadSpecs) {
+  JoinSpec spec;
+  spec.num_threads = 0;
+  EXPECT_FALSE(spec.Validate(AlgorithmId::kNpj).ok());
+  spec = JoinSpec{};
+  spec.radix_bits = 0;
+  EXPECT_FALSE(spec.Validate(AlgorithmId::kPrj).ok());
+  EXPECT_TRUE(spec.Validate(AlgorithmId::kNpj).ok());
+  spec = JoinSpec{};
+  spec.pmj_delta = 0;
+  EXPECT_FALSE(spec.Validate(AlgorithmId::kPmjJm).ok());
+  spec = JoinSpec{};
+  spec.num_threads = 4;
+  spec.jb_group_size = 3;
+  EXPECT_FALSE(spec.Validate(AlgorithmId::kShjJb).ok());
+  EXPECT_TRUE(spec.Validate(AlgorithmId::kShjJm).ok());
+}
+
+TEST(Runner, PhaseBreakdownReflectsAlgorithmStructure) {
+  const MicroWorkload w = SmallWorkload();
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  JoinRunner runner;
+
+  const RunResult npj = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  EXPECT_GT(npj.phases.GetNs(Phase::kBuild), 0u);
+  EXPECT_GT(npj.phases.GetNs(Phase::kProbe), 0u);
+  EXPECT_EQ(npj.phases.GetNs(Phase::kSort), 0u);
+
+  const RunResult mway = runner.Run(AlgorithmId::kMway, w.r, w.s, spec);
+  EXPECT_GT(mway.phases.GetNs(Phase::kSort), 0u);
+  EXPECT_GT(mway.phases.GetNs(Phase::kMerge), 0u);
+
+  const RunResult prj = runner.Run(AlgorithmId::kPrj, w.r, w.s, spec);
+  EXPECT_GT(prj.phases.GetNs(Phase::kPartition), 0u);
+
+  const RunResult shj = runner.Run(AlgorithmId::kShjJm, w.r, w.s, spec);
+  EXPECT_GT(shj.phases.GetNs(Phase::kPartition), 0u);
+  EXPECT_GT(shj.phases.GetNs(Phase::kBuild), 0u);
+  EXPECT_GT(shj.phases.GetNs(Phase::kProbe), 0u);
+}
+
+TEST(Runner, WorkPerInputExcludesWait) {
+  RunResult r;
+  r.inputs = 100;
+  r.phases.AddNs(Phase::kWait, 10000);
+  r.phases.AddNs(Phase::kProbe, 500);
+  EXPECT_DOUBLE_EQ(r.WorkNsPerInput(), 5.0);
+}
+
+}  // namespace
+}  // namespace iawj

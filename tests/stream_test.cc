@@ -1,0 +1,165 @@
+// Unit and property tests for streams, statistics, and the JM/JB
+// distribution schemes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stream/distribution.h"
+#include "src/stream/stream.h"
+
+namespace iawj {
+namespace {
+
+TEST(Stream, MakeStreamSortsByTimestamp) {
+  Stream s = MakeStream({{.ts = 50, .key = 1},
+                         {.ts = 10, .key = 2},
+                         {.ts = 30, .key = 3}});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.tuples[0].ts, 10u);
+  EXPECT_EQ(s.tuples[1].ts, 30u);
+  EXPECT_EQ(s.tuples[2].ts, 50u);
+  EXPECT_EQ(s.MaxTs(), 50u);
+}
+
+TEST(Stream, StatsComputeRateAndDuplication) {
+  std::vector<Tuple> tuples;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tuples.push_back({.ts = i % 100, .key = i % 50});
+  }
+  const Stream s = MakeStream(std::move(tuples));
+  const StreamStats stats = ComputeStats(s);
+  EXPECT_EQ(stats.num_tuples, 1000u);
+  EXPECT_EQ(stats.unique_keys, 50u);
+  EXPECT_DOUBLE_EQ(stats.avg_duplicates_per_key, 20.0);
+  EXPECT_NEAR(stats.arrival_rate_per_ms, 10.0, 0.2);  // 1000 tuples / 100ms
+  EXPECT_FALSE(FormatStats(stats).empty());
+}
+
+TEST(Stream, ZipfEstimateSeparatesSkewedFromUniform) {
+  Rng rng(1);
+  std::vector<Tuple> uniform, skewed;
+  for (int i = 0; i < 20000; ++i) {
+    uniform.push_back(
+        {.ts = 0, .key = static_cast<uint32_t>(rng.NextBounded(1000))});
+    // Crude zipf-ish skew: key k with probability ~ 1/(k+1).
+    uint32_t k = 0;
+    while (k < 999 && rng.NextDouble() > 1.0 / (k + 2)) ++k;
+    skewed.push_back({.ts = 0, .key = k});
+  }
+  const StreamStats u = ComputeStats(MakeStream(std::move(uniform)));
+  const StreamStats z = ComputeStats(MakeStream(std::move(skewed)));
+  EXPECT_LT(u.key_zipf_estimate, 0.3);
+  EXPECT_GT(z.key_zipf_estimate, u.key_zipf_estimate);
+}
+
+TEST(Stream, EmptyStreamStats) {
+  const StreamStats stats = ComputeStats(Stream{});
+  EXPECT_EQ(stats.num_tuples, 0u);
+  EXPECT_EQ(stats.unique_keys, 0u);
+}
+
+// The load-bearing invariant of eager parallelization: for every pair
+// (r, s), exactly one worker processes both tuples — so every match is
+// found exactly once regardless of scheme, thread count, or group size.
+TEST(Distribution, ExactlyOneWorkerOwnsEveryPair) {
+  Rng rng(2);
+  std::vector<Tuple> r_tuples(200), s_tuples(300);
+  for (auto& t : r_tuples) {
+    t = {.ts = 0, .key = static_cast<uint32_t>(rng.NextBounded(50))};
+  }
+  for (auto& t : s_tuples) {
+    t = {.ts = 0, .key = static_cast<uint32_t>(rng.NextBounded(50))};
+  }
+
+  struct Config {
+    DistributionScheme scheme;
+    int threads;
+    int group;
+  };
+  std::vector<Config> configs = {
+      {DistributionScheme::kJoinMatrix, 1, 1},
+      {DistributionScheme::kJoinMatrix, 4, 1},
+      {DistributionScheme::kJoinMatrix, 7, 1},
+      {DistributionScheme::kJoinBiclique, 4, 1},
+      {DistributionScheme::kJoinBiclique, 4, 2},
+      {DistributionScheme::kJoinBiclique, 4, 4},
+      {DistributionScheme::kJoinBiclique, 8, 2},
+      {DistributionScheme::kJoinBiclique, 6, 3},
+  };
+  for (const Config& cfg : configs) {
+    SCOPED_TRACE(testing::Message()
+                 << "scheme=" << static_cast<int>(cfg.scheme)
+                 << " T=" << cfg.threads << " g=" << cfg.group);
+    Distribution dist(cfg.scheme, cfg.threads, cfg.group);
+    for (size_t i = 0; i < r_tuples.size(); i += 17) {
+      for (size_t j = 0; j < s_tuples.size(); j += 13) {
+        if (r_tuples[i].key != s_tuples[j].key) continue;
+        int owners = 0;
+        for (int t = 0; t < cfg.threads; ++t) {
+          if (dist.OwnsR(t, r_tuples[i], i) && dist.OwnsS(t, s_tuples[j], j)) {
+            ++owners;
+          }
+        }
+        EXPECT_EQ(owners, 1);
+      }
+    }
+  }
+}
+
+TEST(Distribution, JmReplicatesRAndPartitionsS) {
+  Distribution dist(DistributionScheme::kJoinMatrix, 4, 1);
+  const Tuple t{.ts = 0, .key = 5};
+  for (int w = 0; w < 4; ++w) EXPECT_TRUE(dist.OwnsR(w, t, 0));
+  int s_owners = 0;
+  for (int w = 0; w < 4; ++w) s_owners += dist.OwnsS(w, t, 11);
+  EXPECT_EQ(s_owners, 1);
+}
+
+TEST(Distribution, JbGroupOneIsStrictHashPartitioning) {
+  Distribution dist(DistributionScheme::kJoinBiclique, 4, 1);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Tuple t{.ts = 0, .key = static_cast<uint32_t>(rng.Next())};
+    int r_owners = 0, s_owners = 0;
+    int r_owner = -1, s_owner = -1;
+    for (int w = 0; w < 4; ++w) {
+      if (dist.OwnsR(w, t, i)) {
+        ++r_owners;
+        r_owner = w;
+      }
+      if (dist.OwnsS(w, t, i)) {
+        ++s_owners;
+        s_owner = w;
+      }
+    }
+    // With g=1, both sides of a key hash to the same single worker.
+    EXPECT_EQ(r_owners, 1);
+    EXPECT_EQ(s_owners, 1);
+    EXPECT_EQ(r_owner, s_owner);
+  }
+}
+
+TEST(Distribution, JbGroupTMatchesJmShape) {
+  // g == T: one group; R replicated everywhere, S partitioned.
+  Distribution dist(DistributionScheme::kJoinBiclique, 4, 4);
+  const Tuple t{.ts = 0, .key = 123};
+  for (int w = 0; w < 4; ++w) EXPECT_TRUE(dist.OwnsR(w, t, 0));
+  int s_owners = 0;
+  for (int w = 0; w < 4; ++w) s_owners += dist.OwnsS(w, t, 5);
+  EXPECT_EQ(s_owners, 1);
+}
+
+TEST(Distribution, ValidateRejectsBadConfigs) {
+  EXPECT_FALSE(
+      Distribution::Validate(DistributionScheme::kJoinBiclique, 4, 3).ok());
+  EXPECT_FALSE(
+      Distribution::Validate(DistributionScheme::kJoinBiclique, 4, 0).ok());
+  EXPECT_FALSE(
+      Distribution::Validate(DistributionScheme::kJoinMatrix, 0, 1).ok());
+  EXPECT_TRUE(
+      Distribution::Validate(DistributionScheme::kJoinBiclique, 8, 4).ok());
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,114 @@
+// Randomized stress sweeps: many seeds x shapes through the full stack,
+// oversubscribed thread counts, and repeated runs on one algorithm instance
+// boundary (fresh instances, shared process state like the memory tracker).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/datagen/micro.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+#include "src/memory/tracker.h"
+
+namespace iawj {
+namespace {
+
+// Each instance draws a random workload shape from its seed and checks all
+// eight algorithms against the oracle.
+class RandomWorkloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomWorkloadSweep, AllAlgorithmsAgreeWithOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  MicroSpec mspec;
+  mspec.size_r = 500 + rng.NextBounded(4000);
+  mspec.size_s = 500 + rng.NextBounded(4000);
+  mspec.window_ms = 1000;
+  mspec.dupe = 1.0 + static_cast<double>(rng.NextBounded(40));
+  mspec.zipf_key = rng.NextBounded(2) == 0 ? 0.0 : rng.NextDouble() * 1.2;
+  mspec.zipf_ts = rng.NextBounded(2) == 0 ? 0.0 : rng.NextDouble();
+  mspec.seed = rng.Next();
+  const MicroWorkload w = GenerateMicro(mspec);
+  const ReferenceResult expected = NestedLoopJoin(w.r.view(), w.s.view());
+
+  JoinSpec spec;
+  spec.num_threads = 1 + static_cast<int>(rng.NextBounded(8));
+  spec.jb_group_size = 1;  // divides every thread count
+  spec.radix_bits = 2 + static_cast<int>(rng.NextBounded(12));
+  spec.radix_passes = 1 + static_cast<int>(rng.NextBounded(2));
+  spec.pmj_delta = 0.05 + rng.NextDouble() * 0.9;
+  spec.use_simd = rng.NextBounded(2) == 0;
+  spec.eager_physical_partition = rng.NextBounded(2) == 0;
+  spec.hash_table_kind = rng.NextBounded(2) == 0
+                             ? HashTableKind::kBucketChain
+                             : HashTableKind::kLinearProbe;
+
+  JoinRunner runner;
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(testing::Message()
+                 << AlgorithmName(id) << " threads=" << spec.num_threads
+                 << " nr=" << mspec.size_r << " ns=" << mspec.size_s
+                 << " dupe=" << mspec.dupe);
+    const RunResult result = runner.Run(id, w.r, w.s, spec);
+    ASSERT_EQ(result.matches, expected.matches);
+    ASSERT_EQ(result.checksum, expected.checksum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadSweep, ::testing::Range(0, 12));
+
+TEST(Stress, RepeatedRunsLeaveNoTrackedMemoryBehind) {
+  MicroSpec mspec;
+  mspec.size_r = mspec.size_s = 2000;
+  mspec.window_ms = 500;
+  mspec.dupe = 5;
+  const MicroWorkload w = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 500;
+  JoinRunner runner;
+  for (int round = 0; round < 3; ++round) {
+    for (AlgorithmId id : kAllAlgorithms) {
+      (void)runner.Run(id, w.r, w.s, spec);
+      // All per-run structures must have been released.
+      EXPECT_EQ(mem::CurrentBytes(), 0)
+          << AlgorithmName(id) << " round " << round;
+    }
+  }
+}
+
+TEST(Stress, ManyThreadsOnTinyInputs) {
+  // More workers than tuples: chunking, barriers, and the distribution
+  // schemes must all tolerate empty shares.
+  const Stream r = MakeStream({{.ts = 1, .key = 5}, {.ts = 2, .key = 6}});
+  const Stream s = MakeStream({{.ts = 3, .key = 5}, {.ts = 4, .key = 6}});
+  const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
+  JoinSpec spec;
+  spec.num_threads = 16;
+  spec.jb_group_size = 4;
+  JoinRunner runner;
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(AlgorithmName(id));
+    const RunResult result = runner.Run(id, r, s, spec);
+    EXPECT_EQ(result.matches, expected.matches);
+    EXPECT_EQ(result.checksum, expected.checksum);
+  }
+}
+
+TEST(Stress, WindowBoundaryTimestamps) {
+  // Tuples exactly at the window boundary are excluded; ts==window-1 is in.
+  const uint32_t w = 100;
+  const Stream r = MakeStream(
+      {{.ts = 0, .key = 1}, {.ts = w - 1, .key = 1}, {.ts = w, .key = 1}});
+  const Stream s = MakeStream({{.ts = 50, .key = 1}});
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = w;
+  JoinRunner runner;
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(AlgorithmName(id));
+    const RunResult result = runner.Run(id, r, s, spec);
+    EXPECT_EQ(result.matches, 2u);  // ts=0 and ts=99 join; ts=100 excluded
+  }
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,201 @@
+// iawj_cli — run any IaWJ algorithm over any workload from the shell.
+//
+// Examples:
+//   iawj_cli --algo=shj-jm --workload=micro --rate=1600 --window=1000
+//   iawj_cli --algo=adaptive --objective=latency --workload=rovio --scale=0.01
+//   iawj_cli --algo=mpass --workload=file --r=trades.csv --s=quotes.csv
+//   iawj_cli --algo=npj --workload=micro --windows=4       # tumbling windows
+//
+// Prints the run's metrics; --csv=<path> additionally writes them as CSV.
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/datagen/micro.h"
+#include "src/datagen/real_world.h"
+#include "src/io/workload_io.h"
+#include "src/join/adaptive.h"
+#include "src/join/runner.h"
+#include "src/join/window_pipeline.h"
+#include "src/report/report.h"
+
+namespace iawj {
+namespace {
+
+bool ParseAlgorithm(const std::string& name, AlgorithmId* id) {
+  for (AlgorithmId candidate : kAllAlgorithms) {
+    std::string label(AlgorithmName(candidate));
+    for (auto& c : label) c = static_cast<char>(std::tolower(c));
+    if (label == name) {
+      *id = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status.ToString());
+  }
+
+  // --- Workload ---
+  const std::string workload = flags.GetString("workload", "micro");
+  const auto window_ms =
+      static_cast<uint32_t>(flags.GetInt("window", 1000));
+  Stream r, s;
+  std::string workload_name = workload;
+  if (workload == "micro") {
+    MicroSpec spec;
+    spec.rate_r = static_cast<uint64_t>(flags.GetInt("rate", 1600));
+    spec.rate_s = static_cast<uint64_t>(flags.GetInt("rate-s", 0));
+    if (spec.rate_s == 0) spec.rate_s = spec.rate_r;
+    spec.window_ms = window_ms;
+    spec.dupe = flags.GetDouble("dupe", 1.0);
+    spec.zipf_key = flags.GetDouble("zipf-key", 0.0);
+    spec.zipf_ts = flags.GetDouble("zipf-ts", 0.0);
+    spec.size_r = static_cast<uint64_t>(flags.GetInt("size-r", 0));
+    spec.size_s = static_cast<uint64_t>(flags.GetInt("size-s", 0));
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    MicroWorkload micro = GenerateMicro(spec);
+    r = std::move(micro.r);
+    s = std::move(micro.s);
+  } else if (workload == "file") {
+    const std::string r_path = flags.GetString("r", "");
+    const std::string s_path = flags.GetString("s", "");
+    if (r_path.empty() || s_path.empty()) {
+      return Fail("--workload=file needs --r=<path> and --s=<path>");
+    }
+    const auto load = [&](const std::string& path, Stream* out) {
+      return path.size() > 4 && path.substr(path.size() - 4) == ".csv"
+                 ? io::LoadStreamCsv(path, out)
+                 : io::LoadStream(path, out);
+    };
+    if (const Status st = load(r_path, &r); !st.ok()) return Fail(st.ToString());
+    if (const Status st = load(s_path, &s); !st.ok()) return Fail(st.ToString());
+  } else {
+    RealWorldSpec spec;
+    spec.scale = flags.GetDouble("scale", 0.05);
+    spec.window_ms = window_ms;
+    if (workload == "stock") {
+      spec.which = RealWorkload::kStock;
+    } else if (workload == "rovio") {
+      spec.which = RealWorkload::kRovio;
+    } else if (workload == "ysb") {
+      spec.which = RealWorkload::kYsb;
+    } else if (workload == "debs") {
+      spec.which = RealWorkload::kDebs;
+    } else {
+      return Fail("unknown --workload (micro|stock|rovio|ysb|debs|file)");
+    }
+    Workload w = GenerateRealWorld(spec);
+    r = std::move(w.r);
+    s = std::move(w.s);
+    workload_name = w.name;
+  }
+
+  // --- Join configuration ---
+  JoinSpec spec;
+  spec.num_threads = static_cast<int>(flags.GetInt("threads", 4));
+  spec.window_ms = window_ms;
+  spec.clock_mode = flags.GetBool("realtime", false)
+                        ? Clock::Mode::kRealTime
+                        : Clock::Mode::kInstant;
+  spec.time_scale = flags.GetDouble("time-scale", 1.0);
+  spec.radix_bits = static_cast<int>(flags.GetInt("radix-bits", 10));
+  spec.radix_passes = static_cast<int>(flags.GetInt("radix-passes", 1));
+  spec.pmj_delta = flags.GetDouble("pmj-delta", 0.2);
+  spec.jb_group_size = static_cast<int>(flags.GetInt("jb-group", 2));
+  spec.eager_physical_partition = flags.GetBool("physical-partition", false);
+  spec.use_simd = flags.GetBool("simd", true);
+
+  const std::string algo = flags.GetString("algo", "npj");
+  const auto windows = static_cast<uint32_t>(flags.GetInt("windows", 1));
+  const std::string csv_path = flags.GetString("csv", "");
+  const std::string objective = flags.GetString("objective", "throughput");
+
+  if (const auto unknown = flags.Unknown(); !unknown.empty()) {
+    std::string all;
+    for (const auto& u : unknown) all += " --" + u;
+    return Fail("unknown flags:" + all);
+  }
+
+  // --- Execute ---
+  report::Table table({"workload", "algo", "windows", "inputs", "matches",
+                       "tput_per_ms", "p95_latency_ms", "t50_ms",
+                       "peak_mb"});
+  const auto add_row = [&](const std::string& algorithm, uint32_t nwin,
+                           uint64_t inputs, uint64_t matches, double tput,
+                           double p95, double t50, double peak_mb) {
+    table.AddRow({workload_name, algorithm, std::to_string(nwin),
+                  std::to_string(inputs), std::to_string(matches),
+                  report::Table::Num(tput, 1), report::Table::Num(p95, 3),
+                  report::Table::Num(t50, 1),
+                  report::Table::Num(peak_mb, 2)});
+  };
+
+  if (algo == "adaptive") {
+    AdaptiveOptions options;
+    options.hardware.num_cores = spec.num_threads;
+    options.objective = objective == "latency" ? Objective::kLatency
+                        : objective == "progress"
+                            ? Objective::kProgressiveness
+                            : Objective::kThroughput;
+    if (windows > 1) {
+      const PipelineResult pipeline = RunTumblingWindows(
+          r, s, spec, MakeAdaptivePolicy(options));
+      add_row("adaptive", static_cast<uint32_t>(pipeline.windows.size()),
+              pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
+    } else {
+      AdaptiveChoice choice;
+      const RunResult result = RunAdaptive(r, s, spec, options, &choice);
+      std::printf("adaptive pick: %s\n",
+                  std::string(AlgorithmName(choice.algorithm)).c_str());
+      add_row(result.algorithm, 1, result.inputs, result.matches,
+              result.throughput_per_ms, result.p95_latency_ms,
+              result.progress.TimeToFractionMs(0.5),
+              static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+    }
+  } else {
+    AlgorithmId id;
+    if (!ParseAlgorithm(algo, &id)) {
+      return Fail("unknown --algo (npj|prj|mway|mpass|shj-jm|shj-jb|pmj-jm|"
+                  "pmj-jb|adaptive)");
+    }
+    if (const Status status = spec.Validate(id); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    if (windows > 1) {
+      const PipelineResult pipeline = RunTumblingWindows(id, r, s, spec);
+      add_row(std::string(AlgorithmName(id)),
+              static_cast<uint32_t>(pipeline.windows.size()),
+              pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
+    } else {
+      JoinRunner runner;
+      const RunResult result = runner.Run(id, r, s, spec);
+      add_row(result.algorithm, 1, result.inputs, result.matches,
+              result.throughput_per_ms, result.p95_latency_ms,
+              result.progress.TimeToFractionMs(0.5),
+              static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+    }
+  }
+
+  std::fputs(table.ToText().c_str(), stdout);
+  if (!csv_path.empty()) {
+    if (const Status status = table.WriteCsv(csv_path); !status.ok()) {
+      return Fail(status.ToString());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iawj
+
+int main(int argc, char** argv) { return iawj::Run(argc, argv); }

@@ -1,0 +1,105 @@
+// iawj_datagen — generate benchmark workloads and save them to disk.
+//
+// Examples:
+//   iawj_datagen --workload=micro --rate=1600 --dupe=10 --out=/tmp/w
+//   iawj_datagen --workload=rovio --scale=0.01 --format=csv --out=/tmp/rv
+//
+// Writes <out>.r.<ext> and <out>.s.<ext> (ext: bin or csv) plus prints each
+// stream's Table-3-style statistics. Files feed back into
+// `iawj_cli --workload=file --r=... --s=...`.
+#include <cstdio>
+#include <string>
+
+#include "src/common/flags.h"
+#include "src/datagen/micro.h"
+#include "src/datagen/real_world.h"
+#include "src/io/workload_io.h"
+
+namespace iawj {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status.ToString());
+  }
+
+  const std::string workload = flags.GetString("workload", "micro");
+  const std::string out = flags.GetString("out", "");
+  const std::string format = flags.GetString("format", "bin");
+  const auto window_ms = static_cast<uint32_t>(flags.GetInt("window", 1000));
+  if (out.empty()) return Fail("--out=<path-prefix> is required");
+  if (format != "bin" && format != "csv") {
+    return Fail("--format must be bin or csv");
+  }
+
+  Stream r, s;
+  if (workload == "micro") {
+    MicroSpec spec;
+    spec.rate_r = static_cast<uint64_t>(flags.GetInt("rate", 1600));
+    spec.rate_s = static_cast<uint64_t>(flags.GetInt("rate-s", 0));
+    if (spec.rate_s == 0) spec.rate_s = spec.rate_r;
+    spec.window_ms = window_ms;
+    spec.dupe = flags.GetDouble("dupe", 1.0);
+    spec.zipf_key = flags.GetDouble("zipf-key", 0.0);
+    spec.zipf_ts = flags.GetDouble("zipf-ts", 0.0);
+    spec.size_r = static_cast<uint64_t>(flags.GetInt("size-r", 0));
+    spec.size_s = static_cast<uint64_t>(flags.GetInt("size-s", 0));
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    MicroWorkload w = GenerateMicro(spec);
+    r = std::move(w.r);
+    s = std::move(w.s);
+  } else {
+    RealWorldSpec spec;
+    spec.scale = flags.GetDouble("scale", 0.05);
+    spec.window_ms = window_ms;
+    spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+    if (workload == "stock") {
+      spec.which = RealWorkload::kStock;
+    } else if (workload == "rovio") {
+      spec.which = RealWorkload::kRovio;
+    } else if (workload == "ysb") {
+      spec.which = RealWorkload::kYsb;
+    } else if (workload == "debs") {
+      spec.which = RealWorkload::kDebs;
+    } else {
+      return Fail("unknown --workload (micro|stock|rovio|ysb|debs)");
+    }
+    Workload w = GenerateRealWorld(spec);
+    r = std::move(w.r);
+    s = std::move(w.s);
+  }
+
+  if (const auto unknown = flags.Unknown(); !unknown.empty()) {
+    std::string all;
+    for (const auto& u : unknown) all += " --" + u;
+    return Fail("unknown flags:" + all);
+  }
+
+  const std::string ext = format == "bin" ? ".bin" : ".csv";
+  const auto save = [&](const Stream& stream, const std::string& path) {
+    return format == "bin" ? io::SaveStream(stream, path)
+                           : io::SaveStreamCsv(stream, path);
+  };
+  if (const Status st = save(r, out + ".r" + ext); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  if (const Status st = save(s, out + ".s" + ext); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  std::printf("R -> %s.r%s  %s\n", out.c_str(), ext.c_str(),
+              FormatStats(ComputeStats(r)).c_str());
+  std::printf("S -> %s.s%s  %s\n", out.c_str(), ext.c_str(),
+              FormatStats(ComputeStats(s)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace iawj
+
+int main(int argc, char** argv) { return iawj::Run(argc, argv); }
