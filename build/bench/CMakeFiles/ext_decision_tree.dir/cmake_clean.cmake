@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_decision_tree.dir/ext_decision_tree.cc.o"
+  "CMakeFiles/ext_decision_tree.dir/ext_decision_tree.cc.o.d"
+  "ext_decision_tree"
+  "ext_decision_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

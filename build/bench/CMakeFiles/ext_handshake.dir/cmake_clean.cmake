@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_handshake.dir/ext_handshake.cc.o"
+  "CMakeFiles/ext_handshake.dir/ext_handshake.cc.o.d"
+  "ext_handshake"
+  "ext_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

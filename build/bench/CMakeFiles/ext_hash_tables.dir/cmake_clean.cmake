@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hash_tables.dir/ext_hash_tables.cc.o"
+  "CMakeFiles/ext_hash_tables.dir/ext_hash_tables.cc.o.d"
+  "ext_hash_tables"
+  "ext_hash_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hash_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

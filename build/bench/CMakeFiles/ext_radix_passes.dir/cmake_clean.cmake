@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_radix_passes.dir/ext_radix_passes.cc.o"
+  "CMakeFiles/ext_radix_passes.dir/ext_radix_passes.cc.o.d"
+  "ext_radix_passes"
+  "ext_radix_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_radix_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_duplication.dir/fig11_duplication.cc.o"
+  "CMakeFiles/fig11_duplication.dir/fig11_duplication.cc.o.d"
+  "fig11_duplication"
+  "fig11_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

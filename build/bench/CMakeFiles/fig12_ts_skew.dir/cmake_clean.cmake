@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ts_skew.dir/fig12_ts_skew.cc.o"
+  "CMakeFiles/fig12_ts_skew.dir/fig12_ts_skew.cc.o.d"
+  "fig12_ts_skew"
+  "fig12_ts_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ts_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

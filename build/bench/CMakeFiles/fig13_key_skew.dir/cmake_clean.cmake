@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_key_skew.dir/fig13_key_skew.cc.o"
+  "CMakeFiles/fig13_key_skew.dir/fig13_key_skew.cc.o.d"
+  "fig13_key_skew"
+  "fig13_key_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_key_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

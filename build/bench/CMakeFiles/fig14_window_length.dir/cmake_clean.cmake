@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_window_length.dir/fig14_window_length.cc.o"
+  "CMakeFiles/fig14_window_length.dir/fig14_window_length.cc.o.d"
+  "fig14_window_length"
+  "fig14_window_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_window_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pmj_delta.dir/fig15_pmj_delta.cc.o"
+  "CMakeFiles/fig15_pmj_delta.dir/fig15_pmj_delta.cc.o.d"
+  "fig15_pmj_delta"
+  "fig15_pmj_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pmj_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_jb_group_size.dir/fig16_jb_group_size.cc.o"
+  "CMakeFiles/fig16_jb_group_size.dir/fig16_jb_group_size.cc.o.d"
+  "fig16_jb_group_size"
+  "fig16_jb_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_jb_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

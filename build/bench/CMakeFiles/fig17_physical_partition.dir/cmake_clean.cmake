@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_physical_partition.dir/fig17_physical_partition.cc.o"
+  "CMakeFiles/fig17_physical_partition.dir/fig17_physical_partition.cc.o.d"
+  "fig17_physical_partition"
+  "fig17_physical_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_physical_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_radix_bits.dir/fig18_radix_bits.cc.o"
+  "CMakeFiles/fig18_radix_bits.dir/fig18_radix_bits.cc.o.d"
+  "fig18_radix_bits"
+  "fig18_radix_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_radix_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

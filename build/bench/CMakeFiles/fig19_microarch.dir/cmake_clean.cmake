@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_microarch.dir/fig19_microarch.cc.o"
+  "CMakeFiles/fig19_microarch.dir/fig19_microarch.cc.o.d"
+  "fig19_microarch"
+  "fig19_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

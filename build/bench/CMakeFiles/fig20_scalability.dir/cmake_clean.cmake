@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_scalability.dir/fig20_scalability.cc.o"
+  "CMakeFiles/fig20_scalability.dir/fig20_scalability.cc.o.d"
+  "fig20_scalability"
+  "fig20_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

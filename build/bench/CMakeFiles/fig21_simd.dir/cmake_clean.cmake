@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_simd.dir/fig21_simd.cc.o"
+  "CMakeFiles/fig21_simd.dir/fig21_simd.cc.o.d"
+  "fig21_simd"
+  "fig21_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

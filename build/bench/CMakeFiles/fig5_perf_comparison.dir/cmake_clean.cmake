@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_perf_comparison.dir/fig5_perf_comparison.cc.o"
+  "CMakeFiles/fig5_perf_comparison.dir/fig5_perf_comparison.cc.o.d"
+  "fig5_perf_comparison"
+  "fig5_perf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_perf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

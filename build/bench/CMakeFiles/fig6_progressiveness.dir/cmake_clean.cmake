@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_progressiveness.dir/fig6_progressiveness.cc.o"
+  "CMakeFiles/fig6_progressiveness.dir/fig6_progressiveness.cc.o.d"
+  "fig6_progressiveness"
+  "fig6_progressiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_progressiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

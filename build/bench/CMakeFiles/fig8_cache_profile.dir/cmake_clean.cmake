@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cache_profile.dir/fig8_cache_profile.cc.o"
+  "CMakeFiles/fig8_cache_profile.dir/fig8_cache_profile.cc.o.d"
+  "fig8_cache_profile"
+  "fig8_cache_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cache_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_arrival_rate.dir/fig9_arrival_rate.cc.o"
+  "CMakeFiles/fig9_arrival_rate.dir/fig9_arrival_rate.cc.o.d"
+  "fig9_arrival_rate"
+  "fig9_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

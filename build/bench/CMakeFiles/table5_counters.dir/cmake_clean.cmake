@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_counters.dir/table5_counters.cc.o"
+  "CMakeFiles/table5_counters.dir/table5_counters.cc.o.d"
+  "table5_counters"
+  "table5_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

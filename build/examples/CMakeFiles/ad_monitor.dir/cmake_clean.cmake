@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_monitor.dir/ad_monitor.cc.o"
+  "CMakeFiles/ad_monitor.dir/ad_monitor.cc.o.d"
+  "ad_monitor"
+  "ad_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

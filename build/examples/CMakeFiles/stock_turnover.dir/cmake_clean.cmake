@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_turnover.dir/stock_turnover.cc.o"
+  "CMakeFiles/stock_turnover.dir/stock_turnover.cc.o.d"
+  "stock_turnover"
+  "stock_turnover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_turnover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_pipeline_demo.dir/window_pipeline_demo.cc.o"
+  "CMakeFiles/window_pipeline_demo.dir/window_pipeline_demo.cc.o.d"
+  "window_pipeline_demo"
+  "window_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

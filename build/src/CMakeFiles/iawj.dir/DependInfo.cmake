@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/iawj.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/iawj.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/iawj.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/iawj.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/iawj.dir/common/status.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/iawj.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/iawj.dir/common/zipf.cc.o.d"
+  "/root/repo/src/datagen/micro.cc" "src/CMakeFiles/iawj.dir/datagen/micro.cc.o" "gcc" "src/CMakeFiles/iawj.dir/datagen/micro.cc.o.d"
+  "/root/repo/src/datagen/real_world.cc" "src/CMakeFiles/iawj.dir/datagen/real_world.cc.o" "gcc" "src/CMakeFiles/iawj.dir/datagen/real_world.cc.o.d"
+  "/root/repo/src/hash/bucket_chain.cc" "src/CMakeFiles/iawj.dir/hash/bucket_chain.cc.o" "gcc" "src/CMakeFiles/iawj.dir/hash/bucket_chain.cc.o.d"
+  "/root/repo/src/hash/concurrent_table.cc" "src/CMakeFiles/iawj.dir/hash/concurrent_table.cc.o" "gcc" "src/CMakeFiles/iawj.dir/hash/concurrent_table.cc.o.d"
+  "/root/repo/src/io/workload_io.cc" "src/CMakeFiles/iawj.dir/io/workload_io.cc.o" "gcc" "src/CMakeFiles/iawj.dir/io/workload_io.cc.o.d"
+  "/root/repo/src/join/adaptive.cc" "src/CMakeFiles/iawj.dir/join/adaptive.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/adaptive.cc.o.d"
+  "/root/repo/src/join/context.cc" "src/CMakeFiles/iawj.dir/join/context.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/context.cc.o.d"
+  "/root/repo/src/join/decision_tree.cc" "src/CMakeFiles/iawj.dir/join/decision_tree.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/decision_tree.cc.o.d"
+  "/root/repo/src/join/eager_engine.cc" "src/CMakeFiles/iawj.dir/join/eager_engine.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/eager_engine.cc.o.d"
+  "/root/repo/src/join/handshake.cc" "src/CMakeFiles/iawj.dir/join/handshake.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/handshake.cc.o.d"
+  "/root/repo/src/join/npj.cc" "src/CMakeFiles/iawj.dir/join/npj.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/npj.cc.o.d"
+  "/root/repo/src/join/pmj.cc" "src/CMakeFiles/iawj.dir/join/pmj.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/pmj.cc.o.d"
+  "/root/repo/src/join/prj.cc" "src/CMakeFiles/iawj.dir/join/prj.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/prj.cc.o.d"
+  "/root/repo/src/join/reference.cc" "src/CMakeFiles/iawj.dir/join/reference.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/reference.cc.o.d"
+  "/root/repo/src/join/runner.cc" "src/CMakeFiles/iawj.dir/join/runner.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/runner.cc.o.d"
+  "/root/repo/src/join/shj.cc" "src/CMakeFiles/iawj.dir/join/shj.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/shj.cc.o.d"
+  "/root/repo/src/join/sortmerge.cc" "src/CMakeFiles/iawj.dir/join/sortmerge.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/sortmerge.cc.o.d"
+  "/root/repo/src/join/window_pipeline.cc" "src/CMakeFiles/iawj.dir/join/window_pipeline.cc.o" "gcc" "src/CMakeFiles/iawj.dir/join/window_pipeline.cc.o.d"
+  "/root/repo/src/memory/tracker.cc" "src/CMakeFiles/iawj.dir/memory/tracker.cc.o" "gcc" "src/CMakeFiles/iawj.dir/memory/tracker.cc.o.d"
+  "/root/repo/src/partition/radix.cc" "src/CMakeFiles/iawj.dir/partition/radix.cc.o" "gcc" "src/CMakeFiles/iawj.dir/partition/radix.cc.o.d"
+  "/root/repo/src/partition/range.cc" "src/CMakeFiles/iawj.dir/partition/range.cc.o" "gcc" "src/CMakeFiles/iawj.dir/partition/range.cc.o.d"
+  "/root/repo/src/profiling/cache_sim.cc" "src/CMakeFiles/iawj.dir/profiling/cache_sim.cc.o" "gcc" "src/CMakeFiles/iawj.dir/profiling/cache_sim.cc.o.d"
+  "/root/repo/src/profiling/phase.cc" "src/CMakeFiles/iawj.dir/profiling/phase.cc.o" "gcc" "src/CMakeFiles/iawj.dir/profiling/phase.cc.o.d"
+  "/root/repo/src/profiling/progress.cc" "src/CMakeFiles/iawj.dir/profiling/progress.cc.o" "gcc" "src/CMakeFiles/iawj.dir/profiling/progress.cc.o.d"
+  "/root/repo/src/profiling/resource.cc" "src/CMakeFiles/iawj.dir/profiling/resource.cc.o" "gcc" "src/CMakeFiles/iawj.dir/profiling/resource.cc.o.d"
+  "/root/repo/src/report/report.cc" "src/CMakeFiles/iawj.dir/report/report.cc.o" "gcc" "src/CMakeFiles/iawj.dir/report/report.cc.o.d"
+  "/root/repo/src/sort/avxsort.cc" "src/CMakeFiles/iawj.dir/sort/avxsort.cc.o" "gcc" "src/CMakeFiles/iawj.dir/sort/avxsort.cc.o.d"
+  "/root/repo/src/sort/merge.cc" "src/CMakeFiles/iawj.dir/sort/merge.cc.o" "gcc" "src/CMakeFiles/iawj.dir/sort/merge.cc.o.d"
+  "/root/repo/src/stream/distribution.cc" "src/CMakeFiles/iawj.dir/stream/distribution.cc.o" "gcc" "src/CMakeFiles/iawj.dir/stream/distribution.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/iawj.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/iawj.dir/stream/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

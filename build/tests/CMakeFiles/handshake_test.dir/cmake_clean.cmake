@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake_test.dir/handshake_test.cc.o"
+  "CMakeFiles/handshake_test.dir/handshake_test.cc.o.d"
+  "handshake_test"
+  "handshake_test.pdb"
+  "handshake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_probe_test.dir/linear_probe_test.cc.o"
+  "CMakeFiles/linear_probe_test.dir/linear_probe_test.cc.o.d"
+  "linear_probe_test"
+  "linear_probe_test.pdb"
+  "linear_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

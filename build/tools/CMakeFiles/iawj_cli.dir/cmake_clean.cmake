@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iawj_cli.dir/iawj_cli.cc.o"
+  "CMakeFiles/iawj_cli.dir/iawj_cli.cc.o.d"
+  "iawj_cli"
+  "iawj_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iawj_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iawj_datagen.dir/iawj_datagen.cc.o"
+  "CMakeFiles/iawj_datagen.dir/iawj_datagen.cc.o.d"
+  "iawj_datagen"
+  "iawj_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iawj_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
