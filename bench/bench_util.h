@@ -8,6 +8,7 @@
 #ifndef IAWJ_BENCH_BENCH_UTIL_H_
 #define IAWJ_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "src/datagen/micro.h"
 #include "src/datagen/real_world.h"
 #include "src/join/runner.h"
+#include "src/profiling/run_record.h"
 #include "src/report/report.h"
 
 namespace iawj::bench {
@@ -27,6 +29,47 @@ struct Scale {
   bool paper = false;
 };
 
+// Strictly-parsed env integer: the whole value must be a number, and values
+// below `min_value` clamp with a warning (IAWJ_THREADS=0 or =abc previously
+// produced a 0-thread runner via atoi and aborted deep in the runner).
+inline int GetEnvInt(const char* name, int fallback, int min_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr, "warning: %s=%s is not a number; using %d\n", name,
+                 env, fallback);
+    return fallback;
+  }
+  if (value < min_value) {
+    std::fprintf(stderr, "warning: %s=%s clamped to %d\n", name, env,
+                 min_value);
+    return min_value;
+  }
+  return static_cast<int>(value);
+}
+
+// Strictly-parsed env double; non-positive or unparsable values fall back.
+inline double GetEnvPositiveDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(value > 0)) {
+    std::fprintf(stderr, "warning: %s=%s is not a positive number; using %g\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  return value;
+}
+
+// Last GetScale result, for emitters that need provenance (run records).
+inline Scale& CurrentScale() {
+  static Scale scale;
+  return scale;
+}
+
 inline Scale GetScale(double default_workload_scale = 0.05) {
   Scale scale;
   scale.workload = default_workload_scale;
@@ -36,13 +79,20 @@ inline Scale GetScale(double default_workload_scale = 0.05) {
     scale.workload = 1.0;
     scale.threads = 8;
   }
-  if (const char* env = std::getenv("IAWJ_SCALE"); env != nullptr) {
-    scale.workload = std::atof(env);
-  }
-  if (const char* env = std::getenv("IAWJ_THREADS"); env != nullptr) {
-    scale.threads = std::atoi(env);
-  }
+  scale.workload = GetEnvPositiveDouble("IAWJ_SCALE", scale.workload);
+  scale.threads = GetEnvInt("IAWJ_THREADS", scale.threads, /*min_value=*/1);
+  CurrentScale() = scale;
   return scale;
+}
+
+// Short name of the running bench binary, for run-record provenance.
+inline std::string BenchBinaryName() {
+#ifdef __GLIBC__
+  if (::program_invocation_short_name != nullptr) {
+    return ::program_invocation_short_name;
+  }
+#endif
+  return "bench";
 }
 
 inline std::vector<AlgorithmId> AllAlgorithms() {
@@ -56,11 +106,20 @@ inline void PrintTitle(const std::string& title, const Scale& scale) {
 }
 
 // Runs one experiment with the given spec and prints nothing; convenience
-// wrapper keeping bench mains compact.
+// wrapper keeping bench mains compact. When IAWJ_METRICS_DIR is set, every
+// run additionally leaves one JSON run record behind, so all bench binaries
+// feed the repo's perf trajectory without per-bench code.
 inline RunResult RunJoin(AlgorithmId id, const Stream& r, const Stream& s,
-                         const JoinSpec& spec) {
+                         const JoinSpec& spec,
+                         const std::string& workload_label = "") {
   JoinRunner runner;
-  return runner.Run(id, r, s, spec);
+  const RunResult result = runner.Run(id, r, s, spec);
+  RunRecordContext context;
+  context.bench = BenchBinaryName();
+  context.workload = workload_label;
+  context.workload_scale = CurrentScale().workload;
+  MaybeWriteRunRecord(result, spec, context);
+  return result;
 }
 
 // Collects the standard metric rows of a bench run; when IAWJ_CSV_DIR is
@@ -142,6 +201,16 @@ inline std::vector<Workload> RealWorkloads(const Scale& scale,
   return workloads;
 }
 
+// JB requires the group size to divide the thread count; env-chosen odd
+// thread counts (IAWJ_THREADS=1, 3, ...) would otherwise crash every bench
+// that runs a JB algorithm.
+inline void FixJbGroup(JoinSpec* spec) {
+  if (spec->jb_group_size <= 0 ||
+      spec->num_threads % spec->jb_group_size != 0) {
+    spec->jb_group_size = 1;
+  }
+}
+
 // Spec preset for streaming (real-time gated) runs. On scaled-down runs the
 // window is also shortened so wall time stays small.
 inline JoinSpec StreamingSpec(const Scale& scale, uint32_t window_ms) {
@@ -149,6 +218,7 @@ inline JoinSpec StreamingSpec(const Scale& scale, uint32_t window_ms) {
   spec.num_threads = scale.threads;
   spec.window_ms = window_ms;
   spec.clock_mode = Clock::Mode::kRealTime;
+  FixJbGroup(&spec);
   return spec;
 }
 
@@ -158,6 +228,7 @@ inline JoinSpec AtRestSpec(const Scale& scale) {
   spec.num_threads = scale.threads;
   spec.window_ms = 1u << 30;
   spec.clock_mode = Clock::Mode::kInstant;
+  FixJbGroup(&spec);
   return spec;
 }
 

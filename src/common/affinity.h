@@ -13,14 +13,22 @@
 
 namespace iawj {
 
+// The logical core PinCurrentThreadToCore(core_index) would target, or -1
+// when the core count is unknown.
+inline int ResolvePinnedCore(int core_index) {
+  const long num_cores = sysconf(_SC_NPROCESSORS_ONLN);
+  if (num_cores <= 0) return -1;
+  return core_index % static_cast<int>(num_cores);
+}
+
 // Pins the calling thread to logical core (core_index % #cores).
 // Returns true on success.
 inline bool PinCurrentThreadToCore(int core_index) {
-  const long num_cores = sysconf(_SC_NPROCESSORS_ONLN);
-  if (num_cores <= 0) return false;
+  const int core = ResolvePinnedCore(core_index);
+  if (core < 0) return false;
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(core_index % static_cast<int>(num_cores), &set);
+  CPU_SET(core, &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 }
 

@@ -1,0 +1,416 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace iawj::json {
+
+std::string Quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (ch < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Writer::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back()) {
+    // Object: the value must have been announced by Key().
+    IAWJ_CHECK(key_pending_) << "JSON object value without a key";
+    key_pending_ = false;
+    return;
+  }
+  if (has_elements_.back()) out_ += ',';
+  has_elements_.back() = true;
+}
+
+Writer& Writer::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(true);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndObject() {
+  IAWJ_CHECK(!stack_.empty() && stack_.back()) << "unbalanced EndObject";
+  IAWJ_CHECK(!key_pending_) << "dangling key at EndObject";
+  out_ += '}';
+  stack_.pop_back();
+  has_elements_.pop_back();
+  return *this;
+}
+
+Writer& Writer::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(false);
+  has_elements_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::EndArray() {
+  IAWJ_CHECK(!stack_.empty() && !stack_.back()) << "unbalanced EndArray";
+  out_ += ']';
+  stack_.pop_back();
+  has_elements_.pop_back();
+  return *this;
+}
+
+Writer& Writer::Key(std::string_view key) {
+  IAWJ_CHECK(!stack_.empty() && stack_.back()) << "Key outside object";
+  IAWJ_CHECK(!key_pending_) << "two keys in a row";
+  if (has_elements_.back()) out_ += ',';
+  has_elements_.back() = true;
+  out_ += Quote(key);
+  out_ += ':';
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::String(std::string_view value) {
+  BeforeValue();
+  out_ += Quote(value);
+  return *this;
+}
+
+Writer& Writer::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+Writer& Writer::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) {
+      out_ += shorter;
+      return *this;
+    }
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+Writer& Writer::Field(std::string_view key, std::string_view value) {
+  return Key(key).String(value);
+}
+Writer& Writer::Field(std::string_view key, const char* value) {
+  return Key(key).String(value);
+}
+Writer& Writer::Field(std::string_view key, int64_t value) {
+  return Key(key).Int(value);
+}
+Writer& Writer::Field(std::string_view key, uint64_t value) {
+  return Key(key).Uint(value);
+}
+Writer& Writer::Field(std::string_view key, double value) {
+  return Key(key).Double(value);
+}
+Writer& Writer::Field(std::string_view key, bool value) {
+  return Key(key).Bool(value);
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Run(Value* out) {
+    SkipWs();
+    Status status = ParseValue(out);
+    if (!status.ok()) return status;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out) {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    Status status = ParseValueInner(out);
+    --depth_;
+    return status;
+  }
+
+  Status ParseValueInner(Value* out) {
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char ch = text_[pos_];
+    switch (ch) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        if (text_.substr(pos_, 4) != "true") return Error("bad literal");
+        pos_ += 4;
+        out->kind = Value::Kind::kBool;
+        out->boolean = true;
+        return Status::Ok();
+      case 'f':
+        if (text_.substr(pos_, 5) != "false") return Error("bad literal");
+        pos_ += 5;
+        out->kind = Value::Kind::kBool;
+        out->boolean = false;
+        return Status::Ok();
+      case 'n':
+        if (text_.substr(pos_, 4) != "null") return Error("bad literal");
+        pos_ += 4;
+        out->kind = Value::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out) {
+    out->kind = Value::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      if (Status status = ParseString(&key); !status.ok()) return status;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after key");
+      SkipWs();
+      Value member;
+      if (Status status = ParseValue(&member); !status.ok()) return status;
+      out->object[key] = std::move(member);
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    out->kind = Value::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      Value element;
+      if (Status status = ParseValue(&element); !status.ok()) return status;
+      out->array.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return Status::Ok();
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        *out += ch;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // the emitters in this repo never produce them).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    out->kind = Value::Kind::kNumber;
+    out->number = value;
+    return Status::Ok();
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Status Parse(std::string_view text, Value* out) {
+  *out = Value();
+  return Parser(text).Run(out);
+}
+
+}  // namespace iawj::json

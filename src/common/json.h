@@ -1,0 +1,89 @@
+// Minimal JSON support for the observability layer: a streaming writer with
+// correct string escaping (used by the trace and run-record emitters) and a
+// small recursive-descent parser (used by tests and iawj_trace_check to
+// validate emitted artifacts). Not a general-purpose JSON library: no
+// comments, no \u surrogate pairs on output, numbers are doubles.
+#ifndef IAWJ_COMMON_JSON_H_
+#define IAWJ_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iawj::json {
+
+// Escapes `s` per RFC 8259 (quotes, backslash, control characters) and
+// returns it wrapped in double quotes.
+std::string Quote(std::string_view s);
+
+// Append-only JSON builder. The caller opens objects/arrays and the writer
+// tracks comma placement; keys are only legal inside objects, bare values
+// only inside arrays. Misuse aborts via CHECK.
+class Writer {
+ public:
+  Writer& BeginObject();
+  Writer& EndObject();
+  Writer& BeginArray();
+  Writer& EndArray();
+
+  // Key for the next value (objects only).
+  Writer& Key(std::string_view key);
+
+  Writer& String(std::string_view value);
+  Writer& Int(int64_t value);
+  Writer& Uint(uint64_t value);
+  Writer& Double(double value);  // emitted with enough digits to round-trip
+  Writer& Bool(bool value);
+  Writer& Null();
+
+  // Convenience: Key(k) + value.
+  Writer& Field(std::string_view key, std::string_view value);
+  Writer& Field(std::string_view key, const char* value);
+  Writer& Field(std::string_view key, int64_t value);
+  Writer& Field(std::string_view key, uint64_t value);
+  Writer& Field(std::string_view key, double value);
+  Writer& Field(std::string_view key, bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  std::vector<bool> has_elements_;
+  bool key_pending_ = false;
+};
+
+// Parsed JSON value. Object member order is not preserved (std::map).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+};
+
+// Parses `text` into *out. Trailing non-whitespace is an error.
+Status Parse(std::string_view text, Value* out);
+
+}  // namespace iawj::json
+
+#endif  // IAWJ_COMMON_JSON_H_

@@ -5,6 +5,7 @@
 #include "src/common/logging.h"
 #include "src/join/pmj.h"
 #include "src/join/shj.h"
+#include "src/profiling/trace.h"
 
 namespace iawj {
 
@@ -93,11 +94,20 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   const std::span<const Tuple> r = ctx.r;
   const std::span<const Tuple> s = ctx.s;
   size_t ir = 0, is = 0;
+  // Periodic trace counter of pulled tuples; power-of-two mask keeps the
+  // sampling test off the critical path when tracing is disabled.
+  constexpr size_t kCounterMask = 4095;
+  size_t last_counter_at = static_cast<size_t>(-1);
 
   // The §4.2.2 pull loop: alternate between streams, consuming whatever has
   // arrived; stall only when the worker outruns both streams.
   while (ir < r.size() || is < s.size()) {
     bool progressed = false;
+    if (trace::Active() && ((ir + is) & kCounterMask) == 0 &&
+        ir + is != last_counter_at) {
+      last_counter_at = ir + is;
+      trace::Counter("eager_pulled", static_cast<double>(last_counter_at));
+    }
 
     if (ir < r.size() && ctx.clock->HasArrived(r[ir].ts)) {
       sw.Switch(Phase::kPartition);
@@ -141,6 +151,9 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     }
   }
 
+  if (trace::Active()) {
+    trace::Instant("eager_streams_drained", static_cast<double>(ir + is));
+  }
   state->Finish(sink, sw);
   sw.Stop();
 }

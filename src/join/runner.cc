@@ -1,6 +1,8 @@
 #include "src/join/runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "src/join/sortmerge.h"
 #include "src/memory/tracker.h"
 #include "src/profiling/resource.h"
+#include "src/profiling/trace.h"
 
 namespace iawj {
 
@@ -106,6 +109,20 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   std::barrier<> barrier(threads);
   ctx.barrier = &barrier;
 
+  // Observability: when tracing is enabled, every worker gets a named
+  // per-thread recorder and the whole run is bracketed by one span on the
+  // orchestrating thread. Interned once here so worker hot paths only touch
+  // thread-local buffers.
+  static std::atomic<uint64_t> run_counter{0};
+  const bool tracing = trace::Enabled();
+  const char* run_label = nullptr;
+  if (tracing) {
+    run_label = trace::Intern(std::string(algorithm->name()) + " run " +
+                              std::to_string(++run_counter));
+  }
+  trace::ScopedThreadTrace orchestrator_trace("orchestrator");
+  if (tracing) trace::BeginSpan(run_label);
+
   algorithm->Setup(ctx);
 
   const double cpu_before = ResourceSampler::ProcessCpuTimeMs();
@@ -115,8 +132,17 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      if (spec.pin_threads) PinCurrentThreadToCore(t);
+      int pinned_core = -1;
+      if (spec.pin_threads && PinCurrentThreadToCore(t)) {
+        pinned_core = ResolvePinnedCore(t);
+      }
+      trace::ScopedThreadTrace worker_trace(
+          tracing ? std::string(algorithm->name()) + " w" + std::to_string(t)
+                  : std::string(),
+          pinned_core);
+      if (tracing) trace::BeginSpan(run_label);
       algorithm->RunWorker(ctx, t);
+      if (tracing) trace::EndSpan();
     });
   }
   for (auto& w : workers) w.join();
@@ -147,6 +173,12 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   result.p95_latency_ms = result.latency.QuantileMs(0.95);
   result.mean_latency_ms = result.latency.MeanMs();
   result.peak_tracked_bytes = mem::PeakBytes();
+  if (tracing && trace::Active()) {
+    trace::Counter("matches", static_cast<double>(result.matches));
+    trace::Counter("peak_tracked_bytes",
+                   static_cast<double>(result.peak_tracked_bytes));
+    trace::EndSpan();  // run_label
+  }
   return result;
 }
 

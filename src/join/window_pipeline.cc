@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/profiling/trace.h"
 
 namespace iawj {
 
@@ -39,6 +40,10 @@ PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
   const uint32_t num_windows =
       static_cast<uint32_t>(max_ts / spec.window_ms) + 1;
 
+  // Window lifecycle lands on the pipeline thread's trace row; the runner
+  // nests each per-window run span inside (its ScopedThreadTrace is a no-op
+  // while ours is installed).
+  trace::ScopedThreadTrace pipeline_trace("window pipeline");
   JoinRunner runner;
   for (uint32_t k = 0; k < num_windows; ++k) {
     const uint64_t start = static_cast<uint64_t>(k) * spec.window_ms;
@@ -47,6 +52,7 @@ PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
     if (wr.size() == 0 && ws.size() == 0) continue;
 
     const AlgorithmId id = policy(wr, ws);
+    trace::Instant("window_open", static_cast<double>(k));
     WindowRun run;
     run.window_index = k;
     run.window_start_ms = start;
@@ -55,6 +61,9 @@ PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
     pipeline.total_matches += run.result.matches;
     pipeline.total_checksum += run.result.checksum;
     pipeline.total_elapsed_ms += run.result.elapsed_ms;
+    trace::Instant("window_close", static_cast<double>(k));
+    trace::Counter("pipeline_matches",
+                   static_cast<double>(pipeline.total_matches));
     pipeline.windows.push_back(std::move(run));
   }
   return pipeline;
@@ -74,6 +83,7 @@ PipelineResult RunSegments(
     const std::vector<std::pair<uint64_t, uint32_t>>& segments,
     const AlgorithmPolicy& policy) {
   PipelineResult pipeline;
+  trace::ScopedThreadTrace pipeline_trace("window pipeline");
   JoinRunner runner;
   uint32_t index = 0;
   for (const auto& [start, length] : segments) {
@@ -84,6 +94,7 @@ PipelineResult RunSegments(
 
     JoinSpec window_spec = spec;
     window_spec.window_ms = length;
+    trace::Instant("window_open", static_cast<double>(index - 1));
     WindowRun run;
     run.window_index = index - 1;
     run.window_start_ms = start;
@@ -92,6 +103,9 @@ PipelineResult RunSegments(
     pipeline.total_matches += run.result.matches;
     pipeline.total_checksum += run.result.checksum;
     pipeline.total_elapsed_ms += run.result.elapsed_ms;
+    trace::Instant("window_close", static_cast<double>(index - 1));
+    trace::Counter("pipeline_matches",
+                   static_cast<double>(pipeline.total_matches));
     pipeline.windows.push_back(std::move(run));
   }
   return pipeline;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/profiling/trace.h"
+
 namespace iawj {
 
 enum class Phase : int {
@@ -50,18 +52,24 @@ class PhaseProfile {
 };
 
 // RAII phase attribution. Nesting is allowed: time spent in an inner scope is
-// charged to the inner phase only.
+// charged to the inner phase only. When the thread has a trace recorder
+// installed (trace::ScopedThreadTrace), the scope also emits a Chrome-trace
+// span named after the phase.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseProfile* profile, Phase phase)
       : profile_(profile),
         phase_(phase),
-        start_(std::chrono::steady_clock::now()) {}
+        traced_(trace::Active()),
+        start_(std::chrono::steady_clock::now()) {
+    if (traced_) trace::BeginSpan(PhaseName(phase).data());
+  }
   ~ScopedPhase() {
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - start_)
                         .count();
     profile_->AddNs(phase_, static_cast<uint64_t>(ns));
+    if (traced_) trace::EndSpan();
   }
 
   ScopedPhase(const ScopedPhase&) = delete;
@@ -70,11 +78,20 @@ class ScopedPhase {
  private:
   PhaseProfile* profile_;
   Phase phase_;
+  bool traced_;
   std::chrono::steady_clock::time_point start_;
 };
 
 // Manual start/stop timer for phases interleaved at tuple granularity, where
 // RAII scopes would be awkward (the eager engine's pull loop).
+//
+// With a trace recorder installed the stopwatch also draws a phase timeline,
+// but at bounded granularity: an open trace span only closes when the phase
+// changes AND the span has been open at least trace::g_min_span_ns. Eager
+// loops flap phases every tuple; exact span-per-change would emit millions
+// of events, so the timeline shows the phase that *started* each ≥threshold
+// stretch while the nanosecond-exact attribution stays in PhaseProfile. The
+// event count is thereby bounded by run_duration / min_span per thread.
 class PhaseStopwatch {
  public:
   explicit PhaseStopwatch(PhaseProfile* profile) : profile_(profile) {}
@@ -90,6 +107,22 @@ class PhaseStopwatch {
     current_ = phase;
     mark_ = now;
     running_ = true;
+    if (trace::Active()) {
+      const uint64_t now_ns = trace::NowNs();
+      if (!tracing_) {
+        trace::BeginSpan(PhaseName(phase).data());
+        span_phase_ = phase;
+        span_start_ns_ = now_ns;
+        tracing_ = true;
+      } else if (phase != span_phase_ &&
+                 now_ns - span_start_ns_ >=
+                     trace::g_min_span_ns.load(std::memory_order_relaxed)) {
+        trace::EndSpan();
+        trace::BeginSpan(PhaseName(phase).data());
+        span_phase_ = phase;
+        span_start_ns_ = now_ns;
+      }
+    }
   }
 
   void Stop() {
@@ -101,6 +134,10 @@ class PhaseStopwatch {
                             now - mark_)
                             .count()));
     running_ = false;
+    if (tracing_) {
+      trace::EndSpan();
+      tracing_ = false;
+    }
   }
 
  private:
@@ -108,6 +145,10 @@ class PhaseStopwatch {
   Phase current_ = Phase::kOther;
   std::chrono::steady_clock::time_point mark_;
   bool running_ = false;
+  // Trace-timeline state (meaningful only while tracing_).
+  Phase span_phase_ = Phase::kOther;
+  uint64_t span_start_ns_ = 0;
+  bool tracing_ = false;
 };
 
 }  // namespace iawj

@@ -1,0 +1,167 @@
+#include "src/profiling/run_record.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+
+namespace iawj {
+
+namespace {
+
+std::string UtcTimestamp(bool compact) {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf),
+                compact ? "%Y%m%dT%H%M%S" : "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string SanitizeForFilename(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '-' || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+const char* ClockModeName(Clock::Mode mode) {
+  return mode == Clock::Mode::kRealTime ? "realtime" : "instant";
+}
+
+const char* HashTableKindName(HashTableKind kind) {
+  return kind == HashTableKind::kLinearProbe ? "linear_probe" : "bucket_chain";
+}
+
+}  // namespace
+
+std::string GitDescribeStamp() {
+  static std::once_flag once;
+  static std::string stamp;
+  std::call_once(once, [] {
+    stamp = "unknown";
+    std::FILE* pipe =
+        popen("git describe --always --dirty --tags 2>/dev/null", "r");
+    if (pipe == nullptr) return;
+    char buf[128];
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+    const int rc = pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    if (rc == 0 && !out.empty()) stamp = out;
+  });
+  return stamp;
+}
+
+std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
+                          const RunRecordContext& context) {
+  json::Writer w;
+  w.BeginObject();
+  w.Field("record_version", int64_t{1});
+  w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
+  w.Field("git_describe", GitDescribeStamp());
+  w.Field("pid", int64_t{getpid()});
+
+  w.Field("algorithm", result.algorithm);
+  if (!context.bench.empty()) w.Field("bench", context.bench);
+  if (!context.workload.empty()) w.Field("workload", context.workload);
+  if (context.workload_scale > 0) {
+    w.Field("workload_scale", context.workload_scale);
+  }
+
+  w.Key("spec").BeginObject();
+  w.Field("num_threads", int64_t{spec.num_threads});
+  w.Field("window_ms", uint64_t{spec.window_ms});
+  w.Field("clock_mode", ClockModeName(spec.clock_mode));
+  w.Field("time_scale", spec.time_scale);
+  w.Field("radix_bits", int64_t{spec.radix_bits});
+  w.Field("radix_passes", int64_t{spec.radix_passes});
+  w.Field("pmj_delta", spec.pmj_delta);
+  w.Field("jb_group_size", int64_t{spec.jb_group_size});
+  w.Field("eager_physical_partition", spec.eager_physical_partition);
+  w.Field("use_simd", spec.use_simd);
+  w.Field("pin_threads", spec.pin_threads);
+  w.Field("hash_table_kind", HashTableKindName(spec.hash_table_kind));
+  w.EndObject();
+
+  w.Field("inputs", uint64_t{result.inputs});
+  w.Field("matches", uint64_t{result.matches});
+  w.Field("checksum", uint64_t{result.checksum});
+  w.Field("throughput_per_ms", result.throughput_per_ms);
+  w.Field("p95_latency_ms", result.p95_latency_ms);
+  w.Field("mean_latency_ms", result.mean_latency_ms);
+  w.Field("last_match_ms", result.last_match_ms);
+  w.Field("elapsed_ms", result.elapsed_ms);
+  w.Field("cpu_time_ms", result.cpu_time_ms);
+  w.Field("work_ns_per_input", result.WorkNsPerInput());
+  w.Field("t50_ms", result.progress.TimeToFractionMs(0.5));
+  w.Field("peak_tracked_bytes", int64_t{result.peak_tracked_bytes});
+
+  w.Key("phase_ns").BeginObject();
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    w.Key(PhaseName(phase)).Uint(result.phases.GetNs(phase));
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteRunRecord(const RunResult& result, const JoinSpec& spec,
+                      const RunRecordContext& context, const std::string& dir,
+                      std::string* path_out) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("empty run-record directory");
+  }
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::FailedPrecondition("cannot create directory " + dir);
+  }
+  static std::atomic<uint64_t> sequence{0};
+  const uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = dir + "/run_" + UtcTimestamp(/*compact=*/true) +
+                           "_" + std::to_string(getpid()) + "_" +
+                           std::to_string(seq) + "_" +
+                           SanitizeForFilename(result.algorithm) + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  out << RunRecordJson(result, spec, context) << "\n";
+  if (!out.good()) {
+    return Status::FailedPrecondition("write to " + path + " failed");
+  }
+  if (path_out != nullptr) *path_out = path;
+  return Status::Ok();
+}
+
+bool MaybeWriteRunRecord(const RunResult& result, const JoinSpec& spec,
+                         const RunRecordContext& context) {
+  const char* dir = std::getenv("IAWJ_METRICS_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  const Status status = WriteRunRecord(result, spec, context, dir);
+  if (!status.ok()) {
+    IAWJ_LOG(Warning) << "run-record emission failed: " << status.ToString();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace iawj

@@ -1,0 +1,48 @@
+// Structured run records: one JSON object per executed join (ISSUE 1).
+//
+// Every RunResult can be exported as a machine-readable record carrying the
+// algorithm, the full JoinSpec, all reported metrics, the per-phase
+// breakdown, a git-describe stamp, and a wall-clock timestamp — giving the
+// repository a mechanical perf trajectory across PRs. Emission is gated on
+// IAWJ_METRICS_DIR: when set, each record lands as its own file
+// <dir>/run_<utc>_<pid>_<seq>_<algo>.json; when unset, emission is a no-op.
+#ifndef IAWJ_PROFILING_RUN_RECORD_H_
+#define IAWJ_PROFILING_RUN_RECORD_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/join/runner.h"
+
+namespace iawj {
+
+// Caller-provided provenance for a record; all fields optional.
+struct RunRecordContext {
+  std::string bench;       // emitting binary or figure name
+  std::string workload;    // workload label, when the caller knows it
+  double workload_scale = 0;  // bench scale factor; 0 = unreported
+};
+
+// The record as a single JSON object (no trailing newline).
+std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
+                          const RunRecordContext& context = {});
+
+// Writes the record into `dir` (created if missing, single level). Returns
+// the path written via *path_out when non-null.
+Status WriteRunRecord(const RunResult& result, const JoinSpec& spec,
+                      const RunRecordContext& context, const std::string& dir,
+                      std::string* path_out = nullptr);
+
+// Emits to $IAWJ_METRICS_DIR when set; returns whether a record was written.
+// Failures are logged as warnings, never fatal: observability must not take
+// down an experiment.
+bool MaybeWriteRunRecord(const RunResult& result, const JoinSpec& spec,
+                         const RunRecordContext& context = {});
+
+// `git describe --always --dirty --tags` of the working tree, cached after
+// the first call; "unknown" when git or the repo is unavailable.
+std::string GitDescribeStamp();
+
+}  // namespace iawj
+
+#endif  // IAWJ_PROFILING_RUN_RECORD_H_

@@ -1,0 +1,239 @@
+#include "src/profiling/trace.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/logging.h"
+
+namespace iawj::trace {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  // Interned names need pointer stability; deque never moves elements.
+  std::deque<std::string> interned;
+  int next_tid = 1;
+  int force_state = -1;  // -1 env-driven, 0 forced off, 1 forced on
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: used during atexit
+  return *registry;
+}
+
+void FlushAtExit() {
+  const char* path = std::getenv("IAWJ_TRACE_FILE");
+  if (path == nullptr || path[0] == '\0') return;
+  if (TotalEventCount() == 0) return;
+  const Status status = WriteChromeTrace(path);
+  if (status.ok()) {
+    std::fprintf(stderr, "# wrote trace %s\n", path);
+  } else {
+    std::fprintf(stderr, "# trace write failed: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+void InitFromEnvOnce() {
+  static const bool initialized = [] {
+    if (const char* env = std::getenv("IAWJ_TRACE_MIN_SPAN_US");
+        env != nullptr) {
+      char* end = nullptr;
+      const double us = std::strtod(env, &end);
+      if (end != env && *end == '\0' && us >= 0) {
+        g_min_span_ns.store(static_cast<uint64_t>(us * 1000.0),
+                            std::memory_order_relaxed);
+      }
+    }
+    std::atexit(FlushAtExit);
+    return true;
+  }();
+  (void)initialized;
+}
+
+}  // namespace
+
+bool Enabled() {
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (registry.force_state >= 0) return registry.force_state == 1;
+  }
+  const char* path = std::getenv("IAWJ_TRACE_FILE");
+  if (path == nullptr || path[0] == '\0') return false;
+  InitFromEnvOnce();
+  return true;
+}
+
+const char* Intern(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::string& existing : registry.interned) {
+    if (existing == name) return existing.c_str();
+  }
+  registry.interned.push_back(name);
+  return registry.interned.back().c_str();
+}
+
+ScopedThreadTrace::ScopedThreadTrace(const std::string& thread_name,
+                                     int core) {
+  if (t_log != nullptr || !Enabled()) return;
+  auto log = std::make_unique<ThreadLog>();
+  log->name = thread_name;
+  log->core = core;
+  ThreadLog* raw = log.get();
+  Registry& registry = GetRegistry();
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    raw->tid = registry.next_tid++;
+    registry.logs.push_back(std::move(log));
+  }
+  t_log = raw;
+  installed_ = true;
+}
+
+ScopedThreadTrace::~ScopedThreadTrace() {
+  if (!installed_) return;
+  ThreadLog* log = t_log;
+  // Close anything left open so serialized traces always pair up.
+  while (log != nullptr && !log->open_spans.empty()) EndSpan();
+  t_log = nullptr;
+}
+
+std::string SerializeChromeTrace() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+
+  const int64_t pid = static_cast<int64_t>(getpid());
+  json::Writer w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+
+  w.BeginObject()
+      .Field("name", "process_name")
+      .Field("ph", "M")
+      .Field("pid", pid)
+      .Field("tid", int64_t{0})
+      .Key("args")
+      .BeginObject()
+      .Field("name", "iawj")
+      .EndObject()
+      .EndObject();
+
+  for (const auto& log : registry.logs) {
+    std::string display = log->name;
+    if (log->core >= 0) display += " [core " + std::to_string(log->core) + "]";
+    w.BeginObject()
+        .Field("name", "thread_name")
+        .Field("ph", "M")
+        .Field("pid", pid)
+        .Field("tid", int64_t{log->tid})
+        .Key("args")
+        .BeginObject()
+        .Field("name", display)
+        .EndObject()
+        .EndObject();
+    w.BeginObject()
+        .Field("name", "thread_sort_index")
+        .Field("ph", "M")
+        .Field("pid", pid)
+        .Field("tid", int64_t{log->tid})
+        .Key("args")
+        .BeginObject()
+        .Field("sort_index", int64_t{log->tid})
+        .EndObject()
+        .EndObject();
+    if (log->core >= 0) {
+      w.BeginObject()
+          .Field("name", "iawj_pinned_core")
+          .Field("ph", "M")
+          .Field("pid", pid)
+          .Field("tid", int64_t{log->tid})
+          .Key("args")
+          .BeginObject()
+          .Field("core", int64_t{log->core})
+          .EndObject()
+          .EndObject();
+    }
+
+    for (const Event& e : log->events) {
+      const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+      w.BeginObject().Field("name", e.name);
+      switch (e.type) {
+        case EventType::kBegin:
+          w.Field("ph", "B");
+          break;
+        case EventType::kEnd:
+          w.Field("ph", "E");
+          break;
+        case EventType::kInstant:
+          w.Field("ph", "i").Field("s", "t");
+          break;
+        case EventType::kCounter:
+          w.Field("ph", "C");
+          break;
+      }
+      w.Field("pid", pid).Field("tid", int64_t{log->tid}).Field("ts", ts_us);
+      if (e.type == EventType::kCounter) {
+        w.Key("args").BeginObject().Field("value", e.value).EndObject();
+      } else if (e.has_value) {
+        w.Key("args").BeginObject().Field("v", e.value).EndObject();
+      }
+      w.EndObject();
+    }
+  }
+
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string text = SerializeChromeTrace();
+  std::ofstream out(path);
+  if (!out) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  out << text;
+  return out.good()
+             ? Status::Ok()
+             : Status::FailedPrecondition("write to " + path + " failed");
+}
+
+size_t TotalEventCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  size_t total = 0;
+  for (const auto& log : registry.logs) total += log->events.size();
+  return total;
+}
+
+void ForceEnableForTesting(bool enabled) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.force_state = enabled ? 1 : 0;
+}
+
+void ResetForTesting() {
+  IAWJ_CHECK(t_log == nullptr)
+      << "ResetForTesting with a recorder installed on this thread";
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.logs.clear();
+  registry.interned.clear();
+  registry.next_tid = 1;
+  registry.force_state = -1;
+}
+
+}  // namespace iawj::trace

@@ -1,0 +1,165 @@
+// Chrome-trace span recorder: per-thread, append-only, lock-free on the hot
+// path (ISSUE 1 tentpole).
+//
+// Worker threads install a recorder with ScopedThreadTrace; BeginSpan /
+// EndSpan / Instant / Counter then append fixed-size events to the calling
+// thread's private buffer — a thread_local pointer test plus a vector
+// push_back, no locks, no allocation beyond vector growth. When tracing is
+// disabled (no recorder installed) every emit call is a single thread-local
+// load and branch, so instrumented code paths cost nothing in production.
+//
+// Serialization produces the Chrome Trace Event JSON format, loadable in
+// chrome://tracing and https://ui.perfetto.dev. Threads are named, carry a
+// stable sort index, and record the core they were pinned to. The trace is
+// written automatically at process exit when IAWJ_TRACE_FILE names the
+// output path; IAWJ_TRACE_MIN_SPAN_US (default 1) drops leaf spans shorter
+// than the threshold so tuple-granular eager loops don't explode the file.
+#ifndef IAWJ_PROFILING_TRACE_H_
+#define IAWJ_PROFILING_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iawj::trace {
+
+enum class EventType : uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+// 24 bytes; name must outlive serialization (string literal or Intern()).
+struct Event {
+  const char* name;
+  uint64_t ts_ns;  // since the process-wide trace epoch
+  double value;    // counter sample or instant argument (kHasValue set)
+  EventType type;
+  bool has_value;
+};
+
+// One thread's private event buffer. Created by ScopedThreadTrace, owned by
+// the global registry until serialization; only its creating thread appends.
+struct ThreadLog {
+  std::vector<Event> events;
+  std::vector<uint32_t> open_spans;  // event indices of unclosed Begins
+  std::string name;
+  int tid = 0;
+  int core = -1;  // pinned core, or -1 when unpinned
+};
+
+// Hot-path state: non-null only while a recorder is installed on this thread.
+inline thread_local ThreadLog* t_log = nullptr;
+
+// Leaf spans shorter than this are dropped at EndSpan time (coalescing), and
+// PhaseStopwatch timelines only switch spans at this granularity. The 100 µs
+// default keeps full bench-suite traces in chrome://tracing-loadable range;
+// override with IAWJ_TRACE_MIN_SPAN_US (microseconds).
+inline std::atomic<uint64_t> g_min_span_ns{100 * 1000};
+
+inline bool Active() { return t_log != nullptr; }
+
+// Nanoseconds since the trace epoch (process start, first use).
+inline uint64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+inline void BeginSpan(const char* name) {
+  ThreadLog* log = t_log;
+  if (log == nullptr) return;
+  log->open_spans.push_back(static_cast<uint32_t>(log->events.size()));
+  log->events.push_back(Event{name, NowNs(), 0, EventType::kBegin, false});
+}
+
+// Ends the innermost open span. Leaf spans (no nested events) shorter than
+// the min-span threshold are dropped entirely, keeping tuple-granular phase
+// flapping from flooding the buffer while longer spans stay exact.
+inline void EndSpan() {
+  ThreadLog* log = t_log;
+  if (log == nullptr || log->open_spans.empty()) return;
+  const uint32_t begin_index = log->open_spans.back();
+  log->open_spans.pop_back();
+  const uint64_t now = NowNs();
+  const Event& begin = log->events[begin_index];
+  if (begin_index + 1 == log->events.size() &&
+      now - begin.ts_ns < g_min_span_ns.load(std::memory_order_relaxed)) {
+    log->events.pop_back();
+    return;
+  }
+  log->events.push_back(Event{begin.name, now, 0, EventType::kEnd, false});
+}
+
+inline void Instant(const char* name) {
+  ThreadLog* log = t_log;
+  if (log == nullptr) return;
+  log->events.push_back(Event{name, NowNs(), 0, EventType::kInstant, false});
+}
+
+inline void Instant(const char* name, double value) {
+  ThreadLog* log = t_log;
+  if (log == nullptr) return;
+  log->events.push_back(Event{name, NowNs(), value, EventType::kInstant, true});
+}
+
+inline void Counter(const char* name, double value) {
+  ThreadLog* log = t_log;
+  if (log == nullptr) return;
+  log->events.push_back(Event{name, NowNs(), value, EventType::kCounter, true});
+}
+
+// Whether tracing is configured for this process (IAWJ_TRACE_FILE set, or
+// forced by a test). Cheap but not hot-path-cheap; call per run, not per
+// tuple.
+bool Enabled();
+
+// Returns a stable, process-lifetime copy of `name` for use as an event
+// name. Takes a lock; intern outside hot loops.
+const char* Intern(const std::string& name);
+
+// Installs a fresh per-thread recorder for the current scope. No-op (and
+// zero-cost at destruction) when tracing is disabled or the thread already
+// has a recorder installed — nesting keeps the outer one. The destructor
+// closes any still-open spans and uninstalls; the buffer itself stays in the
+// registry for serialization.
+class ScopedThreadTrace {
+ public:
+  explicit ScopedThreadTrace(const std::string& thread_name, int core = -1);
+  ~ScopedThreadTrace();
+
+  ScopedThreadTrace(const ScopedThreadTrace&) = delete;
+  ScopedThreadTrace& operator=(const ScopedThreadTrace&) = delete;
+
+  bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+};
+
+// Serializes every recorded thread buffer as Chrome Trace Event JSON. Must
+// not race live recording threads; call after workers are joined.
+std::string SerializeChromeTrace();
+
+// SerializeChromeTrace to a file.
+Status WriteChromeTrace(const std::string& path);
+
+// Total events currently buffered across all threads (diagnostics/tests).
+size_t TotalEventCount();
+
+// --- Test hooks -----------------------------------------------------------
+
+// Overrides Enabled() regardless of IAWJ_TRACE_FILE. Pass reset=true on
+// ResetForTesting to return to env-driven behavior.
+void ForceEnableForTesting(bool enabled);
+
+// Drops all recorded buffers and interned names; the calling thread must not
+// have a recorder installed.
+void ResetForTesting();
+
+}  // namespace iawj::trace
+
+#endif  // IAWJ_PROFILING_TRACE_H_

@@ -1,0 +1,101 @@
+// Tests for the minimal JSON writer/parser backing the observability layer.
+#include <gtest/gtest.h>
+
+#include "src/common/json.h"
+
+namespace iawj {
+namespace {
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json::Quote("plain"), "\"plain\"");
+  EXPECT_EQ(json::Quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json::Quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json::Quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json::Quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, BuildsNestedStructure) {
+  json::Writer w;
+  w.BeginObject();
+  w.Field("name", "iawj");
+  w.Field("count", int64_t{3});
+  w.Field("ratio", 0.5);
+  w.Field("ok", true);
+  w.Key("items").BeginArray().Int(1).Int(2).String("x").EndArray();
+  w.Key("nested").BeginObject().Field("deep", int64_t{-1}).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"iawj\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"items\":[1,2,\"x\"],\"nested\":{\"deep\":-1}}");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  json::Writer w;
+  w.BeginArray().Double(0.1).Double(123456789.25).Double(-3).EndArray();
+  json::Value parsed;
+  ASSERT_TRUE(json::Parse(w.str(), &parsed).ok());
+  ASSERT_EQ(parsed.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.array[0].number, 0.1);
+  EXPECT_DOUBLE_EQ(parsed.array[1].number, 123456789.25);
+  EXPECT_DOUBLE_EQ(parsed.array[2].number, -3);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  json::Writer w;
+  w.BeginArray().Double(1.0 / 0.0).EndArray();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonParse, ObjectArrayScalars) {
+  json::Value v;
+  ASSERT_TRUE(json::Parse(
+                  " { \"a\" : [1, 2.5, true, false, null, \"s\"] } ", &v)
+                  .ok());
+  ASSERT_TRUE(v.is_object());
+  const json::Value* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 6u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_TRUE(a->array[2].boolean);
+  EXPECT_FALSE(a->array[3].boolean);
+  EXPECT_TRUE(a->array[4].is_null());
+  EXPECT_EQ(a->array[5].string, "s");
+}
+
+TEST(JsonParse, StringEscapes) {
+  json::Value v;
+  ASSERT_TRUE(json::Parse("\"a\\n\\t\\\\\\\"\\u0041\"", &v).ok());
+  EXPECT_EQ(v.string, "a\n\t\\\"A");
+}
+
+TEST(JsonParse, RoundTripsWriterEscapes) {
+  json::Writer w;
+  w.BeginObject().Field("s", "quote\" slash\\ nl\n").EndObject();
+  json::Value v;
+  ASSERT_TRUE(json::Parse(w.str(), &v).ok());
+  EXPECT_EQ(v.Find("s")->string, "quote\" slash\\ nl\n");
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  json::Value v;
+  EXPECT_FALSE(json::Parse("", &v).ok());
+  EXPECT_FALSE(json::Parse("{", &v).ok());
+  EXPECT_FALSE(json::Parse("[1,]", &v).ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}", &v).ok());
+  EXPECT_FALSE(json::Parse("tru", &v).ok());
+  EXPECT_FALSE(json::Parse("1 2", &v).ok());
+  EXPECT_FALSE(json::Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(json::Parse("{\"a\":1,}", &v).ok());
+}
+
+TEST(JsonParse, RejectsDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  json::Value v;
+  EXPECT_FALSE(json::Parse(deep, &v).ok());
+}
+
+}  // namespace
+}  // namespace iawj

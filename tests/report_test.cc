@@ -40,6 +40,36 @@ TEST(ReportTable, CsvEscapesSpecialCells) {
   EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
 }
 
+TEST(ReportTable, CsvEscapesNewlinesAndMixedCells) {
+  report::Table table({"a", "b", "c"});
+  table.AddRow({"line1\nline2", "quote\"and,comma", "plain"});
+  const std::string csv = table.ToCsv();
+  // The embedded newline stays inside one quoted cell (RFC 4180).
+  EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"and,comma\""), std::string::npos);
+  // Plain cells stay unquoted.
+  EXPECT_NE(csv.find(",plain\n"), std::string::npos);
+  // Exactly header + one (logical) row: 3 line breaks total, one of which
+  // is the embedded one.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(ReportTable, CsvEscapesQuoteOnlyAndEmptyCells) {
+  report::Table table({"a", "b"});
+  table.AddRow({"\"", ""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"\"\"\","), std::string::npos);  // lone quote doubled
+  EXPECT_NE(csv.find(",\n"), std::string::npos);        // empty cell stays bare
+}
+
+TEST(ReportTable, CsvEscapesCarriageReturn) {
+  report::Table table({"a"});
+  table.AddRow({"pre\r\npost"});
+  const std::string csv = table.ToCsv();
+  // \r\n-containing cells must be quoted (the \n triggers quoting).
+  EXPECT_NE(csv.find("\"pre\r\npost\""), std::string::npos);
+}
+
 TEST(ReportTable, NumFormatsPrecision) {
   EXPECT_EQ(report::Table::Num(3.14159, 2), "3.14");
   EXPECT_EQ(report::Table::Num(1000, 0), "1000");
@@ -67,6 +97,30 @@ TEST(Gnuplot, EmitsOneSeriesPerDistinctValue) {
   EXPECT_NE(script.find("title 'SHJ-JM'"), std::string::npos);
   EXPECT_NE(script.find("'fig9.csv'"), std::string::npos);
   EXPECT_NE(script.find("set xlabel 'rate'"), std::string::npos);
+}
+
+TEST(Gnuplot, UsesOneBasedColumnIndices) {
+  const report::Table table = SampleTable();  // rate=1, algo=2, tput=3
+  const std::string script =
+      report::GnuplotScript("fig9", table, "rate", "algo", "tput");
+  EXPECT_NE(script.find("using 1:"), std::string::npos);
+  EXPECT_NE(script.find("stringcolumn(2)"), std::string::npos);
+  EXPECT_NE(script.find("column(3)"), std::string::npos);
+  EXPECT_NE(script.find("set datafile separator ','"), std::string::npos);
+  EXPECT_NE(script.find("set ylabel 'tput'"), std::string::npos);
+}
+
+TEST(Gnuplot, ExactlyOnePlotLinePerSeries) {
+  const report::Table table = SampleTable();  // two distinct algos
+  const std::string script =
+      report::GnuplotScript("fig9", table, "rate", "algo", "tput");
+  size_t plots = 0;
+  for (size_t pos = script.find("with linespoints");
+       pos != std::string::npos;
+       pos = script.find("with linespoints", pos + 1)) {
+    ++plots;
+  }
+  EXPECT_EQ(plots, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// Tests for the structured run-record exporter: JSON shape, field coverage,
+// env-var gating, and on-disk emission.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/datagen/micro.h"
+#include "src/profiling/run_record.h"
+
+namespace iawj {
+namespace {
+
+RunResult SmallRun(JoinSpec* spec_out) {
+  MicroSpec mspec;
+  mspec.rate_r = 50;
+  mspec.rate_s = 50;
+  mspec.window_ms = 100;
+  MicroWorkload workload = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  spec.clock_mode = Clock::Mode::kInstant;
+  *spec_out = spec;
+  JoinRunner runner;
+  return runner.Run(AlgorithmId::kNpj, workload.r, workload.s, spec);
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> entries;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return entries;
+  while (dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") entries.push_back(name);
+  }
+  closedir(d);
+  return entries;
+}
+
+TEST(RunRecord, JsonCarriesEveryListedField) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  RunRecordContext context;
+  context.bench = "run_record_test";
+  context.workload = "micro";
+  context.workload_scale = 0.5;
+  const std::string text = RunRecordJson(result, spec, context);
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(text, &record).ok()) << text;
+  ASSERT_TRUE(record.is_object());
+
+  // Identity and provenance.
+  EXPECT_EQ(record.Find("algorithm")->string, "NPJ");
+  EXPECT_EQ(record.Find("bench")->string, "run_record_test");
+  EXPECT_EQ(record.Find("workload")->string, "micro");
+  EXPECT_DOUBLE_EQ(record.Find("workload_scale")->number, 0.5);
+  EXPECT_FALSE(record.Find("git_describe")->string.empty());
+  const std::string& ts = record.Find("timestamp_utc")->string;
+  EXPECT_EQ(ts.size(), 20u);  // 2026-08-05T12:34:56Z
+  EXPECT_EQ(ts.back(), 'Z');
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+
+  // Spec snapshot.
+  const json::Value* spec_obj = record.Find("spec");
+  ASSERT_NE(spec_obj, nullptr);
+  EXPECT_DOUBLE_EQ(spec_obj->Find("num_threads")->number, 2);
+  EXPECT_DOUBLE_EQ(spec_obj->Find("window_ms")->number, 100);
+  EXPECT_EQ(spec_obj->Find("clock_mode")->string, "instant");
+  EXPECT_EQ(spec_obj->Find("hash_table_kind")->string, "bucket_chain");
+  EXPECT_NE(spec_obj->Find("radix_bits"), nullptr);
+  EXPECT_NE(spec_obj->Find("pmj_delta"), nullptr);
+  EXPECT_NE(spec_obj->Find("use_simd"), nullptr);
+
+  // Metrics.
+  EXPECT_DOUBLE_EQ(record.Find("inputs")->number,
+                   static_cast<double>(result.inputs));
+  EXPECT_DOUBLE_EQ(record.Find("matches")->number,
+                   static_cast<double>(result.matches));
+  EXPECT_GT(record.Find("matches")->number, 0);
+  EXPECT_NE(record.Find("checksum"), nullptr);
+  EXPECT_GT(record.Find("throughput_per_ms")->number, 0);
+  EXPECT_NE(record.Find("p95_latency_ms"), nullptr);
+  EXPECT_NE(record.Find("mean_latency_ms"), nullptr);
+  EXPECT_NE(record.Find("work_ns_per_input"), nullptr);
+  EXPECT_GE(record.Find("peak_tracked_bytes")->number, 0);
+
+  // Phase breakdown covers all seven phases.
+  const json::Value* phases = record.Find("phase_ns");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_EQ(phases->object.size(), static_cast<size_t>(kNumPhases));
+  for (const char* phase :
+       {"wait", "partition", "build", "sort", "merge", "probe", "others"}) {
+    EXPECT_NE(phases->Find(phase), nullptr) << phase;
+  }
+  double phase_total = 0;
+  for (const auto& [name, value] : phases->object) {
+    phase_total += value.number;
+  }
+  EXPECT_GT(phase_total, 0);
+}
+
+TEST(RunRecord, WriteCreatesOneValidFilePerCall) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  const std::string dir = testing::TempDir() + "/iawj_metrics_write_test";
+
+  std::string path1, path2;
+  ASSERT_TRUE(WriteRunRecord(result, spec, {}, dir, &path1).ok());
+  ASSERT_TRUE(WriteRunRecord(result, spec, {}, dir, &path2).ok());
+  EXPECT_NE(path1, path2);  // sequence number keeps names unique
+
+  const auto entries = ListDir(dir);
+  EXPECT_EQ(entries.size(), 2u);
+  for (const std::string& entry : entries) {
+    std::ifstream in(dir + "/" + entry);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    json::Value record;
+    EXPECT_TRUE(json::Parse(text, &record).ok()) << entry;
+    EXPECT_EQ(record.Find("algorithm")->string, "NPJ");
+    std::remove((dir + "/" + entry).c_str());
+  }
+  rmdir(dir.c_str());
+}
+
+TEST(RunRecord, MaybeWriteIsGatedOnEnv) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+
+  unsetenv("IAWJ_METRICS_DIR");
+  EXPECT_FALSE(MaybeWriteRunRecord(result, spec));
+
+  const std::string dir = testing::TempDir() + "/iawj_metrics_env_test";
+  setenv("IAWJ_METRICS_DIR", dir.c_str(), 1);
+  EXPECT_TRUE(MaybeWriteRunRecord(result, spec));
+  unsetenv("IAWJ_METRICS_DIR");
+
+  const auto entries = ListDir(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  std::remove((dir + "/" + entries.front()).c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(RunRecord, WriteFailsOnUnwritableDir) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  EXPECT_FALSE(
+      WriteRunRecord(result, spec, {}, "/proc/definitely/not/writable").ok());
+}
+
+TEST(RunRecord, GitDescribeIsStableAndNonEmpty) {
+  const std::string a = GitDescribeStamp();
+  const std::string b = GitDescribeStamp();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+}  // namespace
+}  // namespace iawj

@@ -1,0 +1,321 @@
+// Tests for the Chrome-trace span recorder: event capture, span
+// nesting/coalescing, multi-thread serialization, env gating, and the
+// runner integration that names worker threads.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/datagen/micro.h"
+#include "src/join/runner.h"
+#include "src/profiling/trace.h"
+
+namespace iawj {
+namespace {
+
+class TraceTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    trace::ResetForTesting();
+    trace::ForceEnableForTesting(true);
+    saved_min_span_ns_ = trace::g_min_span_ns.load();
+    trace::g_min_span_ns.store(0);
+  }
+  void TearDown() override {
+    trace::g_min_span_ns.store(saved_min_span_ns_);
+    trace::ResetForTesting();
+  }
+
+  uint64_t saved_min_span_ns_ = 0;
+};
+
+// Parses a serialized trace and returns its traceEvents array.
+json::Value ParseTrace(const std::string& text) {
+  json::Value root;
+  const Status status = json::Parse(text, &root);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(root.is_object());
+  const json::Value* events = root.Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  return *events;
+}
+
+// Validates B/E pairing and name matching per thread; returns span count.
+size_t CheckPairing(const json::Value& events) {
+  std::map<int64_t, std::vector<std::string>> open;
+  size_t spans = 0;
+  for (const json::Value& e : events.array) {
+    const std::string& ph = e.Find("ph")->string;
+    const int64_t tid = static_cast<int64_t>(e.Find("tid")->number);
+    const std::string& name = e.Find("name")->string;
+    if (ph == "B") {
+      open[tid].push_back(name);
+      ++spans;
+    } else if (ph == "E") {
+      EXPECT_FALSE(open[tid].empty()) << "E without B: " << name;
+      if (!open[tid].empty()) {
+        EXPECT_EQ(open[tid].back(), name);
+        open[tid].pop_back();
+      }
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  return spans;
+}
+
+std::vector<std::string> EventNames(const json::Value& events,
+                                    const std::string& ph) {
+  std::vector<std::string> names;
+  for (const json::Value& e : events.array) {
+    if (e.Find("ph")->string == ph) names.push_back(e.Find("name")->string);
+  }
+  return names;
+}
+
+TEST_F(TraceTest, DisabledByDefaultWithoutEnv) {
+  trace::ResetForTesting();  // back to env-driven
+  unsetenv("IAWJ_TRACE_FILE");
+  EXPECT_FALSE(trace::Enabled());
+  trace::ScopedThreadTrace tt("t");
+  EXPECT_FALSE(tt.installed());
+  EXPECT_FALSE(trace::Active());
+  // Emission is a no-op, not a crash.
+  trace::BeginSpan("x");
+  trace::EndSpan();
+  trace::Instant("y");
+  trace::Counter("z", 1);
+  EXPECT_EQ(trace::TotalEventCount(), 0u);
+  trace::ForceEnableForTesting(true);  // restore fixture expectation
+}
+
+TEST_F(TraceTest, EnvVarEnables) {
+  trace::ResetForTesting();  // back to env-driven
+  setenv("IAWJ_TRACE_FILE", "/tmp/iawj_test_trace.json", 1);
+  EXPECT_TRUE(trace::Enabled());
+  unsetenv("IAWJ_TRACE_FILE");
+  EXPECT_FALSE(trace::Enabled());
+  trace::ForceEnableForTesting(true);
+}
+
+TEST_F(TraceTest, ForceDisableWins) {
+  setenv("IAWJ_TRACE_FILE", "/tmp/iawj_test_trace.json", 1);
+  trace::ForceEnableForTesting(false);
+  EXPECT_FALSE(trace::Enabled());
+  unsetenv("IAWJ_TRACE_FILE");
+}
+
+TEST_F(TraceTest, SpansNestAndSerialize) {
+  {
+    trace::ScopedThreadTrace tt("main");
+    ASSERT_TRUE(tt.installed());
+    trace::BeginSpan("outer");
+    trace::BeginSpan("inner");
+    trace::Instant("tick", 7);
+    trace::EndSpan();
+    trace::Counter("bytes", 42);
+    trace::EndSpan();
+  }
+  const json::Value events = ParseTrace(trace::SerializeChromeTrace());
+  CheckPairing(events);
+  const auto begins = EventNames(events, "B");
+  ASSERT_EQ(begins.size(), 2u);
+  EXPECT_EQ(begins[0], "outer");
+  EXPECT_EQ(begins[1], "inner");
+  const auto ends = EventNames(events, "E");
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_EQ(ends[0], "inner");  // inner closes first
+  EXPECT_EQ(ends[1], "outer");
+  EXPECT_EQ(EventNames(events, "i"), std::vector<std::string>{"tick"});
+  EXPECT_EQ(EventNames(events, "C"), std::vector<std::string>{"bytes"});
+  // Thread metadata names the thread.
+  bool named = false;
+  for (const json::Value& e : events.array) {
+    if (e.Find("name")->string == "thread_name" &&
+        e.Find("args")->Find("name")->string == "main") {
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST_F(TraceTest, ShortLeafSpansAreCoalescedAway) {
+  trace::g_min_span_ns.store(uint64_t{60} * 1000 * 1000 * 1000);
+  {
+    trace::ScopedThreadTrace tt("main");
+    trace::BeginSpan("tiny");
+    trace::EndSpan();  // leaf far below threshold: dropped entirely
+    trace::BeginSpan("parent");
+    trace::Instant("child");  // parent is not a leaf: kept despite duration
+    trace::EndSpan();
+  }
+  const json::Value events = ParseTrace(trace::SerializeChromeTrace());
+  CheckPairing(events);
+  EXPECT_EQ(EventNames(events, "B"), std::vector<std::string>{"parent"});
+}
+
+TEST_F(TraceTest, NestedScopedThreadTraceIsNoop) {
+  trace::ScopedThreadTrace outer("outer");
+  ASSERT_TRUE(outer.installed());
+  {
+    trace::ScopedThreadTrace inner("inner");
+    EXPECT_FALSE(inner.installed());
+    EXPECT_TRUE(trace::Active());  // outer recorder still in place
+  }
+  EXPECT_TRUE(trace::Active());
+}
+
+TEST_F(TraceTest, DestructorClosesOpenSpans) {
+  {
+    trace::ScopedThreadTrace tt("main");
+    trace::BeginSpan("left-open");
+    trace::BeginSpan("also-open");
+  }
+  const json::Value events = ParseTrace(trace::SerializeChromeTrace());
+  CheckPairing(events);  // would fail if spans stayed open
+}
+
+TEST_F(TraceTest, MultiThreadFlush) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      trace::ScopedThreadTrace tt("worker " + std::to_string(t), t);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        trace::BeginSpan("work");
+        trace::Counter("i", i);
+        trace::EndSpan();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const json::Value events = ParseTrace(trace::SerializeChromeTrace());
+  EXPECT_EQ(CheckPairing(events), size_t{kThreads * kSpansPerThread});
+  // All four workers named, each with pinned-core metadata attached.
+  int named = 0, cores = 0;
+  for (const json::Value& e : events.array) {
+    const std::string& name = e.Find("name")->string;
+    if (name == "thread_name" &&
+        e.Find("args")->Find("name")->string.rfind("worker ", 0) == 0) {
+      ++named;
+    }
+    if (name == "iawj_pinned_core") ++cores;
+  }
+  EXPECT_EQ(named, kThreads);
+  EXPECT_EQ(cores, kThreads);
+}
+
+TEST_F(TraceTest, InternedNamesAreStable) {
+  const char* a = trace::Intern("run 1 NPJ");
+  const char* b = trace::Intern("run 1 NPJ");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "run 1 NPJ");
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  {
+    trace::ScopedThreadTrace tt("main");
+    trace::BeginSpan("span");
+    trace::EndSpan();
+  }
+  const std::string path = testing::TempDir() + "/iawj_trace_test.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  const json::Value events = ParseTrace(text);
+  CheckPairing(events);
+  json::Value root;
+  ASSERT_TRUE(json::Parse(text, &root).ok());
+  EXPECT_EQ(root.Find("displayTimeUnit")->string, "ms");
+}
+
+// End-to-end: one lazy and one eager algorithm through the runner must leave
+// named per-worker phase spans (the ISSUE 1 acceptance criterion).
+TEST_F(TraceTest, RunnerEmitsNamedWorkerPhaseSpans) {
+  MicroSpec mspec;
+  mspec.rate_r = 50;
+  mspec.rate_s = 50;
+  mspec.window_ms = 200;
+  MicroWorkload workload = GenerateMicro(mspec);
+
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 200;
+  spec.clock_mode = Clock::Mode::kInstant;
+
+  JoinRunner runner;
+  const RunResult lazy = runner.Run(AlgorithmId::kNpj, workload.r,
+                                    workload.s, spec);
+  const RunResult eager = runner.Run(AlgorithmId::kShjJm, workload.r,
+                                     workload.s, spec);
+  EXPECT_GT(lazy.matches, 0u);
+  EXPECT_EQ(lazy.matches, eager.matches);
+
+  const json::Value events = ParseTrace(trace::SerializeChromeTrace());
+  CheckPairing(events);
+
+  // Worker threads are named per algorithm and worker index.
+  std::vector<std::string> thread_names;
+  for (const json::Value& e : events.array) {
+    if (e.Find("name")->string == "thread_name") {
+      thread_names.push_back(e.Find("args")->Find("name")->string);
+    }
+  }
+  const auto has_thread = [&](const std::string& name) {
+    for (const auto& t : thread_names) {
+      if (t == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_thread("NPJ w0"));
+  EXPECT_TRUE(has_thread("NPJ w1"));
+  EXPECT_TRUE(has_thread("SHJ-JM w0"));
+  EXPECT_TRUE(has_thread("orchestrator"));
+
+  // Phase spans from both the lazy ScopedPhase path and the eager
+  // PhaseStopwatch path.
+  const auto begins = EventNames(events, "B");
+  const auto count = [&](const std::string& name) {
+    size_t n = 0;
+    for (const auto& b : begins) {
+      if (b == name) ++n;
+    }
+    return n;
+  };
+  EXPECT_GE(count("build"), 1u);      // NPJ build phase
+  EXPECT_GE(count("probe"), 1u);      // NPJ probe phase
+  EXPECT_GE(count("partition"), 1u);  // eager pull loop
+  EXPECT_GE(count("NPJ run 1"), 1u);  // per-run span on workers+orchestrator
+}
+
+// When no recorder is installed, instrumented code paths must not record
+// anything (the "zero overhead when disabled" contract).
+TEST_F(TraceTest, NoEventsWithoutInstalledRecorder) {
+  trace::ForceEnableForTesting(false);
+  MicroSpec mspec;
+  mspec.rate_r = 20;
+  mspec.rate_s = 20;
+  mspec.window_ms = 100;
+  MicroWorkload workload = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  JoinRunner runner;
+  runner.Run(AlgorithmId::kNpj, workload.r, workload.s, spec);
+  runner.Run(AlgorithmId::kShjJm, workload.r, workload.s, spec);
+  EXPECT_EQ(trace::TotalEventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace iawj

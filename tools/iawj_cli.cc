@@ -17,6 +17,7 @@
 #include "src/join/adaptive.h"
 #include "src/join/runner.h"
 #include "src/join/window_pipeline.h"
+#include "src/profiling/run_record.h"
 #include "src/report/report.h"
 
 namespace iawj {
@@ -157,6 +158,8 @@ int Run(int argc, char** argv) {
       const RunResult result = RunAdaptive(r, s, spec, options, &choice);
       std::printf("adaptive pick: %s\n",
                   std::string(AlgorithmName(choice.algorithm)).c_str());
+      MaybeWriteRunRecord(result, spec,
+                          {.bench = "iawj_cli", .workload = workload_name});
       add_row(result.algorithm, 1, result.inputs, result.matches,
               result.throughput_per_ms, result.p95_latency_ms,
               result.progress.TimeToFractionMs(0.5),
@@ -179,6 +182,8 @@ int Run(int argc, char** argv) {
     } else {
       JoinRunner runner;
       const RunResult result = runner.Run(id, r, s, spec);
+      MaybeWriteRunRecord(result, spec,
+                          {.bench = "iawj_cli", .workload = workload_name});
       add_row(result.algorithm, 1, result.inputs, result.matches,
               result.throughput_per_ms, result.p95_latency_ms,
               result.progress.TimeToFractionMs(0.5),

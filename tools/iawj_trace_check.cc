@@ -1,0 +1,160 @@
+// iawj_trace_check — validate a Chrome Trace Event JSON file produced by the
+// trace recorder (IAWJ_TRACE_FILE).
+//
+// Checks:
+//   - the file parses as JSON and has a traceEvents array
+//   - every event carries name/ph/pid/tid (and ts for non-metadata events)
+//   - per thread, B/E events pair up, nest properly, and names match
+//   - per thread, timestamps are non-decreasing
+//
+// Prints a summary (threads, spans, max nesting depth, duration) and exits
+// non-zero on the first violation. Usage:
+//   iawj_trace_check trace.json
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/json.h"
+
+namespace iawj {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  return 1;
+}
+
+struct ThreadState {
+  std::vector<std::string> open;  // names of open B spans, innermost last
+  double last_ts = -1;
+  std::string name;
+  size_t events = 0;
+  size_t spans = 0;
+  size_t max_depth = 0;
+};
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  const bool verbose = flags.GetBool("verbose", false);
+  if (const auto unknown = flags.Unknown(); !unknown.empty()) {
+    return Fail("unknown flag --" + unknown.front());
+  }
+  if (flags.positional().size() != 1) {
+    return Fail("usage: iawj_trace_check [--verbose] <trace.json>");
+  }
+  const std::string& path = flags.positional().front();
+
+  std::ifstream in(path);
+  if (!in) return Fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  json::Value root;
+  if (const Status status = json::Parse(text, &root); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  if (!root.is_object()) return Fail("top-level value is not an object");
+  const json::Value* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("missing traceEvents array");
+  }
+
+  std::map<std::pair<int64_t, int64_t>, ThreadState> threads;
+  double min_ts = -1, max_ts = -1;
+  size_t index = 0;
+  for (const json::Value& event : events->array) {
+    const std::string where = "event " + std::to_string(index++);
+    if (!event.is_object()) return Fail(where + ": not an object");
+    const json::Value* name = event.Find("name");
+    const json::Value* ph = event.Find("ph");
+    const json::Value* pid = event.Find("pid");
+    const json::Value* tid = event.Find("tid");
+    if (name == nullptr || !name->is_string()) {
+      return Fail(where + ": missing string name");
+    }
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
+      return Fail(where + ": missing one-character ph");
+    }
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number()) {
+      return Fail(where + ": missing numeric pid/tid");
+    }
+    const char kind = ph->string[0];
+    if (kind == 'M') continue;  // metadata: no ts/ordering requirements
+
+    const json::Value* ts = event.Find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return Fail(where + ": missing numeric ts");
+    }
+    ThreadState& thread = threads[{static_cast<int64_t>(pid->number),
+                                   static_cast<int64_t>(tid->number)}];
+    ++thread.events;
+    if (ts->number < thread.last_ts) {
+      return Fail(where + ": ts " + std::to_string(ts->number) +
+                  " goes backwards on tid " + std::to_string(tid->number));
+    }
+    thread.last_ts = ts->number;
+    if (min_ts < 0 || ts->number < min_ts) min_ts = ts->number;
+    max_ts = std::max(max_ts, ts->number);
+
+    switch (kind) {
+      case 'B':
+        thread.open.push_back(name->string);
+        thread.max_depth = std::max(thread.max_depth, thread.open.size());
+        ++thread.spans;
+        break;
+      case 'E':
+        if (thread.open.empty()) {
+          return Fail(where + ": E '" + name->string + "' without open B");
+        }
+        if (thread.open.back() != name->string) {
+          return Fail(where + ": E '" + name->string +
+                      "' closes open span '" + thread.open.back() + "'");
+        }
+        thread.open.pop_back();
+        break;
+      case 'i':
+      case 'I':
+      case 'C':
+        break;
+      default:
+        return Fail(where + ": unsupported ph '" + ph->string + "'");
+    }
+  }
+
+  size_t total_events = 0, total_spans = 0, max_depth = 0;
+  for (const auto& [key, thread] : threads) {
+    if (!thread.open.empty()) {
+      return Fail("tid " + std::to_string(key.second) + ": span '" +
+                  thread.open.back() + "' never closed");
+    }
+    total_events += thread.events;
+    total_spans += thread.spans;
+    max_depth = std::max(max_depth, thread.max_depth);
+    if (verbose) {
+      std::printf("tid %lld: %zu events, %zu spans, depth %zu\n",
+                  static_cast<long long>(key.second), thread.events,
+                  thread.spans, thread.max_depth);
+    }
+  }
+  std::printf(
+      "OK: %zu events on %zu threads, %zu spans, max depth %zu, "
+      "%.3f ms spanned\n",
+      total_events, threads.size(), total_spans, max_depth,
+      max_ts < 0 ? 0.0 : (max_ts - min_ts) / 1000.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace iawj
+
+int main(int argc, char** argv) { return iawj::Run(argc, argv); }
