@@ -1,0 +1,49 @@
+// Shared cancellation token for one join run (ISSUE 2).
+//
+// The runner owns one token per run and hands it to every participant: the
+// deadline watchdog and the memory tracker's budget enforcement cancel it,
+// worker threads observe it at phase boundaries and unwind, and the run's
+// RunResult carries the cancellation reason as its Status. The observe path
+// is a single relaxed atomic load, so checkpoints are safe to sprinkle
+// through tuple loops.
+#ifndef IAWJ_COMMON_CANCEL_H_
+#define IAWJ_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace iawj {
+
+class CancelToken {
+ public:
+  // Requests cancellation; the first caller's reason wins, later calls are
+  // ignored (e.g. a deadline firing after a memory breach already did).
+  void Cancel(Status reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    reason_ = std::move(reason);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // The winning cancellation reason; OK when not cancelled.
+  Status reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  Status reason_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_CANCEL_H_

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 
 namespace iawj {
@@ -11,7 +12,17 @@ Clock::Clock(Mode mode, double time_scale)
   IAWJ_CHECK_GT(time_scale, 0.0);
 }
 
-void Clock::Start() { start_ = std::chrono::steady_clock::now(); }
+void Clock::Start() {
+  start_ = std::chrono::steady_clock::now();
+  // Fault site "clock_skew": the clock behaves as if started 10 s in the
+  // past, so every tuple appears already arrived and realtime runs report
+  // wildly inflated stream times — the shape of an NTP step or a suspended
+  // VM. Exercises that metrics aggregation stays finite and the engine
+  // never blocks on a timestamp that will "never" arrive.
+  if (fault::Enabled() && fault::Inject("clock_skew")) {
+    start_ -= std::chrono::seconds(10);
+  }
+}
 
 double Clock::NowMs() const {
   const auto wall = std::chrono::steady_clock::now() - start_;

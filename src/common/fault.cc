@@ -1,0 +1,147 @@
+#include "src/common/fault.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace iawj::fault {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct Site {
+  std::string name;
+  uint64_t nth = 1;    // first firing hit (1-based)
+  uint64_t count = 1;  // firing hits; 0 = every hit from nth on
+  std::atomic<uint64_t> hits{0};
+};
+
+// Fixed-capacity table: Site holds an atomic, so the array is never resized
+// while enabled. More sites than this in one spec is a configuration error.
+constexpr size_t kMaxSites = 16;
+std::array<Site, kMaxSites> g_sites;
+std::atomic<size_t> g_num_sites{0};
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+// Parses one "site[:nth[:count]]" element into *site.
+Status ParseElement(std::string_view element, Site* site) {
+  const size_t colon1 = element.find(':');
+  site->name = std::string(element.substr(0, colon1));
+  site->nth = 1;
+  site->count = 1;
+  site->hits.store(0, std::memory_order_relaxed);
+  if (site->name.empty()) {
+    return Status::InvalidArgument("IAWJ_FAULT: empty site name");
+  }
+  if (colon1 == std::string_view::npos) return Status::Ok();
+
+  std::string_view rest = element.substr(colon1 + 1);
+  const size_t colon2 = rest.find(':');
+  const std::string_view nth_text = rest.substr(0, colon2);
+  if (!ParseU64(nth_text, &site->nth) || site->nth == 0) {
+    return Status::InvalidArgument("IAWJ_FAULT: bad nth in '" +
+                                   std::string(element) +
+                                   "' (want a positive integer)");
+  }
+  if (colon2 == std::string_view::npos) return Status::Ok();
+  if (!ParseU64(rest.substr(colon2 + 1), &site->count)) {
+    return Status::InvalidArgument("IAWJ_FAULT: bad count in '" +
+                                   std::string(element) +
+                                   "' (want an integer; 0 = forever)");
+  }
+  return Status::Ok();
+}
+
+// Reads $IAWJ_FAULT once at process start; a malformed value is a user
+// error worth failing loudly on — silently ignoring it would "pass" a test
+// that believed faults were active. It is still a *user* error, so it gets
+// a one-line diagnostic and a clean invalid_argument exit, not an abort.
+const bool g_env_init = [] {
+  const char* spec = std::getenv("IAWJ_FAULT");
+  if (spec == nullptr || spec[0] == '\0') return true;
+  if (const Status status = Configure(spec); !status.ok()) {
+    std::fprintf(stderr, "error [invalid_argument]: %s\n",
+                 std::string(status.message()).c_str());
+    std::exit(2);
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace internal {
+
+bool InjectSlow(std::string_view site) {
+  const size_t n = g_num_sites.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    Site& s = g_sites[i];
+    if (s.name != site) continue;
+    const uint64_t hit =
+        s.hits.fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+    if (hit < s.nth) return false;
+    return s.count == 0 || hit < s.nth + s.count;
+  }
+  return false;
+}
+
+}  // namespace internal
+
+Status Configure(std::string_view spec) {
+  Clear();
+  size_t n = 0;
+  size_t begin = 0;
+  while (begin <= spec.size() && !spec.empty()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view element = spec.substr(begin, end - begin);
+    if (!element.empty()) {
+      if (n == kMaxSites) {
+        return Status::InvalidArgument("IAWJ_FAULT: more than " +
+                                       std::to_string(kMaxSites) + " sites");
+      }
+      if (const Status status = ParseElement(element, &g_sites[n]);
+          !status.ok()) {
+        return status;
+      }
+      ++n;
+    }
+    begin = end + 1;
+  }
+  g_num_sites.store(n, std::memory_order_release);
+  internal::g_enabled.store(n > 0, std::memory_order_release);
+  return Status::Ok();
+}
+
+void Clear() {
+  internal::g_enabled.store(false, std::memory_order_release);
+  g_num_sites.store(0, std::memory_order_release);
+  for (Site& s : g_sites) s.hits.store(0, std::memory_order_relaxed);
+}
+
+uint64_t Hits(std::string_view site) {
+  const size_t n = g_num_sites.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (g_sites[i].name == site) {
+      return g_sites[i].hits.load(std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+}  // namespace iawj::fault

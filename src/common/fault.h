@@ -1,0 +1,76 @@
+// Deterministic, env-gated fault injection (ISSUE 2 tentpole).
+//
+// IAWJ_FAULT holds a comma-separated list of site specs:
+//
+//   site[:nth[:count]]
+//
+// A configured site "fires" (returns true from Inject) on hits
+// [nth, nth + count) of its process-global atomic hit counter; nth defaults
+// to 1 (the first hit), count defaults to 1, and count 0 means "every hit
+// from nth on". Examples:
+//
+//   IAWJ_FAULT=alloc:100          the 100th tracked allocation breaches
+//   IAWJ_FAULT=worker_stall:2     the 2nd spawned worker hangs until cancel
+//   IAWJ_FAULT=io_truncate        the first stream load sees a short file
+//   IAWJ_FAULT=alloc:10:0,clock_skew
+//
+// Injection sites are wired into the memory tracker (alloc), the runner's
+// worker spawn loop (worker_stall), the eager engine's pull loop
+// (eager_stall), the window pipeline (window_fail), workload IO
+// (io_truncate), and the virtual clock (clock_skew). Hit counters are
+// atomic, so replays under a fixed spec are deterministic in *which hit*
+// fires; with faults unset every Inject() call is a single relaxed atomic
+// load, keeping production hot paths untouched.
+#ifndef IAWJ_COMMON_FAULT_H_
+#define IAWJ_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace iawj::fault {
+
+// The documented injection sites (DESIGN.md "Failure modes & degradation").
+inline constexpr const char* kKnownSites[] = {
+    "alloc",        // memory tracker: simulated budget breach
+    "worker_stall", // runner: a spawned worker parks until cancelled
+    "eager_stall",  // eager pull loop: parks at a progress checkpoint
+    "window_fail",  // window pipeline: one window's run fails outright
+    "io_truncate",  // workload IO: loaded stream file appears truncated
+    "clock_skew",   // virtual clock: Start() skews backwards ~10 s
+};
+
+namespace internal {
+// True while any site is configured; the only state the hot path touches.
+extern std::atomic<bool> g_enabled;
+bool InjectSlow(std::string_view site);
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Counts one hit of `site` and reports whether the fault fires on it.
+// Sites that are not configured are not counted (and never fire).
+inline bool Inject(const char* site) {
+  if (!Enabled()) return false;
+  return internal::InjectSlow(site);
+}
+
+// Replaces the active fault spec and resets all hit counters. An empty spec
+// disables injection. Malformed specs return InvalidArgument and leave
+// injection disabled. Called automatically with $IAWJ_FAULT at startup;
+// tests call it directly.
+Status Configure(std::string_view spec);
+
+// Disables injection and resets all counters.
+void Clear();
+
+// Hits recorded so far for a configured site (0 when not configured).
+uint64_t Hits(std::string_view site);
+
+}  // namespace iawj::fault
+
+#endif  // IAWJ_COMMON_FAULT_H_

@@ -2,6 +2,28 @@
 
 namespace iawj {
 
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
 std::string Status::ToString() const {
   switch (code_) {
     case StatusCode::kOk:
@@ -10,6 +32,16 @@ std::string Status::ToString() const {
       return "InvalidArgument: " + message_;
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition: " + message_;
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted: " + message_;
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded: " + message_;
+    case StatusCode::kCancelled:
+      return "Cancelled: " + message_;
+    case StatusCode::kDataLoss:
+      return "DataLoss: " + message_;
+    case StatusCode::kInternal:
+      return "Internal: " + message_;
   }
   return "Unknown";
 }

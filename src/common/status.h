@@ -1,8 +1,10 @@
-// A small Status type for fallible configuration paths.
+// A small Status type for fallible paths.
 //
-// The hot join paths never fail at runtime; Status is used where a caller can
-// hand the library an invalid configuration (e.g., zero threads, radix bits
-// out of range) and deserves a description rather than a process abort.
+// The hot join paths never fail tuple-by-tuple; Status is used where a
+// caller can hand the library an invalid configuration, where external
+// input (workload files, env overrides) can be malformed, and — since the
+// robustness layer (ISSUE 2) — where a run is cancelled, starved of memory,
+// or overruns its deadline and must report instead of aborting.
 #ifndef IAWJ_COMMON_STATUS_H_
 #define IAWJ_COMMON_STATUS_H_
 
@@ -12,7 +14,20 @@
 
 namespace iawj {
 
-enum class StatusCode { kOk = 0, kInvalidArgument, kFailedPrecondition };
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller-supplied configuration is malformed
+  kFailedPrecondition,  // the environment refused (file missing, mkdir...)
+  kResourceExhausted,   // memory budget breached (IAWJ_MEM_BUDGET / faults)
+  kDeadlineExceeded,    // run overran JoinSpec::deadline_ms
+  kCancelled,           // run cancelled through its CancelToken
+  kDataLoss,            // input file truncated or corrupt past the header
+  kInternal,            // engine-side failure (also injected faults)
+};
+
+// Stable lower-case name of a code ("ok", "resource_exhausted", ...), used
+// by run records and the CLI's exit-code table.
+std::string_view StatusCodeName(StatusCode code);
 
 class Status {
  public:
@@ -26,6 +41,21 @@ class Status {
   }
   static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -64,28 +64,55 @@ std::vector<Tuple> GenerateSide(uint64_t n, uint64_t unique_keys,
 
 }  // namespace
 
-MicroWorkload GenerateMicro(const MicroSpec& spec) {
-  IAWJ_CHECK_GE(spec.dupe, 1.0);
+Status GenerateMicro(const MicroSpec& spec, MicroWorkload* workload) {
+  // dupe < 1 would demand a key domain larger than the stream; the negated
+  // comparison also rejects NaN.
+  if (!(spec.dupe >= 1.0)) {
+    return Status::InvalidArgument("micro spec: dupe must be >= 1");
+  }
+  if (spec.window_ms < 1) {
+    return Status::InvalidArgument("micro spec: window_ms must be >= 1");
+  }
+  if (!(spec.zipf_key >= 0.0) || !(spec.zipf_ts >= 0.0)) {
+    return Status::InvalidArgument(
+        "micro spec: zipf exponents must be >= 0");
+  }
   const uint64_t n_r = spec.size_r != 0
                            ? spec.size_r
                            : spec.rate_r * spec.window_ms;
   const uint64_t n_s = spec.size_s != 0
                            ? spec.size_s
                            : spec.rate_s * spec.window_ms;
-  IAWJ_CHECK_GT(n_r, 0u);
-  IAWJ_CHECK_GT(n_s, 0u);
+  if (n_r == 0 || n_s == 0) {
+    return Status::InvalidArgument(
+        "micro spec: both streams must be non-empty (rate * window or "
+        "explicit size)");
+  }
+  // 2^31 tuples per stream (16 GiB) is far past anything the study sweeps;
+  // refuse rather than letting a typo'd rate OOM the machine.
+  constexpr uint64_t kMaxTuples = uint64_t{1} << 31;
+  if (n_r > kMaxTuples || n_s > kMaxTuples) {
+    return Status::InvalidArgument(
+        "micro spec: stream size exceeds 2^31 tuples");
+  }
 
   // Shared key domain so R and S tuples can match.
   const uint64_t unique_keys = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(std::max(n_r, n_s)) /
                                spec.dupe));
 
-  MicroWorkload workload;
   const double zipf_s = spec.zipf_key_s < 0 ? spec.zipf_key : spec.zipf_key_s;
-  workload.r = MakeStream(
+  workload->r = MakeStream(
       GenerateSide(n_r, unique_keys, spec.zipf_key, spec, spec.seed));
-  workload.s = MakeStream(
+  workload->s = MakeStream(
       GenerateSide(n_s, unique_keys, zipf_s, spec, spec.seed ^ 0xabcdefull));
+  return Status::Ok();
+}
+
+MicroWorkload GenerateMicro(const MicroSpec& spec) {
+  MicroWorkload workload;
+  const Status status = GenerateMicro(spec, &workload);
+  IAWJ_CHECK(status.ok()) << status.ToString();
   return workload;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/status.h"
 #include "src/stream/stream.h"
 
 namespace iawj {
@@ -45,6 +46,14 @@ struct MicroWorkload {
   Stream s;
 };
 
+// Validating form: rejects malformed specs (dupe < 1, zero-size streams,
+// window of 0, negative skews, absurd sizes) with InvalidArgument instead of
+// aborting the process. This is the entry point for user-supplied specs
+// (CLI flags, config files).
+Status GenerateMicro(const MicroSpec& spec, MicroWorkload* workload);
+
+// Convenience form for internally constructed specs (benches, tests):
+// aborts on a malformed spec.
 MicroWorkload GenerateMicro(const MicroSpec& spec);
 
 }  // namespace iawj

@@ -66,9 +66,17 @@ std::string RealWorkloadName(RealWorkload which) {
   return "?";
 }
 
-Workload GenerateRealWorld(const RealWorldSpec& spec) {
-  IAWJ_CHECK_GT(spec.scale, 0.0);
-  Workload w;
+Status GenerateRealWorld(const RealWorldSpec& spec, Workload* workload) {
+  // The negated comparisons also reject NaN.
+  if (!(spec.scale > 0.0) || !std::isfinite(spec.scale)) {
+    return Status::InvalidArgument(
+        "real-world spec: scale must be positive and finite");
+  }
+  if (spec.window_ms < 1) {
+    return Status::InvalidArgument(
+        "real-world spec: window_ms must be >= 1");
+  }
+  Workload& w = *workload;
   w.name = RealWorkloadName(spec.which);
   Rng rng(spec.seed);
   const uint32_t window = spec.window_ms;
@@ -152,7 +160,14 @@ Workload GenerateRealWorld(const RealWorldSpec& spec) {
       break;
     }
   }
-  return w;
+  return Status::Ok();
+}
+
+Workload GenerateRealWorld(const RealWorldSpec& spec) {
+  Workload workload;
+  const Status status = GenerateRealWorld(spec, &workload);
+  IAWJ_CHECK(status.ok()) << status.ToString();
+  return workload;
 }
 
 }  // namespace iawj

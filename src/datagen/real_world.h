@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/common/status.h"
 #include "src/stream/stream.h"
 
 namespace iawj {
@@ -43,6 +44,11 @@ struct Workload {
   Clock::Mode suggested_clock = Clock::Mode::kRealTime;
 };
 
+// Validating form: rejects a non-positive / non-finite scale or a zero
+// window with InvalidArgument. Entry point for user-supplied specs.
+Status GenerateRealWorld(const RealWorldSpec& spec, Workload* workload);
+
+// Convenience form for internally constructed specs; aborts if malformed.
 Workload GenerateRealWorld(const RealWorldSpec& spec);
 
 }  // namespace iawj

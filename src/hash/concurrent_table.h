@@ -34,6 +34,14 @@ class ConcurrentBucketChainTable {
     Bucket* next;
   };
 
+  // Tracked bytes the constructor will charge for `expected_tuples` (the
+  // bucket array plus latches; overflow buckets are charged as they spill).
+  // Lets NPJ's Setup preflight the allocation against the memory budget.
+  static int64_t TrackedBytesFor(uint64_t expected_tuples) {
+    const size_t buckets = size_t{1} << BitsFor(expected_tuples);
+    return static_cast<int64_t>(buckets * (sizeof(Bucket) + 1));
+  }
+
   explicit ConcurrentBucketChainTable(uint64_t expected_tuples)
       : bits_(BitsFor(expected_tuples)),
         buckets_(size_t{1} << bits_),

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/fault.h"
+
 namespace iawj::io {
 
 namespace {
@@ -38,11 +40,34 @@ Status LoadStream(const std::string& path, Stream* stream) {
   }
   uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) return Status::InvalidArgument(path + ": truncated header");
+  if (!in) return Status::DataLoss(path + ": truncated header");
+
+  // Sanity-check the header count against the bytes actually present before
+  // sizing the tuple vector: a corrupt count field must not turn into a
+  // multi-gigabyte allocation.
+  const std::streampos data_begin = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streampos data_end = in.tellg();
+  in.seekg(data_begin);
+  const uint64_t available =
+      data_end >= data_begin
+          ? static_cast<uint64_t>(data_end - data_begin)
+          : 0;
+  if (available < count * sizeof(Tuple)) {
+    return Status::DataLoss(path + ": header promises " +
+                            std::to_string(count) + " tuples but only " +
+                            std::to_string(available / sizeof(Tuple)) +
+                            " are present");
+  }
+
   std::vector<Tuple> tuples(count);
   in.read(reinterpret_cast<char*>(tuples.data()),
           static_cast<std::streamsize>(count * sizeof(Tuple)));
-  if (!in) return Status::InvalidArgument(path + ": truncated tuple data");
+  if (!in) return Status::DataLoss(path + ": truncated tuple data");
+  // Fault: the file shrank under us (partial download, torn copy).
+  if (fault::Enabled() && fault::Inject("io_truncate")) {
+    return Status::DataLoss(path + ": injected truncation mid-read");
+  }
   // Re-sorting makes the loader robust to externally produced files.
   *stream = MakeStream(std::move(tuples));
   return Status::Ok();
@@ -75,6 +100,7 @@ Status LoadStreamCsv(const std::string& path, Stream* stream) {
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const size_t comma = line.find(',');
     if (comma == std::string::npos) {
@@ -82,11 +108,21 @@ Status LoadStreamCsv(const std::string& path, Stream* stream) {
                                      std::to_string(line_number) +
                                      ": expected 'ts,key'");
     }
+    const std::string ts_field = line.substr(0, comma);
+    const std::string key_field = line.substr(comma + 1);
+    char* ts_end = nullptr;
+    char* key_end = nullptr;
+    const unsigned long ts = std::strtoul(ts_field.c_str(), &ts_end, 10);
+    const unsigned long key = std::strtoul(key_field.c_str(), &key_end, 10);
+    if (ts_end == ts_field.c_str() || *ts_end != '\0' ||
+        key_end == key_field.c_str() || *key_end != '\0') {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) +
+                                     ": non-numeric field in 'ts,key'");
+    }
     Tuple t;
-    t.ts = static_cast<uint32_t>(
-        std::strtoul(line.substr(0, comma).c_str(), nullptr, 10));
-    t.key = static_cast<uint32_t>(
-        std::strtoul(line.substr(comma + 1).c_str(), nullptr, 10));
+    t.ts = static_cast<uint32_t>(ts);
+    t.key = static_cast<uint32_t>(key);
     tuples.push_back(t);
   }
   *stream = MakeStream(std::move(tuples));

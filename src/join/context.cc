@@ -1,8 +1,24 @@
 #include "src/join/context.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "src/stream/distribution.h"
 
 namespace iawj {
+
+void JoinContext::WaitUntil(double stream_ms) const {
+  if (clock->mode() == Clock::Mode::kInstant) return;
+  while (!Cancelled()) {
+    const double remaining_stream = stream_ms - clock->NowMs();
+    if (remaining_stream <= 0) return;
+    const double wall_ms =
+        std::min(1.0, remaining_stream / clock->time_scale());
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(wall_ms));
+  }
+}
 
 std::string_view AlgorithmName(AlgorithmId id) {
   switch (id) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <string_view>
 
+#include "src/common/cancel.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
 #include "src/common/status.h"
@@ -65,6 +66,11 @@ struct JoinSpec {
   bool use_simd = true;      // sort kernels: AVX ablation, Figure 21
   bool pin_threads = false;  // best-effort core pinning
   HashTableKind hash_table_kind = HashTableKind::kBucketChain;
+
+  // Wall-clock deadline for one run; 0 = none (then $IAWJ_DEADLINE_MS
+  // applies, if set). A run that overruns is cancelled by the runner's
+  // watchdog and returns DeadlineExceeded with partial metrics.
+  uint32_t deadline_ms = 0;
 
   Status Validate(AlgorithmId id) const;
 };
@@ -123,9 +129,32 @@ struct JoinContext {
   // Per-worker cache simulators; only set by the cache-profiling benches,
   // which run algorithms instantiated with SimTracer.
   CacheSim* const* cache_sims = nullptr;
+  // Run-wide cancellation (deadline watchdog, memory-budget breaches).
+  CancelToken* cancel = nullptr;
 
   MatchSink& sink(int t) const { return sinks[t]; }
   PhaseProfile& profile(int t) const { return profiles[t]; }
+
+  bool Cancelled() const {
+    return cancel != nullptr && cancel->cancelled();
+  }
+
+  // Cancellation checkpoint for worker threads. Returns true when the run
+  // has been cancelled; on true this worker's barrier participation has
+  // been dropped (releasing peers blocked at a phase barrier), so the
+  // caller MUST return from RunWorker immediately without touching the
+  // barrier again. Cost when not cancelled: one relaxed atomic load.
+  bool AbortRequested() const {
+    if (!Cancelled()) return false;
+    if (barrier != nullptr) barrier->arrive_and_drop();
+    return true;
+  }
+
+  // Cancellation-aware replacement for Clock::SleepUntilMs: sleeps in short
+  // slices so the lazy algorithms' window wait responds to cancellation
+  // within ~1 ms instead of sleeping through the deadline. Callers check
+  // AbortRequested() after it returns.
+  void WaitUntil(double stream_ms) const;
 };
 
 // Builds the worker-local tracer for an algorithm instantiated with Tracer.
@@ -145,13 +174,15 @@ inline SimTracer MakeWorkerTracer<SimTracer>(const JoinContext& ctx,
 
 // A join algorithm executes as spec->num_threads workers; Setup runs once on
 // the orchestrating thread before workers start (allocate shared state),
-// Teardown after they join.
+// Teardown after they join. Setup is fallible: bulk allocations preflight
+// against the memory budget and a non-OK Status fails the run before any
+// worker spawns. Teardown must be safe to call after a failed Setup.
 class JoinAlgorithm {
  public:
   virtual ~JoinAlgorithm() = default;
 
   virtual std::string_view name() const = 0;
-  virtual void Setup(const JoinContext& ctx) = 0;
+  virtual Status Setup(const JoinContext& ctx) = 0;
   virtual void RunWorker(const JoinContext& ctx, int worker) = 0;
   virtual void Teardown() {}
 };

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/join/pmj.h"
 #include "src/join/shj.h"
@@ -31,12 +32,13 @@ std::string_view EagerJoin<Tracer>::name() const {
 }
 
 template <typename Tracer>
-void EagerJoin<Tracer>::Setup(const JoinContext& ctx) {
+Status EagerJoin<Tracer>::Setup(const JoinContext& ctx) {
   distribution_ = std::make_unique<Distribution>(
       scheme_, ctx.spec->num_threads, ctx.spec->jb_group_size);
   if (scheme_ == DistributionScheme::kJoinBiclique) {
     router_ = std::make_unique<RouterState>();
   }
+  return Status::Ok();
 }
 
 template <typename Tracer>
@@ -99,9 +101,26 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   constexpr size_t kCounterMask = 4095;
   size_t last_counter_at = static_cast<size_t>(-1);
 
+  // Fault: this worker wedges before pulling a single tuple — the shape of a
+  // livelocked consumer. It parks until the deadline watchdog (or a peer's
+  // failure) cancels the run; eager workers use no barrier, so a plain
+  // return unwinds cleanly.
+  if (fault::Enabled() && fault::Inject("eager_stall")) {
+    sw.Switch(Phase::kWait);
+    while (!ctx.Cancelled()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    sw.Stop();
+    return;
+  }
+
   // The §4.2.2 pull loop: alternate between streams, consuming whatever has
   // arrived; stall only when the worker outruns both streams.
   while (ir < r.size() || is < s.size()) {
+    if (((ir + is) & kCounterMask) == 0 && ctx.Cancelled()) {
+      sw.Stop();
+      return;
+    }
     bool progressed = false;
     if (trace::Active() && ((ir + is) & kCounterMask) == 0 &&
         ir + is != last_counter_at) {
@@ -146,6 +165,10 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     }
 
     if (!progressed) {
+      if (ctx.Cancelled()) {
+        sw.Stop();
+        return;
+      }
       sw.Switch(Phase::kWait);
       std::this_thread::sleep_for(std::chrono::microseconds(20));
     }

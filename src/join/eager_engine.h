@@ -86,7 +86,7 @@ class EagerJoin : public JoinAlgorithm {
 
   std::string_view name() const override;
 
-  void Setup(const JoinContext& ctx) override;
+  Status Setup(const JoinContext& ctx) override;
   void RunWorker(const JoinContext& ctx, int worker) override;
   void Teardown() override { router_.reset(); }
 

@@ -8,7 +8,7 @@
 
 namespace iawj {
 
-void HandshakeJoin::Setup(const JoinContext& ctx) {
+Status HandshakeJoin::Setup(const JoinContext& ctx) {
   const int threads = ctx.spec->num_threads;
   for (int parity = 0; parity < 2; ++parity) {
     r_seg_[parity].assign(threads, {});
@@ -20,6 +20,7 @@ void HandshakeJoin::Setup(const JoinContext& ctx) {
   r_injected_.store(0);
   s_injected_.store(0);
   flush_steps_.store(0);
+  return Status::Ok();
 }
 
 void HandshakeJoin::Teardown() {
@@ -62,6 +63,12 @@ void HandshakeJoin::RunWorker(const JoinContext& ctx, int worker) {
 
   int step = 0;
   while (flush_steps_.load(std::memory_order_acquire) < threads + 2) {
+    // Step boundary is the only safe abort point: mid-step exits would strand
+    // peers at one of the three per-step barriers.
+    if (ctx.AbortRequested()) {
+      sw.Stop();
+      return;
+    }
     const int cur = step & 1;
     const int nxt = cur ^ 1;
 

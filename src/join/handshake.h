@@ -31,7 +31,7 @@ class HandshakeJoin : public JoinAlgorithm {
  public:
   std::string_view name() const override { return "HSHAKE"; }
 
-  void Setup(const JoinContext& ctx) override;
+  Status Setup(const JoinContext& ctx) override;
   void RunWorker(const JoinContext& ctx, int worker) override;
   void Teardown() override;
 

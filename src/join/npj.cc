@@ -8,11 +8,16 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   MatchSink& sink = ctx.sink(worker);
   Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
 
+  // Cancellation checkpoints every 8K tuples: one relaxed load amortized
+  // over the batch, invisible next to the hash-table work.
+  constexpr size_t kCancelMask = 8191;
+
   // Lazy approach: wait out the window before processing starts.
   {
     ScopedPhase wait(&prof, Phase::kWait);
-    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+    ctx.WaitUntil(ctx.window_close_ms);
   }
+  if (ctx.AbortRequested()) return;
 
   // Build: all threads insert their R portions into the shared table.
   {
@@ -21,6 +26,7 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     const ChunkRange chunk =
         ChunkForThread(ctx.r.size(), worker, ctx.spec->num_threads);
     for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
       tracer.Access(&ctx.r[i], sizeof(Tuple));
       table_->Insert(ctx.r[i], tracer);
     }
@@ -35,6 +41,7 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     const ChunkRange chunk =
         ChunkForThread(ctx.s.size(), worker, ctx.spec->num_threads);
     for (size_t i = chunk.begin; i < chunk.end; ++i) {
+      if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
       const Tuple s = ctx.s[i];
       tracer.Access(&ctx.s[i], sizeof(Tuple));
       table_->Probe(

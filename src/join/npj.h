@@ -19,9 +19,17 @@ class NpjJoin : public JoinAlgorithm {
  public:
   std::string_view name() const override { return "NPJ"; }
 
-  void Setup(const JoinContext& ctx) override {
+  Status Setup(const JoinContext& ctx) override {
+    if (Status s = mem::Preflight(
+            ConcurrentBucketChainTable<Tracer>::TrackedBytesFor(
+                ctx.r.size()),
+            "NPJ shared hash table");
+        !s.ok()) {
+      return s;
+    }
     table_ = std::make_unique<ConcurrentBucketChainTable<Tracer>>(
         ctx.r.size());
+    return Status::Ok();
   }
 
   void RunWorker(const JoinContext& ctx, int worker) override;

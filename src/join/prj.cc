@@ -17,7 +17,7 @@ inline uint32_t Radix2Of(uint32_t key, int bits1, int bits2) {
 }  // namespace
 
 template <typename Tracer>
-void PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
+Status PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   const int bits = ctx.spec->radix_bits;
   if (ctx.spec->radix_passes == 2 && bits >= 2) {
     bits1_ = bits / 2;
@@ -28,6 +28,18 @@ void PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   }
   parts1_ = size_t{1} << bits1_;
   parts_total_ = size_t{1} << bits;
+
+  // Scattered copies of both relations, doubled in two-pass mode, dominate
+  // PRJ's footprint; preflight them against the memory budget before
+  // committing anything.
+  const int64_t passes = bits2_ > 0 ? 2 : 1;
+  const int64_t copy_bytes =
+      static_cast<int64_t>((ctx.r.size() + ctx.s.size()) * sizeof(Tuple)) *
+      passes;
+  if (Status s = mem::Preflight(copy_bytes, "PRJ partition buffers");
+      !s.ok()) {
+    return s;
+  }
 
   const int threads = ctx.spec->num_threads;
   r_out_.Resize(ctx.r.size());
@@ -44,6 +56,7 @@ void PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   }
   next_refine_.store(0);
   next_join_.store(0);
+  return Status::Ok();
 }
 
 template <typename Tracer>
@@ -79,11 +92,11 @@ std::vector<uint64_t> ScatterCursors(const std::vector<uint64_t>& hist,
 // of the final offset arrays, so no synchronization is needed beyond the
 // queue counter.
 template <typename Tracer>
-void PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
-  (void)ctx;
+bool PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
   const size_t parts2 = size_t{1} << bits2_;
   std::vector<uint64_t> hist(parts2);
   while (true) {
+    if (ctx.Cancelled()) return true;
     const size_t p1 = next_refine_.fetch_add(1, std::memory_order_relaxed);
     if (p1 >= parts1_) break;
 
@@ -115,10 +128,11 @@ void PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
     refine(r_out_, r_out2_, offsets_r_, final_off_r_);
     refine(s_out_, s_out2_, offsets_s_, final_off_s_);
   }
+  return false;
 }
 
 template <typename Tracer>
-void PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
+bool PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
                                      Tracer& tracer) {
   PhaseProfile& prof = ctx.profile(worker);
   MatchSink& sink = ctx.sink(worker);
@@ -168,6 +182,7 @@ void PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
   const bool linear =
       ctx.spec->hash_table_kind == HashTableKind::kLinearProbe;
   while (true) {
+    if (ctx.Cancelled()) return true;
     const size_t p = next_join_.fetch_add(1, std::memory_order_relaxed);
     if (p >= num_parts) break;
     uint64_t r_begin, r_end, s_begin, s_end;
@@ -183,6 +198,7 @@ void PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
       join_one(table, r_begin, r_end, s_begin, s_end);
     }
   }
+  return false;
 }
 
 template <typename Tracer>
@@ -193,8 +209,9 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
 
   {
     ScopedPhase wait(&prof, Phase::kWait);
-    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+    ctx.WaitUntil(ctx.window_close_ms);
   }
+  if (ctx.AbortRequested()) return;
 
   const ChunkRange r_chunk = ChunkForThread(ctx.r.size(), worker, threads);
   const ChunkRange s_chunk = ChunkForThread(ctx.s.size(), worker, threads);
@@ -208,6 +225,7 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
                    &hist_r_[static_cast<size_t>(worker) * parts1_]);
     RadixHistogram(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
                    &hist_s_[static_cast<size_t>(worker) * parts1_]);
+    if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
     // Worker 0 publishes pass-1 partition offsets.
@@ -222,6 +240,7 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
         offsets_s_[p + 1] = offsets_s_[p] + total_s;
       }
     }
+    if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
     // Pass-1 scatter into partition-contiguous buffers.
@@ -231,15 +250,21 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     auto s_cursors = ScatterCursors(hist_s_, offsets_s_, parts1_, worker);
     RadixScatter(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
                  s_cursors.data(), s_out_.data(), tracer);
+    if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
     if (bits2_ > 0) {
-      RunSecondPass(ctx, tracer);
+      if (RunSecondPass(ctx, tracer)) {
+        ctx.barrier->arrive_and_drop();
+        return;
+      }
       ctx.barrier->arrive_and_wait();
     }
   }
 
-  // Per-partition cache-resident joins from a shared task queue.
+  // Per-partition cache-resident joins from a shared task queue. Every
+  // barrier phase is complete once a worker reaches this point, so an abort
+  // here unwinds with a plain return.
   JoinPartitions(ctx, worker, tracer);
 }
 

@@ -29,13 +29,15 @@ class PrjJoin : public JoinAlgorithm {
  public:
   std::string_view name() const override { return "PRJ"; }
 
-  void Setup(const JoinContext& ctx) override;
+  Status Setup(const JoinContext& ctx) override;
   void RunWorker(const JoinContext& ctx, int worker) override;
   void Teardown() override;
 
  private:
-  void RunSecondPass(const JoinContext& ctx, Tracer& tracer);
-  void JoinPartitions(const JoinContext& ctx, int worker, Tracer& tracer);
+  // Both return true when the run was cancelled mid-phase; the caller must
+  // unwind from RunWorker without touching the barrier (see AbortRequested).
+  bool RunSecondPass(const JoinContext& ctx, Tracer& tracer);
+  bool JoinPartitions(const JoinContext& ctx, int worker, Tracer& tracer);
 
   // Bit split: pass 1 uses the low bits1_ bits, pass 2 the next bits2_.
   int bits1_ = 0;

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/affinity.h"
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/join/eager_engine.h"
 #include "src/join/npj.h"
@@ -68,17 +74,41 @@ size_t WindowPrefix(const Stream& stream, uint32_t window_ms) {
 
 RunResult JoinRunner::Run(AlgorithmId id, const Stream& r, const Stream& s,
                           const JoinSpec& spec) {
-  const Status status = spec.Validate(id);
-  IAWJ_CHECK(status.ok()) << status.ToString();
+  if (Status status = spec.Validate(id); !status.ok()) {
+    RunResult result;
+    result.algorithm = std::string(AlgorithmName(id));
+    result.status = std::move(status);
+    return result;
+  }
   auto algorithm = CreateAlgorithm(id);
   return RunWith(algorithm.get(), r, s, spec);
 }
+
+namespace {
+
+// Deadline for one run: the spec wins, then $IAWJ_DEADLINE_MS, then none.
+uint32_t ResolveDeadlineMs(const JoinSpec& spec) {
+  if (spec.deadline_ms > 0) return spec.deadline_ms;
+  if (const char* env = std::getenv("IAWJ_DEADLINE_MS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<uint32_t>(v);
+  }
+  return 0;
+}
+
+}  // namespace
 
 RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
                               const Stream& s, const JoinSpec& spec,
                               CacheSim* const* cache_sims) {
   const int threads = spec.num_threads;
-  IAWJ_CHECK_GE(threads, 1);
+  RunResult result;
+  result.algorithm = std::string(algorithm->name());
+  if (threads < 1) {
+    result.status = Status::InvalidArgument(
+        "num_threads must be >= 1, got " + std::to_string(threads));
+    return result;
+  }
 
   mem::Reset();
 
@@ -109,6 +139,14 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   std::barrier<> barrier(threads);
   ctx.barrier = &barrier;
 
+  // Run-wide cancellation: the deadline watchdog, memory-budget breaches
+  // (via the tracker's breach token) and injected faults all funnel into one
+  // token; workers unwind at their next checkpoint. First cancel wins.
+  CancelToken cancel;
+  ctx.cancel = &cancel;
+  mem::SetBreachToken(&cancel);
+  const uint32_t deadline_ms = ResolveDeadlineMs(spec);
+
   // Observability: when tracing is enabled, every worker gets a named
   // per-thread recorder and the whole run is bracketed by one span on the
   // orchestrating thread. Interned once here so worker hot paths only touch
@@ -123,15 +161,64 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   trace::ScopedThreadTrace orchestrator_trace("orchestrator");
   if (tracing) trace::BeginSpan(run_label);
 
-  algorithm->Setup(ctx);
+  // Fallible Setup: bulk allocations preflight against the memory budget, so
+  // a doomed run fails here instead of after the window wait.
+  Status setup_status = algorithm->Setup(ctx);
+  if (setup_status.ok() && cancel.cancelled()) setup_status = cancel.reason();
+  if (!setup_status.ok()) {
+    algorithm->Teardown();
+    mem::SetBreachToken(nullptr);
+    result.status = std::move(setup_status);
+    result.inputs = nr + ns;
+    result.peak_tracked_bytes = mem::PeakBytes();
+    if (tracing && trace::Active()) trace::EndSpan();
+    return result;
+  }
 
   const double cpu_before = ResourceSampler::ProcessCpuTimeMs();
   clock.Start();
 
+  // Per-worker completion flags let the watchdog name the stragglers.
+  auto done = std::make_unique<std::atomic<bool>[]>(threads);
+  for (int t = 0; t < threads; ++t) {
+    done[t].store(false, std::memory_order_relaxed);
+  }
+
+  // Deadline watchdog: sleeps until the run finishes or the deadline lapses,
+  // then cancels so every worker unwinds at its next checkpoint. The token
+  // keeps the first cancellation, so a budget breach racing the deadline
+  // reports whichever struck first.
+  std::mutex watchdog_mu;
+  std::condition_variable watchdog_cv;
+  bool run_finished = false;
+  std::thread watchdog;
+  if (deadline_ms > 0) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(watchdog_mu);
+      const bool finished =
+          watchdog_cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                               [&] { return run_finished; });
+      if (finished) return;
+      std::string message = "run exceeded deadline of " +
+                            std::to_string(deadline_ms) +
+                            " ms; unfinished workers:";
+      for (int t = 0; t < threads; ++t) {
+        if (!done[t].load(std::memory_order_acquire)) {
+          message += " w" + std::to_string(t);
+        }
+      }
+      cancel.Cancel(Status::DeadlineExceeded(std::move(message)));
+    });
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
+    // Evaluated here, on the orchestrating thread, so "worker_stall:2"
+    // deterministically wedges the second spawned worker rather than
+    // whichever thread reaches the fault site first.
+    const bool stall = fault::Enabled() && fault::Inject("worker_stall");
+    workers.emplace_back([&, t, stall] {
       int pinned_core = -1;
       if (spec.pin_threads && PinCurrentThreadToCore(t)) {
         pinned_core = ResolvePinnedCore(t);
@@ -141,16 +228,37 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
                   : std::string(),
           pinned_core);
       if (tracing) trace::BeginSpan(run_label);
-      algorithm->RunWorker(ctx, t);
+      if (stall) {
+        // Fault: this worker wedges before doing any work — the shape of a
+        // crashed or livelocked thread. Only cancellation (normally the
+        // deadline watchdog) releases it; it then drops its barrier slot so
+        // lazy peers blocked on a phase barrier unwind too.
+        while (!cancel.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        ctx.AbortRequested();
+      } else {
+        algorithm->RunWorker(ctx, t);
+      }
+      done[t].store(true, std::memory_order_release);
       if (tracing) trace::EndSpan();
     });
   }
   for (auto& w : workers) w.join();
 
-  RunResult result;
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu);
+      run_finished = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
+  mem::SetBreachToken(nullptr);
+  result.status = cancel.cancelled() ? cancel.reason() : Status::Ok();
+
   result.elapsed_ms = clock.NowMs();
   result.cpu_time_ms = ResourceSampler::ProcessCpuTimeMs() - cpu_before;
-  result.algorithm = std::string(algorithm->name());
   result.inputs = nr + ns;
 
   algorithm->Teardown();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "src/common/status.h"
 #include "src/join/context.h"
 #include "src/profiling/cache_sim.h"
 #include "src/stream/stream.h"
@@ -18,6 +19,12 @@
 namespace iawj {
 
 struct RunResult {
+  // Ok for a completed run. A failed run (invalid spec, memory budget
+  // breach, deadline overrun, injected fault) carries the first failure and
+  // whatever metrics the workers produced before unwinding — partial
+  // matches/progress are meaningful, throughput/latency are best-effort.
+  Status status;
+
   std::string algorithm;
   uint64_t inputs = 0;   // tuples inside the window, both streams
   uint64_t matches = 0;
@@ -49,7 +56,11 @@ std::unique_ptr<JoinAlgorithm> CreateTracedAlgorithm(AlgorithmId id);
 
 class JoinRunner {
  public:
-  // Runs `id` over the window [0, spec.window_ms) of r and s.
+  // Runs `id` over the window [0, spec.window_ms) of r and s. Never aborts
+  // the process: configuration and runtime failures come back in
+  // RunResult::status. When a deadline is configured (JoinSpec::deadline_ms
+  // or $IAWJ_DEADLINE_MS) a watchdog cancels overrunning workers and the
+  // result names the ones that had not finished.
   RunResult Run(AlgorithmId id, const Stream& r, const Stream& s,
                 const JoinSpec& spec);
 

@@ -11,13 +11,18 @@ namespace iawj {
 
 namespace {
 
-// Duplicate-aware merge join of key-aligned sorted ranges.
+// Duplicate-aware merge join of key-aligned sorted ranges. Checks the run's
+// cancellation token every 8K steps; runs only after the final barrier
+// phase, so it can simply stop early when cancelled.
 template <typename Tracer>
-void MergeJoinRange(const uint64_t* r, size_t r_begin, size_t r_end,
-                    const uint64_t* s, size_t s_begin, size_t s_end,
-                    MatchSink& sink, Tracer& tracer) {
+void MergeJoinRange(const JoinContext& ctx, const uint64_t* r, size_t r_begin,
+                    size_t r_end, const uint64_t* s, size_t s_begin,
+                    size_t s_end, MatchSink& sink, Tracer& tracer) {
+  constexpr size_t kCancelMask = 8191;
+  size_t steps = 0;
   size_t i = r_begin, j = s_begin;
   while (i < r_end && j < s_end) {
+    if ((++steps & kCancelMask) == 0 && ctx.Cancelled()) return;
     tracer.Access(&r[i], sizeof(uint64_t));
     tracer.Access(&s[j], sizeof(uint64_t));
     const uint32_t kr = PackedKey(r[i]);
@@ -99,7 +104,14 @@ std::vector<Seg> InitialSegments(size_t n, int num_threads) {
 }  // namespace
 
 template <typename Tracer>
-void SortMergeJoin<Tracer>::Setup(const JoinContext& ctx) {
+Status SortMergeJoin<Tracer>::Setup(const JoinContext& ctx) {
+  // Two packed copies of each relation (sorted runs + merge output).
+  const int64_t buf_bytes = static_cast<int64_t>(
+      (ctx.r.size() + ctx.s.size()) * 2 * sizeof(uint64_t));
+  if (Status s = mem::Preflight(buf_bytes, "sort-merge run buffers");
+      !s.ok()) {
+    return s;
+  }
   const int threads = ctx.spec->num_threads;
   r_buf_.Resize(ctx.r.size());
   s_buf_.Resize(ctx.s.size());
@@ -112,6 +124,7 @@ void SortMergeJoin<Tracer>::Setup(const JoinContext& ctx) {
   probe_split_s_.assign(threads + 1, 0);
   final_r_ = nullptr;
   final_s_ = nullptr;
+  return Status::Ok();
 }
 
 template <typename Tracer>
@@ -123,7 +136,7 @@ void SortMergeJoin<Tracer>::Teardown() {
 }
 
 template <typename Tracer>
-void SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
+bool SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
                                                   int worker,
                                                   PhaseProfile& prof) {
   const int threads = ctx.spec->num_threads;
@@ -149,6 +162,7 @@ void SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
     merge_off_r_[threads] = ctx.r.size();
     merge_off_s_[threads] = ctx.s.size();
   }
+  if (ctx.AbortRequested()) return true;
   ctx.barrier->arrive_and_wait();
 
   {
@@ -180,11 +194,13 @@ void SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
     final_r_ = r_merged_.data();
     final_s_ = s_merged_.data();
   }
+  if (ctx.AbortRequested()) return true;
   ctx.barrier->arrive_and_wait();
+  return false;
 }
 
 template <typename Tracer>
-void SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
+bool SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
                                                    int worker,
                                                    PhaseProfile& prof) {
   const int threads = ctx.spec->num_threads;
@@ -193,13 +209,15 @@ void SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
   {
     ScopedPhase merge(&prof, Phase::kMerge);
     // Successive two-way merge passes with a barrier per pass; every worker
-    // derives the same segment list deterministically.
+    // derives the same segment list deterministically. Returns true when the
+    // run was cancelled (barrier already dropped).
     const auto run_passes = [&](size_t n, uint64_t* a, uint64_t* b,
-                                const uint64_t** final_out) {
+                                const uint64_t** final_out) -> bool {
       std::vector<Seg> segs = InitialSegments(n, threads);
       uint64_t* src = a;
       uint64_t* dst = b;
       while (segs.size() > 1) {
+        if (ctx.AbortRequested()) return true;
         const size_t jobs = segs.size() / 2;
         for (size_t j = 0; j < jobs; ++j) {
           if (j % static_cast<size_t>(threads) !=
@@ -229,11 +247,16 @@ void SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
         ctx.barrier->arrive_and_wait();
       }
       *final_out = src;
+      return false;
     };
     const uint64_t* final_r = nullptr;
     const uint64_t* final_s = nullptr;
-    run_passes(ctx.r.size(), r_buf_.data(), r_merged_.data(), &final_r);
-    run_passes(ctx.s.size(), s_buf_.data(), s_merged_.data(), &final_s);
+    if (run_passes(ctx.r.size(), r_buf_.data(), r_merged_.data(), &final_r)) {
+      return true;
+    }
+    if (run_passes(ctx.s.size(), s_buf_.data(), s_merged_.data(), &final_s)) {
+      return true;
+    }
     if (worker == 0) {
       final_r_ = final_r;
       final_s_ = final_s;
@@ -253,7 +276,9 @@ void SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
     probe_split_s_[0] = 0;
     probe_split_s_[threads] = ctx.s.size();
   }
+  if (ctx.AbortRequested()) return true;
   ctx.barrier->arrive_and_wait();
+  return false;
 }
 
 template <typename Tracer>
@@ -266,8 +291,9 @@ void SortMergeJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
 
   {
     ScopedPhase wait(&prof, Phase::kWait);
-    ctx.clock->SleepUntilMs(ctx.window_close_ms);
+    ctx.WaitUntil(ctx.window_close_ms);
   }
+  if (ctx.AbortRequested()) return;
 
   {
     ScopedPhase sort_phase(&prof, Phase::kSort);
@@ -276,18 +302,18 @@ void SortMergeJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     SortChunk(ctx.s, ChunkForThread(ctx.s.size(), worker, threads),
               s_buf_.data(), options);
   }
+  if (ctx.AbortRequested()) return;
   ctx.barrier->arrive_and_wait();
 
-  if (strategy_ == MergeStrategy::kMultiway) {
-    RunMultiwayMergePhase(ctx, worker, prof);
-  } else {
-    RunMultiPassMergePhase(ctx, worker, prof);
-  }
+  const bool aborted = strategy_ == MergeStrategy::kMultiway
+                           ? RunMultiwayMergePhase(ctx, worker, prof)
+                           : RunMultiPassMergePhase(ctx, worker, prof);
+  if (aborted) return;
 
   {
     ScopedPhase probe(&prof, Phase::kProbe);
     tracer.SetPhase(Phase::kProbe);
-    MergeJoinRange(final_r_, probe_split_r_[worker],
+    MergeJoinRange(ctx, final_r_, probe_split_r_[worker],
                    probe_split_r_[worker + 1], final_s_,
                    probe_split_s_[worker], probe_split_s_[worker + 1], sink,
                    tracer);

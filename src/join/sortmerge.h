@@ -30,14 +30,17 @@ class SortMergeJoin : public JoinAlgorithm {
     return strategy_ == MergeStrategy::kMultiway ? "MWAY" : "MPASS";
   }
 
-  void Setup(const JoinContext& ctx) override;
+  Status Setup(const JoinContext& ctx) override;
   void RunWorker(const JoinContext& ctx, int worker) override;
   void Teardown() override;
 
  private:
-  void RunMultiwayMergePhase(const JoinContext& ctx, int worker,
+  // Both return true when the run was cancelled mid-merge; the barrier has
+  // already been dropped and the caller must return from RunWorker without
+  // touching it again (see JoinContext::AbortRequested).
+  bool RunMultiwayMergePhase(const JoinContext& ctx, int worker,
                              PhaseProfile& prof);
-  void RunMultiPassMergePhase(const JoinContext& ctx, int worker,
+  bool RunMultiPassMergePhase(const JoinContext& ctx, int worker,
                               PhaseProfile& prof);
 
   MergeStrategy strategy_;

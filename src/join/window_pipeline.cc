@@ -1,7 +1,11 @@
 #include "src/join/window_pipeline.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/profiling/trace.h"
 
@@ -27,62 +31,18 @@ Stream SliceWindow(const Stream& stream, uint64_t start, uint32_t length) {
   return window;
 }
 
-}  // namespace
-
-PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
-                                  const JoinSpec& spec,
-                                  const AlgorithmPolicy& policy) {
-  IAWJ_CHECK_GE(spec.window_ms, 1u);
-  PipelineResult pipeline;
-
-  const uint64_t max_ts =
-      std::max<uint64_t>(r.MaxTs(), s.MaxTs());
-  const uint32_t num_windows =
-      static_cast<uint32_t>(max_ts / spec.window_ms) + 1;
-
-  // Window lifecycle lands on the pipeline thread's trace row; the runner
-  // nests each per-window run span inside (its ScopedThreadTrace is a no-op
-  // while ours is installed).
-  trace::ScopedThreadTrace pipeline_trace("window pipeline");
-  JoinRunner runner;
-  for (uint32_t k = 0; k < num_windows; ++k) {
-    const uint64_t start = static_cast<uint64_t>(k) * spec.window_ms;
-    const Stream wr = SliceWindow(r, start, spec.window_ms);
-    const Stream ws = SliceWindow(s, start, spec.window_ms);
-    if (wr.size() == 0 && ws.size() == 0) continue;
-
-    const AlgorithmId id = policy(wr, ws);
-    trace::Instant("window_open", static_cast<double>(k));
-    WindowRun run;
-    run.window_index = k;
-    run.window_start_ms = start;
-    run.result = runner.Run(id, wr, ws, spec);
-    pipeline.total_inputs += run.result.inputs;
-    pipeline.total_matches += run.result.matches;
-    pipeline.total_checksum += run.result.checksum;
-    pipeline.total_elapsed_ms += run.result.elapsed_ms;
-    trace::Instant("window_close", static_cast<double>(k));
-    trace::Counter("pipeline_matches",
-                   static_cast<double>(pipeline.total_matches));
-    pipeline.windows.push_back(std::move(run));
-  }
-  return pipeline;
-}
-
-PipelineResult RunTumblingWindows(AlgorithmId id, const Stream& r,
-                                  const Stream& s, const JoinSpec& spec) {
-  return RunTumblingWindows(
-      r, s, spec, [id](const Stream&, const Stream&) { return id; });
-}
-
-namespace {
-
-// Shared driver: runs one IaWJ per (start, length) segment.
+// Shared driver: runs one IaWJ per (start, length) segment. Degrades
+// gracefully on failure — the first non-OK window (including an injected
+// "window_fail") is recorded with its partial metrics, its status copied to
+// the pipeline, and no further windows run.
 PipelineResult RunSegments(
     const Stream& r, const Stream& s, const JoinSpec& spec,
     const std::vector<std::pair<uint64_t, uint32_t>>& segments,
     const AlgorithmPolicy& policy) {
   PipelineResult pipeline;
+  // Window lifecycle lands on the pipeline thread's trace row; the runner
+  // nests each per-window run span inside (its ScopedThreadTrace is a no-op
+  // while ours is installed).
   trace::ScopedThreadTrace pipeline_trace("window pipeline");
   JoinRunner runner;
   uint32_t index = 0;
@@ -98,7 +58,17 @@ PipelineResult RunSegments(
     WindowRun run;
     run.window_index = index - 1;
     run.window_start_ms = start;
-    run.result = runner.Run(policy(wr, ws), wr, ws, window_spec);
+    const AlgorithmId id = policy(wr, ws);
+    if (fault::Enabled() && fault::Inject("window_fail")) {
+      // Fault: this window fails wholesale without executing, the shape of
+      // an operator crash between segmentation and the join.
+      run.result.algorithm = std::string(AlgorithmName(id));
+      run.result.status = Status::Internal(
+          "injected window failure (window " + std::to_string(index - 1) +
+          ")");
+    } else {
+      run.result = runner.Run(id, wr, ws, window_spec);
+    }
     pipeline.total_inputs += run.result.inputs;
     pipeline.total_matches += run.result.matches;
     pipeline.total_checksum += run.result.checksum;
@@ -106,17 +76,48 @@ PipelineResult RunSegments(
     trace::Instant("window_close", static_cast<double>(index - 1));
     trace::Counter("pipeline_matches",
                    static_cast<double>(pipeline.total_matches));
+    const bool failed = !run.result.status.ok();
+    if (failed) pipeline.status = run.result.status;
     pipeline.windows.push_back(std::move(run));
+    if (failed) break;
   }
   return pipeline;
 }
 
 }  // namespace
 
+PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
+                                  const JoinSpec& spec,
+                                  const AlgorithmPolicy& policy) {
+  if (spec.window_ms < 1) {
+    PipelineResult pipeline;
+    pipeline.status =
+        Status::InvalidArgument("tumbling windows need window_ms >= 1");
+    return pipeline;
+  }
+  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  std::vector<std::pair<uint64_t, uint32_t>> segments;
+  for (uint64_t start = 0; start <= max_ts; start += spec.window_ms) {
+    segments.emplace_back(start, spec.window_ms);
+  }
+  return RunSegments(r, s, spec, segments, policy);
+}
+
+PipelineResult RunTumblingWindows(AlgorithmId id, const Stream& r,
+                                  const Stream& s, const JoinSpec& spec) {
+  return RunTumblingWindows(
+      r, s, spec, [id](const Stream&, const Stream&) { return id; });
+}
+
 PipelineResult RunSlidingWindows(const Stream& r, const Stream& s,
                                  const JoinSpec& spec, uint32_t hop_ms,
                                  const AlgorithmPolicy& policy) {
-  IAWJ_CHECK_GE(hop_ms, 1u);
+  if (hop_ms < 1) {
+    PipelineResult pipeline;
+    pipeline.status =
+        Status::InvalidArgument("sliding windows need hop_ms >= 1");
+    return pipeline;
+  }
   const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
   std::vector<std::pair<uint64_t, uint32_t>> segments;
   for (uint64_t start = 0; start <= max_ts; start += hop_ms) {
@@ -135,7 +136,12 @@ PipelineResult RunSlidingWindows(AlgorithmId id, const Stream& r,
 PipelineResult RunSessionWindows(const Stream& r, const Stream& s,
                                  const JoinSpec& spec, uint32_t gap_ms,
                                  const AlgorithmPolicy& policy) {
-  IAWJ_CHECK_GE(gap_ms, 1u);
+  if (gap_ms < 1) {
+    PipelineResult pipeline;
+    pipeline.status =
+        Status::InvalidArgument("session windows need gap_ms >= 1");
+    return pipeline;
+  }
   // Merge the two arrival sequences and split wherever both streams are
   // silent for at least gap_ms.
   std::vector<uint32_t> arrivals;

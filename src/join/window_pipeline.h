@@ -27,6 +27,13 @@ struct WindowRun {
 };
 
 struct PipelineResult {
+  // Ok when every window completed. On the first failed window the pipeline
+  // stops, keeps the completed windows plus the failed one (its RunResult
+  // carries the per-run failure), and copies that status here. Invalid
+  // segmentation parameters (window/hop/gap of 0) also land here, with no
+  // windows run.
+  Status status;
+
   std::vector<WindowRun> windows;
   uint64_t total_inputs = 0;
   uint64_t total_matches = 0;

@@ -1,10 +1,76 @@
 #include "src/memory/tracker.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/fault.h"
+
 namespace iawj::mem {
 
 namespace {
 std::atomic<int64_t> g_current{0};
 std::atomic<int64_t> g_peak{0};
+std::atomic<CancelToken*> g_breach_token{nullptr};
+
+int64_t ParseEnvBudget() {
+  const char* text = std::getenv("IAWJ_MEM_BUDGET");
+  if (text == nullptr || text[0] == '\0') return 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || value <= 0) {
+    // A garbled budget must not silently leave the process unprotected.
+    std::fprintf(stderr,
+                 "warning: unparsable IAWJ_MEM_BUDGET '%s' ignored "
+                 "(want <int>[k|m|g])\n",
+                 text);
+    return 0;
+  }
+  int64_t bytes = value;
+  switch (*end) {
+    case 'k':
+    case 'K':
+      bytes <<= 10;
+      break;
+    case 'm':
+    case 'M':
+      bytes <<= 20;
+      break;
+    case 'g':
+    case 'G':
+      bytes <<= 30;
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+std::atomic<int64_t> g_budget{ParseEnvBudget()};
+
+std::string BreachMessage(int64_t requested, int64_t would_be,
+                          int64_t budget, const char* what, bool injected) {
+  std::string msg = injected
+                        ? std::string("injected allocation failure")
+                        : std::string("memory budget exceeded");
+  msg += " (" + std::to_string(requested) + " bytes for ";
+  msg += what;
+  msg += ", " + std::to_string(would_be) + " tracked";
+  if (budget > 0) msg += " vs budget " + std::to_string(budget);
+  msg += ")";
+  return msg;
+}
+
+// Reports a breach to the installed token, if any. Allocation still
+// proceeds — the run unwinds at its next cancellation checkpoint.
+void ReportBreach(int64_t requested, int64_t now, bool injected) {
+  CancelToken* token = g_breach_token.load(std::memory_order_acquire);
+  if (token == nullptr) return;
+  token->Cancel(Status::ResourceExhausted(BreachMessage(
+      requested, now, g_budget.load(std::memory_order_relaxed),
+      "tracked allocation", injected)));
+}
+
 }  // namespace
 
 void Add(int64_t bytes) {
@@ -13,6 +79,14 @@ void Add(int64_t bytes) {
     int64_t peak = g_peak.load(std::memory_order_relaxed);
     while (now > peak &&
            !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    if (fault::Enabled() && fault::Inject("alloc")) {
+      ReportBreach(bytes, now, /*injected=*/true);
+      return;
+    }
+    const int64_t budget = g_budget.load(std::memory_order_relaxed);
+    if (budget > 0 && now > budget) {
+      ReportBreach(bytes, now, /*injected=*/false);
     }
   }
 }
@@ -23,6 +97,30 @@ int64_t PeakBytes() { return g_peak.load(); }
 void Reset() {
   g_current.store(0);
   g_peak.store(0);
+}
+
+void SetBudgetBytes(int64_t bytes) {
+  g_budget.store(bytes > 0 ? bytes : 0, std::memory_order_relaxed);
+}
+
+int64_t BudgetBytes() { return g_budget.load(std::memory_order_relaxed); }
+
+void SetBreachToken(CancelToken* token) {
+  g_breach_token.store(token, std::memory_order_release);
+}
+
+Status Preflight(int64_t bytes, const char* what) {
+  if (fault::Enabled() && fault::Inject("alloc")) {
+    return Status::ResourceExhausted(BreachMessage(
+        bytes, CurrentBytes() + bytes, BudgetBytes(), what,
+        /*injected=*/true));
+  }
+  const int64_t budget = BudgetBytes();
+  if (budget > 0 && CurrentBytes() + bytes > budget) {
+    return Status::ResourceExhausted(BreachMessage(
+        bytes, CurrentBytes() + bytes, budget, what, /*injected=*/false));
+  }
+  return Status::Ok();
 }
 
 }  // namespace iawj::mem

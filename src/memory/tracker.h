@@ -6,12 +6,23 @@
 // partition buffers, sorted runs, router state — reports its allocations
 // here. A sampler thread (see profiling/resource.h) turns the counter into a
 // time series.
+//
+// The tracker also enforces an optional byte budget (ISSUE 2): when
+// IAWJ_MEM_BUDGET (or SetBudgetBytes) is set and a breach token is
+// installed, any tracked allocation that pushes the total over budget — or
+// that the "alloc" fault selects — cancels the current run with
+// ResourceExhausted instead of crashing the process; bulk Setup-phase
+// allocations can additionally Preflight so the failure surfaces as a
+// Status before the memory is committed.
 #ifndef IAWJ_MEMORY_TRACKER_H_
 #define IAWJ_MEMORY_TRACKER_H_
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+
+#include "src/common/cancel.h"
+#include "src/common/status.h"
 
 namespace iawj::mem {
 
@@ -24,8 +35,28 @@ int64_t CurrentBytes();
 // High-water mark since the last Reset().
 int64_t PeakBytes();
 
-// Zeroes both counters. Call between experiment runs.
+// Zeroes both counters. Call between experiment runs. The budget and breach
+// token are left untouched.
 void Reset();
+
+// Byte budget for tracked allocations; <= 0 means unlimited. Initialized
+// from $IAWJ_MEM_BUDGET (integer bytes with an optional k/m/g suffix,
+// powers of 1024) at process start.
+void SetBudgetBytes(int64_t bytes);
+int64_t BudgetBytes();
+
+// Installs the cancellation token breaches report to (one run at a time;
+// nullptr uninstalls). While installed, an over-budget Add — or one the
+// "alloc" fault selects — cancels the token with ResourceExhausted; the
+// allocation itself still happens, and the run unwinds at its next
+// cancellation checkpoint. This keeps Add infallible on hot paths while
+// every allocation site stays budget-enforced.
+void SetBreachToken(CancelToken* token);
+
+// Fallible pre-check for bulk allocations of known size (Setup paths):
+// returns ResourceExhausted when charging `bytes` more would exceed the
+// budget, or when the "alloc" fault fires. Does not charge.
+Status Preflight(int64_t bytes, const char* what);
 
 // RAII registration for a block of bytes whose lifetime matches a scope.
 class ScopedBytes {

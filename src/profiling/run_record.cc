@@ -74,10 +74,18 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
                           const RunRecordContext& context) {
   json::Writer w;
   w.BeginObject();
-  w.Field("record_version", int64_t{1});
+  // v2: adds status/status_code/status_message (failed runs are recorded
+  // too, carrying whatever partial metrics the workers produced).
+  w.Field("record_version", int64_t{2});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
+
+  w.Field("status", result.status.ok() ? "ok" : "failed");
+  if (!result.status.ok()) {
+    w.Field("status_code", std::string(StatusCodeName(result.status.code())));
+    w.Field("status_message", std::string(result.status.message()));
+  }
 
   w.Field("algorithm", result.algorithm);
   if (!context.bench.empty()) w.Field("bench", context.bench);

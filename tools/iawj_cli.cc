@@ -35,9 +35,41 @@ bool ParseAlgorithm(const std::string& name, AlgorithmId* id) {
   return false;
 }
 
+// Distinct exit codes per failure class so scripts and CI can assert on the
+// way a run failed (documented in README "Exit codes"). 1 stays the generic
+// failure so anything unmapped remains a plain error.
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 2;
+    case StatusCode::kFailedPrecondition:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    case StatusCode::kDeadlineExceeded:
+      return 5;
+    case StatusCode::kCancelled:
+      return 6;
+    case StatusCode::kDataLoss:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+  }
+  return 1;
+}
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error [%s]: %s\n",
+               std::string(StatusCodeName(status.code())).c_str(),
+               std::string(status.message()).c_str());
+  return ExitCodeFor(status.code());
 }
 
 int Run(int argc, char** argv) {
@@ -64,7 +96,10 @@ int Run(int argc, char** argv) {
     spec.size_r = static_cast<uint64_t>(flags.GetInt("size-r", 0));
     spec.size_s = static_cast<uint64_t>(flags.GetInt("size-s", 0));
     spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-    MicroWorkload micro = GenerateMicro(spec);
+    MicroWorkload micro;
+    if (const Status st = GenerateMicro(spec, &micro); !st.ok()) {
+      return Fail(st);
+    }
     r = std::move(micro.r);
     s = std::move(micro.s);
   } else if (workload == "file") {
@@ -78,8 +113,8 @@ int Run(int argc, char** argv) {
                  ? io::LoadStreamCsv(path, out)
                  : io::LoadStream(path, out);
     };
-    if (const Status st = load(r_path, &r); !st.ok()) return Fail(st.ToString());
-    if (const Status st = load(s_path, &s); !st.ok()) return Fail(st.ToString());
+    if (const Status st = load(r_path, &r); !st.ok()) return Fail(st);
+    if (const Status st = load(s_path, &s); !st.ok()) return Fail(st);
   } else {
     RealWorldSpec spec;
     spec.scale = flags.GetDouble("scale", 0.05);
@@ -95,7 +130,10 @@ int Run(int argc, char** argv) {
     } else {
       return Fail("unknown --workload (micro|stock|rovio|ysb|debs|file)");
     }
-    Workload w = GenerateRealWorld(spec);
+    Workload w;
+    if (const Status st = GenerateRealWorld(spec, &w); !st.ok()) {
+      return Fail(st);
+    }
     r = std::move(w.r);
     s = std::move(w.s);
     workload_name = w.name;
@@ -115,6 +153,8 @@ int Run(int argc, char** argv) {
   spec.jb_group_size = static_cast<int>(flags.GetInt("jb-group", 2));
   spec.eager_physical_partition = flags.GetBool("physical-partition", false);
   spec.use_simd = flags.GetBool("simd", true);
+  // 0 keeps the $IAWJ_DEADLINE_MS fallback (see JoinSpec::deadline_ms).
+  spec.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline", 0));
 
   const std::string algo = flags.GetString("algo", "npj");
   const auto windows = static_cast<uint32_t>(flags.GetInt("windows", 1));
@@ -141,6 +181,10 @@ int Run(int argc, char** argv) {
                   report::Table::Num(peak_mb, 2)});
   };
 
+  // A failed run still prints its table row (partial metrics) and writes a
+  // run record; the failure is reported at exit via the mapped exit code.
+  Status run_status = Status::Ok();
+
   if (algo == "adaptive") {
     AdaptiveOptions options;
     options.hardware.num_cores = spec.num_threads;
@@ -151,11 +195,13 @@ int Run(int argc, char** argv) {
     if (windows > 1) {
       const PipelineResult pipeline = RunTumblingWindows(
           r, s, spec, MakeAdaptivePolicy(options));
+      run_status = pipeline.status;
       add_row("adaptive", static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
     } else {
       AdaptiveChoice choice;
       const RunResult result = RunAdaptive(r, s, spec, options, &choice);
+      run_status = result.status;
       std::printf("adaptive pick: %s\n",
                   std::string(AlgorithmName(choice.algorithm)).c_str());
       MaybeWriteRunRecord(result, spec,
@@ -176,12 +222,14 @@ int Run(int argc, char** argv) {
     }
     if (windows > 1) {
       const PipelineResult pipeline = RunTumblingWindows(id, r, s, spec);
+      run_status = pipeline.status;
       add_row(std::string(AlgorithmName(id)),
               static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
     } else {
       JoinRunner runner;
       const RunResult result = runner.Run(id, r, s, spec);
+      run_status = result.status;
       MaybeWriteRunRecord(result, spec,
                           {.bench = "iawj_cli", .workload = workload_name});
       add_row(result.algorithm, 1, result.inputs, result.matches,
@@ -194,9 +242,10 @@ int Run(int argc, char** argv) {
   std::fputs(table.ToText().c_str(), stdout);
   if (!csv_path.empty()) {
     if (const Status status = table.WriteCsv(csv_path); !status.ok()) {
-      return Fail(status.ToString());
+      return Fail(status);
     }
   }
+  if (!run_status.ok()) return Fail(run_status);
   return 0;
 }
 
