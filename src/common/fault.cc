@@ -68,14 +68,14 @@ Status ParseElement(std::string_view element, Site* site) {
   return Status::Ok();
 }
 
-// Reads $IAWJ_FAULT once at process start; a malformed value is a user
-// error worth failing loudly on — silently ignoring it would "pass" a test
-// that believed faults were active. It is still a *user* error, so it gets
-// a one-line diagnostic and a clean invalid_argument exit, not an abort.
+// Parses $IAWJ_FAULT at process start; a malformed value is a user error
+// worth failing loudly on — silently ignoring it would "pass" a test that
+// believed faults were active. It is still a *user* error, so it gets a
+// one-line diagnostic and a clean invalid_argument exit, not an abort.
+// ReloadFromEnv() re-runs the same parse later without the exit, so one
+// process can install successive schedules.
 const bool g_env_init = [] {
-  const char* spec = std::getenv("IAWJ_FAULT");
-  if (spec == nullptr || spec[0] == '\0') return true;
-  if (const Status status = Configure(spec); !status.ok()) {
+  if (const Status status = ReloadFromEnv(); !status.ok()) {
     std::fprintf(stderr, "error [invalid_argument]: %s\n",
                  std::string(status.message()).c_str());
     std::exit(2);
@@ -126,6 +126,19 @@ Status Configure(std::string_view spec) {
   g_num_sites.store(n, std::memory_order_release);
   internal::g_enabled.store(n > 0, std::memory_order_release);
   return Status::Ok();
+}
+
+void Reset() {
+  for (Site& s : g_sites) s.hits.store(0, std::memory_order_relaxed);
+}
+
+Status ReloadFromEnv() {
+  const char* spec = std::getenv("IAWJ_FAULT");
+  if (spec == nullptr || spec[0] == '\0') {
+    Clear();
+    return Status::Ok();
+  }
+  return Configure(spec);
 }
 
 void Clear() {

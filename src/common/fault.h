@@ -65,6 +65,18 @@ inline bool Inject(const char* site) {
 // tests call it directly.
 Status Configure(std::string_view spec);
 
+// Re-arms the registry: keeps the configured sites and their nth/count
+// windows but zeroes every hit counter, so one process can replay the same
+// fault schedule (chaos harness, looped tests) without re-parsing a spec.
+// No-op when nothing is configured.
+void Reset();
+
+// Re-reads $IAWJ_FAULT and installs it as the active spec (counters reset);
+// unset or empty disables injection. Unlike the automatic startup parse —
+// which exits on a malformed value — this returns InvalidArgument, so
+// supervised processes can install successive schedules without respawning.
+Status ReloadFromEnv();
+
 // Disables injection and resets all counters.
 void Clear();
 

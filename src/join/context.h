@@ -72,6 +72,17 @@ struct JoinSpec {
   // watchdog and returns DeadlineExceeded with partial metrics.
   uint32_t deadline_ms = 0;
 
+  // --- Supervision knobs (join/supervisor.h) ---------------------------
+  // Defaults leave supervision entirely off; each field falls back to its
+  // environment variable when left at the default (spec wins over env,
+  // like deadline_ms). See SupervisorPolicy::Resolve for the env grammar.
+  int retry_max_attempts = 0;      // total attempts; 0 = $IAWJ_RETRY, 1 = off
+  double retry_backoff_ms = -1;    // base backoff; < 0 = $IAWJ_RETRY's value
+  bool fallback_enabled = false;   // OR'd with $IAWJ_FALLBACK
+  bool skip_failed_windows = false;  // OR'd with $IAWJ_SKIP_WINDOWS
+  double shed_watermark_per_ms = 0;  // 0 = $IAWJ_SHED_WATERMARK, < 0 = off
+  uint64_t supervisor_seed = 42;   // backoff jitter + shed sampling RNG
+
   Status Validate(AlgorithmId id) const;
 };
 

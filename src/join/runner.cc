@@ -199,15 +199,21 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
           watchdog_cv.wait_for(lock, std::chrono::milliseconds(deadline_ms),
                                [&] { return run_finished; });
       if (finished) return;
-      std::string message = "run exceeded deadline of " +
-                            std::to_string(deadline_ms) +
-                            " ms; unfinished workers:";
+      // Collect the stragglers BEFORE cancelling: if every worker already
+      // finished, the run beat the deadline and must not be failed
+      // retroactively — the emitted run record always reflects the final
+      // status, and a deadline_exceeded status always names at least one
+      // unfinished worker, exactly once.
+      std::string stragglers;
       for (int t = 0; t < threads; ++t) {
         if (!done[t].load(std::memory_order_acquire)) {
-          message += " w" + std::to_string(t);
+          stragglers += " w" + std::to_string(t);
         }
       }
-      cancel.Cancel(Status::DeadlineExceeded(std::move(message)));
+      if (stragglers.empty()) return;
+      cancel.Cancel(Status::DeadlineExceeded(
+          "run exceeded deadline of " + std::to_string(deadline_ms) +
+          " ms; unfinished workers:" + stragglers));
     });
   }
 

@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/join/context.h"
+#include "src/join/recovery.h"
 #include "src/profiling/cache_sim.h"
 #include "src/stream/stream.h"
 
@@ -42,6 +43,10 @@ struct RunResult {
   PhaseProfile phases;  // summed across workers
   int64_t peak_tracked_bytes = 0;
   double cpu_time_ms = 0;  // process CPU consumed during the run
+
+  // What the supervisor (join/supervisor.h) did to produce this result:
+  // retries, fallbacks, shed tuples. Empty (and free) for unsupervised runs.
+  RecoveryLog recovery;
 
   // Per-input-tuple execution cost excluding wait, in nanoseconds of summed
   // worker time (the paper's "cycles per input tuple" y-axis, modulo clock

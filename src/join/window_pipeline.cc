@@ -7,6 +7,7 @@
 
 #include "src/common/fault.h"
 #include "src/common/logging.h"
+#include "src/join/supervisor.h"
 #include "src/profiling/trace.h"
 
 namespace iawj {
@@ -31,10 +32,32 @@ Stream SliceWindow(const Stream& stream, uint64_t start, uint32_t length) {
   return window;
 }
 
+// Runs one window attempt: the injected "window_fail" site sits inside the
+// attempt so a supervised retry re-rolls it (the counter advances per
+// attempt — a transient fault clears, a :0-count fault keeps firing).
+RunResult RunWindowOnce(JoinRunner& runner, AlgorithmId id, const Stream& wr,
+                        const Stream& ws, const JoinSpec& window_spec,
+                        uint32_t window_index) {
+  if (fault::Enabled() && fault::Inject("window_fail")) {
+    // Fault: this window fails wholesale without executing, the shape of
+    // an operator crash between segmentation and the join.
+    RunResult result;
+    result.algorithm = std::string(AlgorithmName(id));
+    result.inputs = wr.size() + ws.size();
+    result.status = Status::Internal("injected window failure (window " +
+                                     std::to_string(window_index) + ")");
+    return result;
+  }
+  return runner.Run(id, wr, ws, window_spec);
+}
+
 // Shared driver: runs one IaWJ per (start, length) segment. Degrades
-// gracefully on failure — the first non-OK window (including an injected
-// "window_fail") is recorded with its partial metrics, its status copied to
-// the pipeline, and no further windows run.
+// gracefully on failure: each failed window is retried and fallen back per
+// the supervision policy (join/supervisor.h), then — under a skip policy —
+// skipped with bounded-loss accounting so one poisoned window cannot sink
+// the pipeline. Without supervision, the first non-OK window is recorded
+// with its partial metrics, its status copied to the pipeline, and no
+// further windows run.
 PipelineResult RunSegments(
     const Stream& r, const Stream& s, const JoinSpec& spec,
     const std::vector<std::pair<uint64_t, uint32_t>>& segments,
@@ -45,10 +68,49 @@ PipelineResult RunSegments(
   // while ours is installed).
   trace::ScopedThreadTrace pipeline_trace("window pipeline");
   JoinRunner runner;
+
+  // Resolved once per pipeline, not per window: with nothing configured the
+  // whole supervision layer reduces to this one resolve and the unsupervised
+  // single-attempt path below.
+  const SupervisorPolicy supervision = SupervisorPolicy::Resolve(spec);
+
+  // Overload shedding applies to the whole timeline before segmentation, so
+  // every window sees the post-shed arrival sequence.
+  const Stream* in_r = &r;
+  const Stream* in_s = &s;
+  ShedResult shed_r, shed_s;
+  if (supervision.shed_watermark_per_ms > 0) {
+    shed_r = ShedToWatermark(r, supervision.shed_watermark_per_ms,
+                             supervision.shed_max_lag_ms, supervision.seed);
+    shed_s = ShedToWatermark(s, supervision.shed_watermark_per_ms,
+                             supervision.shed_max_lag_ms,
+                             supervision.seed + 1);
+    in_r = &shed_r.stream;
+    in_s = &shed_s.stream;
+    pipeline.recovery.tuples_shed = shed_r.tuples_shed + shed_s.tuples_shed;
+    const uint64_t in = shed_r.tuples_in + shed_s.tuples_in;
+    pipeline.recovery.shed_ratio =
+        in > 0 ? static_cast<double>(pipeline.recovery.tuples_shed) /
+                     static_cast<double>(in)
+               : 0;
+    if (pipeline.recovery.tuples_shed > 0) {
+      pipeline.recovery.events.push_back(
+          {RecoveryAction::kShedLoad, StatusCode::kOk, 0,
+           "shed " + std::to_string(pipeline.recovery.tuples_shed) + " of " +
+               std::to_string(in) + " tuples at watermark " +
+               std::to_string(supervision.shed_watermark_per_ms) + "/ms",
+           0});
+    }
+  }
+
+  // Completed-window totals drive the skipped-window loss estimator.
+  uint64_t ok_inputs = 0;
+  uint64_t ok_matches = 0;
+
   uint32_t index = 0;
   for (const auto& [start, length] : segments) {
-    const Stream wr = SliceWindow(r, start, length);
-    const Stream ws = SliceWindow(s, start, length);
+    const Stream wr = SliceWindow(*in_r, start, length);
+    const Stream ws = SliceWindow(*in_s, start, length);
     ++index;
     if (wr.size() == 0 && ws.size() == 0) continue;
 
@@ -59,24 +121,58 @@ PipelineResult RunSegments(
     run.window_index = index - 1;
     run.window_start_ms = start;
     const AlgorithmId id = policy(wr, ws);
-    if (fault::Enabled() && fault::Inject("window_fail")) {
-      // Fault: this window fails wholesale without executing, the shape of
-      // an operator crash between segmentation and the join.
-      run.result.algorithm = std::string(AlgorithmName(id));
-      run.result.status = Status::Internal(
-          "injected window failure (window " + std::to_string(index - 1) +
-          ")");
+    if (supervision.Enabled()) {
+      run.result = SuperviseAttempts(
+          id, window_spec, supervision,
+          [&](AlgorithmId attempt_id, const JoinSpec& attempt_spec) {
+            return RunWindowOnce(runner, attempt_id, wr, ws, attempt_spec,
+                                 index - 1);
+          });
+      pipeline.recovery.Merge(run.result.recovery);
     } else {
-      run.result = runner.Run(id, wr, ws, window_spec);
+      run.result = RunWindowOnce(runner, id, wr, ws, window_spec, index - 1);
     }
-    pipeline.total_inputs += run.result.inputs;
-    pipeline.total_matches += run.result.matches;
-    pipeline.total_checksum += run.result.checksum;
-    pipeline.total_elapsed_ms += run.result.elapsed_ms;
+    const bool failed = !run.result.status.ok();
+    if (!failed) {
+      pipeline.total_inputs += run.result.inputs;
+      pipeline.total_matches += run.result.matches;
+      pipeline.total_checksum += run.result.checksum;
+      pipeline.total_elapsed_ms += run.result.elapsed_ms;
+      ok_inputs += run.result.inputs;
+      ok_matches += run.result.matches;
+    }
     trace::Instant("window_close", static_cast<double>(index - 1));
     trace::Counter("pipeline_matches",
                    static_cast<double>(pipeline.total_matches));
-    const bool failed = !run.result.status.ok();
+    if (failed && supervision.skip_failed_windows &&
+        IsRetryableCode(run.result.status.code())) {
+      // Bounded-loss skip: the pipeline survives, but this window's tuples
+      // are gone. Estimate the matches lost as the larger of what the
+      // failed attempt got out before dying (its progressiveness recorder)
+      // and the completed windows' match rate extrapolated over the
+      // dropped inputs.
+      const uint64_t dropped = wr.size() + ws.size();
+      const double rate =
+          ok_inputs > 0 ? static_cast<double>(ok_matches) /
+                              static_cast<double>(ok_inputs)
+                        : 0;
+      const double est_lost =
+          std::max(static_cast<double>(run.result.progress.total()),
+                   rate * static_cast<double>(dropped));
+      ++pipeline.recovery.windows_skipped;
+      pipeline.recovery.tuples_dropped += dropped;
+      pipeline.recovery.est_matches_lost += est_lost;
+      pipeline.recovery.events.push_back(
+          {RecoveryAction::kSkipWindow, run.result.status.code(),
+           pipeline.recovery.attempts,
+           "window " + std::to_string(index - 1) + " skipped after " +
+               run.result.status.ToString() + "; dropped " +
+               std::to_string(dropped) + " tuples",
+           0});
+      trace::Instant("window_skip", static_cast<double>(index - 1));
+      pipeline.windows.push_back(std::move(run));
+      continue;
+    }
     if (failed) pipeline.status = run.result.status;
     pipeline.windows.push_back(std::move(run));
     if (failed) break;

@@ -27,18 +27,27 @@ struct WindowRun {
 };
 
 struct PipelineResult {
-  // Ok when every window completed. On the first failed window the pipeline
-  // stops, keeps the completed windows plus the failed one (its RunResult
-  // carries the per-run failure), and copies that status here. Invalid
-  // segmentation parameters (window/hop/gap of 0) also land here, with no
-  // windows run.
+  // Ok when every window completed (or was skipped under a skip policy; see
+  // `recovery`). On the first unrecovered-and-unskippable window failure
+  // the pipeline stops, keeps the completed windows plus the failed one
+  // (its RunResult carries the per-run failure), and copies that status
+  // here. Invalid segmentation parameters (window/hop/gap of 0) also land
+  // here, with no windows run.
   Status status;
 
   std::vector<WindowRun> windows;
+  // Aggregates cover windows that completed OK; a failed or skipped
+  // window's partial metrics stay on its WindowRun but are excluded here,
+  // so the totals and the loss accounting in `recovery` stay consistent.
   uint64_t total_inputs = 0;
   uint64_t total_matches = 0;
   uint64_t total_checksum = 0;  // sum of per-window checksums
   double total_elapsed_ms = 0;  // sum of per-window elapsed stream time
+
+  // Window-level supervision accounting (ISSUE 3): per-window retries and
+  // fallbacks, skipped windows with their bounded loss (tuples_dropped +
+  // est_matches_lost), and load shedding. Empty when supervision is off.
+  RecoveryLog recovery;
 };
 
 // Chooses the algorithm for one window, given its (already segmented,

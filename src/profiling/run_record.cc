@@ -76,7 +76,10 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   w.BeginObject();
   // v2: adds status/status_code/status_message (failed runs are recorded
   // too, carrying whatever partial metrics the workers produced).
-  w.Field("record_version", int64_t{2});
+  // v3: adds the `recovery` block (supervised retries, fallbacks, skipped
+  // windows, shed load) whenever the run was supervised; unsupervised runs
+  // omit the block entirely.
+  w.Field("record_version", int64_t{3});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -121,6 +124,35 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   w.Field("work_ns_per_input", result.WorkNsPerInput());
   w.Field("t50_ms", result.progress.TimeToFractionMs(0.5));
   w.Field("peak_tracked_bytes", int64_t{result.peak_tracked_bytes});
+
+  // v3: present only for supervised runs (attempts >= 1) or when something
+  // was shed/skipped — an unsupervised clean run carries no recovery block,
+  // so old consumers see byte-identical shape modulo record_version.
+  if (!result.recovery.empty() || result.recovery.attempts > 0) {
+    const RecoveryLog& rec = result.recovery;
+    w.Key("recovery").BeginObject();
+    w.Field("attempts", int64_t{rec.attempts});
+    w.Field("fallbacks_taken", int64_t{rec.fallbacks_taken});
+    w.Field("windows_skipped", uint64_t{rec.windows_skipped});
+    w.Field("tuples_dropped", uint64_t{rec.tuples_dropped});
+    w.Field("est_matches_lost", rec.est_matches_lost);
+    w.Field("tuples_shed", uint64_t{rec.tuples_shed});
+    w.Field("shed_ratio", rec.shed_ratio);
+    w.Field("recovered", rec.recovered());
+    w.Field("degraded", rec.degraded());
+    w.Key("events").BeginArray();
+    for (const RecoveryEvent& e : rec.events) {
+      w.BeginObject();
+      w.Field("action", std::string(RecoveryActionName(e.action)));
+      w.Field("trigger", std::string(StatusCodeName(e.trigger)));
+      w.Field("attempt", int64_t{e.attempt});
+      if (!e.detail.empty()) w.Field("detail", e.detail);
+      if (e.backoff_ms > 0) w.Field("backoff_ms", e.backoff_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
 
   w.Key("phase_ns").BeginObject();
   for (int p = 0; p < kNumPhases; ++p) {

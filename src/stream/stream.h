@@ -41,6 +41,25 @@ StreamStats ComputeStats(const Stream& stream);
 
 std::string FormatStats(const StreamStats& stats);
 
+// Overload load shedding (ISSUE 3). Models a consumer that drains
+// `watermark_per_ms` tuples per stream-millisecond: walking the arrival
+// timeline, a backlog accumulates whenever a 1 ms bucket delivers more than
+// the consumer absorbs. Once the backlog exceeds `max_lag_ms` milliseconds'
+// worth of tuples (watermark * max_lag_ms), the overflowing bucket is
+// thinned back to the lag bound by stride sampling — every k-th survivor,
+// with a seeded rotation so the same key positions are not always favoured.
+// Output is deterministic in (stream, watermark_per_ms, max_lag_ms, seed).
+struct ShedResult {
+  Stream stream;            // surviving tuples, arrival order preserved
+  uint64_t tuples_in = 0;   // input size
+  uint64_t tuples_shed = 0;
+  double shed_ratio = 0;    // tuples_shed / tuples_in (0 for empty input)
+};
+
+// watermark_per_ms <= 0 disables shedding (the stream is passed through).
+ShedResult ShedToWatermark(const Stream& stream, double watermark_per_ms,
+                           double max_lag_ms, uint64_t seed);
+
 }  // namespace iawj
 
 #endif  // IAWJ_STREAM_STREAM_H_

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -109,6 +110,41 @@ TEST_F(FaultTest, ClearResetsEverything) {
   EXPECT_FALSE(fault::Enabled());
   EXPECT_FALSE(fault::Inject("alloc"));
   EXPECT_EQ(fault::Hits("alloc"), 0u);
+}
+
+TEST_F(FaultTest, ResetReArmsTheSameScheduleWithoutReparsing) {
+  ASSERT_TRUE(fault::Configure("alloc:2").ok());
+  EXPECT_FALSE(fault::Inject("alloc"));  // hit 1
+  EXPECT_TRUE(fault::Inject("alloc"));   // hit 2 fires
+  EXPECT_FALSE(fault::Inject("alloc"));  // hit 3: window passed
+  fault::Reset();
+  EXPECT_TRUE(fault::Enabled());  // sites survive, counters do not
+  EXPECT_EQ(fault::Hits("alloc"), 0u);
+  EXPECT_FALSE(fault::Inject("alloc"));  // hit 1 again
+  EXPECT_TRUE(fault::Inject("alloc"));   // hit 2 fires again
+}
+
+TEST_F(FaultTest, ResetWithNothingConfiguredIsANoOp) {
+  fault::Reset();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::Inject("alloc"));
+}
+
+TEST_F(FaultTest, ReloadFromEnvInstallsClearsAndRejects) {
+  ASSERT_EQ(setenv("IAWJ_FAULT", "alloc:1", 1), 0);
+  ASSERT_TRUE(fault::ReloadFromEnv().ok());
+  EXPECT_TRUE(fault::Enabled());
+  EXPECT_TRUE(fault::Inject("alloc"));
+
+  // Unlike the startup parse, a malformed value comes back as a Status and
+  // leaves injection disabled — the process survives.
+  ASSERT_EQ(setenv("IAWJ_FAULT", "alloc:0", 1), 0);
+  EXPECT_EQ(fault::ReloadFromEnv().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(fault::Enabled());
+
+  ASSERT_EQ(unsetenv("IAWJ_FAULT"), 0);
+  ASSERT_TRUE(fault::ReloadFromEnv().ok());
+  EXPECT_FALSE(fault::Enabled());
 }
 
 // --- Memory budget ----------------------------------------------------------
@@ -233,7 +269,7 @@ TEST_F(FaultTest, EagerStallIsCancelledByDeadline) {
   JoinRunner runner;
   for (AlgorithmId id : {AlgorithmId::kShjJm, AlgorithmId::kPmjJb}) {
     SCOPED_TRACE(AlgorithmName(id));
-    ASSERT_TRUE(fault::Configure("eager_stall").ok());  // reset hit counter
+    fault::Reset();  // re-arm the schedule for the next algorithm
     const RunResult result = runner.Run(id, w.r, w.s, spec);
     EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
   }

@@ -110,6 +110,65 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
+TEST(RunRecord, VersionIsThreeWithoutRecoveryForPlainRuns) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 3);
+  // Unsupervised runs carry no recovery block at all.
+  EXPECT_EQ(record.Find("recovery"), nullptr);
+}
+
+TEST(RunRecord, RecoveryBlockRoundTrips) {
+  JoinSpec spec;
+  RunResult result = SmallRun(&spec);
+  result.recovery.attempts = 3;
+  result.recovery.fallbacks_taken = 1;
+  result.recovery.tuples_shed = 120;
+  result.recovery.shed_ratio = 0.12;
+  result.recovery.events.push_back({RecoveryAction::kRetry,
+                                    StatusCode::kResourceExhausted, 1,
+                                    "attempt 1 failed", 2.5});
+  result.recovery.events.push_back({RecoveryAction::kFallbackAlgorithm,
+                                    StatusCode::kResourceExhausted, 2,
+                                    "PRJ -> NPJ", 0});
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  const json::Value* recovery = record.Find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_DOUBLE_EQ(recovery->Find("attempts")->number, 3);
+  EXPECT_DOUBLE_EQ(recovery->Find("fallbacks_taken")->number, 1);
+  EXPECT_DOUBLE_EQ(recovery->Find("windows_skipped")->number, 0);
+  EXPECT_DOUBLE_EQ(recovery->Find("tuples_shed")->number, 120);
+  EXPECT_DOUBLE_EQ(recovery->Find("shed_ratio")->number, 0.12);
+  EXPECT_TRUE(recovery->Find("recovered")->boolean);
+  EXPECT_TRUE(recovery->Find("degraded")->boolean);
+
+  const json::Value* events = recovery->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[0].Find("action")->string, "retry");
+  EXPECT_EQ(events->array[0].Find("trigger")->string, "resource_exhausted");
+  EXPECT_DOUBLE_EQ(events->array[0].Find("backoff_ms")->number, 2.5);
+  EXPECT_EQ(events->array[1].Find("action")->string, "fallback_algorithm");
+  EXPECT_EQ(events->array[1].Find("detail")->string, "PRJ -> NPJ");
+}
+
+TEST(RunRecord, SupervisedCleanRunRecordsItsSingleAttempt) {
+  JoinSpec spec;
+  RunResult result = SmallRun(&spec);
+  result.recovery.attempts = 1;  // supervised, first attempt succeeded
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  const json::Value* recovery = record.Find("recovery");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_DOUBLE_EQ(recovery->Find("attempts")->number, 1);
+  EXPECT_FALSE(recovery->Find("recovered")->boolean);
+  EXPECT_FALSE(recovery->Find("degraded")->boolean);
+}
+
 TEST(RunRecord, WriteCreatesOneValidFilePerCall) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);

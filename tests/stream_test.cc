@@ -36,6 +36,85 @@ TEST(Stream, StatsComputeRateAndDuplication) {
   EXPECT_FALSE(FormatStats(stats).empty());
 }
 
+// --- Load shedding (ISSUE 3) ------------------------------------------------
+
+Stream BurstyStream(uint32_t buckets, uint32_t per_bucket) {
+  std::vector<Tuple> tuples;
+  for (uint32_t ts = 0; ts < buckets; ++ts) {
+    for (uint32_t i = 0; i < per_bucket; ++i) {
+      tuples.push_back({.ts = ts, .key = ts * per_bucket + i});
+    }
+  }
+  return MakeStream(std::move(tuples));
+}
+
+TEST(Shed, DisabledWatermarkPassesThrough) {
+  const Stream s = BurstyStream(10, 100);
+  const ShedResult shed = ShedToWatermark(s, 0, 1.0, 7);
+  EXPECT_EQ(shed.tuples_shed, 0u);
+  EXPECT_DOUBLE_EQ(shed.shed_ratio, 0);
+  EXPECT_EQ(shed.stream.size(), s.size());
+}
+
+TEST(Shed, SustainableRateShedsNothing) {
+  const Stream s = BurstyStream(10, 100);
+  // Consumer drains 100/ms, arrivals are 100/ms: no backlog, no loss.
+  const ShedResult shed = ShedToWatermark(s, 100, 1.0, 7);
+  EXPECT_EQ(shed.tuples_shed, 0u);
+  EXPECT_EQ(shed.stream.size(), s.size());
+}
+
+TEST(Shed, OverloadShedsDownTowardsTheWatermark) {
+  const Stream s = BurstyStream(10, 100);
+  // Consumer drains 20/ms against 100/ms arrivals: most tuples must go.
+  const ShedResult shed = ShedToWatermark(s, 20, 1.0, 7);
+  EXPECT_GT(shed.tuples_shed, 0u);
+  EXPECT_EQ(shed.tuples_in, 1000u);
+  EXPECT_EQ(shed.stream.size() + shed.tuples_shed, s.size());
+  EXPECT_GT(shed.shed_ratio, 0.5);
+  EXPECT_LT(shed.shed_ratio, 1.0);
+  // Survivors keep arrival order and are a subset of the input per bucket.
+  for (size_t i = 1; i < shed.stream.size(); ++i) {
+    EXPECT_LE(shed.stream.tuples[i - 1].ts, shed.stream.tuples[i].ts);
+  }
+}
+
+TEST(Shed, DeterministicInSeedAndSensitiveToIt) {
+  const Stream s = BurstyStream(10, 100);
+  const ShedResult a = ShedToWatermark(s, 20, 1.0, 7);
+  const ShedResult b = ShedToWatermark(s, 20, 1.0, 7);
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream.tuples[i].key, b.stream.tuples[i].key);
+    EXPECT_EQ(a.stream.tuples[i].ts, b.stream.tuples[i].ts);
+  }
+  // A different seed rotates the stride sampling: same loss, different
+  // survivors.
+  const ShedResult c = ShedToWatermark(s, 20, 1.0, 8);
+  EXPECT_EQ(a.tuples_shed, c.tuples_shed);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.stream.size() && !any_difference; ++i) {
+    any_difference = a.stream.tuples[i].key != c.stream.tuples[i].key;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Shed, LagBoundToleratesShortBursts) {
+  // One 50-tuple burst at ts=0, then silence: a 10/ms consumer with a 5 ms
+  // lag tolerance should keep the burst (backlog 50 == bound 50).
+  Stream s = BurstyStream(1, 50);
+  const ShedResult shed = ShedToWatermark(s, 10, 5.0, 7);
+  EXPECT_EQ(shed.tuples_shed, 0u);
+}
+
+TEST(Shed, EmptyStreamIsANoOp) {
+  const Stream empty;
+  const ShedResult shed = ShedToWatermark(empty, 10, 1.0, 7);
+  EXPECT_EQ(shed.tuples_in, 0u);
+  EXPECT_EQ(shed.tuples_shed, 0u);
+  EXPECT_DOUBLE_EQ(shed.shed_ratio, 0);
+}
+
 TEST(Stream, ZipfEstimateSeparatesSkewedFromUniform) {
   Rng rng(1);
   std::vector<Tuple> uniform, skewed;

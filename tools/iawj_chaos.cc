@@ -1,0 +1,382 @@
+// iawj_chaos — randomized fault-schedule soak for supervised execution.
+//
+//   iawj_chaos --schedules=200 --seed=1 [--verbose]
+//
+// Each schedule draws a random micro workload, algorithm, supervision
+// policy, and fault spec from a seeded RNG, runs it (single supervised run
+// or a supervised tumbling-window pipeline), and asserts the recovery
+// invariant: the outcome is always one of
+//
+//   1. success   — status ok, no loss: matches and checksum equal the
+//                  nested-loop reference exactly (retries and fallbacks
+//                  included: recovery never duplicates or drops matches);
+//   2. degraded  — status ok with bounded, consistently accounted loss:
+//                  shed tuples match the harness's own deterministic
+//                  re-shedding, skipped windows are counted with dropped
+//                  tuples, and matches never exceed the reference;
+//   3. failure   — a clean typed Status (never kOk), with a message.
+//
+// Never a crash, a hang, or a leak — CI runs this under ASan with a timeout.
+//
+// Reproducibility: schedule i under base seed B derives its RNG seed as
+// SplitMix64(B + i), so any single schedule reruns exactly with
+// --schedules=1 --seed=<B+i> (the harness prints that line on violation).
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/datagen/micro.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+#include "src/join/supervisor.h"
+#include "src/join/window_pipeline.h"
+
+namespace iawj {
+namespace {
+
+struct Schedule {
+  AlgorithmId id = AlgorithmId::kNpj;
+  JoinSpec spec;
+  MicroSpec micro;
+  std::string fault;       // IAWJ_FAULT-style spec; empty = no injection
+  bool pipeline = false;   // tumbling windows vs one supervised run
+  bool replay = false;     // re-arm (fault::Reset) and assert determinism
+};
+
+Schedule DrawSchedule(uint64_t seed) {
+  Rng rng(seed);
+  Schedule sched;
+
+  sched.id = kAllAlgorithms[rng.NextBounded(std::size(kAllAlgorithms))];
+  sched.pipeline = rng.NextBounded(3) == 0;
+
+  // Small workloads keep one schedule in the tens of milliseconds; the soak
+  // gets its coverage from schedule count, not workload size.
+  const uint32_t window_ms = 4 + static_cast<uint32_t>(rng.NextBounded(7));
+  sched.micro.rate_r = 200 + rng.NextBounded(600);
+  sched.micro.rate_s = 200 + rng.NextBounded(600);
+  sched.micro.window_ms = window_ms;
+  sched.micro.dupe = 1.0 + static_cast<double>(rng.NextBounded(3));
+  sched.micro.seed = rng.Next();
+
+  JoinSpec& spec = sched.spec;
+  spec.num_threads = 1 << rng.NextBounded(3);  // 1, 2, 4
+  spec.jb_group_size = spec.num_threads % 2 == 0 ? 2 : 1;
+  // Single runs join the whole generated window; pipelines segment it.
+  spec.window_ms = sched.pipeline ? 2 : window_ms;
+  spec.radix_bits = 4 + static_cast<int>(rng.NextBounded(7));
+  spec.supervisor_seed = rng.Next();
+
+  // Supervision policy: sometimes nothing (unsupervised control group),
+  // usually retries and/or fallbacks, occasionally skipping and shedding.
+  spec.retry_max_attempts = 1 + static_cast<int>(rng.NextBounded(3));
+  spec.retry_backoff_ms = rng.NextBounded(4) == 0 ? 1 : 0;
+  spec.fallback_enabled = rng.NextBounded(2) == 0;
+  spec.skip_failed_windows = sched.pipeline && rng.NextBounded(2) == 0;
+  if (rng.NextBounded(4) == 0) {
+    // Watermark below the arrival rate forces real shedding.
+    spec.shed_watermark_per_ms = static_cast<double>(
+        std::min(sched.micro.rate_r, sched.micro.rate_s) / 4 + 1);
+  } else {
+    spec.shed_watermark_per_ms = -1;  // explicitly off (ignore environment)
+  }
+
+  // Fault spec. Stall sites park a thread until cancellation, so they are
+  // only drawn together with a deadline; the other sites fail fast on
+  // their own.
+  switch (rng.NextBounded(8)) {
+    case 0:
+      break;  // fault-free schedule: supervision must stay invisible
+    case 1:
+      sched.fault = "alloc:" + std::to_string(1 + rng.NextBounded(200));
+      break;
+    case 2:  // persistent allocation failure: retries cannot save this
+      sched.fault =
+          "alloc:" + std::to_string(1 + rng.NextBounded(50)) + ":0";
+      break;
+    case 3:
+      sched.fault = "worker_stall:" +
+                    std::to_string(1 + rng.NextBounded(spec.num_threads));
+      spec.deadline_ms = 300;
+      break;
+    case 4:
+      sched.fault = "eager_stall:" + std::to_string(1 + rng.NextBounded(4));
+      spec.deadline_ms = 300;
+      break;
+    case 5:
+      sched.fault = "window_fail:" + std::to_string(1 + rng.NextBounded(3));
+      break;
+    case 6:  // every window fails: only a skip policy survives this
+      sched.fault = "window_fail:1:0";
+      break;
+    case 7:
+      sched.fault = "clock_skew";
+      break;
+  }
+
+  sched.replay = !sched.fault.empty() && rng.NextBounded(4) == 0;
+  return sched;
+}
+
+// The harness's own expectation: shed exactly as the supervisor would
+// (same watermark, lag, and seeds), then nested-loop join either the whole
+// window (single run) or each tumbling segment.
+struct Expectation {
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  uint64_t tuples_shed = 0;
+};
+
+// Window slice with rebased timestamps, exactly as the pipeline feeds each
+// window (the checksum mixes timestamps, so rebasing matters).
+std::vector<Tuple> Slice(const Stream& stream, uint64_t start,
+                         uint64_t stop) {
+  const auto lo = std::lower_bound(
+      stream.tuples.begin(), stream.tuples.end(), start,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  const auto hi = std::lower_bound(
+      lo, stream.tuples.end(), stop,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  std::vector<Tuple> slice;
+  slice.reserve(static_cast<size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    slice.push_back(Tuple{static_cast<uint32_t>(it->ts - start), it->key});
+  }
+  return slice;
+}
+
+Expectation ComputeExpectation(const Schedule& sched, const Stream& r,
+                               const Stream& s) {
+  Expectation expect;
+  const Stream* er = &r;
+  const Stream* es = &s;
+  ShedResult shed_r, shed_s;
+  if (sched.spec.shed_watermark_per_ms > 0) {
+    // Mirrors SupervisorPolicy::Resolve's defaults and the supervisor's
+    // seed split (r: seed, s: seed + 1).
+    shed_r = ShedToWatermark(r, sched.spec.shed_watermark_per_ms, 1.0,
+                             sched.spec.supervisor_seed);
+    shed_s = ShedToWatermark(s, sched.spec.shed_watermark_per_ms, 1.0,
+                             sched.spec.supervisor_seed + 1);
+    er = &shed_r.stream;
+    es = &shed_s.stream;
+    expect.tuples_shed = shed_r.tuples_shed + shed_s.tuples_shed;
+  }
+  if (sched.pipeline) {
+    const uint64_t max_ts = std::max<uint64_t>(er->MaxTs(), es->MaxTs());
+    for (uint64_t start = 0; start <= max_ts;
+         start += sched.spec.window_ms) {
+      const std::vector<Tuple> wr =
+          Slice(*er, start, start + sched.spec.window_ms);
+      const std::vector<Tuple> ws =
+          Slice(*es, start, start + sched.spec.window_ms);
+      const ReferenceResult ref = NestedLoopJoin(wr, ws);
+      expect.matches += ref.matches;
+      expect.checksum += ref.checksum;
+    }
+  } else {
+    const std::vector<Tuple> wr = Slice(*er, 0, sched.spec.window_ms);
+    const std::vector<Tuple> ws = Slice(*es, 0, sched.spec.window_ms);
+    const ReferenceResult ref = NestedLoopJoin(wr, ws);
+    expect.matches = ref.matches;
+    expect.checksum = ref.checksum;
+  }
+  return expect;
+}
+
+// One schedule's observed outcome, shape-independent of how it ran.
+struct Outcome {
+  Status status;
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  RecoveryLog recovery;
+};
+
+Outcome RunSchedule(const Schedule& sched, const Stream& r, const Stream& s) {
+  Outcome out;
+  if (sched.pipeline) {
+    const PipelineResult pipeline =
+        RunTumblingWindows(sched.id, r, s, sched.spec);
+    out.status = pipeline.status;
+    out.matches = pipeline.total_matches;
+    out.checksum = pipeline.total_checksum;
+    out.recovery = pipeline.recovery;
+  } else {
+    Supervisor supervisor;
+    const RunResult result = supervisor.Run(sched.id, r, s, sched.spec);
+    out.status = result.status;
+    out.matches = result.matches;
+    out.checksum = result.checksum;
+    out.recovery = result.recovery;
+  }
+  return out;
+}
+
+struct Tally {
+  int ok_exact = 0;
+  int degraded = 0;
+  int failed = 0;
+  int replayed = 0;
+  int violations = 0;
+};
+
+void Violation(Tally* tally, uint64_t repro_seed, const char* what,
+               const std::string& detail) {
+  ++tally->violations;
+  std::fprintf(stderr,
+               "VIOLATION: %s (%s)\n  reproduce: iawj_chaos --schedules=1 "
+               "--seed=%llu\n",
+               what, detail.c_str(),
+               static_cast<unsigned long long>(repro_seed));
+}
+
+void CheckSchedule(const Expectation& expect, const Outcome& out,
+                   uint64_t repro_seed, Tally* tally) {
+  const RecoveryLog& rec = out.recovery;
+  if (!out.status.ok()) {
+    ++tally->failed;
+    if (out.status.code() == StatusCode::kOk || out.status.message().empty()) {
+      Violation(tally, repro_seed, "failure without a typed status",
+                out.status.ToString());
+    }
+    return;
+  }
+  // Accounting must be self-consistent regardless of degradation.
+  if ((rec.tuples_shed > 0) != (rec.shed_ratio > 0) || rec.shed_ratio > 1.0) {
+    Violation(tally, repro_seed, "inconsistent shed accounting",
+              "tuples_shed=" + std::to_string(rec.tuples_shed) +
+                  " shed_ratio=" + std::to_string(rec.shed_ratio));
+  }
+  if (rec.tuples_shed != expect.tuples_shed) {
+    Violation(tally, repro_seed, "shed count differs from deterministic shed",
+              std::to_string(rec.tuples_shed) + " vs expected " +
+                  std::to_string(expect.tuples_shed));
+  }
+  if (rec.windows_skipped > 0 && rec.tuples_dropped == 0) {
+    Violation(tally, repro_seed, "skipped windows without dropped tuples",
+              std::to_string(rec.windows_skipped) + " skipped");
+  }
+  if (rec.windows_skipped > 0) {
+    // Bounded loss: whatever was skipped can only remove matches.
+    ++tally->degraded;
+    if (out.matches > expect.matches) {
+      Violation(tally, repro_seed, "more matches than the reference",
+                std::to_string(out.matches) + " > " +
+                    std::to_string(expect.matches));
+    }
+    return;
+  }
+  // No windows skipped: the result must be exact over the (possibly shed)
+  // inputs — retries and fallbacks never duplicate or lose matches.
+  if (out.matches != expect.matches || out.checksum != expect.checksum) {
+    Violation(tally, repro_seed, "result differs from reference",
+              "matches " + std::to_string(out.matches) + " vs " +
+                  std::to_string(expect.matches) + ", checksum " +
+                  std::to_string(out.checksum) + " vs " +
+                  std::to_string(expect.checksum));
+  }
+  if (rec.degraded()) {
+    ++tally->degraded;
+  } else {
+    ++tally->ok_exact;
+  }
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const auto schedules = static_cast<uint64_t>(flags.GetInt("schedules", 50));
+  const auto base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const bool verbose = flags.GetBool("verbose", false);
+  if (const auto unknown = flags.Unknown(); !unknown.empty()) {
+    std::string all;
+    for (const auto& u : unknown) all += " --" + u;
+    std::fprintf(stderr, "error: unknown flags:%s\n", all.c_str());
+    return 1;
+  }
+
+  std::printf("chaos soak: %llu schedule(s), base seed %llu "
+              "(reproduce schedule i: --schedules=1 --seed=%llu+i)\n",
+              static_cast<unsigned long long>(schedules),
+              static_cast<unsigned long long>(base_seed),
+              static_cast<unsigned long long>(base_seed));
+
+  Tally tally;
+  for (uint64_t i = 0; i < schedules; ++i) {
+    const uint64_t repro_seed = base_seed + i;
+    uint64_t x = repro_seed;
+    const Schedule sched = DrawSchedule(Rng::SplitMix64(&x));
+
+    const MicroWorkload workload = GenerateMicro(sched.micro);
+    const Expectation expect =
+        ComputeExpectation(sched, workload.r, workload.s);
+
+    if (!sched.fault.empty()) {
+      if (const Status st = fault::Configure(sched.fault); !st.ok()) {
+        Violation(&tally, repro_seed, "fault spec rejected", st.ToString());
+        continue;
+      }
+    } else {
+      fault::Clear();
+    }
+    const Outcome out = RunSchedule(sched, workload.r, workload.s);
+    CheckSchedule(expect, out, repro_seed, &tally);
+
+    if (sched.replay) {
+      // Determinism: re-arming the same fault schedule and rerunning must
+      // reproduce the same status, and — for completed runs — the same
+      // answer bit-for-bit. Failed runs only pin the status code: partial
+      // match counts depend on how far each worker raced before the
+      // cancellation landed.
+      fault::Reset();
+      const Outcome again = RunSchedule(sched, workload.r, workload.s);
+      ++tally.replayed;
+      const bool answers_comparable = out.status.ok() && again.status.ok();
+      if (again.status.code() != out.status.code() ||
+          (answers_comparable &&
+           (again.matches != out.matches || again.checksum != out.checksum))) {
+        Violation(&tally, repro_seed, "replay diverged",
+                  std::string(StatusCodeName(out.status.code())) + "/" +
+                      std::to_string(out.matches) + " vs " +
+                      std::string(StatusCodeName(again.status.code())) + "/" +
+                      std::to_string(again.matches));
+      }
+    }
+    fault::Clear();
+
+    if (verbose) {
+      std::printf(
+          "  #%llu algo=%s %s fault=%s -> %s matches=%llu attempts=%d "
+          "fallbacks=%d skipped=%llu shed=%llu\n",
+          static_cast<unsigned long long>(i),
+          std::string(AlgorithmName(sched.id)).c_str(),
+          sched.pipeline ? "pipeline" : "single",
+          sched.fault.empty() ? "-" : sched.fault.c_str(),
+          std::string(StatusCodeName(out.status.code())).c_str(),
+          static_cast<unsigned long long>(out.matches), out.recovery.attempts,
+          out.recovery.fallbacks_taken,
+          static_cast<unsigned long long>(out.recovery.windows_skipped),
+          static_cast<unsigned long long>(out.recovery.tuples_shed));
+    }
+  }
+
+  std::printf(
+      "chaos soak done: %d exact, %d degraded, %d failed-clean, %d replayed, "
+      "%d violation(s)\n",
+      tally.ok_exact, tally.degraded, tally.failed, tally.replayed,
+      tally.violations);
+  return tally.violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace iawj
+
+int main(int argc, char** argv) { return iawj::Run(argc, argv); }

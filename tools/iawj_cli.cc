@@ -5,8 +5,12 @@
 //   iawj_cli --algo=adaptive --objective=latency --workload=rovio --scale=0.01
 //   iawj_cli --algo=mpass --workload=file --r=trades.csv --s=quotes.csv
 //   iawj_cli --algo=npj --workload=micro --windows=4       # tumbling windows
+//   iawj_cli --algo=prj --retry=3 --fallback --deadline=50  # supervised
 //
 // Prints the run's metrics; --csv=<path> additionally writes them as CSV.
+// Supervised runs that needed intervention exit 9 (recovered: retries or
+// fallbacks, result complete) or 10 (degraded: windows skipped or tuples
+// shed, loss accounted); see README "Exit codes".
 #include <cstdio>
 #include <string>
 
@@ -16,6 +20,7 @@
 #include "src/io/workload_io.h"
 #include "src/join/adaptive.h"
 #include "src/join/runner.h"
+#include "src/join/supervisor.h"
 #include "src/join/window_pipeline.h"
 #include "src/profiling/run_record.h"
 #include "src/report/report.h"
@@ -37,7 +42,9 @@ bool ParseAlgorithm(const std::string& name, AlgorithmId* id) {
 
 // Distinct exit codes per failure class so scripts and CI can assert on the
 // way a run failed (documented in README "Exit codes"). 1 stays the generic
-// failure so anything unmapped remains a plain error.
+// failure so anything unmapped remains a plain error. Successful-but-
+// supervised outcomes use 9 (recovered) and 10 (degraded), assigned in
+// Run() below.
 int ExitCodeFor(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
@@ -156,6 +163,16 @@ int Run(int argc, char** argv) {
   // 0 keeps the $IAWJ_DEADLINE_MS fallback (see JoinSpec::deadline_ms).
   spec.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline", 0));
 
+  // Supervision (join/supervisor.h). Each 0/absent default defers to the
+  // matching environment variable; see SupervisorPolicy::Resolve.
+  spec.retry_max_attempts = static_cast<int>(flags.GetInt("retry", 0));
+  spec.retry_backoff_ms = flags.GetDouble("retry-backoff", -1);
+  spec.fallback_enabled = flags.GetBool("fallback", false);
+  spec.skip_failed_windows = flags.GetBool("skip-windows", false);
+  spec.shed_watermark_per_ms = flags.GetDouble("shed-watermark", 0);
+  spec.supervisor_seed =
+      static_cast<uint64_t>(flags.GetInt("supervisor-seed", 42));
+
   const std::string algo = flags.GetString("algo", "npj");
   const auto windows = static_cast<uint32_t>(flags.GetInt("windows", 1));
   const std::string csv_path = flags.GetString("csv", "");
@@ -183,7 +200,9 @@ int Run(int argc, char** argv) {
 
   // A failed run still prints its table row (partial metrics) and writes a
   // run record; the failure is reported at exit via the mapped exit code.
+  // Recovery accounting decides between 0, 9 (recovered) and 10 (degraded).
   Status run_status = Status::Ok();
+  RecoveryLog recovery;
 
   if (algo == "adaptive") {
     AdaptiveOptions options;
@@ -196,6 +215,7 @@ int Run(int argc, char** argv) {
       const PipelineResult pipeline = RunTumblingWindows(
           r, s, spec, MakeAdaptivePolicy(options));
       run_status = pipeline.status;
+      recovery = pipeline.recovery;
       add_row("adaptive", static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
     } else {
@@ -223,13 +243,18 @@ int Run(int argc, char** argv) {
     if (windows > 1) {
       const PipelineResult pipeline = RunTumblingWindows(id, r, s, spec);
       run_status = pipeline.status;
+      recovery = pipeline.recovery;
       add_row(std::string(AlgorithmName(id)),
               static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
     } else {
-      JoinRunner runner;
-      const RunResult result = runner.Run(id, r, s, spec);
+      // Supervisor::Run is a plain JoinRunner::Run when no policy is
+      // configured (flags above or environment), so the unsupervised path
+      // is unchanged.
+      Supervisor supervisor;
+      const RunResult result = supervisor.Run(id, r, s, spec);
       run_status = result.status;
+      recovery = result.recovery;
       MaybeWriteRunRecord(result, spec,
                           {.bench = "iawj_cli", .workload = workload_name});
       add_row(result.algorithm, 1, result.inputs, result.matches,
@@ -246,6 +271,20 @@ int Run(int argc, char** argv) {
     }
   }
   if (!run_status.ok()) return Fail(run_status);
+  if (recovery.degraded()) {
+    std::printf("degraded: %llu window(s) skipped, %llu tuple(s) dropped, "
+                "%llu shed (est. matches lost: %.1f)\n",
+                static_cast<unsigned long long>(recovery.windows_skipped),
+                static_cast<unsigned long long>(recovery.tuples_dropped),
+                static_cast<unsigned long long>(recovery.tuples_shed),
+                recovery.est_matches_lost);
+    return 10;
+  }
+  if (recovery.recovered()) {
+    std::printf("recovered: %d attempt(s), %d fallback step(s)\n",
+                recovery.attempts, recovery.fallbacks_taken);
+    return 9;
+  }
   return 0;
 }
 

@@ -10,6 +10,14 @@
 // Prints a summary (threads, spans, max nesting depth, duration) and exits
 // non-zero on the first violation. Usage:
 //   iawj_trace_check trace.json
+//
+// With --records, validates structured run records (IAWJ_METRICS_DIR JSON
+// files) instead: shape of the v2+ fields, and for v3 records the internal
+// consistency of the `recovery` block (flag/counter agreement, shed_ratio
+// in [0, 1], well-formed events). Usage:
+//   iawj_trace_check --records <run_record.json | metrics-dir>
+#include <dirent.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +37,140 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// --- Run-record validation (--records) ---
+
+bool IsBool(const json::Value* v) {
+  return v != nullptr && v->kind == json::Value::Kind::kBool;
+}
+
+// Validates one run-record JSON object; returns a failure description or
+// empty. `where` prefixes every message with the file name.
+std::string CheckRecord(const json::Value& root, const std::string& where) {
+  if (!root.is_object()) return where + ": not a JSON object";
+  const json::Value* version = root.Find("record_version");
+  if (version == nullptr || !version->is_number() || version->number < 2) {
+    return where + ": missing record_version >= 2";
+  }
+  const json::Value* status = root.Find("status");
+  if (status == nullptr || !status->is_string() ||
+      (status->string != "ok" && status->string != "failed")) {
+    return where + ": status must be \"ok\" or \"failed\"";
+  }
+  if (status->string == "failed") {
+    const json::Value* code = root.Find("status_code");
+    if (code == nullptr || !code->is_string() || code->string.empty()) {
+      return where + ": failed record without status_code";
+    }
+  }
+  const json::Value* algorithm = root.Find("algorithm");
+  if (algorithm == nullptr || !algorithm->is_string()) {
+    return where + ": missing algorithm";
+  }
+  for (const char* field : {"inputs", "matches", "checksum", "elapsed_ms"}) {
+    const json::Value* v = root.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      return where + ": missing numeric " + field;
+    }
+  }
+
+  const json::Value* recovery = root.Find("recovery");
+  if (recovery == nullptr) return "";  // unsupervised: no block to check
+  if (version->number < 3) {
+    return where + ": recovery block requires record_version >= 3";
+  }
+  if (!recovery->is_object()) return where + ": recovery is not an object";
+  const char* counters[] = {"attempts",        "fallbacks_taken",
+                            "windows_skipped", "tuples_dropped",
+                            "est_matches_lost", "tuples_shed", "shed_ratio"};
+  for (const char* field : counters) {
+    const json::Value* v = recovery->Find(field);
+    if (v == nullptr || !v->is_number() || v->number < 0) {
+      return where + ": recovery." + field + " missing or negative";
+    }
+  }
+  const double shed_ratio = recovery->Find("shed_ratio")->number;
+  const double tuples_shed = recovery->Find("tuples_shed")->number;
+  if (shed_ratio > 1.0) return where + ": shed_ratio > 1";
+  if ((tuples_shed > 0) != (shed_ratio > 0)) {
+    return where + ": tuples_shed and shed_ratio disagree";
+  }
+  const json::Value* recovered = recovery->Find("recovered");
+  const json::Value* degraded = recovery->Find("degraded");
+  if (!IsBool(recovered) || !IsBool(degraded)) {
+    return where + ": recovery.recovered/degraded missing";
+  }
+  const bool want_recovered = recovery->Find("attempts")->number > 1 ||
+                              recovery->Find("fallbacks_taken")->number > 0;
+  if (recovered->boolean != want_recovered) {
+    return where + ": recovered flag disagrees with attempts/fallbacks";
+  }
+  const bool want_degraded =
+      recovery->Find("windows_skipped")->number > 0 || tuples_shed > 0;
+  if (degraded->boolean != want_degraded) {
+    return where + ": degraded flag disagrees with skip/shed counters";
+  }
+  const json::Value* events = recovery->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return where + ": recovery.events missing";
+  }
+  size_t index = 0;
+  for (const json::Value& event : events->array) {
+    const std::string at = where + ": recovery.events[" +
+                           std::to_string(index++) + "]";
+    if (!event.is_object()) return at + " is not an object";
+    for (const char* field : {"action", "trigger"}) {
+      const json::Value* v = event.Find(field);
+      if (v == nullptr || !v->is_string() || v->string.empty()) {
+        return at + " missing string " + field;
+      }
+    }
+    const json::Value* attempt = event.Find("attempt");
+    if (attempt == nullptr || !attempt->is_number() || attempt->number < 0) {
+      return at + " missing attempt";
+    }
+  }
+  return "";
+}
+
+int CheckRecords(const std::string& path, bool verbose) {
+  // A directory validates every *.json inside (one level); a file validates
+  // just itself.
+  std::vector<std::string> files;
+  if (DIR* dir = opendir(path.c_str()); dir != nullptr) {
+    while (const dirent* entry = readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        files.push_back(path + "/" + name);
+      }
+    }
+    closedir(dir);
+    std::sort(files.begin(), files.end());
+    if (files.empty()) return Fail("no .json records in " + path);
+  } else {
+    files.push_back(path);
+  }
+
+  size_t supervised = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) return Fail("cannot open " + file);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    json::Value root;
+    if (const Status status = json::Parse(buffer.str(), &root); !status.ok()) {
+      return Fail(file + ": " + status.ToString());
+    }
+    if (const std::string err = CheckRecord(root, file); !err.empty()) {
+      return Fail(err);
+    }
+    if (root.Find("recovery") != nullptr) ++supervised;
+    if (verbose) std::printf("ok: %s\n", file.c_str());
+  }
+  std::printf("OK: %zu record(s) validated, %zu with recovery blocks\n",
+              files.size(), supervised);
+  return 0;
+}
+
 struct ThreadState {
   std::vector<std::string> open;  // names of open B spans, innermost last
   double last_ts = -1;
@@ -44,13 +186,25 @@ int Run(int argc, char** argv) {
     return Fail(status.ToString());
   }
   const bool verbose = flags.GetBool("verbose", false);
+  // Both "--records <path>" (the parser binds the path to the flag) and
+  // "--records=1 <path>" work.
+  const std::string records = flags.GetString("records", "");
   if (const auto unknown = flags.Unknown(); !unknown.empty()) {
     return Fail("unknown flag --" + unknown.front());
   }
-  if (flags.positional().size() != 1) {
-    return Fail("usage: iawj_trace_check [--verbose] <trace.json>");
+  const bool records_mode = !records.empty() && records != "false" &&
+                            records != "0";
+  std::string path;
+  if (records_mode && records != "true") {
+    path = records;
+  } else if (flags.positional().size() == 1) {
+    path = flags.positional().front();
+  } else {
+    return Fail(
+        "usage: iawj_trace_check [--verbose] <trace.json>\n"
+        "       iawj_trace_check --records [--verbose] <record.json | dir>");
   }
-  const std::string& path = flags.positional().front();
+  if (records_mode) return CheckRecords(path, verbose);
 
   std::ifstream in(path);
   if (!in) return Fail("cannot open " + path);
