@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the cache-conscious kernels.
+
+Compares a fresh `kernels_microbench --json` run against the checked-in
+BENCH_baseline.json and fails when a kernel regressed beyond tolerance.
+
+Two comparison modes:
+
+  ratio (default, used in CI)
+      Compares the swwc-vs-scalar / batched-vs-scalar SPEEDUPS of the fresh
+      run against the baseline's. Ratios divide out the machine: both sides
+      of each ratio come from the same run on the same hardware, so the gate
+      is meaningful on CI runners that are slower (or faster) than the
+      machine that produced the baseline.
+
+  absolute
+      Compares raw items/sec per kernel. Only meaningful on the machine the
+      baseline was recorded on; use locally when hunting a regression.
+
+Escape hatches for noisy runners:
+  IAWJ_BENCH_GATE=off          skip the gate entirely (exit 0)
+  IAWJ_BENCH_TOLERANCE=<frac>  override the regression tolerance (e.g. 0.25)
+
+Usage:
+  bench_gate.py --bench <path-to-kernels_microbench> [--mode ratio|absolute]
+                [--baseline BENCH_baseline.json] [--tolerance 0.15]
+  bench_gate.py --current run.json --baseline BENCH_baseline.json
+  bench_gate.py --bench <...> --update    # rebaseline: overwrite baseline
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_TOLERANCE = 0.15
+SCHEMA = "iawj-kernels-bench-v1"
+
+
+def run_bench(bench_path):
+    proc = subprocess.run(
+        [bench_path, "--json"], capture_output=True, text=True, check=True
+    )
+    return json.loads(proc.stdout)
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_schema(doc, origin):
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_gate: {origin} has schema {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+
+
+def compare(baseline, current, mode, tolerance):
+    """Returns a list of failure strings; empty means the gate passes."""
+    failures = []
+    if mode == "ratio":
+        base, cur = baseline.get("speedups", {}), current.get("speedups", {})
+        kind = "speedup"
+    else:
+        base = {r["name"]: r["items_per_sec"] for r in baseline["results"]}
+        cur = {r["name"]: r["items_per_sec"] for r in current["results"]}
+        kind = "items/sec"
+
+    for name, base_val in sorted(base.items()):
+        cur_val = cur.get(name)
+        if cur_val is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base_val * (1.0 - tolerance)
+        status = "ok" if cur_val >= floor else "REGRESSED"
+        print(f"  {name:<28} baseline {kind} {base_val:>12.3f}  "
+              f"current {cur_val:>12.3f}  floor {floor:>12.3f}  {status}")
+        if cur_val < floor:
+            failures.append(
+                f"{name}: {kind} {cur_val:.3f} < floor {floor:.3f} "
+                f"(baseline {base_val:.3f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", help="path to kernels_microbench binary")
+    parser.add_argument("--current", help="pre-recorded --json output to use "
+                        "instead of running --bench")
+    parser.add_argument("--baseline", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_baseline.json"))
+    parser.add_argument("--mode", choices=["ratio", "absolute"],
+                        default="ratio")
+    parser.add_argument("--tolerance", type=float, default=None)
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with this run")
+    args = parser.parse_args()
+
+    if os.environ.get("IAWJ_BENCH_GATE", "").lower() in ("off", "0", "false"):
+        print("bench_gate: disabled via IAWJ_BENCH_GATE, skipping")
+        return 0
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("IAWJ_BENCH_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+
+    if args.current:
+        current = load_json(args.current)
+    elif args.bench:
+        current = run_bench(args.bench)
+    else:
+        parser.error("need --bench or --current")
+    check_schema(current, "current run")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2)
+            f.write("\n")
+        print(f"bench_gate: baseline updated -> {args.baseline}")
+        return 0
+
+    baseline = load_json(args.baseline)
+    check_schema(baseline, args.baseline)
+
+    print(f"bench_gate: mode={args.mode} tolerance={tolerance:.0%} "
+          f"baseline={args.baseline}")
+    failures = compare(baseline, current, args.mode, tolerance)
+    if failures:
+        print("\nbench_gate: FAILED")
+        for f in failures:
+            print(f"  {f}")
+        print("\nIf this runner is known-noisy, rerun or set "
+              "IAWJ_BENCH_TOLERANCE / IAWJ_BENCH_GATE=off.")
+        return 1
+    print("bench_gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

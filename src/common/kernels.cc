@@ -1,0 +1,55 @@
+#include "src/common/kernels.h"
+
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace iawj {
+
+std::string_view KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kSwwc:
+      return "swwc";
+  }
+  return "?";
+}
+
+bool ParseKernelMode(std::string_view text, KernelMode* mode) {
+  for (KernelMode candidate : kAllKernelModes) {
+    if (text == KernelModeName(candidate)) {
+      *mode = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+KernelMode KernelModeFromEnv() {
+  const char* env = std::getenv("IAWJ_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelMode::kAuto;
+  KernelMode mode = KernelMode::kAuto;
+  if (!ParseKernelMode(env, &mode)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      IAWJ_LOG(Warning) << "ignoring unrecognized IAWJ_KERNELS=" << env
+                        << " (want auto|scalar|swwc)";
+    }
+  }
+  return mode;
+}
+
+KernelMode ResolveKernelMode(KernelMode spec_mode) {
+  return spec_mode == KernelMode::kAuto ? KernelModeFromEnv() : spec_mode;
+}
+
+bool UseCacheKernels(KernelMode spec_mode, bool tracer_enabled) {
+  if (tracer_enabled) return false;
+  return ResolveKernelMode(spec_mode) != KernelMode::kScalar;
+}
+
+}  // namespace iawj

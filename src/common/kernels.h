@@ -1,0 +1,54 @@
+// Hot-path kernel selection (scalar vs cache-conscious).
+//
+// The paper's microarchitectural analysis (Fig. 8, Fig. 19, Fig. 21) shows
+// the lazy algorithms bound by partition/build/probe memory behaviour. The
+// cache-conscious kernels close that gap: a software write-combining scatter
+// (partition/swwc.h) and prefetch-batched hash build/probe (hash/prefetch.h).
+// This header owns the knob that picks between them:
+//
+//   kAuto   — cache-conscious kernels wherever they are bit-identical to the
+//             scalar ones (i.e. everywhere except SimTracer builds); defers
+//             to $IAWJ_KERNELS when set.
+//   kScalar — the original one-tuple-at-a-time loops.
+//   kSwwc   — force the cache-conscious kernels (still falls back to scalar
+//             under SimTracer so the Fig. 8 cache simulation stays faithful:
+//             the simulator has no prefetcher and models per-access LRU, so
+//             staging-buffer traffic would distort the traces it exists to
+//             reproduce).
+//
+// Every kernel pair produces identical output (same bytes, same order, same
+// cursor end-state); the differential test suite enforces that across all
+// eight algorithms.
+#ifndef IAWJ_COMMON_KERNELS_H_
+#define IAWJ_COMMON_KERNELS_H_
+
+#include <string_view>
+
+namespace iawj {
+
+enum class KernelMode { kAuto, kScalar, kSwwc };
+
+inline constexpr KernelMode kAllKernelModes[] = {
+    KernelMode::kAuto, KernelMode::kScalar, KernelMode::kSwwc};
+
+std::string_view KernelModeName(KernelMode mode);
+
+// Parses "auto" / "scalar" / "swwc"; returns false (and leaves *mode
+// untouched) on anything else.
+bool ParseKernelMode(std::string_view text, KernelMode* mode);
+
+// $IAWJ_KERNELS, or kAuto when unset/unparseable (a bad value warns once).
+KernelMode KernelModeFromEnv();
+
+// Resolves the spec-level knob: an explicit mode wins, kAuto defers to the
+// environment (mirroring how deadline_ms / the supervision knobs resolve).
+KernelMode ResolveKernelMode(KernelMode spec_mode);
+
+// The per-algorithm decision: should this hot path run the cache-conscious
+// kernels? True for kAuto and kSwwc on untraced (NullTracer) builds; always
+// false when the cache simulator is attached.
+bool UseCacheKernels(KernelMode spec_mode, bool tracer_enabled);
+
+}  // namespace iawj
+
+#endif  // IAWJ_COMMON_KERNELS_H_

@@ -74,6 +74,16 @@ class BucketChainTable {
     ++size_;
   }
 
+  // Prefetch hints for the batched kernels (hash/prefetch.h): pull the
+  // bucket head that `key` hashes to toward L1 ahead of the Insert/Probe
+  // that will touch it. Pure hints — no architectural effect.
+  void PrefetchProbe(uint32_t key) const {
+    __builtin_prefetch(&buckets_[HashToBucket(key, bits_)], /*rw=*/0, 3);
+  }
+  void PrefetchInsert(uint32_t key) const {
+    __builtin_prefetch(&buckets_[HashToBucket(key, bits_)], /*rw=*/1, 3);
+  }
+
   // Invokes on_match(Tuple) for every stored tuple with the given key.
   template <typename F>
   void Probe(uint32_t key, F&& on_match, Tracer& tracer) const {

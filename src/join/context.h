@@ -15,6 +15,7 @@
 #include "src/common/cancel.h"
 #include "src/common/clock.h"
 #include "src/common/histogram.h"
+#include "src/common/kernels.h"
 #include "src/common/status.h"
 #include "src/common/tuple.h"
 #include "src/hash/hash_fn.h"
@@ -66,6 +67,11 @@ struct JoinSpec {
   bool use_simd = true;      // sort kernels: AVX ablation, Figure 21
   bool pin_threads = false;  // best-effort core pinning
   HashTableKind hash_table_kind = HashTableKind::kBucketChain;
+  // Hot-path kernel selection (common/kernels.h): auto picks the
+  // cache-conscious kernels (SWWC scatter + batched prefetch probe) on
+  // untraced builds and defers to $IAWJ_KERNELS when set; scalar/swwc force
+  // one side for A/B runs. SimTracer instantiations always run scalar.
+  KernelMode kernels = KernelMode::kAuto;
 
   // Wall-clock deadline for one run; 0 = none (then $IAWJ_DEADLINE_MS
   // applies, if set). A run that overruns is cancelled by the runner's

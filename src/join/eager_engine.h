@@ -51,6 +51,11 @@ struct EagerStateConfig {
   double pmj_delta = 0.2;
   bool store_pointers = false;  // !JoinSpec::eager_physical_partition
   bool use_simd = true;
+  // Cache-conscious kernels resolved from JoinSpec::kernels
+  // (common/kernels.h). SHJ is per-tuple, so its kernel is a cross-table
+  // prefetch: hint the opposite table's probe bucket before the insert so
+  // the probe's miss overlaps the build work. Always false under SimTracer.
+  bool cache_kernels = false;
 };
 
 enum class EagerKind { kShj, kPmj };

@@ -1,5 +1,9 @@
 #include "src/join/npj.h"
 
+#include <algorithm>
+
+#include "src/hash/prefetch.h"
+
 namespace iawj {
 
 template <typename Tracer>
@@ -7,10 +11,15 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   PhaseProfile& prof = ctx.profile(worker);
   MatchSink& sink = ctx.sink(worker);
   Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
+  const bool batched =
+      UseCacheKernels(ctx.spec->kernels, Tracer::kEnabled);
 
   // Cancellation checkpoints every 8K tuples: one relaxed load amortized
-  // over the batch, invisible next to the hash-table work.
+  // over the batch, invisible next to the hash-table work. The batched
+  // kernels process 8K-tuple stripes between checkpoints for the same
+  // cadence.
   constexpr size_t kCancelMask = 8191;
+  constexpr size_t kCancelStripe = kCancelMask + 1;
 
   // Lazy approach: wait out the window before processing starts.
   {
@@ -25,10 +34,18 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     tracer.SetPhase(Phase::kBuild);
     const ChunkRange chunk =
         ChunkForThread(ctx.r.size(), worker, ctx.spec->num_threads);
-    for (size_t i = chunk.begin; i < chunk.end; ++i) {
-      if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
-      tracer.Access(&ctx.r[i], sizeof(Tuple));
-      table_->Insert(ctx.r[i], tracer);
+    if (batched) {
+      for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
+        if (ctx.AbortRequested()) return;
+        const size_t end = std::min(chunk.end, i + kCancelStripe);
+        kernels::InsertBatched(*table_, ctx.r.data() + i, end - i, tracer);
+      }
+    } else {
+      for (size_t i = chunk.begin; i < chunk.end; ++i) {
+        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
+        tracer.Access(&ctx.r[i], sizeof(Tuple));
+        table_->Insert(ctx.r[i], tracer);
+      }
     }
   }
 
@@ -40,12 +57,24 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     tracer.SetPhase(Phase::kProbe);
     const ChunkRange chunk =
         ChunkForThread(ctx.s.size(), worker, ctx.spec->num_threads);
-    for (size_t i = chunk.begin; i < chunk.end; ++i) {
-      if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
-      const Tuple s = ctx.s[i];
-      tracer.Access(&ctx.s[i], sizeof(Tuple));
-      table_->Probe(
-          s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+    if (batched) {
+      const auto on_match = [&](const Tuple& s, const Tuple& r) {
+        sink.OnMatch(s.key, r.ts, s.ts);
+      };
+      for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
+        if (ctx.AbortRequested()) return;
+        const size_t end = std::min(chunk.end, i + kCancelStripe);
+        kernels::ProbeBatched(*table_, ctx.s.data() + i, end - i, on_match,
+                              tracer);
+      }
+    } else {
+      for (size_t i = chunk.begin; i < chunk.end; ++i) {
+        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
+        const Tuple s = ctx.s[i];
+        tracer.Access(&ctx.s[i], sizeof(Tuple));
+        table_->Probe(
+            s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+      }
     }
   }
 }

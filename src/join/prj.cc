@@ -2,6 +2,7 @@
 
 #include "src/hash/bucket_chain.h"
 #include "src/hash/linear_probe.h"
+#include "src/hash/prefetch.h"
 #include "src/partition/radix.h"
 #include "src/partition/range.h"
 
@@ -28,6 +29,7 @@ Status PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   }
   parts1_ = size_t{1} << bits1_;
   parts_total_ = size_t{1} << bits;
+  use_cache_kernels_ = UseCacheKernels(ctx.spec->kernels, Tracer::kEnabled);
 
   // Scattered copies of both relations, doubled in two-pass mode, dominate
   // PRJ's footprint; preflight them against the memory budget before
@@ -117,13 +119,11 @@ bool PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
         cursors[p2] = cursor;
         cursor += hist[p2];
       }
-      for (uint64_t i = begin; i < end; ++i) {
-        tracer.Access(&in[i], sizeof(Tuple));
-        const uint32_t p2 = Radix2Of(in[i].key, bits1_, bits2_);
-        out[cursors[p2]] = in[i];
-        tracer.Access(&out[cursors[p2]], sizeof(Tuple));
-        ++cursors[p2];
-      }
+      // Refine scatter over the next bits2_ key bits; kernel-dispatched like
+      // pass 1 (the shift selects the second-pass radix).
+      RadixScatterKernel(in.data() + begin, end - begin, bits2_,
+                         cursors.data(), out.data(), tracer,
+                         use_cache_kernels_, /*shift=*/bits1_);
     };
     refine(r_out_, r_out2_, offsets_r_, final_off_r_);
     refine(s_out_, s_out2_, offsets_s_, final_off_s_);
@@ -156,25 +156,43 @@ bool PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
     }
   };
 
-  // Build/probe one partition with the configured hash-table backend.
+  // Build/probe one partition with the configured hash-table backend. The
+  // batched kernels group-prefetch bucket heads (hash/prefetch.h); mostly a
+  // wash for cache-resident partitions but a clear win once skew or low
+  // radix bits leave partitions bigger than L2.
   const auto join_one = [&](auto& table, uint64_t r_begin, uint64_t r_end,
                             uint64_t s_begin, uint64_t s_end) {
     {
       ScopedPhase build(&prof, Phase::kBuild);
       tracer.SetPhase(Phase::kBuild);
-      for (uint64_t i = r_begin; i < r_end; ++i) {
-        tracer.Access(&r_data[i], sizeof(Tuple));
-        table.Insert(r_data[i], tracer);
+      if (use_cache_kernels_) {
+        kernels::InsertBatched(table, r_data + r_begin, r_end - r_begin,
+                               tracer);
+      } else {
+        for (uint64_t i = r_begin; i < r_end; ++i) {
+          tracer.Access(&r_data[i], sizeof(Tuple));
+          table.Insert(r_data[i], tracer);
+        }
       }
     }
     {
       ScopedPhase probe(&prof, Phase::kProbe);
       tracer.SetPhase(Phase::kProbe);
-      for (uint64_t i = s_begin; i < s_end; ++i) {
-        const Tuple s = s_data[i];
-        tracer.Access(&s_data[i], sizeof(Tuple));
-        table.Probe(
-            s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+      if (use_cache_kernels_) {
+        kernels::ProbeBatched(
+            table, s_data + s_begin, s_end - s_begin,
+            [&](const Tuple& s, const Tuple& r) {
+              sink.OnMatch(s.key, r.ts, s.ts);
+            },
+            tracer);
+      } else {
+        for (uint64_t i = s_begin; i < s_end; ++i) {
+          const Tuple s = s_data[i];
+          tracer.Access(&s_data[i], sizeof(Tuple));
+          table.Probe(
+              s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); },
+              tracer);
+        }
       }
     }
   };
@@ -243,13 +261,16 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
     if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
-    // Pass-1 scatter into partition-contiguous buffers.
+    // Pass-1 scatter into partition-contiguous buffers (write-combining
+    // kernel when enabled; see common/kernels.h).
     auto r_cursors = ScatterCursors(hist_r_, offsets_r_, parts1_, worker);
-    RadixScatter(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
-                 r_cursors.data(), r_out_.data(), tracer);
+    RadixScatterKernel(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
+                       r_cursors.data(), r_out_.data(), tracer,
+                       use_cache_kernels_);
     auto s_cursors = ScatterCursors(hist_s_, offsets_s_, parts1_, worker);
-    RadixScatter(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
-                 s_cursors.data(), s_out_.data(), tracer);
+    RadixScatterKernel(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
+                       s_cursors.data(), s_out_.data(), tracer,
+                       use_cache_kernels_);
     if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 

@@ -42,6 +42,9 @@ class PrjJoin : public JoinAlgorithm {
   // Bit split: pass 1 uses the low bits1_ bits, pass 2 the next bits2_.
   int bits1_ = 0;
   int bits2_ = 0;
+  // Resolved once in Setup: cache-conscious kernels (SWWC scatter, batched
+  // prefetch build/probe) vs the scalar loops (common/kernels.h).
+  bool use_cache_kernels_ = false;
   size_t parts1_ = 0;
   size_t parts_total_ = 0;
 

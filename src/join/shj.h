@@ -59,6 +59,14 @@ class PointerBucketChainTable {
     head->items[head->count++] = t;
   }
 
+  // Prefetch hints matching the value tables' (hash/prefetch.h).
+  void PrefetchProbe(uint32_t key) const {
+    __builtin_prefetch(&buckets_[HashToBucket(key, bits_)], /*rw=*/0, 3);
+  }
+  void PrefetchInsert(uint32_t key) const {
+    __builtin_prefetch(&buckets_[HashToBucket(key, bits_)], /*rw=*/1, 3);
+  }
+
   template <typename F>
   void Probe(uint32_t key, F&& on_match, Tracer& tracer) const {
     const Bucket* b = &buckets_[HashToBucket(key, bits_)];
@@ -106,11 +114,13 @@ class ShjValueState : public EagerState {
   ShjValueState(const EagerStateConfig& config, Tracer tracer)
       : table_r_(config.expected_r),
         table_s_(config.expected_s),
-        tracer_(std::move(tracer)) {}
+        tracer_(std::move(tracer)),
+        prefetch_(config.cache_kernels) {}
 
   void OnR(const Tuple& r, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_s_.PrefetchProbe(r.key);
     table_r_.Insert(r, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -121,6 +131,7 @@ class ShjValueState : public EagerState {
   void OnS(const Tuple& s, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_r_.PrefetchProbe(s.key);
     table_s_.Insert(s, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -132,6 +143,8 @@ class ShjValueState : public EagerState {
   BucketChainTable<Tracer> table_r_;
   BucketChainTable<Tracer> table_s_;
   Tracer tracer_;
+  // Cross-table probe prefetch (EagerStateConfig::cache_kernels).
+  bool prefetch_;
 };
 
 // SHJ over open-addressing tables (JoinSpec::hash_table_kind ==
@@ -142,11 +155,13 @@ class ShjLinearState : public EagerState {
   ShjLinearState(const EagerStateConfig& config, Tracer tracer)
       : table_r_(config.expected_r),
         table_s_(config.expected_s),
-        tracer_(std::move(tracer)) {}
+        tracer_(std::move(tracer)),
+        prefetch_(config.cache_kernels) {}
 
   void OnR(const Tuple& r, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_s_.PrefetchProbe(r.key);
     table_r_.Insert(r, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -157,6 +172,7 @@ class ShjLinearState : public EagerState {
   void OnS(const Tuple& s, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_r_.PrefetchProbe(s.key);
     table_s_.Insert(s, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -168,6 +184,8 @@ class ShjLinearState : public EagerState {
   LinearProbeTable<Tracer> table_r_;
   LinearProbeTable<Tracer> table_s_;
   Tracer tracer_;
+  // Cross-table probe prefetch (EagerStateConfig::cache_kernels).
+  bool prefetch_;
 };
 
 // SHJ over pointer-storing tables (physical partitioning off; the default,
@@ -178,11 +196,13 @@ class ShjPointerState : public EagerState {
   ShjPointerState(const EagerStateConfig& config, Tracer tracer)
       : table_r_(config.expected_r),
         table_s_(config.expected_s),
-        tracer_(std::move(tracer)) {}
+        tracer_(std::move(tracer)),
+        prefetch_(config.cache_kernels) {}
 
   void OnR(const Tuple& r, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_s_.PrefetchProbe(r.key);
     table_r_.Insert(&r, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -194,6 +214,7 @@ class ShjPointerState : public EagerState {
   void OnS(const Tuple& s, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
     tracer_.SetPhase(Phase::kBuild);
+    if (prefetch_) table_r_.PrefetchProbe(s.key);
     table_s_.Insert(&s, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
@@ -206,6 +227,8 @@ class ShjPointerState : public EagerState {
   PointerBucketChainTable<Tracer> table_r_;
   PointerBucketChainTable<Tracer> table_s_;
   Tracer tracer_;
+  // Cross-table probe prefetch (EagerStateConfig::cache_kernels).
+  bool prefetch_;
 };
 
 }  // namespace iawj

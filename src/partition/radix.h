@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/tuple.h"
+#include "src/partition/swwc.h"
 #include "src/profiling/cache_sim.h"
 
 namespace iawj {
@@ -38,18 +39,50 @@ void RadixScatter(const Tuple* chunk, size_t n, int bits, uint64_t* cursors,
   }
 }
 
+// Kernel-dispatched scatter: routes to the software write-combining kernel
+// (partition/swwc.h) when requested, with two hard fallbacks to the scalar
+// loop — tracing builds (the cache simulator must see the algorithm's own
+// access stream, not the staging buffers') and partition counts past the
+// SWWC staging budget (handled inside RadixScatterSwwc). Output bytes and
+// cursor end-state are identical either way.
+template <typename Tracer>
+void RadixScatterKernel(const Tuple* chunk, size_t n, int bits,
+                        uint64_t* cursors, Tuple* out, Tracer& tracer,
+                        bool use_swwc, int shift = 0) {
+  if constexpr (!Tracer::kEnabled) {
+    if (use_swwc) {
+      RadixScatterSwwc(chunk, n, bits, cursors, out, shift);
+      return;
+    }
+  }
+  if (shift == 0) {
+    RadixScatter(chunk, n, bits, cursors, out, tracer);
+    return;
+  }
+  const uint32_t mask = (1u << bits) - 1;
+  for (size_t i = 0; i < n; ++i) {
+    tracer.Access(&chunk[i], sizeof(Tuple));
+    const uint32_t p = (chunk[i].key >> shift) & mask;
+    out[cursors[p]] = chunk[i];
+    tracer.Access(&out[cursors[p]], sizeof(Tuple));
+    ++cursors[p];
+  }
+}
+
 // Convenience single-threaded partition: fills out (size n) and offsets
-// (size 2^bits + 1).
+// (size 2^bits + 1). `use_swwc` opts into the write-combining scatter
+// kernel (ignored, with a scalar fallback, for tracing builds).
 template <typename Tracer>
 void RadixPartitionSingle(const Tuple* input, size_t n, int bits, Tuple* out,
-                          std::vector<uint64_t>* offsets, Tracer& tracer) {
+                          std::vector<uint64_t>* offsets, Tracer& tracer,
+                          bool use_swwc = false) {
   const size_t parts = size_t{1} << bits;
   std::vector<uint64_t> hist(parts, 0);
   RadixHistogram(input, n, bits, hist.data());
   offsets->assign(parts + 1, 0);
   for (size_t p = 0; p < parts; ++p) (*offsets)[p + 1] = (*offsets)[p] + hist[p];
   std::vector<uint64_t> cursors(offsets->begin(), offsets->end() - 1);
-  RadixScatter(input, n, bits, cursors.data(), out, tracer);
+  RadixScatterKernel(input, n, bits, cursors.data(), out, tracer, use_swwc);
 }
 
 }  // namespace iawj

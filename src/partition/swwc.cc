@@ -1,0 +1,174 @@
+#include "src/partition/swwc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#if defined(__AVX__)
+#include <immintrin.h>
+#endif
+
+namespace iawj {
+
+namespace {
+
+inline uint32_t RadixShifted(uint32_t key, int shift, uint32_t mask) {
+  return (key >> shift) & mask;
+}
+
+// One partition's staging buffer: exactly one cache line of tuples. While a
+// line is partially filled, its LAST slot holds the partition's absolute
+// output cursor (an index into `out`), so the hot loop touches exactly one
+// cache line per tuple — no side arrays of fills or cursors competing for
+// L1. The cursor slot is overwritten by the 8th staged tuple, at which point
+// the line is full and flushed, and the incremented cursor is written back.
+struct alignas(swwc::kCacheLineBytes) StagingLine {
+  Tuple tuples[swwc::kTuplesPerLine];
+};
+static_assert(sizeof(StagingLine) == swwc::kCacheLineBytes);
+
+inline uint64_t GetSlot(const StagingLine& line) {
+  uint64_t slot;
+  std::memcpy(&slot, &line.tuples[swwc::kTuplesPerLine - 1], sizeof(slot));
+  return slot;
+}
+
+inline void SetSlot(StagingLine* line, uint64_t slot) {
+  std::memcpy(&line->tuples[swwc::kTuplesPerLine - 1], &slot, sizeof(slot));
+}
+
+void ScatterScalar(const Tuple* chunk, size_t n, int shift, uint32_t mask,
+                   uint64_t* cursors, Tuple* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = RadixShifted(chunk[i].key, shift, mask);
+    out[cursors[p]] = chunk[i];
+    ++cursors[p];
+  }
+}
+
+// Flushes a full staging line to the 64B-aligned destination with
+// non-temporal stores: they bypass the cache hierarchy and skip the
+// read-for-ownership a normal store to a cold line pays, which is where most
+// of the scatter's memory traffic goes at high fan-out.
+inline void FlushFullLine(Tuple* dst, const StagingLine& line) {
+#if defined(__AVX__)
+  const __m256i* src = reinterpret_cast<const __m256i*>(line.tuples);
+  _mm256_stream_si256(reinterpret_cast<__m256i*>(dst),
+                      _mm256_load_si256(src));
+  _mm256_stream_si256(reinterpret_cast<__m256i*>(dst) + 1,
+                      _mm256_load_si256(src + 1));
+#else
+  std::memcpy(dst, line.tuples, swwc::kCacheLineBytes);
+#endif
+}
+
+// Reusable per-thread staging arena. A fresh heap allocation per scatter
+// call would fault in up to 2MB of pages each time (the arena at kMaxBits),
+// which costs more than the scatter itself at bench scales; scatters are
+// hot-loop calls, so the arena persists for the thread's lifetime and only
+// ever grows. Scratch, not tracked by mem:: (bounded at ~2MB/thread).
+struct StagingArena {
+  std::unique_ptr<StagingLine[]> lines;
+  size_t capacity = 0;
+
+  void Reserve(size_t parts) {
+    if (parts <= capacity) return;
+    lines.reset(new StagingLine[parts]);
+    capacity = parts;
+  }
+};
+
+StagingArena& ThreadArena() {
+  static thread_local StagingArena arena;
+  return arena;
+}
+
+// First flush of a partition may cover only the tail of its first output
+// line (ramp-up): the cursor starts mid-line wherever the previous
+// partition ended. `start` is nonzero exactly when the line being flushed is
+// still the partition's starting line; bytes below `start` belong to a
+// neighboring partition and are never written by this call.
+inline uint32_t LineStart(uint64_t line_base, uint64_t cursor_begin) {
+  return line_base == (cursor_begin & ~uint64_t{swwc::kTuplesPerLine - 1})
+             ? static_cast<uint32_t>(cursor_begin &
+                                     (swwc::kTuplesPerLine - 1))
+             : 0;
+}
+
+}  // namespace
+
+void RadixScatterSwwc(const Tuple* chunk, size_t n, int bits,
+                      uint64_t* cursors, Tuple* out, int shift) {
+  const uint32_t mask = (1u << bits) - 1;
+  const size_t parts = size_t{1} << bits;
+  // Scalar fallback where staging cannot pay off or the in-line cursor trick
+  // cannot work: partition counts past the L1/L2 budget, inputs smaller than
+  // the O(parts) staging setup, or an output base not on the 8-byte tuple
+  // grid (operator new guarantees 16; this guards exotic callers).
+  if (bits > swwc::kMaxBits || n < swwc::kTuplesPerLine || parts > n ||
+      (reinterpret_cast<uintptr_t>(out) & (sizeof(Tuple) - 1)) != 0) {
+    ScatterScalar(chunk, n, shift, mask, cursors, out);
+    return;
+  }
+
+  // `out` is tuple-aligned but rarely line-aligned (glibc's large mmap'd
+  // chunks sit 16 bytes past a page). Work in a line-aligned virtual frame:
+  // bias every cursor by the base's offset within its cache line, so biased
+  // cursor bits encode line position, and `vout + (biased & ~7)` is a real
+  // 64B boundary. vout may point before the allocation; it is only ever
+  // dereferenced at biased indices >= base_off, i.e. inside `out`.
+  const uint64_t base_off =
+      (reinterpret_cast<uintptr_t>(out) / sizeof(Tuple)) &
+      (swwc::kTuplesPerLine - 1);
+  Tuple* const vout = out - base_off;
+
+  StagingArena& arena = ThreadArena();
+  arena.Reserve(parts);
+  StagingLine* const lines = arena.lines.get();
+  // Seed each line's cursor slot. cursors[] itself stays untouched until the
+  // drain, so cursors[p] still holds the partition's starting offset — which
+  // the ramp-up flush needs to know how much of the first line it owns.
+  for (size_t p = 0; p < parts; ++p) SetSlot(&lines[p], cursors[p] + base_off);
+
+  constexpr uint64_t kIdxMask = swwc::kTuplesPerLine - 1;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = RadixShifted(chunk[i].key, shift, mask);
+    StagingLine* line = &lines[p];
+    const uint64_t c = GetSlot(*line);
+    const uint32_t idx = static_cast<uint32_t>(c & kIdxMask);
+    line->tuples[idx] = chunk[i];
+    if (idx == kIdxMask) {
+      // The tuple just stored reclaimed the cursor slot: line is full.
+      const uint64_t line_base = c & ~kIdxMask;
+      const uint32_t start = LineStart(line_base, cursors[p] + base_off);
+      if (start == 0) {
+        FlushFullLine(vout + line_base, *line);
+      } else {
+        std::memcpy(vout + line_base + start, line->tuples + start,
+                    (swwc::kTuplesPerLine - start) * sizeof(Tuple));
+      }
+    }
+    SetSlot(line, c + 1);
+  }
+
+  // Drain: every partition's last, partially filled line goes out with plain
+  // stores, and the caller-visible cursor advances to its end state.
+  for (size_t p = 0; p < parts; ++p) {
+    const uint64_t c = GetSlot(lines[p]);
+    const uint64_t line_base = c & ~kIdxMask;
+    const uint32_t start = LineStart(line_base, cursors[p] + base_off);
+    const uint32_t end = static_cast<uint32_t>(c & kIdxMask);
+    if (end > start) {
+      std::memcpy(vout + line_base + start, lines[p].tuples + start,
+                  (end - start) * sizeof(Tuple));
+    }
+    cursors[p] = c - base_off;
+  }
+#if defined(__AVX__)
+  // Streaming stores are weakly ordered; fence so the scatter is visible to
+  // whoever synchronizes with this thread next (PRJ's post-scatter barrier).
+  _mm_sfence();
+#endif
+}
+
+}  // namespace iawj

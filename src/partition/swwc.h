@@ -1,0 +1,49 @@
+// Software write-combining radix scatter (Balkesen et al.'s PRO/PRA trick).
+//
+// The plain RadixScatter issues one random cache-line write per tuple: at 14
+// radix bits that is 16K live output lines (plus as many TLB entries), so
+// nearly every write misses and — worse — pays a read-for-ownership to pull
+// the line in before overwriting it. SWWC instead stages tuples in
+// per-partition cache-line-sized buffers that stay L1-resident (64 B x
+// #partitions) and flushes a full line at a time with non-temporal streaming
+// stores, which skip the RFO entirely. Output bytes, output order, and
+// cursor end-state are identical to the scalar kernel — the staging only
+// batches the writes.
+//
+// The kernel is intentionally trace-free: the SimTracer path (Fig. 8 cache
+// simulation) always takes the scalar loop so the simulated access stream
+// keeps matching the algorithm the paper profiles (see common/kernels.h).
+#ifndef IAWJ_PARTITION_SWWC_H_
+#define IAWJ_PARTITION_SWWC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/tuple.h"
+
+namespace iawj {
+
+namespace swwc {
+
+inline constexpr size_t kCacheLineBytes = 64;
+inline constexpr size_t kTuplesPerLine = kCacheLineBytes / sizeof(Tuple);
+
+// Above this many radix bits the staging array (64 B per partition) would
+// blow the L1/L2 budget that makes write-combining profitable (and cost
+// megabytes per worker), so the scatter falls back to the scalar loop.
+inline constexpr int kMaxBits = 15;
+
+}  // namespace swwc
+
+// Drop-in replacement for RadixScatter (partition/radix.h) minus the tracer:
+// scatters chunk[0..n) to out by radix ((key >> shift) & (2^bits - 1)),
+// advancing the per-partition cursors. `cursors` indexes into `out` exactly
+// as in the scalar kernel; on return every cursor holds the same end value
+// the scalar kernel would produce. Falls back to the scalar loop internally
+// when bits > swwc::kMaxBits.
+void RadixScatterSwwc(const Tuple* chunk, size_t n, int bits,
+                      uint64_t* cursors, Tuple* out, int shift = 0);
+
+}  // namespace iawj
+
+#endif  // IAWJ_PARTITION_SWWC_H_

@@ -110,6 +110,12 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   w.Field("use_simd", spec.use_simd);
   w.Field("pin_threads", spec.pin_threads);
   w.Field("hash_table_kind", HashTableKindName(spec.hash_table_kind));
+  w.Field("kernels", KernelModeName(spec.kernels));
+  // The mode the run actually used: `kernels` is the spec knob as given
+  // (often "auto"), resolved here against $IAWJ_KERNELS so A/B tooling can
+  // key on what executed without replicating the resolution rules.
+  w.Field("kernels_resolved",
+          KernelModeName(ResolveKernelMode(spec.kernels)));
   w.EndObject();
 
   w.Field("inputs", uint64_t{result.inputs});

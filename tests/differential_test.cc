@@ -1,0 +1,178 @@
+// Differential property test for the cache-conscious kernel layer: every
+// algorithm must produce the exact multiset of matches (count + order-
+// insensitive checksum vs the sequential nested-loop reference) under BOTH
+// kernel modes — forced-scalar and forced-SWWC/batched — across seeded
+// randomized workloads. The workloads deliberately include sizes whose tails
+// are not divisible by the SWWC line width (8) or the probe batch width
+// (16), heavy duplication, skew, and thread counts including 1 and odd.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/kernels.h"
+#include "src/common/rng.h"
+#include "src/datagen/micro.h"
+#include "src/hash/prefetch.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+#include "src/partition/swwc.h"
+
+namespace iawj {
+namespace {
+
+struct RandomWorkload {
+  std::string name;
+  std::vector<Tuple> r;
+  std::vector<Tuple> s;
+  int threads;
+  int radix_bits;
+};
+
+std::vector<Tuple> RandomTuples(Rng& rng, size_t n, uint32_t key_domain,
+                                uint32_t window_ms) {
+  std::vector<Tuple> tuples(n);
+  for (auto& t : tuples) {
+    t.key = static_cast<uint32_t>(rng.NextBounded(key_domain));
+    t.ts = static_cast<uint32_t>(rng.NextBounded(window_ms));
+  }
+  return tuples;
+}
+
+// Derives one workload from a seed. Sizes get a [0, 17) jitter so tails are
+// rarely divisible by the kernel widths; thread counts cycle through 1, odd,
+// and even; key domains range from two keys (maximal duplication) to larger
+// than the inputs (mostly unique).
+RandomWorkload MakeRandomWorkload(uint64_t seed) {
+  Rng rng(seed * 7919 + 1);
+  RandomWorkload w;
+  w.name = "seed" + std::to_string(seed);
+  const size_t base_r = 200 + rng.NextBounded(3000);
+  const size_t base_s = 200 + rng.NextBounded(3000);
+  const size_t n_r = base_r + rng.NextBounded(17);
+  const size_t n_s = base_s + rng.NextBounded(17);
+  const uint32_t domains[] = {2, 13, 100, 1000, 1u << 20};
+  const uint32_t domain = domains[rng.NextBounded(5)];
+  w.r = RandomTuples(rng, n_r, domain, 1000);
+  w.s = RandomTuples(rng, n_s, domain, 1000);
+  const int thread_choices[] = {1, 2, 3, 5, 8};
+  w.threads = thread_choices[rng.NextBounded(5)];
+  const int bits_choices[] = {1, 3, 7, 10, 13};
+  w.radix_bits = bits_choices[rng.NextBounded(5)];
+  return w;
+}
+
+void ExpectAllAlgorithmsMatchReference(const RandomWorkload& w) {
+  const Stream r = MakeStream(w.r);
+  const Stream s = MakeStream(w.s);
+  const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
+
+  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kSwwc}) {
+    for (AlgorithmId id : kAllAlgorithms) {
+      SCOPED_TRACE(testing::Message()
+                   << w.name << " algo=" << AlgorithmName(id)
+                   << " kernels=" << KernelModeName(mode)
+                   << " threads=" << w.threads << " bits=" << w.radix_bits
+                   << " r=" << w.r.size() << " s=" << w.s.size());
+      JoinSpec spec;
+      spec.num_threads = w.threads;
+      spec.window_ms = 1000;
+      spec.clock_mode = Clock::Mode::kInstant;
+      spec.kernels = mode;
+      spec.radix_bits = w.radix_bits;
+      spec.jb_group_size = w.threads % 2 == 0 ? 2 : 1;
+      JoinRunner runner;
+      const RunResult result = runner.Run(id, r, s, spec);
+      EXPECT_EQ(result.matches, expected.matches);
+      EXPECT_EQ(result.checksum, expected.checksum);
+    }
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllKernelModesMatchNestedLoop) {
+  ExpectAllAlgorithmsMatchReference(MakeRandomWorkload(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededWorkloads, DifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// Deliberate edge shapes the random sweep may under-sample.
+
+TEST(DifferentialEdges, TailsJustBelowAndAboveKernelWidths) {
+  // Sizes straddling the SWWC line width (8) and probe batch width (16):
+  // the batched loops must hand exact remainders to their tail paths.
+  Rng rng(4242);
+  for (const size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                         size_t{15}, size_t{16}, size_t{17}, size_t{31},
+                         size_t{33}, size_t{127}}) {
+    RandomWorkload w;
+    w.name = "tail" + std::to_string(n);
+    w.r = RandomTuples(rng, n, 8, 1000);
+    w.s = RandomTuples(rng, n + rng.NextBounded(3), 8, 1000);
+    w.threads = 1 + static_cast<int>(rng.NextBounded(4));
+    w.radix_bits = 4;
+    ExpectAllAlgorithmsMatchReference(w);
+  }
+}
+
+TEST(DifferentialEdges, ZipfSkewBothKernelModes) {
+  MicroSpec spec;
+  spec.size_r = 4000;
+  spec.size_s = 4000;
+  spec.window_ms = 1000;
+  spec.dupe = 25;
+  spec.zipf_key = 1.4;
+  spec.seed = 77;
+  MicroWorkload micro = GenerateMicro(spec);
+  RandomWorkload w;
+  w.name = "zipf";
+  w.r = std::move(micro.r.tuples);
+  w.s = std::move(micro.s.tuples);
+  w.threads = 3;
+  w.radix_bits = 10;
+  ExpectAllAlgorithmsMatchReference(w);
+}
+
+TEST(DifferentialEdges, MoreThreadsThanTuples) {
+  Rng rng(99);
+  RandomWorkload w;
+  w.name = "tiny_wide";
+  w.r = RandomTuples(rng, 5, 3, 1000);
+  w.s = RandomTuples(rng, 3, 3, 1000);
+  w.threads = 8;
+  w.radix_bits = 6;
+  ExpectAllAlgorithmsMatchReference(w);
+}
+
+// The knob plumbing itself: auto defers to the environment, spec wins over
+// everything, and tracing always forces scalar kernels.
+TEST(KernelModeResolution, SpecEnvAndTracerPrecedence) {
+  EXPECT_TRUE(UseCacheKernels(KernelMode::kSwwc, /*tracer_enabled=*/false));
+  EXPECT_FALSE(UseCacheKernels(KernelMode::kScalar, /*tracer_enabled=*/false));
+  EXPECT_FALSE(UseCacheKernels(KernelMode::kSwwc, /*tracer_enabled=*/true));
+  EXPECT_FALSE(UseCacheKernels(KernelMode::kAuto, /*tracer_enabled=*/true));
+
+  ASSERT_EQ(setenv("IAWJ_KERNELS", "scalar", 1), 0);
+  EXPECT_EQ(ResolveKernelMode(KernelMode::kAuto), KernelMode::kScalar);
+  EXPECT_FALSE(UseCacheKernels(KernelMode::kAuto, false));
+  EXPECT_TRUE(UseCacheKernels(KernelMode::kSwwc, false));  // spec wins
+  ASSERT_EQ(setenv("IAWJ_KERNELS", "swwc", 1), 0);
+  EXPECT_EQ(ResolveKernelMode(KernelMode::kAuto), KernelMode::kSwwc);
+  ASSERT_EQ(unsetenv("IAWJ_KERNELS"), 0);
+  EXPECT_EQ(ResolveKernelMode(KernelMode::kAuto), KernelMode::kAuto);
+
+  KernelMode parsed;
+  EXPECT_TRUE(ParseKernelMode("auto", &parsed));
+  EXPECT_EQ(parsed, KernelMode::kAuto);
+  EXPECT_TRUE(ParseKernelMode("swwc", &parsed));
+  EXPECT_EQ(parsed, KernelMode::kSwwc);
+  EXPECT_FALSE(ParseKernelMode("vectorized", &parsed));
+}
+
+}  // namespace
+}  // namespace iawj

@@ -160,6 +160,12 @@ int Run(int argc, char** argv) {
   spec.jb_group_size = static_cast<int>(flags.GetInt("jb-group", 2));
   spec.eager_physical_partition = flags.GetBool("physical-partition", false);
   spec.use_simd = flags.GetBool("simd", true);
+  // auto defers to $IAWJ_KERNELS; scalar/swwc force one kernel set for A/B
+  // runs (see common/kernels.h and README "Knobs").
+  if (const std::string kernels = flags.GetString("kernels", "auto");
+      !ParseKernelMode(kernels, &spec.kernels)) {
+    return Fail("unknown --kernels (auto|scalar|swwc)");
+  }
   // 0 keeps the $IAWJ_DEADLINE_MS fallback (see JoinSpec::deadline_ms).
   spec.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline", 0));
 
