@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Docs-drift gate: docs/MANUAL.md must track the code's runtime surface.
+
+Checks, each fatal:
+  1. Every IAWJ_* environment variable read anywhere in src/, tools/,
+     bench/, examples/, or scripts/ is mentioned in MANUAL.md.
+  2. Every IAWJ_* token in MANUAL.md corresponds to a real read in the
+     code — no phantom knobs surviving a rename or removal.
+  3. Every flag in the tools/cli_flags.h table (the single source of truth
+     --help prints and iawj_cli parses) appears as --<name> in MANUAL.md.
+  4. Every --flag row of MANUAL.md's flag tables exists in cli_flags.h.
+  5. All eleven exit codes (0..10) have a row in MANUAL.md's table.
+
+Run from anywhere inside the repo:  python3 scripts/docs_check.py
+"""
+
+import os
+import re
+import sys
+
+ENV_RE = re.compile(r"IAWJ_[A-Z][A-Z0-9_]*")
+# In source files an env-var name appears as a quoted string (C++ getenv,
+# Python os.environ) or $-reference (shell); bare IAWJ_* identifiers are
+# include guards and macros, not knobs.
+SOURCE_ENV_RE = re.compile(r"[\"$]\{?(IAWJ_[A-Z][A-Z0-9_]*)[\"}]?")
+# A flag row in MANUAL.md: a markdown table line whose first cell starts
+# with `--name`. Prose mentions of flags (e.g. --no-simd) are not checked.
+MANUAL_FLAG_ROW_RE = re.compile(r"^\|\s*`--([a-z][a-z0-9-]*)")
+# An entry in the cli_flags.h table: {"name", ...}.
+TABLE_FLAG_RE = re.compile(r"\{\"([a-z][a-z0-9-]*)\",")
+SOURCE_DIRS = ("src", "tools", "bench", "examples", "scripts")
+SOURCE_EXTS = (".h", ".cc", ".py", ".sh")
+
+
+def repo_root():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def read(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def env_vars_in_sources(root):
+    """IAWJ_* names read by the code (quoted in C++/Python, bare in sh)."""
+    found = set()
+    for d in SOURCE_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(root, d)):
+            for name in files:
+                if not name.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, name)
+                if os.path.samefile(path, os.path.abspath(__file__)):
+                    continue  # this checker's own docstring/regexes
+                found.update(SOURCE_ENV_RE.findall(read(path)))
+    return found
+
+
+def fail(errors):
+    for e in errors:
+        print(f"docs_check: {e}", file=sys.stderr)
+    print(
+        f"docs_check: FAILED with {len(errors)} error(s) — update "
+        "docs/MANUAL.md (and tools/cli_flags.h) to match the code.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def main():
+    root = repo_root()
+    manual_path = os.path.join(root, "docs", "MANUAL.md")
+    flags_path = os.path.join(root, "tools", "cli_flags.h")
+    errors = []
+
+    if not os.path.isfile(manual_path):
+        return fail(["docs/MANUAL.md does not exist"])
+    manual = read(manual_path)
+
+    # 1 & 2: environment variables, both directions.
+    in_code = env_vars_in_sources(root)
+    in_manual = set(ENV_RE.findall(manual))
+    for var in sorted(in_code - in_manual):
+        errors.append(f"{var} is read by the code but missing from MANUAL.md")
+    for var in sorted(in_manual - in_code):
+        errors.append(f"{var} is documented in MANUAL.md but nothing reads it")
+
+    # 3 & 4: CLI flags vs the cli_flags.h table, both directions.
+    table_flags = set(TABLE_FLAG_RE.findall(read(flags_path)))
+    if not table_flags:
+        errors.append("no flag entries parsed from tools/cli_flags.h")
+    manual_flags = set()
+    for line in manual.splitlines():
+        m = MANUAL_FLAG_ROW_RE.match(line.strip())
+        if m:
+            manual_flags.add(m.group(1))
+    for flag in sorted(table_flags - manual_flags):
+        errors.append(
+            f"--{flag} is in the cli_flags.h table but has no row in MANUAL.md"
+        )
+    for flag in sorted(manual_flags - table_flags):
+        errors.append(
+            f"--{flag} has a MANUAL.md row but is not in the cli_flags.h table"
+        )
+
+    # 5: exit codes 0..10 each need a table row.
+    for code in range(11):
+        if not re.search(rf"^\|\s*{code}\s*\|", manual, re.MULTILINE):
+            errors.append(f"exit code {code} has no row in MANUAL.md")
+
+    if errors:
+        return fail(errors)
+    print(
+        f"docs_check: ok ({len(in_code)} env vars, {len(table_flags)} CLI "
+        "flags, 11 exit codes documented)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#include "src/common/affinity.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace iawj {
+
+std::vector<int> ParseCpuList(const char* text, int num_cores) {
+  std::vector<int> cores;
+  if (text == nullptr) return cores;
+  const char* p = text;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long lo = std::strtol(p, &end, 10);
+    if (end == p || lo < 0) return {};
+    long hi = lo;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      hi = std::strtol(p, &end, 10);
+      if (end == p || hi < lo) return {};
+      p = end;
+    }
+    for (long c = lo; c <= hi; ++c) {
+      if (c < num_cores) cores.push_back(static_cast<int>(c));
+    }
+    if (*p == ',') ++p;
+  }
+  return cores;
+}
+
+namespace {
+
+CpuTopology SingleNode(int num_cores) {
+  CpuTopology topo;
+  topo.num_cores = num_cores;
+  topo.num_nodes = 1;
+  topo.node_of_core.assign(static_cast<size_t>(num_cores), 0);
+  return topo;
+}
+
+}  // namespace
+
+CpuTopology DetectTopology() {
+  long cores = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cores < 1) cores = 1;
+  const int num_cores = static_cast<int>(cores);
+
+  // Synthetic override: n contiguous-core nodes, for exercising the
+  // remote-steal policy on single-node hosts.
+  if (const char* env = std::getenv("IAWJ_NUMA_NODES");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1) {
+      CpuTopology topo;
+      topo.num_cores = num_cores;
+      topo.num_nodes = static_cast<int>(n < num_cores ? n : num_cores);
+      topo.node_of_core.resize(static_cast<size_t>(num_cores));
+      for (int c = 0; c < num_cores; ++c) {
+        topo.node_of_core[static_cast<size_t>(c)] =
+            static_cast<int>(static_cast<long>(c) * topo.num_nodes /
+                             num_cores);
+      }
+      return topo;
+    }
+  }
+
+  CpuTopology topo;
+  topo.num_cores = num_cores;
+  topo.num_nodes = 0;
+  topo.node_of_core.assign(static_cast<size_t>(num_cores), -1);
+  for (int node = 0; node < 1024; ++node) {
+    const std::string path = "/sys/devices/system/node/node" +
+                             std::to_string(node) + "/cpulist";
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) break;
+    char buf[4096];
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    for (int core : ParseCpuList(buf, num_cores)) {
+      topo.node_of_core[static_cast<size_t>(core)] = node;
+    }
+    topo.num_nodes = node + 1;
+  }
+  if (topo.num_nodes < 1) return SingleNode(num_cores);
+  // Offline gaps in the sysfs listing: fold unmapped cores into node 0 so
+  // every core is placed.
+  for (int& node : topo.node_of_core) {
+    if (node < 0) node = 0;
+  }
+  return topo;
+}
+
+}  // namespace iawj

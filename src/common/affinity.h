@@ -1,15 +1,23 @@
-// Thread-to-core pinning, matching the paper's one-thread-per-core setup.
+// Thread-to-core pinning and CPU topology discovery.
 //
-// Pinning is best-effort: on hosts with fewer cores than worker threads
-// (including the single-core CI machine this repo is validated on) the
-// request simply wraps around or fails silently — the algorithms are
-// correct either way.
+// Pinning matches the paper's one-thread-per-core setup and is best-effort:
+// on hosts with fewer cores than worker threads (including the single-core
+// CI machine this repo is validated on) the request simply wraps around or
+// fails silently — the algorithms are correct either way.
+//
+// The topology side feeds the morsel scheduler's NUMA-aware placement
+// (join/scheduler.h): each logical core maps to one NUMA node, discovered
+// from /sys/devices/system/node/node*/cpulist with a single-node fallback.
+// $IAWJ_NUMA_NODES=<n> overrides discovery with n synthetic contiguous-core
+// nodes so the remote-steal policy is testable on single-node hardware.
 #ifndef IAWJ_COMMON_AFFINITY_H_
 #define IAWJ_COMMON_AFFINITY_H_
 
 #include <pthread.h>
 #include <sched.h>
 #include <unistd.h>
+
+#include <vector>
 
 namespace iawj {
 
@@ -31,6 +39,33 @@ inline bool PinCurrentThreadToCore(int core_index) {
   CPU_SET(core, &set);
   return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 }
+
+// Which NUMA node each logical core belongs to. Always well-formed: at
+// least one node, every core mapped.
+struct CpuTopology {
+  int num_cores = 1;
+  int num_nodes = 1;
+  std::vector<int> node_of_core;  // size num_cores, values in [0, num_nodes)
+
+  int NodeOfCore(int core) const {
+    if (core < 0 || core >= static_cast<int>(node_of_core.size())) return 0;
+    return node_of_core[static_cast<size_t>(core)];
+  }
+};
+
+// Parses a Linux cpulist string ("0-3,8,10-11") into core indices capped at
+// num_cores. Exposed for tests. Returns empty on malformed input.
+std::vector<int> ParseCpuList(const char* text, int num_cores);
+
+// Discovers the host topology. Order of precedence:
+//   1. $IAWJ_NUMA_NODES=<n> (n >= 1): n synthetic nodes of contiguous cores
+//      (core c -> node c * n / num_cores) — the single-node CI escape hatch
+//      for exercising remote-steal paths.
+//   2. /sys/devices/system/node/node<k>/cpulist, one node per directory.
+//   3. Fallback: one node spanning every core.
+// Re-reads the environment on every call (cheap: a handful of sysfs files),
+// so tests can flip $IAWJ_NUMA_NODES between runs.
+CpuTopology DetectTopology();
 
 }  // namespace iawj
 

@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/common/tuple.h"
 #include "src/hash/hash_fn.h"
+#include "src/join/scheduler.h"
 #include "src/profiling/cache_sim.h"
 #include "src/profiling/phase.h"
 #include "src/profiling/progress.h"
@@ -72,6 +73,13 @@ struct JoinSpec {
   // untraced builds and defers to $IAWJ_KERNELS when set; scalar/swwc force
   // one side for A/B runs. SimTracer instantiations always run scalar.
   KernelMode kernels = KernelMode::kAuto;
+  // Parallel-phase scheduling (join/scheduler.h): static keeps the paper's
+  // equal-chunk division; morsel switches every parallel loop to the
+  // NUMA-aware work-stealing scheduler. auto defers to $IAWJ_SCHEDULER
+  // (default static). morsel_size == 0 defers to $IAWJ_MORSEL_SIZE, then
+  // kDefaultMorselSize.
+  SchedulerMode scheduler = SchedulerMode::kAuto;
+  size_t morsel_size = 0;
 
   // Wall-clock deadline for one run; 0 = none (then $IAWJ_DEADLINE_MS
   // applies, if set). A run that overruns is cancelled by the runner's
@@ -148,6 +156,15 @@ struct JoinContext {
   CacheSim* const* cache_sims = nullptr;
   // Run-wide cancellation (deadline watchdog, memory-budget breaches).
   CancelToken* cancel = nullptr;
+  // Per-run morsel scheduler (join/scheduler.h), always set by the runner.
+  // Algorithms branch on scheduler->enabled(): false keeps the static
+  // ChunkForThread division, true serves every parallel phase from morsel
+  // deques with NUMA-aware stealing.
+  MorselScheduler* scheduler = nullptr;
+
+  bool MorselMode() const {
+    return scheduler != nullptr && scheduler->enabled();
+  }
 
   MatchSink& sink(int t) const { return sinks[t]; }
   PhaseProfile& profile(int t) const { return profiles[t]; }

@@ -38,6 +38,14 @@ Status EagerJoin<Tracer>::Setup(const JoinContext& ctx) {
   if (scheme_ == DistributionScheme::kJoinBiclique) {
     router_ = std::make_unique<RouterState>();
   }
+  morsel_ = ctx.MorselMode();
+  if (morsel_) {
+    // One claim lane per core group (JM: a single lane spanning all
+    // workers). Workers resolve S morsel ownership through the grid in the
+    // pull loop instead of the static seq % lane-count rule.
+    s_claims_.Reset(ctx.s.size(), ctx.scheduler->morsel_size(),
+                    distribution_->num_groups());
+  }
   return Status::Ok();
 }
 
@@ -84,9 +92,47 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   const Distribution& dist = *distribution_;
   const bool physical = ctx.spec->eager_physical_partition;
   const bool jb = scheme_ == DistributionScheme::kJoinBiclique;
+  const int threads = ctx.spec->num_threads;
 
   std::unique_ptr<EagerState> state = MakeState(ctx, worker, tracer);
   RouterState* router = router_.get();
+
+  // Morsel mode: S ownership is first-claimant per morsel (see ClaimGrid).
+  // One cached (morsel, owned) pair suffices because a worker only ever
+  // consults its own lane and scans seq in order.
+  const bool morsel = morsel_;
+  MorselScheduler* const sched = ctx.scheduler;
+  const int group = jb ? worker / dist.group_size() : 0;
+  const int group_base = group * dist.group_size();
+  size_t cur_morsel = static_cast<size_t>(-1);
+  bool cur_owned = false;
+  const auto owns_s = [&](const Tuple& t, uint64_t seq) -> bool {
+    if (!morsel) return dist.OwnsS(worker, t, seq);
+    if (jb && dist.GroupOf(t.key) != group) return false;
+    const size_t m = s_claims_.morsel_of(seq);
+    if (m != cur_morsel) {
+      cur_morsel = m;
+      const int winner = s_claims_.Claim(group, m, worker);
+      cur_owned = winner == worker;
+      if (cur_owned) {
+        MorselStats& st = sched->stats(worker);
+        ++st.morsels;
+        // The worker the static round-robin rule would have picked; a claim
+        // by anyone else is a steal (remote when it crosses NUMA nodes).
+        const int home =
+            jb ? group_base + static_cast<int>(
+                                  m % static_cast<size_t>(dist.group_size()))
+               : static_cast<int>(m % static_cast<size_t>(threads));
+        if (home != worker) {
+          ++st.steals;
+          if (sched->node_of(home) != sched->node_of(worker)) {
+            ++st.remote_steals;
+          }
+        }
+      }
+    }
+    return cur_owned;
+  };
 
   // Worker-local copies when physical partitioning is on. Reserved up front
   // so value-table pointers never dangle (value states copy immediately
@@ -153,7 +199,8 @@ void EagerJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
       tracer.SetPhase(Phase::kPartition);
       const Tuple& t = s[is];
       tracer.Access(&t, sizeof(Tuple));
-      if (dist.OwnsS(worker, t, is)) {
+      if (owns_s(t, is)) {
+        if (morsel) ++sched->stats(worker).tuples;
         if (jb) router->Note(t.key, worker);
         if (physical) {
           local_s.PushBack(t);

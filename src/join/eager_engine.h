@@ -103,6 +103,12 @@ class EagerJoin : public JoinAlgorithm {
   DistributionScheme scheme_;
   std::unique_ptr<Distribution> distribution_;
   std::unique_ptr<RouterState> router_;  // JB only
+
+  // Morsel mode (join/scheduler.h): S ownership becomes first-claimant per
+  // morsel instead of seq round-robin. R ownership is replication-defined
+  // (JM: everyone; JB: the key's group) and stays as-is.
+  bool morsel_ = false;
+  ClaimGrid s_claims_;
 };
 
 // Factories for the four eager algorithms (and their traced variants).

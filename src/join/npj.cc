@@ -28,53 +28,80 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   }
   if (ctx.AbortRequested()) return;
 
-  // Build: all threads insert their R portions into the shared table.
+  const bool morsel = ctx.MorselMode();
+
+  // Build: all threads insert R into the shared table — their equisized
+  // chunks in static mode, dynamically claimed morsels otherwise. Each
+  // morsel runs the same kernel dispatch and keeps the 8K cancel cadence.
   {
     ScopedPhase build(&prof, Phase::kBuild);
     tracer.SetPhase(Phase::kBuild);
-    const ChunkRange chunk =
-        ChunkForThread(ctx.r.size(), worker, ctx.spec->num_threads);
-    if (batched) {
-      for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
-        if (ctx.AbortRequested()) return;
-        const size_t end = std::min(chunk.end, i + kCancelStripe);
-        kernels::InsertBatched(*table_, ctx.r.data() + i, end - i, tracer);
+    const auto build_range = [&](const ChunkRange& chunk) -> bool {
+      if (batched) {
+        for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
+          if (ctx.AbortRequested()) return false;
+          const size_t end = std::min(chunk.end, i + kCancelStripe);
+          kernels::InsertBatched(*table_, ctx.r.data() + i, end - i, tracer);
+        }
+      } else {
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
+          tracer.Access(&ctx.r[i], sizeof(Tuple));
+          table_->Insert(ctx.r[i], tracer);
+        }
       }
-    } else {
-      for (size_t i = chunk.begin; i < chunk.end; ++i) {
-        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
-        tracer.Access(&ctx.r[i], sizeof(Tuple));
-        table_->Insert(ctx.r[i], tracer);
+      return true;
+    };
+    if (morsel) {
+      ChunkRange m;
+      while (build_phase_.Next(*ctx.scheduler, worker, &m)) {
+        if (!build_range(m)) return;
       }
+    } else if (!build_range(
+                   ChunkForThread(ctx.r.size(), worker,
+                                  ctx.spec->num_threads))) {
+      return;
     }
   }
 
   ctx.barrier->arrive_and_wait();
 
-  // Probe: concurrently match assigned portions of S.
+  // Probe: concurrently match S against the shared table, same division.
   {
     ScopedPhase probe(&prof, Phase::kProbe);
     tracer.SetPhase(Phase::kProbe);
-    const ChunkRange chunk =
-        ChunkForThread(ctx.s.size(), worker, ctx.spec->num_threads);
-    if (batched) {
-      const auto on_match = [&](const Tuple& s, const Tuple& r) {
-        sink.OnMatch(s.key, r.ts, s.ts);
-      };
-      for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
-        if (ctx.AbortRequested()) return;
-        const size_t end = std::min(chunk.end, i + kCancelStripe);
-        kernels::ProbeBatched(*table_, ctx.s.data() + i, end - i, on_match,
-                              tracer);
+    const auto probe_range = [&](const ChunkRange& chunk) -> bool {
+      if (batched) {
+        const auto on_match = [&](const Tuple& s, const Tuple& r) {
+          sink.OnMatch(s.key, r.ts, s.ts);
+        };
+        for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
+          if (ctx.AbortRequested()) return false;
+          const size_t end = std::min(chunk.end, i + kCancelStripe);
+          kernels::ProbeBatched(*table_, ctx.s.data() + i, end - i, on_match,
+                                tracer);
+        }
+      } else {
+        for (size_t i = chunk.begin; i < chunk.end; ++i) {
+          if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
+          const Tuple s = ctx.s[i];
+          tracer.Access(&ctx.s[i], sizeof(Tuple));
+          table_->Probe(
+              s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); },
+              tracer);
+        }
       }
-    } else {
-      for (size_t i = chunk.begin; i < chunk.end; ++i) {
-        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return;
-        const Tuple s = ctx.s[i];
-        tracer.Access(&ctx.s[i], sizeof(Tuple));
-        table_->Probe(
-            s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer);
+      return true;
+    };
+    if (morsel) {
+      ChunkRange m;
+      while (probe_phase_.Next(*ctx.scheduler, worker, &m)) {
+        if (!probe_range(m)) return;
       }
+    } else if (!probe_range(
+                   ChunkForThread(ctx.s.size(), worker,
+                                  ctx.spec->num_threads))) {
+      return;
     }
   }
 }

@@ -29,6 +29,13 @@ class NpjJoin : public JoinAlgorithm {
     }
     table_ = std::make_unique<ConcurrentBucketChainTable<Tracer>>(
         ctx.r.size());
+    if (ctx.MorselMode()) {
+      // Both parallel loops become morsel phases. Sized here, not by worker
+      // 0, because the build loop starts straight after the window wait with
+      // no barrier in between.
+      build_phase_.Reset(*ctx.scheduler, ctx.r.size());
+      probe_phase_.Reset(*ctx.scheduler, ctx.s.size());
+    }
     return Status::Ok();
   }
 
@@ -38,6 +45,8 @@ class NpjJoin : public JoinAlgorithm {
 
  private:
   std::unique_ptr<ConcurrentBucketChainTable<Tracer>> table_;
+  MorselPhase build_phase_;
+  MorselPhase probe_phase_;
 };
 
 // Instantiates the production (NullTracer) variant.

@@ -46,8 +46,32 @@ Status PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   const int threads = ctx.spec->num_threads;
   r_out_.Resize(ctx.r.size());
   s_out_.Resize(ctx.s.size());
-  hist_r_.assign(static_cast<size_t>(threads) * parts1_, 0);
-  hist_s_.assign(static_cast<size_t>(threads) * parts1_, 0);
+  morsel_ = ctx.MorselMode();
+  if (morsel_) {
+    // Pass-1 state is per-morsel: raise the morsel size when needed so the
+    // histogram/cursor block stays bounded regardless of input size.
+    const auto pass1_morsel = [&](size_t n) {
+      const size_t floor_size = (n + kMaxPass1Morsels - 1) / kMaxPass1Morsels;
+      const size_t size = ctx.scheduler->morsel_size();
+      return size < floor_size ? floor_size : size;
+    };
+    morsel_r_ = pass1_morsel(ctx.r.size());
+    morsel_s_ = pass1_morsel(ctx.s.size());
+    hist_phase_r_.Reset(*ctx.scheduler, ctx.r.size(), morsel_r_);
+    hist_phase_s_.Reset(*ctx.scheduler, ctx.s.size(), morsel_s_);
+    scatter_phase_r_.Reset(*ctx.scheduler, ctx.r.size(), morsel_r_);
+    scatter_phase_s_.Reset(*ctx.scheduler, ctx.s.size(), morsel_s_);
+    hist_r_.assign(hist_phase_r_.num_morsels() * parts1_, 0);
+    hist_s_.assign(hist_phase_s_.num_morsels() * parts1_, 0);
+    cursors_r_.assign(hist_phase_r_.num_morsels() * parts1_, 0);
+    cursors_s_.assign(hist_phase_s_.num_morsels() * parts1_, 0);
+    refine_phase_.Reset(*ctx.scheduler, parts1_, 1);
+    join_phase_.Reset(*ctx.scheduler, bits2_ > 0 ? parts_total_ : parts1_,
+                      1);
+  } else {
+    hist_r_.assign(static_cast<size_t>(threads) * parts1_, 0);
+    hist_s_.assign(static_cast<size_t>(threads) * parts1_, 0);
+  }
   offsets_r_.assign(parts1_ + 1, 0);
   offsets_s_.assign(parts1_ + 1, 0);
   if (bits2_ > 0) {
@@ -69,6 +93,8 @@ void PrjJoin<Tracer>::Teardown() {
   s_out2_ = mem::TrackedBuffer<Tuple>();
   hist_r_.clear();
   hist_s_.clear();
+  cursors_r_.clear();
+  cursors_s_.clear();
 }
 
 namespace {
@@ -94,13 +120,27 @@ std::vector<uint64_t> ScatterCursors(const std::vector<uint64_t>& hist,
 // of the final offset arrays, so no synchronization is needed beyond the
 // queue counter.
 template <typename Tracer>
-bool PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, Tracer& tracer) {
+bool PrjJoin<Tracer>::RunSecondPass(const JoinContext& ctx, int worker,
+                                    Tracer& tracer) {
   const size_t parts2 = size_t{1} << bits2_;
   std::vector<uint64_t> hist(parts2);
+  // One refine task per pass-1 partition, drained from the shared atomic
+  // counter (static) or the morsel phase (morsel mode — same tasks, but
+  // steals are counted and NUMA-ordered).
+  const auto next_task = [&](size_t* p1) -> bool {
+    if (morsel_) {
+      ChunkRange task;
+      if (!refine_phase_.Next(*ctx.scheduler, worker, &task)) return false;
+      *p1 = task.begin;
+      return true;
+    }
+    *p1 = next_refine_.fetch_add(1, std::memory_order_relaxed);
+    return *p1 < parts1_;
+  };
   while (true) {
     if (ctx.Cancelled()) return true;
-    const size_t p1 = next_refine_.fetch_add(1, std::memory_order_relaxed);
-    if (p1 >= parts1_) break;
+    size_t p1;
+    if (!next_task(&p1)) break;
 
     const auto refine = [&](const mem::TrackedBuffer<Tuple>& in,
                             mem::TrackedBuffer<Tuple>& out,
@@ -199,10 +239,20 @@ bool PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
 
   const bool linear =
       ctx.spec->hash_table_kind == HashTableKind::kLinearProbe;
+  const auto next_task = [&](size_t* p) -> bool {
+    if (morsel_) {
+      ChunkRange task;
+      if (!join_phase_.Next(*ctx.scheduler, worker, &task)) return false;
+      *p = task.begin;
+      return true;
+    }
+    *p = next_join_.fetch_add(1, std::memory_order_relaxed);
+    return *p < num_parts;
+  };
   while (true) {
     if (ctx.Cancelled()) return true;
-    const size_t p = next_join_.fetch_add(1, std::memory_order_relaxed);
-    if (p >= num_parts) break;
+    size_t p;
+    if (!next_task(&p)) break;
     uint64_t r_begin, r_end, s_begin, s_end;
     range_of(p, /*side_r=*/true, &r_begin, &r_end);
     range_of(p, /*side_r=*/false, &s_begin, &s_end);
@@ -231,51 +281,114 @@ void PrjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   }
   if (ctx.AbortRequested()) return;
 
-  const ChunkRange r_chunk = ChunkForThread(ctx.r.size(), worker, threads);
-  const ChunkRange s_chunk = ChunkForThread(ctx.s.size(), worker, threads);
-
   {
     ScopedPhase partition(&prof, Phase::kPartition);
     tracer.SetPhase(Phase::kPartition);
 
-    // Pass 1: per-thread histograms over the low bits1_ bits.
-    RadixHistogram(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
-                   &hist_r_[static_cast<size_t>(worker) * parts1_]);
-    RadixHistogram(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
-                   &hist_s_[static_cast<size_t>(worker) * parts1_]);
+    // Pass 1: histograms over the low bits1_ bits — one per thread chunk
+    // (static) or one per morsel (morsel mode), claimed dynamically.
+    if (morsel_) {
+      ChunkRange m;
+      while (hist_phase_r_.Next(*ctx.scheduler, worker, &m)) {
+        if (ctx.AbortRequested()) return;
+        RadixHistogram(ctx.r.data() + m.begin, m.size(), bits1_,
+                       &hist_r_[(m.begin / morsel_r_) * parts1_]);
+      }
+      while (hist_phase_s_.Next(*ctx.scheduler, worker, &m)) {
+        if (ctx.AbortRequested()) return;
+        RadixHistogram(ctx.s.data() + m.begin, m.size(), bits1_,
+                       &hist_s_[(m.begin / morsel_s_) * parts1_]);
+      }
+    } else {
+      const ChunkRange r_chunk =
+          ChunkForThread(ctx.r.size(), worker, threads);
+      const ChunkRange s_chunk =
+          ChunkForThread(ctx.s.size(), worker, threads);
+      RadixHistogram(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
+                     &hist_r_[static_cast<size_t>(worker) * parts1_]);
+      RadixHistogram(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
+                     &hist_s_[static_cast<size_t>(worker) * parts1_]);
+    }
     if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
-    // Worker 0 publishes pass-1 partition offsets.
+    // Worker 0 publishes pass-1 partition offsets (and, in morsel mode, the
+    // per-morsel scatter cursor rows — the scatter phase walks the same
+    // morsel grid, so row m starts where the partition-p counts of morsels
+    // < m end).
     if (worker == 0) {
+      const size_t chunks_r =
+          morsel_ ? hist_phase_r_.num_morsels() : static_cast<size_t>(threads);
+      const size_t chunks_s =
+          morsel_ ? hist_phase_s_.num_morsels() : static_cast<size_t>(threads);
       for (size_t p = 0; p < parts1_; ++p) {
         uint64_t total_r = 0, total_s = 0;
-        for (int t = 0; t < threads; ++t) {
-          total_r += hist_r_[static_cast<size_t>(t) * parts1_ + p];
-          total_s += hist_s_[static_cast<size_t>(t) * parts1_ + p];
+        for (size_t c = 0; c < chunks_r; ++c) {
+          total_r += hist_r_[c * parts1_ + p];
+        }
+        for (size_t c = 0; c < chunks_s; ++c) {
+          total_s += hist_s_[c * parts1_ + p];
         }
         offsets_r_[p + 1] = offsets_r_[p] + total_r;
         offsets_s_[p + 1] = offsets_s_[p] + total_s;
+      }
+      if (morsel_) {
+        const auto fill_cursors = [this](const std::vector<uint64_t>& hist,
+                                         const std::vector<uint64_t>& offsets,
+                                         std::vector<uint64_t>& cursors,
+                                         size_t chunks) {
+          std::vector<uint64_t> running(offsets.begin(), offsets.end() - 1);
+          for (size_t m = 0; m < chunks; ++m) {
+            for (size_t p = 0; p < parts1_; ++p) {
+              cursors[m * parts1_ + p] = running[p];
+              running[p] += hist[m * parts1_ + p];
+            }
+          }
+        };
+        fill_cursors(hist_r_, offsets_r_, cursors_r_, chunks_r);
+        fill_cursors(hist_s_, offsets_s_, cursors_s_, chunks_s);
       }
     }
     if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
     // Pass-1 scatter into partition-contiguous buffers (write-combining
-    // kernel when enabled; see common/kernels.h).
-    auto r_cursors = ScatterCursors(hist_r_, offsets_r_, parts1_, worker);
-    RadixScatterKernel(ctx.r.data() + r_chunk.begin, r_chunk.size(), bits1_,
-                       r_cursors.data(), r_out_.data(), tracer,
-                       use_cache_kernels_);
-    auto s_cursors = ScatterCursors(hist_s_, offsets_s_, parts1_, worker);
-    RadixScatterKernel(ctx.s.data() + s_chunk.begin, s_chunk.size(), bits1_,
-                       s_cursors.data(), s_out_.data(), tracer,
-                       use_cache_kernels_);
+    // kernel when enabled; see common/kernels.h). Each morsel's cursor row
+    // is touched only by its claimant, so the kernel can mutate it in
+    // place exactly like the static per-thread cursor vector.
+    if (morsel_) {
+      ChunkRange m;
+      while (scatter_phase_r_.Next(*ctx.scheduler, worker, &m)) {
+        if (ctx.AbortRequested()) return;
+        RadixScatterKernel(ctx.r.data() + m.begin, m.size(), bits1_,
+                           &cursors_r_[(m.begin / morsel_r_) * parts1_],
+                           r_out_.data(), tracer, use_cache_kernels_);
+      }
+      while (scatter_phase_s_.Next(*ctx.scheduler, worker, &m)) {
+        if (ctx.AbortRequested()) return;
+        RadixScatterKernel(ctx.s.data() + m.begin, m.size(), bits1_,
+                           &cursors_s_[(m.begin / morsel_s_) * parts1_],
+                           s_out_.data(), tracer, use_cache_kernels_);
+      }
+    } else {
+      const ChunkRange r_chunk =
+          ChunkForThread(ctx.r.size(), worker, threads);
+      const ChunkRange s_chunk =
+          ChunkForThread(ctx.s.size(), worker, threads);
+      auto r_cursors = ScatterCursors(hist_r_, offsets_r_, parts1_, worker);
+      RadixScatterKernel(ctx.r.data() + r_chunk.begin, r_chunk.size(),
+                         bits1_, r_cursors.data(), r_out_.data(), tracer,
+                         use_cache_kernels_);
+      auto s_cursors = ScatterCursors(hist_s_, offsets_s_, parts1_, worker);
+      RadixScatterKernel(ctx.s.data() + s_chunk.begin, s_chunk.size(),
+                         bits1_, s_cursors.data(), s_out_.data(), tracer,
+                         use_cache_kernels_);
+    }
     if (ctx.AbortRequested()) return;
     ctx.barrier->arrive_and_wait();
 
     if (bits2_ > 0) {
-      if (RunSecondPass(ctx, tracer)) {
+      if (RunSecondPass(ctx, worker, tracer)) {
         ctx.barrier->arrive_and_drop();
         return;
       }

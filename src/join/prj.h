@@ -36,7 +36,7 @@ class PrjJoin : public JoinAlgorithm {
  private:
   // Both return true when the run was cancelled mid-phase; the caller must
   // unwind from RunWorker without touching the barrier (see AbortRequested).
-  bool RunSecondPass(const JoinContext& ctx, Tracer& tracer);
+  bool RunSecondPass(const JoinContext& ctx, int worker, Tracer& tracer);
   bool JoinPartitions(const JoinContext& ctx, int worker, Tracer& tracer);
 
   // Bit split: pass 1 uses the low bits1_ bits, pass 2 the next bits2_.
@@ -45,6 +45,11 @@ class PrjJoin : public JoinAlgorithm {
   // Resolved once in Setup: cache-conscious kernels (SWWC scatter, batched
   // prefetch build/probe) vs the scalar loops (common/kernels.h).
   bool use_cache_kernels_ = false;
+  // Resolved once in Setup: morsel-driven scheduling (join/scheduler.h).
+  // Pass 1 histograms/cursors become per-morsel instead of per-thread, and
+  // the refine/join task queues drain through morsel phases so steals are
+  // counted and NUMA-ordered.
+  bool morsel_ = false;
   size_t parts1_ = 0;
   size_t parts_total_ = 0;
 
@@ -55,9 +60,30 @@ class PrjJoin : public JoinAlgorithm {
   mem::TrackedBuffer<Tuple> r_out2_;
   mem::TrackedBuffer<Tuple> s_out2_;
 
-  // hist[t * parts1 + p]: tuples of pass-1 partition p in thread t's chunk.
+  // hist[i * parts1 + p]: tuples of pass-1 partition p in chunk i, where a
+  // chunk is thread i's equisized range (static) or the i-th morsel
+  // (morsel mode — same grid as the pass-1 phases below).
   std::vector<uint64_t> hist_r_;
   std::vector<uint64_t> hist_s_;
+  // Morsel mode only: scatter cursor rows per morsel, cursors_[m * parts1 +
+  // p] = offsets[p] + sum of partition-p histogram counts of morsels < m.
+  // Worker 0 publishes them between the histogram and scatter barriers;
+  // each row is then mutated exclusively by its morsel's claimant.
+  std::vector<uint64_t> cursors_r_;
+  std::vector<uint64_t> cursors_s_;
+  // Morsel mode only: pass-1 morsel grids (histogram and scatter walk the
+  // same grid so cursor prefixes line up) and task phases for the dynamic
+  // refine/join queues. Pass-1 morsel sizes are raised so the histogram
+  // block stays bounded (<= kMaxPass1Morsels per side).
+  static constexpr size_t kMaxPass1Morsels = 4096;
+  size_t morsel_r_ = 0;
+  size_t morsel_s_ = 0;
+  MorselPhase hist_phase_r_;
+  MorselPhase hist_phase_s_;
+  MorselPhase scatter_phase_r_;
+  MorselPhase scatter_phase_s_;
+  MorselPhase refine_phase_;
+  MorselPhase join_phase_;
   // Pass-1 partition start offsets (size parts1 + 1).
   std::vector<uint64_t> offsets_r_;
   std::vector<uint64_t> offsets_s_;

@@ -24,6 +24,12 @@
 
 namespace iawj {
 
+MorselStats RunResult::MorselTotals() const {
+  MorselStats total;
+  for (const MorselStats& s : worker_morsels) total.Add(s);
+  return total;
+}
+
 double RunResult::WorkNsPerInput() const {
   if (inputs == 0) return 0;
   const uint64_t work = phases.TotalNs() - phases.GetNs(Phase::kWait);
@@ -139,6 +145,16 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   std::barrier<> barrier(threads);
   ctx.barrier = &barrier;
 
+  // Per-run morsel scheduler: resolves spec/$IAWJ_SCHEDULER to the executed
+  // mode and $IAWJ_MORSEL_SIZE to the morsel size, discovers NUMA placement,
+  // and owns the per-worker claim/steal counters. Algorithms size their
+  // phases against it in Setup, so it must exist before Setup runs.
+  MorselScheduler scheduler(threads, spec.scheduler, spec.morsel_size);
+  ctx.scheduler = &scheduler;
+  result.scheduler_resolved = scheduler.mode();
+  result.morsel_size = scheduler.morsel_size();
+  result.numa_nodes = scheduler.num_nodes();
+
   // Run-wide cancellation: the deadline watchdog, memory-budget breaches
   // (via the tracker's breach token) and injected faults all funnel into one
   // token; workers unwind at their next checkpoint. First cancel wins.
@@ -247,6 +263,15 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
         algorithm->RunWorker(ctx, t);
       }
       done[t].store(true, std::memory_order_release);
+      if (tracing && scheduler.enabled()) {
+        // Per-thread scheduling counters land in this worker's trace row so
+        // the timeline shows who executed and who stole.
+        const MorselStats& ms = scheduler.stats(t);
+        trace::Counter("worker_morsels", static_cast<double>(ms.morsels));
+        trace::Counter("worker_steals", static_cast<double>(ms.steals));
+        trace::Counter("worker_steal_misses",
+                       static_cast<double>(ms.steal_misses));
+      }
       if (tracing) trace::EndSpan();
     });
   }
@@ -287,10 +312,27 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   result.p95_latency_ms = result.latency.QuantileMs(0.95);
   result.mean_latency_ms = result.latency.MeanMs();
   result.peak_tracked_bytes = mem::PeakBytes();
+  if (scheduler.enabled()) {
+    result.worker_morsels.reserve(threads);
+    result.worker_nodes.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      result.worker_morsels.push_back(scheduler.stats(t));
+      result.worker_nodes.push_back(scheduler.node_of(t));
+    }
+  }
   if (tracing && trace::Active()) {
     trace::Counter("matches", static_cast<double>(result.matches));
     trace::Counter("peak_tracked_bytes",
                    static_cast<double>(result.peak_tracked_bytes));
+    if (scheduler.enabled()) {
+      const MorselStats totals = scheduler.Totals();
+      trace::Counter("morsels", static_cast<double>(totals.morsels));
+      trace::Counter("steals", static_cast<double>(totals.steals));
+      trace::Counter("steal_misses",
+                     static_cast<double>(totals.steal_misses));
+      trace::Counter("remote_steals",
+                     static_cast<double>(totals.remote_steals));
+    }
     trace::EndSpan();  // run_label
   }
   return result;

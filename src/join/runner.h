@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/join/context.h"
@@ -47,6 +48,17 @@ struct RunResult {
   // What the supervisor (join/supervisor.h) did to produce this result:
   // retries, fallbacks, shed tuples. Empty (and free) for unsupervised runs.
   RecoveryLog recovery;
+
+  // Scheduling (join/scheduler.h): the mode the run executed (never kAuto),
+  // the resolved morsel size, and — for morsel runs only — per-worker claim
+  // and steal counters plus each worker's NUMA node, so Fig. 7 breakdowns
+  // and Fig. 20 scalability can attribute imbalance to stolen work.
+  SchedulerMode scheduler_resolved = SchedulerMode::kStatic;
+  size_t morsel_size = 0;
+  int numa_nodes = 1;
+  std::vector<MorselStats> worker_morsels;  // empty for static runs
+  std::vector<int> worker_nodes;            // parallel to worker_morsels
+  MorselStats MorselTotals() const;
 
   // Per-input-tuple execution cost excluding wait, in nanoseconds of summed
   // worker time (the paper's "cycles per input tuple" y-axis, modulo clock

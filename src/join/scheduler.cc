@@ -1,0 +1,232 @@
+#include "src/join/scheduler.h"
+
+#include <cstdlib>
+
+#include "src/common/affinity.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace iawj {
+
+std::string_view SchedulerModeName(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kAuto:
+      return "auto";
+    case SchedulerMode::kStatic:
+      return "static";
+    case SchedulerMode::kMorsel:
+      return "morsel";
+  }
+  return "?";
+}
+
+bool ParseSchedulerMode(std::string_view text, SchedulerMode* mode) {
+  for (SchedulerMode candidate : kAllSchedulerModes) {
+    if (text == SchedulerModeName(candidate)) {
+      *mode = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+SchedulerMode SchedulerModeFromEnv() {
+  const char* env = std::getenv("IAWJ_SCHEDULER");
+  if (env == nullptr || *env == '\0') return SchedulerMode::kAuto;
+  SchedulerMode mode = SchedulerMode::kAuto;
+  if (!ParseSchedulerMode(env, &mode)) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      IAWJ_LOG(Warning) << "ignoring unrecognized IAWJ_SCHEDULER=" << env
+                        << " (want auto|static|morsel)";
+    }
+  }
+  return mode;
+}
+
+SchedulerMode ResolveSchedulerMode(SchedulerMode spec_mode) {
+  SchedulerMode mode =
+      spec_mode == SchedulerMode::kAuto ? SchedulerModeFromEnv() : spec_mode;
+  // Still unresolved after spec and environment: the paper-faithful static
+  // division stays the default; morsel scheduling is opt-in.
+  return mode == SchedulerMode::kAuto ? SchedulerMode::kStatic : mode;
+}
+
+size_t ResolveMorselSize(size_t spec_morsel_size) {
+  if (spec_morsel_size > 0) return spec_morsel_size;
+  if (const char* env = std::getenv("IAWJ_MORSEL_SIZE");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      IAWJ_LOG(Warning) << "ignoring unrecognized IAWJ_MORSEL_SIZE=" << env
+                        << " (want a positive tuple count)";
+    }
+  }
+  return kDefaultMorselSize;
+}
+
+MorselScheduler::MorselScheduler(int num_workers, SchedulerMode spec_mode,
+                                 size_t spec_morsel_size)
+    : mode_(ResolveSchedulerMode(spec_mode)),
+      morsel_size_(ResolveMorselSize(spec_morsel_size)),
+      num_workers_(num_workers) {
+  const CpuTopology topo = DetectTopology();
+  num_nodes_ = topo.num_nodes;
+  node_of_worker_.resize(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    // Worker w runs on core w % #cores when pinning is on; without pinning
+    // this is the placement approximation the steal order optimizes for.
+    node_of_worker_[static_cast<size_t>(w)] =
+        topo.NodeOfCore(ResolvePinnedCore(w));
+  }
+  stats_.assign(static_cast<size_t>(num_workers_), MorselStats{});
+
+  if (!enabled()) return;  // static runs never steal; skip the order build
+  victim_order_.resize(static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    std::vector<int> local, remote;
+    for (int v = 0; v < num_workers_; ++v) {
+      if (v == w) continue;
+      (node_of(v) == node_of(w) ? local : remote).push_back(v);
+    }
+    // Seeded per-worker shuffles decorrelate thieves (randomized stealing,
+    // Leis et al. §4) while keeping runs reproducible.
+    Rng rng(0x5eedULL * static_cast<uint64_t>(w + 1) + 0x9e3779b9ULL);
+    const auto shuffle = [&rng](std::vector<int>& v) {
+      for (size_t i = v.size(); i > 1; --i) {
+        std::swap(v[i - 1], v[rng.NextBounded(i)]);
+      }
+    };
+    shuffle(local);
+    shuffle(remote);
+    std::vector<int>& order = victim_order_[static_cast<size_t>(w)];
+    order.reserve(local.size() + remote.size());
+    order.insert(order.end(), local.begin(), local.end());
+    order.insert(order.end(), remote.begin(), remote.end());
+  }
+}
+
+MorselStats MorselScheduler::Totals() const {
+  MorselStats total;
+  for (const MorselStats& s : stats_) total.Add(s);
+  return total;
+}
+
+namespace {
+
+constexpr uint64_t PackRange(uint64_t begin, uint64_t end) {
+  return begin << 32 | end;
+}
+constexpr uint64_t RangeBegin(uint64_t bits) { return bits >> 32; }
+constexpr uint64_t RangeEnd(uint64_t bits) { return bits & 0xffffffffULL; }
+
+}  // namespace
+
+void MorselPhase::Reset(const MorselScheduler& sched, size_t total,
+                        size_t morsel_size) {
+  total_ = total;
+  morsel_size_ = morsel_size > 0 ? morsel_size : 1;
+  num_morsels_ = (total + morsel_size_ - 1) / morsel_size_;
+  num_workers_ = sched.num_workers();
+  IAWJ_CHECK(num_morsels_ <= 0xffffffffULL);
+  ranges_ = std::make_unique<PackedRange[]>(
+      static_cast<size_t>(num_workers_));
+  for (int w = 0; w < num_workers_; ++w) {
+    const ChunkRange deal = ChunkForThread(num_morsels_, w, num_workers_);
+    ranges_[static_cast<size_t>(w)].bits.store(
+        PackRange(deal.begin, deal.end), std::memory_order_relaxed);
+  }
+}
+
+bool MorselPhase::PopBack(PackedRange& range, uint64_t* morsel) {
+  uint64_t bits = range.bits.load(std::memory_order_acquire);
+  while (RangeBegin(bits) < RangeEnd(bits)) {
+    const uint64_t next = PackRange(RangeBegin(bits), RangeEnd(bits) - 1);
+    if (range.bits.compare_exchange_weak(bits, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      *morsel = RangeEnd(bits) - 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MorselPhase::TakeFront(PackedRange& range, uint64_t* morsel) {
+  uint64_t bits = range.bits.load(std::memory_order_acquire);
+  while (RangeBegin(bits) < RangeEnd(bits)) {
+    const uint64_t next = PackRange(RangeBegin(bits) + 1, RangeEnd(bits));
+    if (range.bits.compare_exchange_weak(bits, next,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      *morsel = RangeBegin(bits);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MorselPhase::Next(MorselScheduler& sched, int worker, ChunkRange* out) {
+  MorselStats& stats = sched.stats(worker);
+  uint64_t morsel = 0;
+  // Local pop: back of the owner's range, LIFO — the morsel adjacent to the
+  // one just finished, i.e. the cache-warmest remaining work.
+  if (PopBack(ranges_[static_cast<size_t>(worker)], &morsel)) {
+    *out = MorselRange(morsel);
+    ++stats.morsels;
+    stats.tuples += out->size();
+    return true;
+  }
+  // Steal sweep: same-node victims first, remote nodes only once the local
+  // node is dry (the order is precomputed that way). Front of the victim's
+  // range, FIFO — the work the victim was furthest from reaching. Ranges
+  // never grow, so a full sweep finding everything empty proves the phase
+  // is drained; there is no wait loop for a stalled peer to wedge.
+  const int my_node = sched.node_of(worker);
+  for (int victim : sched.victim_order(worker)) {
+    if (TakeFront(ranges_[static_cast<size_t>(victim)], &morsel)) {
+      *out = MorselRange(morsel);
+      ++stats.morsels;
+      stats.tuples += out->size();
+      ++stats.steals;
+      if (sched.node_of(victim) != my_node) ++stats.remote_steals;
+      return true;
+    }
+    ++stats.steal_misses;
+  }
+  return false;
+}
+
+void ClaimGrid::Reset(size_t total, size_t morsel_size, int num_lanes) {
+  morsel_size_ = morsel_size > 0 ? morsel_size : 1;
+  num_morsels_ = (total + morsel_size_ - 1) / morsel_size_;
+  num_lanes_ = num_lanes > 0 ? num_lanes : 1;
+  const size_t cells = num_morsels_ * static_cast<size_t>(num_lanes_);
+  claims_ = std::make_unique<std::atomic<int32_t>[]>(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    claims_[i].store(-1, std::memory_order_relaxed);
+  }
+}
+
+int ClaimGrid::Claim(int lane, size_t morsel, int worker) {
+  std::atomic<int32_t>& cell =
+      claims_[static_cast<size_t>(lane) * num_morsels_ + morsel];
+  int32_t owner = cell.load(std::memory_order_acquire);
+  if (owner >= 0) return owner;
+  int32_t expected = -1;
+  if (cell.compare_exchange_strong(expected, worker,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return worker;
+  }
+  return expected;
+}
+
+}  // namespace iawj

@@ -1,0 +1,217 @@
+// Morsel-driven work-stealing scheduler with NUMA-aware placement.
+//
+// The paper's skew experiments (Figs. 12-13) show static equal-chunk
+// division collapsing when key or timestamp skew concentrates work in a few
+// chunks: the loaded worker becomes the critical path while its peers idle
+// at the next barrier. Morsel-driven scheduling (Leis et al., HyPer) fixes
+// this by splitting every parallel phase into fixed-size morsels that
+// workers claim dynamically: each worker owns a contiguous range of morsel
+// indices, pops from the back of its own range (LIFO — the most recently
+// deferred morsel is the cache-warmest), and when its range is dry steals
+// from the front of a victim's range (FIFO — the coldest morsel, which the
+// victim was furthest from reaching). Victims are tried in a per-worker
+// randomized order that lists same-NUMA-node workers first; remote nodes
+// are only raided when the local node is completely dry, keeping morsel
+// data traffic node-local as long as any local work remains.
+//
+// The claim structure is deliberately minimal: one atomic uint64 per worker
+// packing (begin << 32 | end) over morsel indices. Owner pops CAS end-1,
+// thieves CAS begin+1; ranges only ever shrink, so there is no ABA problem
+// and no blocking anywhere — a worker that parks forever (the worker_stall
+// fault) simply leaves its range to be drained by thieves, and Next()
+// terminates for everyone else because one full sweep over all-empty ranges
+// proves the phase is dry.
+//
+// Selection mirrors the kernel knob (common/kernels.h):
+//   JoinSpec::scheduler = kAuto defers to $IAWJ_SCHEDULER, and anything
+//   still unresolved defaults to kStatic — the paper-faithful baseline.
+//   Morsel size: JoinSpec::morsel_size, then $IAWJ_MORSEL_SIZE, then
+//   kDefaultMorselSize tuples.
+#ifndef IAWJ_JOIN_SCHEDULER_H_
+#define IAWJ_JOIN_SCHEDULER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/partition/range.h"
+
+namespace iawj {
+
+enum class SchedulerMode { kAuto, kStatic, kMorsel };
+
+inline constexpr SchedulerMode kAllSchedulerModes[] = {
+    SchedulerMode::kAuto, SchedulerMode::kStatic, SchedulerMode::kMorsel};
+
+// Morsels this size balance claim overhead against balance granularity:
+// 16K 8-byte tuples = 128 KiB, a few L2s' worth of work per claim.
+inline constexpr size_t kDefaultMorselSize = 16384;
+
+std::string_view SchedulerModeName(SchedulerMode mode);
+
+// Parses "auto" / "static" / "morsel"; returns false (and leaves *mode
+// untouched) on anything else.
+bool ParseSchedulerMode(std::string_view text, SchedulerMode* mode);
+
+// $IAWJ_SCHEDULER, or kAuto when unset/unparseable (a bad value warns once).
+SchedulerMode SchedulerModeFromEnv();
+
+// Resolves the spec-level knob to the mode a run executes: an explicit mode
+// wins, kAuto defers to the environment, and an environment that is unset
+// (or itself says "auto") resolves to kStatic. Never returns kAuto.
+SchedulerMode ResolveSchedulerMode(SchedulerMode spec_mode);
+
+// Morsel size for a run: spec value if > 0, else $IAWJ_MORSEL_SIZE if > 0,
+// else kDefaultMorselSize.
+size_t ResolveMorselSize(size_t spec_morsel_size);
+
+// Per-worker scheduling counters, cache-line padded so the hot claim loop
+// never false-shares. `tuples` counts work units — tuples for tuple-range
+// phases, tasks for task phases (partition joins, merge jobs).
+struct alignas(64) MorselStats {
+  uint64_t morsels = 0;        // morsels this worker executed
+  uint64_t tuples = 0;         // work units inside those morsels
+  uint64_t steals = 0;         // morsels taken from another worker's range
+  uint64_t steal_misses = 0;   // victims found empty during steal sweeps
+  uint64_t remote_steals = 0;  // steals that crossed a NUMA node boundary
+
+  void Add(const MorselStats& o) {
+    morsels += o.morsels;
+    tuples += o.tuples;
+    steals += o.steals;
+    steal_misses += o.steal_misses;
+    remote_steals += o.remote_steals;
+  }
+};
+
+class MorselPhase;
+
+// Per-run scheduler state: the resolved mode, morsel size, worker->NUMA-node
+// placement, per-worker steal orders and counters. Owned by the runner,
+// pointed to from JoinContext; algorithms consult it in Setup to size their
+// phases and in RunWorker to claim morsels.
+class MorselScheduler {
+ public:
+  MorselScheduler(int num_workers, SchedulerMode spec_mode,
+                  size_t spec_morsel_size);
+
+  bool enabled() const { return mode_ == SchedulerMode::kMorsel; }
+  SchedulerMode mode() const { return mode_; }
+  size_t morsel_size() const { return morsel_size_; }
+  int num_workers() const { return num_workers_; }
+  int num_nodes() const { return num_nodes_; }
+  int node_of(int worker) const {
+    return node_of_worker_[static_cast<size_t>(worker)];
+  }
+
+  MorselStats& stats(int worker) {
+    return stats_[static_cast<size_t>(worker)];
+  }
+  const MorselStats& stats(int worker) const {
+    return stats_[static_cast<size_t>(worker)];
+  }
+  MorselStats Totals() const;
+
+  // Steal order for `worker`: every other worker exactly once, same-node
+  // victims (in seeded-shuffled order) before remote ones. Deterministic
+  // for a given (num_workers, topology) pair.
+  const std::vector<int>& victim_order(int worker) const {
+    return victim_order_[static_cast<size_t>(worker)];
+  }
+
+ private:
+  SchedulerMode mode_;
+  size_t morsel_size_;
+  int num_workers_;
+  int num_nodes_;
+  std::vector<int> node_of_worker_;
+  std::vector<std::vector<int>> victim_order_;
+  std::vector<MorselStats> stats_;
+};
+
+// One parallel phase's worth of morsels. Reset() is single-threaded
+// (called from the algorithm's Setup, before workers exist); Next() is the
+// concurrent claim path.
+class MorselPhase {
+ public:
+  // Splits [0, total) work units into ceil(total / morsel_size) morsels and
+  // deals contiguous morsel-index ranges to the scheduler's workers — the
+  // same initial assignment static chunking would make, so with zero steals
+  // every worker touches exactly the data it would have anyway (and NUMA
+  // first-touch locality is preserved). morsel_size == 1 turns the phase
+  // into a plain dynamic task queue (used for per-partition joins, merge
+  // jobs, and sort/merge task lists).
+  void Reset(const MorselScheduler& sched, size_t total, size_t morsel_size);
+
+  // Convenience: Reset with the scheduler's resolved tuple morsel size.
+  void Reset(const MorselScheduler& sched, size_t total) {
+    Reset(sched, total, sched.morsel_size());
+  }
+
+  // Claims the next morsel for `worker`: its own range back-to-front first,
+  // then steals front-to-back along sched.victim_order(worker). Returns
+  // false when the phase is drained (ranges only shrink, so one sweep over
+  // all-empty ranges is proof). Updates sched.stats(worker). Never blocks.
+  bool Next(MorselScheduler& sched, int worker, ChunkRange* out);
+
+  size_t num_morsels() const { return num_morsels_; }
+
+ private:
+  struct alignas(64) PackedRange {
+    std::atomic<uint64_t> bits{0};  // begin << 32 | end, morsel indices
+  };
+
+  ChunkRange MorselRange(size_t morsel) const {
+    const size_t begin = morsel * morsel_size_;
+    const size_t end = begin + morsel_size_;
+    return {begin, end < total_ ? end : total_};
+  }
+
+  // Pops the back of `range` (owner side). Returns false when empty.
+  static bool PopBack(PackedRange& range, uint64_t* morsel);
+  // Takes the front of `range` (thief side). Returns false when empty.
+  static bool TakeFront(PackedRange& range, uint64_t* morsel);
+
+  size_t total_ = 0;
+  size_t morsel_size_ = 1;
+  size_t num_morsels_ = 0;
+  int num_workers_ = 0;
+  std::unique_ptr<PackedRange[]> ranges_;
+};
+
+// First-claimant morsel ownership for the eager pull loop. Eager workers
+// all scan the shared S stream in arrival order; the static JM/JB schemes
+// assign the seq-th tuple to worker seq % lane-count, which under timestamp
+// skew leaves a stalled worker's tuples unprocessed until it catches up.
+// In morsel mode, S is instead claimed in morsels by the first qualifying
+// worker to reach them: claim[lane][seq / morsel_size] is CAS'd from -1 to
+// the claimant's worker id. For JM there is one lane (all workers qualify);
+// for JB the lane is the key group and only that group's members qualify —
+// content-sensitive routing is preserved, only the within-group assignment
+// becomes dynamic. A claim by a worker other than the morsel's round-robin
+// home lane counts as a steal.
+class ClaimGrid {
+ public:
+  void Reset(size_t total, size_t morsel_size, int num_lanes);
+
+  size_t morsel_of(uint64_t seq) const { return seq / morsel_size_; }
+  size_t num_morsels() const { return num_morsels_; }
+  size_t morsel_size() const { return morsel_size_; }
+
+  // Resolves ownership of (lane, morsel): the first caller CAS-installs
+  // itself, later callers observe the winner. Returns the owning worker id.
+  int Claim(int lane, size_t morsel, int worker);
+
+ private:
+  size_t morsel_size_ = 1;
+  size_t num_morsels_ = 0;
+  int num_lanes_ = 1;
+  std::unique_ptr<std::atomic<int32_t>[]> claims_;
+};
+
+}  // namespace iawj
+
+#endif  // IAWJ_JOIN_SCHEDULER_H_

@@ -124,6 +124,31 @@ Status SortMergeJoin<Tracer>::Setup(const JoinContext& ctx) {
   probe_split_s_.assign(threads + 1, 0);
   final_r_ = nullptr;
   final_s_ = nullptr;
+
+  morsel_ = ctx.MorselMode();
+  mpass_phases_r_.clear();
+  mpass_phases_s_.clear();
+  if (morsel_) {
+    const size_t t = static_cast<size_t>(threads);
+    sort_phase_.Reset(*ctx.scheduler, 2 * t, 1);
+    probe_phase_.Reset(*ctx.scheduler, t, 1);
+    if (strategy_ == MergeStrategy::kMultiway) {
+      merge_phase_.Reset(*ctx.scheduler, t, 1);
+    } else {
+      // MPass pass structure is deterministic from T: segments halve each
+      // pass (plus an odd leftover copy), so every pass's task count is
+      // known here — exactly what lets phases be Reset single-threaded.
+      for (size_t segs = t; segs > 1;) {
+        const size_t jobs = segs / 2;
+        const size_t tasks = jobs + (segs % 2);
+        mpass_phases_r_.emplace_back();
+        mpass_phases_r_.back().Reset(*ctx.scheduler, tasks, 1);
+        mpass_phases_s_.emplace_back();
+        mpass_phases_s_.back().Reset(*ctx.scheduler, tasks, 1);
+        segs = jobs + (segs % 2);
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -167,23 +192,40 @@ bool SortMergeJoin<Tracer>::RunMultiwayMergePhase(const JoinContext& ctx,
 
   {
     ScopedPhase merge(&prof, Phase::kMerge);
+    // One merge task per splitter range; its claimant multiway-merges that
+    // key range of every run into a disjoint output slice, so any worker
+    // can execute any task. Static mode keeps task t on worker t.
     const auto merge_side = [&](const mem::TrackedBuffer<uint64_t>& buf,
-                                size_t n, uint64_t* out, size_t out_begin) {
+                                size_t n, uint64_t* out, size_t out_begin,
+                                int range) {
       std::vector<sort::Run> runs;
       for (int run = 0; run < threads; ++run) {
         const ChunkRange c = ChunkForThread(n, run, threads);
         const size_t lo = c.begin + LowerBoundKey(buf.data() + c.begin,
                                                   c.size(),
-                                                  splitter_keys_[worker]);
+                                                  splitter_keys_[range]);
         const size_t hi =
             c.begin + LowerBoundKey(buf.data() + c.begin, c.size(),
-                                    splitter_keys_[worker + 1]);
+                                    splitter_keys_[range + 1]);
         if (hi > lo) runs.push_back({buf.data() + lo, hi - lo});
       }
       sort::MultiwayMerge(runs, out + out_begin);
     };
-    merge_side(r_buf_, ctx.r.size(), r_merged_.data(), merge_off_r_[worker]);
-    merge_side(s_buf_, ctx.s.size(), s_merged_.data(), merge_off_s_[worker]);
+    const auto merge_range = [&](int range) {
+      merge_side(r_buf_, ctx.r.size(), r_merged_.data(),
+                 merge_off_r_[range], range);
+      merge_side(s_buf_, ctx.s.size(), s_merged_.data(),
+                 merge_off_s_[range], range);
+    };
+    if (morsel_) {
+      ChunkRange task;
+      while (merge_phase_.Next(*ctx.scheduler, worker, &task)) {
+        if (ctx.Cancelled()) break;
+        merge_range(static_cast<int>(task.begin));
+      }
+    } else {
+      merge_range(worker);
+    }
   }
 
   // The last splitter range also covers keys >= splitter[threads-1] up to
@@ -212,30 +254,52 @@ bool SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
     // derives the same segment list deterministically. Returns true when the
     // run was cancelled (barrier already dropped).
     const auto run_passes = [&](size_t n, uint64_t* a, uint64_t* b,
+                                std::vector<MorselPhase>& phases,
                                 const uint64_t** final_out) -> bool {
       std::vector<Seg> segs = InitialSegments(n, threads);
       uint64_t* src = a;
       uint64_t* dst = b;
+      size_t pass = 0;
       while (segs.size() > 1) {
         if (ctx.AbortRequested()) return true;
         const size_t jobs = segs.size() / 2;
-        for (size_t j = 0; j < jobs; ++j) {
-          if (j % static_cast<size_t>(threads) !=
-              static_cast<size_t>(worker)) {
-            continue;
+        // Task j < jobs merges segments 2j and 2j+1; task jobs (odd pass
+        // only) copies the leftover segment through. Output slices are
+        // disjoint, so any worker can run any task.
+        const auto run_task = [&](size_t j) {
+          if (j < jobs) {
+            const Seg& x = segs[2 * j];
+            const Seg& y = segs[2 * j + 1];
+            sort::MergePacked(src + x.begin, x.end - x.begin, src + y.begin,
+                              y.end - y.begin, dst + x.begin, options);
+          } else {
+            const Seg& last = segs.back();
+            std::copy(src + last.begin, src + last.end, dst + last.begin);
           }
-          const Seg& x = segs[2 * j];
-          const Seg& y = segs[2 * j + 1];
-          sort::MergePacked(src + x.begin, x.end - x.begin, src + y.begin,
-                            y.end - y.begin, dst + x.begin, options);
-        }
-        // Odd leftover segment: copied through by its deterministic owner.
-        if (segs.size() % 2 == 1 &&
-            jobs % static_cast<size_t>(threads) ==
+        };
+        if (morsel_) {
+          // phases[pass] was sized in Setup from the same segment
+          // recurrence, so it holds exactly jobs (+1 when odd) tasks.
+          ChunkRange task;
+          while (phases[pass].Next(*ctx.scheduler, worker, &task)) {
+            if (ctx.Cancelled()) break;
+            run_task(task.begin);
+          }
+        } else {
+          for (size_t j = 0; j < jobs; ++j) {
+            if (j % static_cast<size_t>(threads) ==
                 static_cast<size_t>(worker)) {
-          const Seg& last = segs.back();
-          std::copy(src + last.begin, src + last.end, dst + last.begin);
+              run_task(j);
+            }
+          }
+          // Odd leftover segment: copied through by its deterministic owner.
+          if (segs.size() % 2 == 1 &&
+              jobs % static_cast<size_t>(threads) ==
+                  static_cast<size_t>(worker)) {
+            run_task(jobs);
+          }
         }
+        ++pass;
         std::vector<Seg> next;
         next.reserve(jobs + 1);
         for (size_t j = 0; j < jobs; ++j) {
@@ -251,10 +315,12 @@ bool SortMergeJoin<Tracer>::RunMultiPassMergePhase(const JoinContext& ctx,
     };
     const uint64_t* final_r = nullptr;
     const uint64_t* final_s = nullptr;
-    if (run_passes(ctx.r.size(), r_buf_.data(), r_merged_.data(), &final_r)) {
+    if (run_passes(ctx.r.size(), r_buf_.data(), r_merged_.data(),
+                   mpass_phases_r_, &final_r)) {
       return true;
     }
-    if (run_passes(ctx.s.size(), s_buf_.data(), s_merged_.data(), &final_s)) {
+    if (run_passes(ctx.s.size(), s_buf_.data(), s_merged_.data(),
+                   mpass_phases_s_, &final_s)) {
       return true;
     }
     if (worker == 0) {
@@ -297,10 +363,28 @@ void SortMergeJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
 
   {
     ScopedPhase sort_phase(&prof, Phase::kSort);
-    SortChunk(ctx.r, ChunkForThread(ctx.r.size(), worker, threads),
-              r_buf_.data(), options);
-    SortChunk(ctx.s, ChunkForThread(ctx.s.size(), worker, threads),
-              s_buf_.data(), options);
+    if (morsel_) {
+      // 2T sort tasks: t < T packs+sorts R run t, t >= T the S run t-T. The
+      // run layout itself stays the static thread-chunk division (the merge
+      // phases depend on it); only the executor of each run is dynamic.
+      ChunkRange task;
+      while (sort_phase_.Next(*ctx.scheduler, worker, &task)) {
+        if (ctx.Cancelled()) break;
+        const int t = static_cast<int>(task.begin);
+        if (t < threads) {
+          SortChunk(ctx.r, ChunkForThread(ctx.r.size(), t, threads),
+                    r_buf_.data(), options);
+        } else {
+          SortChunk(ctx.s, ChunkForThread(ctx.s.size(), t - threads, threads),
+                    s_buf_.data(), options);
+        }
+      }
+    } else {
+      SortChunk(ctx.r, ChunkForThread(ctx.r.size(), worker, threads),
+                r_buf_.data(), options);
+      SortChunk(ctx.s, ChunkForThread(ctx.s.size(), worker, threads),
+                s_buf_.data(), options);
+    }
   }
   if (ctx.AbortRequested()) return;
   ctx.barrier->arrive_and_wait();
@@ -313,10 +397,21 @@ void SortMergeJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   {
     ScopedPhase probe(&prof, Phase::kProbe);
     tracer.SetPhase(Phase::kProbe);
-    MergeJoinRange(ctx, final_r_, probe_split_r_[worker],
-                   probe_split_r_[worker + 1], final_s_,
-                   probe_split_s_[worker], probe_split_s_[worker + 1], sink,
-                   tracer);
+    if (morsel_) {
+      ChunkRange task;
+      while (probe_phase_.Next(*ctx.scheduler, worker, &task)) {
+        if (ctx.Cancelled()) break;
+        const size_t t = task.begin;
+        MergeJoinRange(ctx, final_r_, probe_split_r_[t],
+                       probe_split_r_[t + 1], final_s_, probe_split_s_[t],
+                       probe_split_s_[t + 1], sink, tracer);
+      }
+    } else {
+      MergeJoinRange(ctx, final_r_, probe_split_r_[worker],
+                     probe_split_r_[worker + 1], final_s_,
+                     probe_split_s_[worker], probe_split_s_[worker + 1], sink,
+                     tracer);
+    }
   }
 }
 

@@ -45,6 +45,22 @@ class SortMergeJoin : public JoinAlgorithm {
 
   MergeStrategy strategy_;
 
+  // Resolved once in Setup: morsel-driven scheduling (join/scheduler.h).
+  // The run layout (one sorted run per thread chunk) feeds the merge
+  // phases, so the division of tuples into runs stays fixed; what becomes
+  // dynamic is who executes each task: 2T sort tasks (one per side per
+  // run), T multiway-merge tasks (one per splitter range), the per-pass
+  // two-way merge jobs of MPass, and T key-aligned probe tasks.
+  bool morsel_ = false;
+  MorselPhase sort_phase_;    // 2T tasks: t < T sorts R run t, else S run t-T
+  MorselPhase merge_phase_;   // MWay: T splitter-range tasks
+  MorselPhase probe_phase_;   // T key-aligned merge-join tasks
+  // MPass: one phase per two-way merge pass and side; job counts are
+  // deterministic from (T), so phases are sized in Setup. Task j < jobs is
+  // merge job j; task jobs (present on odd passes) copies the leftover run.
+  std::vector<MorselPhase> mpass_phases_r_;
+  std::vector<MorselPhase> mpass_phases_s_;
+
   // Packed (key<<32|ts) copies: locally sorted runs, then merged output.
   mem::TrackedBuffer<uint64_t> r_buf_;
   mem::TrackedBuffer<uint64_t> s_buf_;

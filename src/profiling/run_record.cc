@@ -79,7 +79,10 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // v3: adds the `recovery` block (supervised retries, fallbacks, skipped
   // windows, shed load) whenever the run was supervised; unsupervised runs
   // omit the block entirely.
-  w.Field("record_version", int64_t{3});
+  // v4: adds spec.scheduler / spec.scheduler_resolved / spec.morsel_size and
+  // the `scheduler` block (per-worker morsel/steal counters) for morsel
+  // runs; static runs omit the block.
+  w.Field("record_version", int64_t{4});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -116,6 +119,12 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // key on what executed without replicating the resolution rules.
   w.Field("kernels_resolved",
           KernelModeName(ResolveKernelMode(spec.kernels)));
+  // Same spec-knob / resolved-mode split as the kernels pair: `scheduler`
+  // is the knob as given, `scheduler_resolved` what the run executed.
+  w.Field("scheduler", std::string(SchedulerModeName(spec.scheduler)));
+  w.Field("scheduler_resolved",
+          std::string(SchedulerModeName(result.scheduler_resolved)));
+  w.Field("morsel_size", uint64_t{result.morsel_size});
   w.EndObject();
 
   w.Field("inputs", uint64_t{result.inputs});
@@ -154,6 +163,38 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
       w.Field("attempt", int64_t{e.attempt});
       if (!e.detail.empty()) w.Field("detail", e.detail);
       if (e.backoff_ms > 0) w.Field("backoff_ms", e.backoff_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+
+  // v4: present only for morsel-scheduled runs — the static baseline has no
+  // counters to report and keeps its pre-v4 shape modulo record_version.
+  if (result.scheduler_resolved == SchedulerMode::kMorsel &&
+      !result.worker_morsels.empty()) {
+    const MorselStats totals = result.MorselTotals();
+    w.Key("scheduler").BeginObject();
+    w.Field("mode",
+            std::string(SchedulerModeName(result.scheduler_resolved)));
+    w.Field("morsel_size", uint64_t{result.morsel_size});
+    w.Field("numa_nodes", int64_t{result.numa_nodes});
+    w.Field("morsels", uint64_t{totals.morsels});
+    w.Field("tuples", uint64_t{totals.tuples});
+    w.Field("steals", uint64_t{totals.steals});
+    w.Field("steal_misses", uint64_t{totals.steal_misses});
+    w.Field("remote_steals", uint64_t{totals.remote_steals});
+    w.Key("workers").BeginArray();
+    for (size_t t = 0; t < result.worker_morsels.size(); ++t) {
+      const MorselStats& st = result.worker_morsels[t];
+      w.BeginObject();
+      w.Field("worker", static_cast<int64_t>(t));
+      w.Field("node", int64_t{result.worker_nodes[t]});
+      w.Field("morsels", uint64_t{st.morsels});
+      w.Field("tuples", uint64_t{st.tuples});
+      w.Field("steals", uint64_t{st.steals});
+      w.Field("steal_misses", uint64_t{st.steal_misses});
+      w.Field("remote_steals", uint64_t{st.remote_steals});
       w.EndObject();
     }
     w.EndArray();

@@ -31,7 +31,7 @@ Distribution::Distribution(DistributionScheme scheme, int num_threads,
   num_groups_ = num_threads_ / group_size_;
 }
 
-int Distribution::GroupOfKey(uint32_t key) const {
+int Distribution::GroupOf(uint32_t key) const {
   return static_cast<int>(MultHash32(key) %
                           static_cast<uint32_t>(num_groups_));
 }
@@ -39,7 +39,7 @@ int Distribution::GroupOfKey(uint32_t key) const {
 bool Distribution::OwnsR(int t, Tuple r, uint64_t seq) const {
   (void)seq;
   if (scheme_ == DistributionScheme::kJoinMatrix) return true;
-  return GroupOfKey(r.key) == t / group_size_;
+  return GroupOf(r.key) == t / group_size_;
 }
 
 bool Distribution::OwnsS(int t, Tuple s, uint64_t seq) const {
@@ -47,7 +47,7 @@ bool Distribution::OwnsS(int t, Tuple s, uint64_t seq) const {
     return seq % static_cast<uint64_t>(num_threads_) ==
            static_cast<uint64_t>(t);
   }
-  if (GroupOfKey(s.key) != t / group_size_) return false;
+  if (GroupOf(s.key) != t / group_size_) return false;
   return seq % static_cast<uint64_t>(group_size_) ==
          static_cast<uint64_t>(t % group_size_);
 }

@@ -45,8 +45,12 @@ class Distribution {
   int num_groups() const { return num_groups_; }
   int group_size() const { return group_size_; }
 
+  // Content routing: the core group a key hashes to (JM has one group).
+  // Public so the morsel-mode eager engine can route an S morsel's tuples
+  // by group while assigning within-group ownership dynamically.
+  int GroupOf(uint32_t key) const;
+
  private:
-  int GroupOfKey(uint32_t key) const;
 
   DistributionScheme scheme_;
   int num_threads_;

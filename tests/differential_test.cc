@@ -1,10 +1,13 @@
-// Differential property test for the cache-conscious kernel layer: every
-// algorithm must produce the exact multiset of matches (count + order-
-// insensitive checksum vs the sequential nested-loop reference) under BOTH
-// kernel modes — forced-scalar and forced-SWWC/batched — across seeded
-// randomized workloads. The workloads deliberately include sizes whose tails
-// are not divisible by the SWWC line width (8) or the probe batch width
-// (16), heavy duplication, skew, and thread counts including 1 and odd.
+// Differential property test for the cache-conscious kernel layer and the
+// morsel scheduler: every algorithm must produce the exact multiset of
+// matches (count + order-insensitive checksum vs the sequential nested-loop
+// reference) under BOTH kernel modes — forced-scalar and forced-SWWC/
+// batched — and BOTH scheduler modes — static chunking and morsel-driven
+// work stealing with a deliberately tiny morsel size — across seeded
+// randomized workloads. The workloads deliberately include sizes whose
+// tails are not divisible by the SWWC line width (8) or the probe batch
+// width (16), heavy duplication, skew, and thread counts including 1, odd,
+// and more threads than tuples (so workers start with empty morsel ranges).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -68,23 +71,32 @@ void ExpectAllAlgorithmsMatchReference(const RandomWorkload& w) {
   const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
 
   for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kSwwc}) {
-    for (AlgorithmId id : kAllAlgorithms) {
-      SCOPED_TRACE(testing::Message()
-                   << w.name << " algo=" << AlgorithmName(id)
-                   << " kernels=" << KernelModeName(mode)
-                   << " threads=" << w.threads << " bits=" << w.radix_bits
-                   << " r=" << w.r.size() << " s=" << w.s.size());
-      JoinSpec spec;
-      spec.num_threads = w.threads;
-      spec.window_ms = 1000;
-      spec.clock_mode = Clock::Mode::kInstant;
-      spec.kernels = mode;
-      spec.radix_bits = w.radix_bits;
-      spec.jb_group_size = w.threads % 2 == 0 ? 2 : 1;
-      JoinRunner runner;
-      const RunResult result = runner.Run(id, r, s, spec);
-      EXPECT_EQ(result.matches, expected.matches);
-      EXPECT_EQ(result.checksum, expected.checksum);
+    for (const SchedulerMode sched :
+         {SchedulerMode::kStatic, SchedulerMode::kMorsel}) {
+      for (AlgorithmId id : kAllAlgorithms) {
+        SCOPED_TRACE(testing::Message()
+                     << w.name << " algo=" << AlgorithmName(id)
+                     << " kernels=" << KernelModeName(mode)
+                     << " scheduler=" << SchedulerModeName(sched)
+                     << " threads=" << w.threads << " bits=" << w.radix_bits
+                     << " r=" << w.r.size() << " s=" << w.s.size());
+        JoinSpec spec;
+        spec.num_threads = w.threads;
+        spec.window_ms = 1000;
+        spec.clock_mode = Clock::Mode::kInstant;
+        spec.kernels = mode;
+        spec.scheduler = sched;
+        // Small enough that these few-thousand-tuple inputs split into many
+        // morsels per worker, so the steal paths actually execute.
+        spec.morsel_size = 128;
+        spec.radix_bits = w.radix_bits;
+        spec.jb_group_size = w.threads % 2 == 0 ? 2 : 1;
+        JoinRunner runner;
+        const RunResult result = runner.Run(id, r, s, spec);
+        EXPECT_EQ(result.matches, expected.matches);
+        EXPECT_EQ(result.checksum, expected.checksum);
+        EXPECT_EQ(result.scheduler_resolved, sched);
+      }
     }
   }
 }

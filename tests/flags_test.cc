@@ -1,7 +1,14 @@
-// Tests for the command-line flag parser.
+// Tests for the command-line flag parser and the iawj_cli help table.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "src/common/flags.h"
+#include "tools/cli_flags.h"
 
 namespace iawj {
 namespace {
@@ -61,6 +68,71 @@ TEST(Flags, BareDashDashIsError) {
   const char* argv[] = {"prog", "--"};
   FlagParser parser;
   EXPECT_FALSE(parser.Parse(2, argv).ok());
+}
+
+// --- Help-table drift (tools/cli_flags.h vs tools/iawj_cli.cc) ---
+
+std::set<std::string> TableFlagNames() {
+  std::set<std::string> names;
+  for (const cli::FlagInfo& f : cli::kFlags) {
+    EXPECT_TRUE(names.insert(f.name).second)
+        << "duplicate help-table entry --" << f.name;
+  }
+  return names;
+}
+
+TEST(CliFlags, HelpTextListsEveryTableEntryOnce) {
+  const std::string help = cli::HelpText();
+  for (const cli::FlagInfo& f : cli::kFlags) {
+    const std::string needle = "--" + std::string(f.name);
+    EXPECT_NE(help.find("  " + needle), std::string::npos)
+        << "--" << f.name << " missing from HelpText()";
+  }
+  EXPECT_NE(help.find("usage:"), std::string::npos);
+  EXPECT_NE(help.find("10 degraded"), std::string::npos)
+      << "help must summarize the exit codes";
+}
+
+// The real drift check: the set of flags iawj_cli.cc consumes (every
+// flags.Get*("name") call) must equal the help table exactly — a flag added
+// to the parser without a help line fails, as does a documented flag the
+// parser no longer reads.
+TEST(CliFlags, HelpTableMatchesFlagsConsumedByCli) {
+  const std::string path =
+      std::string(IAWJ_SOURCE_DIR) + "/tools/iawj_cli.cc";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  std::set<std::string> consumed;
+  const std::regex get_call(
+      R"(flags\.Get(?:String|Int|Double|Bool)\(\s*\"([a-z0-9-]+)\")");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(), get_call);
+       it != std::sregex_iterator(); ++it) {
+    consumed.insert((*it)[1].str());
+  }
+  ASSERT_FALSE(consumed.empty()) << "no flags.Get* calls found in " << path;
+
+  const std::set<std::string> documented = TableFlagNames();
+  for (const std::string& name : consumed) {
+    EXPECT_TRUE(documented.count(name))
+        << "iawj_cli.cc consumes --" << name
+        << " but tools/cli_flags.h does not document it";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(consumed.count(name))
+        << "tools/cli_flags.h documents --" << name
+        << " but iawj_cli.cc never consumes it";
+  }
+}
+
+TEST(CliFlags, SchedulerKnobsAreDocumented) {
+  const std::set<std::string> documented = TableFlagNames();
+  EXPECT_TRUE(documented.count("scheduler"));
+  EXPECT_TRUE(documented.count("morsel-size"));
+  EXPECT_TRUE(documented.count("help"));
 }
 
 }  // namespace

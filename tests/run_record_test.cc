@@ -110,14 +110,71 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsThreeWithoutRecoveryForPlainRuns) {
+TEST(RunRecord, VersionIsFourWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 3);
-  // Unsupervised runs carry no recovery block at all.
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 4);
+  // Unsupervised static runs carry neither optional block.
   EXPECT_EQ(record.Find("recovery"), nullptr);
+  EXPECT_EQ(record.Find("scheduler"), nullptr);
+}
+
+TEST(RunRecord, SchedulerBlockRoundTripsForMorselRuns) {
+  MicroSpec mspec;
+  mspec.rate_r = 50;
+  mspec.rate_s = 50;
+  mspec.window_ms = 100;
+  MicroWorkload workload = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  spec.clock_mode = Clock::Mode::kInstant;
+  spec.scheduler = SchedulerMode::kMorsel;
+  spec.morsel_size = 64;
+  JoinRunner runner;
+  const RunResult result =
+      runner.Run(AlgorithmId::kNpj, workload.r, workload.s, spec);
+  ASSERT_TRUE(result.status.ok());
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  const json::Value* spec_obj = record.Find("spec");
+  ASSERT_NE(spec_obj, nullptr);
+  EXPECT_EQ(spec_obj->Find("scheduler")->string, "morsel");
+  EXPECT_EQ(spec_obj->Find("scheduler_resolved")->string, "morsel");
+  EXPECT_DOUBLE_EQ(spec_obj->Find("morsel_size")->number, 64);
+
+  const json::Value* sched = record.Find("scheduler");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->Find("mode")->string, "morsel");
+  EXPECT_DOUBLE_EQ(sched->Find("morsel_size")->number, 64);
+  EXPECT_GE(sched->Find("numa_nodes")->number, 1);
+  EXPECT_GT(sched->Find("morsels")->number, 0);
+  EXPECT_GT(sched->Find("tuples")->number, 0);
+  const json::Value* workers = sched->Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_EQ(workers->array.size(), 2u);
+  double morsel_sum = 0;
+  for (const json::Value& w : workers->array) {
+    EXPECT_GE(w.Find("node")->number, 0);
+    EXPECT_GE(w.Find("steals")->number, 0);
+    morsel_sum += w.Find("morsels")->number;
+  }
+  EXPECT_DOUBLE_EQ(morsel_sum, sched->Find("morsels")->number);
+
+  // The static baseline keeps the spec knobs but omits the block.
+  spec.scheduler = SchedulerMode::kStatic;
+  const RunResult static_result =
+      runner.Run(AlgorithmId::kNpj, workload.r, workload.s, spec);
+  json::Value static_record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(static_result, spec, {}),
+                          &static_record)
+                  .ok());
+  EXPECT_EQ(static_record.Find("scheduler"), nullptr);
+  EXPECT_EQ(static_record.Find("spec")->Find("scheduler_resolved")->string,
+            "static");
 }
 
 TEST(RunRecord, RecoveryBlockRoundTrips) {

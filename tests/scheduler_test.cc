@@ -1,0 +1,379 @@
+// Tests for the morsel-driven work-stealing scheduler (join/scheduler.h)
+// and the NUMA topology discovery feeding it (common/affinity.h): knob
+// resolution, cpulist parsing, synthetic-node override, exactly-once morsel
+// coverage under concurrent draining (including more workers than morsels),
+// first-claimant semantics of the eager ClaimGrid, steal counters under
+// forced skew, and termination with a stalled worker.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/affinity.h"
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/datagen/micro.h"
+#include "src/join/reference.h"
+#include "src/join/runner.h"
+#include "src/join/scheduler.h"
+
+namespace iawj {
+namespace {
+
+// Every test that touches the scheduler environment restores it, so tests
+// stay order-independent.
+class SchedulerEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("IAWJ_SCHEDULER");
+    unsetenv("IAWJ_MORSEL_SIZE");
+    unsetenv("IAWJ_NUMA_NODES");
+    fault::Clear();
+  }
+};
+
+TEST(SchedulerMode, ParseRoundTrips) {
+  SchedulerMode mode;
+  EXPECT_TRUE(ParseSchedulerMode("auto", &mode));
+  EXPECT_EQ(mode, SchedulerMode::kAuto);
+  EXPECT_TRUE(ParseSchedulerMode("static", &mode));
+  EXPECT_EQ(mode, SchedulerMode::kStatic);
+  EXPECT_TRUE(ParseSchedulerMode("morsel", &mode));
+  EXPECT_EQ(mode, SchedulerMode::kMorsel);
+  EXPECT_FALSE(ParseSchedulerMode("hyper", &mode));
+  EXPECT_FALSE(ParseSchedulerMode("", &mode));
+  for (SchedulerMode m : kAllSchedulerModes) {
+    SchedulerMode back;
+    EXPECT_TRUE(ParseSchedulerMode(SchedulerModeName(m), &back));
+    EXPECT_EQ(back, m);
+  }
+}
+
+TEST_F(SchedulerEnvTest, SpecWinsOverEnvironmentAndAutoDefers) {
+  ASSERT_EQ(setenv("IAWJ_SCHEDULER", "morsel", 1), 0);
+  EXPECT_EQ(ResolveSchedulerMode(SchedulerMode::kAuto),
+            SchedulerMode::kMorsel);
+  EXPECT_EQ(ResolveSchedulerMode(SchedulerMode::kStatic),
+            SchedulerMode::kStatic);  // spec wins
+  ASSERT_EQ(setenv("IAWJ_SCHEDULER", "static", 1), 0);
+  EXPECT_EQ(ResolveSchedulerMode(SchedulerMode::kMorsel),
+            SchedulerMode::kMorsel);  // spec wins
+  EXPECT_EQ(ResolveSchedulerMode(SchedulerMode::kAuto),
+            SchedulerMode::kStatic);
+  ASSERT_EQ(unsetenv("IAWJ_SCHEDULER"), 0);
+  // Fully unresolved: static is the paper-faithful default.
+  EXPECT_EQ(ResolveSchedulerMode(SchedulerMode::kAuto),
+            SchedulerMode::kStatic);
+}
+
+TEST_F(SchedulerEnvTest, MorselSizeSpecThenEnvThenDefault) {
+  EXPECT_EQ(ResolveMorselSize(4096), 4096u);
+  ASSERT_EQ(setenv("IAWJ_MORSEL_SIZE", "512", 1), 0);
+  EXPECT_EQ(ResolveMorselSize(0), 512u);
+  EXPECT_EQ(ResolveMorselSize(64), 64u);  // spec wins
+  ASSERT_EQ(unsetenv("IAWJ_MORSEL_SIZE"), 0);
+  EXPECT_EQ(ResolveMorselSize(0), kDefaultMorselSize);
+}
+
+TEST(Affinity, ParseCpuListVariants) {
+  EXPECT_EQ(ParseCpuList("0-3,8,10-11", 16),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(ParseCpuList("5", 16), (std::vector<int>{5}));
+  EXPECT_EQ(ParseCpuList("0-63", 4), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(ParseCpuList("", 16).empty());
+  EXPECT_TRUE(ParseCpuList("abc", 16).empty());
+  EXPECT_TRUE(ParseCpuList("5-2", 16).empty());
+  EXPECT_TRUE(ParseCpuList(nullptr, 16).empty());
+}
+
+TEST_F(SchedulerEnvTest, SyntheticNumaOverrideMakesContiguousNodes) {
+  ASSERT_EQ(setenv("IAWJ_NUMA_NODES", "2", 1), 0);
+  const CpuTopology topo = DetectTopology();
+  ASSERT_GE(topo.num_cores, 1);
+  // Capped at the core count, so single-core hosts still get one node.
+  EXPECT_EQ(topo.num_nodes, topo.num_cores >= 2 ? 2 : 1);
+  ASSERT_EQ(static_cast<int>(topo.node_of_core.size()), topo.num_cores);
+  // Contiguous blocks: node ids are non-decreasing over core index and
+  // every node in [0, num_nodes) is populated.
+  std::set<int> seen;
+  for (int c = 0; c < topo.num_cores; ++c) {
+    EXPECT_GE(topo.node_of_core[c], 0);
+    EXPECT_LT(topo.node_of_core[c], topo.num_nodes);
+    if (c > 0) {
+      EXPECT_GE(topo.node_of_core[c], topo.node_of_core[c - 1]);
+    }
+    seen.insert(topo.node_of_core[c]);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.num_nodes);
+
+  ASSERT_EQ(unsetenv("IAWJ_NUMA_NODES"), 0);
+  const CpuTopology host = DetectTopology();
+  EXPECT_GE(host.num_nodes, 1);
+  for (int c = 0; c < host.num_cores; ++c) {
+    EXPECT_GE(host.NodeOfCore(c), 0);
+    EXPECT_LT(host.NodeOfCore(c), host.num_nodes);
+  }
+  EXPECT_EQ(host.NodeOfCore(-1), 0);     // out of range folds to node 0
+  EXPECT_EQ(host.NodeOfCore(1 << 20), 0);
+}
+
+TEST_F(SchedulerEnvTest, VictimOrderIsAPermutationWithLocalVictimsFirst) {
+  ASSERT_EQ(setenv("IAWJ_NUMA_NODES", "2", 1), 0);
+  MorselScheduler sched(8, SchedulerMode::kMorsel, 64);
+  EXPECT_TRUE(sched.enabled());
+  for (int w = 0; w < 8; ++w) {
+    const std::vector<int>& order = sched.victim_order(w);
+    ASSERT_EQ(order.size(), 7u);
+    std::set<int> victims(order.begin(), order.end());
+    EXPECT_EQ(victims.size(), 7u);           // every other worker once
+    EXPECT_EQ(victims.count(w), 0u);         // never itself
+    // Same-node victims strictly precede remote ones.
+    bool saw_remote = false;
+    for (int victim : order) {
+      const bool remote = sched.node_of(victim) != sched.node_of(w);
+      if (remote) saw_remote = true;
+      if (saw_remote) {
+        EXPECT_TRUE(remote) << "local victim after a remote one in worker "
+                            << w << "'s steal order";
+      }
+    }
+  }
+}
+
+// Drains one phase from `workers` concurrent threads and checks the morsel
+// ranges partition [0, total) exactly.
+void DrainAndCheckCoverage(int workers, size_t total, size_t morsel_size) {
+  SCOPED_TRACE(testing::Message() << "workers=" << workers
+                                  << " total=" << total
+                                  << " morsel=" << morsel_size);
+  MorselScheduler sched(workers, SchedulerMode::kMorsel, morsel_size);
+  MorselPhase phase;
+  phase.Reset(sched, total);
+
+  std::vector<std::vector<ChunkRange>> got(workers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      ChunkRange m;
+      while (phase.Next(sched, w, &m)) got[w].push_back(m);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<bool> covered(total, false);
+  size_t claimed = 0;
+  for (const auto& ranges : got) {
+    for (const ChunkRange& m : ranges) {
+      ++claimed;
+      ASSERT_LE(m.end, total);
+      ASSERT_LT(m.begin, m.end);
+      for (size_t i = m.begin; i < m.end; ++i) {
+        EXPECT_FALSE(covered[i]) << "unit " << i << " claimed twice";
+        covered[i] = true;
+      }
+    }
+  }
+  EXPECT_EQ(claimed, phase.num_morsels());
+  for (size_t i = 0; i < total; ++i) {
+    EXPECT_TRUE(covered[i]) << "unit " << i << " never claimed";
+  }
+  const MorselStats totals = sched.Totals();
+  EXPECT_EQ(totals.morsels, phase.num_morsels());
+  EXPECT_EQ(totals.tuples, total);
+}
+
+TEST(MorselPhase, ConcurrentDrainCoversEveryUnitExactlyOnce) {
+  DrainAndCheckCoverage(4, 10000, 64);
+  DrainAndCheckCoverage(8, 1001, 37);   // ragged tail morsel
+  DrainAndCheckCoverage(3, 100, 1);     // task-queue mode
+  DrainAndCheckCoverage(1, 500, 100);   // no one to steal from
+}
+
+TEST(MorselPhase, MoreWorkersThanMorselsLeavesIdleWorkersEmptyHanded) {
+  // 8 workers, 3 morsels: five workers start with empty ranges and must
+  // return false after a full (unsuccessful or successful) steal sweep.
+  DrainAndCheckCoverage(8, 3, 1);
+  DrainAndCheckCoverage(16, 1, 1 << 20);  // single morsel, massive grain
+  DrainAndCheckCoverage(5, 0, 64);        // empty phase: everyone drains
+}
+
+TEST(MorselPhase, SingleThreadedStealSweepDrainsAPeersRange) {
+  // Worker 1 never shows up; worker 0 must finish its own deal, then steal
+  // everything worker 1 was dealt — the stalled-peer shape, minus threads.
+  MorselScheduler sched(2, SchedulerMode::kMorsel, 10);
+  MorselPhase phase;
+  phase.Reset(sched, 100);  // 10 morsels: 5 dealt to each worker
+  size_t units = 0;
+  ChunkRange m;
+  while (phase.Next(sched, 0, &m)) units += m.size();
+  EXPECT_EQ(units, 100u);
+  EXPECT_EQ(sched.stats(0).morsels, 10u);
+  EXPECT_EQ(sched.stats(0).steals, 5u);  // worker 1's entire deal
+  EXPECT_FALSE(phase.Next(sched, 1, &m));  // latecomer finds it drained
+}
+
+TEST(ClaimGrid, FirstClaimantWinsAndLaterCallersObserveIt) {
+  ClaimGrid grid;
+  grid.Reset(100, 10, 2);
+  EXPECT_EQ(grid.num_morsels(), 10u);
+  EXPECT_EQ(grid.morsel_of(0), 0u);
+  EXPECT_EQ(grid.morsel_of(99), 9u);
+  EXPECT_EQ(grid.Claim(0, 0, 3), 3);
+  EXPECT_EQ(grid.Claim(0, 0, 1), 3);  // already owned
+  EXPECT_EQ(grid.Claim(1, 0, 1), 1);  // other lane is independent
+  EXPECT_EQ(grid.Claim(0, 9, 7), 7);
+}
+
+TEST(ClaimGrid, ConcurrentClaimsAgreeOnOneWinner) {
+  ClaimGrid grid;
+  grid.Reset(64, 8, 1);
+  constexpr int kThreads = 8;
+  std::vector<std::vector<int>> winners(kThreads,
+                                        std::vector<int>(8, -1));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t m = 0; m < 8; ++m) {
+        winners[t][m] = grid.Claim(0, m, t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t m = 0; m < 8; ++m) {
+    const int winner = winners[0][m];
+    ASSERT_GE(winner, 0);
+    ASSERT_LT(winner, kThreads);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(winners[t][m], winner)
+          << "threads disagree on the owner of morsel " << m;
+    }
+  }
+}
+
+// --- End-to-end runs ---
+
+struct SkewedWorkload {
+  Stream r;
+  Stream s;
+  ReferenceResult expected;
+};
+
+SkewedWorkload MakeSkewedWorkload(size_t size = 30000) {
+  MicroSpec spec;
+  spec.size_r = size;
+  spec.size_s = size;
+  spec.window_ms = 1000;
+  spec.dupe = 20;
+  spec.zipf_key = 1.0;
+  spec.seed = 1234;
+  MicroWorkload micro = GenerateMicro(spec);
+  SkewedWorkload w;
+  w.expected = NestedLoopJoin(micro.r.view(), micro.s.view());
+  w.r = std::move(micro.r);
+  w.s = std::move(micro.s);
+  return w;
+}
+
+TEST_F(SchedulerEnvTest, SkewedRunStealsAndStillMatchesReference) {
+  // Two synthetic NUMA nodes so the remote-steal accounting runs too (on a
+  // single-core host every worker lands on node 0 and remote stays 0).
+  ASSERT_EQ(setenv("IAWJ_NUMA_NODES", "2", 1), 0);
+  const SkewedWorkload w = MakeSkewedWorkload();
+  for (const AlgorithmId id : {AlgorithmId::kNpj, AlgorithmId::kPrj,
+                               AlgorithmId::kMway, AlgorithmId::kShjJm}) {
+    SCOPED_TRACE(AlgorithmName(id));
+    JoinSpec spec;
+    spec.num_threads = 8;
+    spec.window_ms = 1000;
+    spec.scheduler = SchedulerMode::kMorsel;
+    spec.morsel_size = 256;
+    JoinRunner runner;
+    const RunResult result = runner.Run(id, w.r, w.s, spec);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.matches, w.expected.matches);
+    EXPECT_EQ(result.checksum, w.expected.checksum);
+    EXPECT_EQ(result.scheduler_resolved, SchedulerMode::kMorsel);
+    EXPECT_EQ(result.morsel_size, 256u);
+    ASSERT_EQ(result.worker_morsels.size(), 8u);
+    ASSERT_EQ(result.worker_nodes.size(), 8u);
+    const MorselStats totals = result.MorselTotals();
+    EXPECT_GT(totals.morsels, 0u);
+    EXPECT_GT(totals.tuples, 0u);
+    // Under this much key skew some worker always finishes early and raids
+    // a peer; the run-record acceptance check relies on this too. MWay's
+    // merge/probe phases deal only one task per worker, so on a machine
+    // with >= threads real cores a perfectly synchronized run can finish
+    // them steal-free — don't assert steals for it.
+    if (id != AlgorithmId::kMway) {
+      EXPECT_GT(totals.steals, 0u);
+    }
+    EXPECT_LE(totals.remote_steals, totals.steals);
+  }
+}
+
+TEST_F(SchedulerEnvTest, StaticRunCarriesNoMorselCounters) {
+  const SkewedWorkload w = MakeSkewedWorkload();
+  JoinSpec spec;
+  spec.num_threads = 4;
+  spec.window_ms = 1000;
+  spec.scheduler = SchedulerMode::kStatic;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.matches, w.expected.matches);
+  EXPECT_EQ(result.scheduler_resolved, SchedulerMode::kStatic);
+  EXPECT_TRUE(result.worker_morsels.empty());
+}
+
+// A worker that parks forever must not wedge the steal loop: its dealt
+// morsels are drained by thieves, the barrier unwinds via the deadline
+// watchdog, and the steal counters show the routed-around work.
+TEST_F(SchedulerEnvTest, WorkerStallDoesNotDeadlockTheStealLoop) {
+  ASSERT_TRUE(fault::Configure("worker_stall").ok());
+  const SkewedWorkload w = MakeSkewedWorkload();
+  JoinSpec spec;
+  spec.num_threads = 4;
+  spec.window_ms = 1000;
+  spec.scheduler = SchedulerMode::kMorsel;
+  spec.morsel_size = 256;
+  spec.deadline_ms = 2000;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  // The stalled worker never reaches the build/probe barrier, so the run
+  // fails by deadline — but it terminates, and the stalled worker's entire
+  // dealt range was stolen by its peers.
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(result.MorselTotals().steals, 0u);
+}
+
+// Eager algorithms have no barrier: with first-claimant S ownership the
+// live workers absorb the stalled worker's stream share and the join is
+// COMPLETE despite the dead thread — only the exit status records it.
+TEST_F(SchedulerEnvTest, EagerRunSurvivesAStalledWorkerWithFullResults) {
+  ASSERT_TRUE(fault::Configure("worker_stall").ok());
+  // Eager workers have no barrier, so with morsel-claimed S ownership the
+  // live workers absorb the stalled worker's share and finish the streams;
+  // only the exit status records the deadline. Kept small so the live
+  // workers drain well before the watchdog fires (the stalled worker parks
+  // until cancellation, so the run itself always lasts ~deadline_ms).
+  const SkewedWorkload w = MakeSkewedWorkload(2000);
+  JoinSpec spec;
+  spec.num_threads = 4;
+  spec.window_ms = 1000;
+  spec.scheduler = SchedulerMode::kMorsel;
+  spec.morsel_size = 64;
+  spec.deadline_ms = 4000;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kShjJm, w.r, w.s, spec);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.matches, w.expected.matches);
+  EXPECT_EQ(result.checksum, w.expected.checksum);
+  EXPECT_GT(result.MorselTotals().steals, 0u);
+}
+
+}  // namespace
+}  // namespace iawj

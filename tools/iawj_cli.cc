@@ -24,6 +24,7 @@
 #include "src/join/window_pipeline.h"
 #include "src/profiling/run_record.h"
 #include "src/report/report.h"
+#include "tools/cli_flags.h"
 
 namespace iawj {
 namespace {
@@ -83,6 +84,10 @@ int Run(int argc, char** argv) {
   FlagParser flags;
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status.ToString());
+  }
+  if (flags.GetBool("help", false)) {
+    std::fputs(cli::HelpText().c_str(), stdout);
+    return 0;
   }
 
   // --- Workload ---
@@ -166,6 +171,13 @@ int Run(int argc, char** argv) {
       !ParseKernelMode(kernels, &spec.kernels)) {
     return Fail("unknown --kernels (auto|scalar|swwc)");
   }
+  // Same resolution shape for scheduling: auto defers to $IAWJ_SCHEDULER,
+  // anything unresolved runs static (see join/scheduler.h).
+  if (const std::string scheduler = flags.GetString("scheduler", "auto");
+      !ParseSchedulerMode(scheduler, &spec.scheduler)) {
+    return Fail("unknown --scheduler (auto|static|morsel)");
+  }
+  spec.morsel_size = static_cast<size_t>(flags.GetInt("morsel-size", 0));
   // 0 keeps the $IAWJ_DEADLINE_MS fallback (see JoinSpec::deadline_ms).
   spec.deadline_ms = static_cast<uint32_t>(flags.GetInt("deadline", 0));
 

@@ -12,9 +12,11 @@
 //   iawj_trace_check trace.json
 //
 // With --records, validates structured run records (IAWJ_METRICS_DIR JSON
-// files) instead: shape of the v2+ fields, and for v3 records the internal
+// files) instead: shape of the v2+ fields, for v3 records the internal
 // consistency of the `recovery` block (flag/counter agreement, shed_ratio
-// in [0, 1], well-formed events). Usage:
+// in [0, 1], well-formed events), and for v4 records the `scheduler` block
+// (morsel mode, non-negative counters, per-worker rows summing to the
+// totals). Usage:
 //   iawj_trace_check --records <run_record.json | metrics-dir>
 #include <dirent.h>
 
@@ -70,6 +72,52 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     const json::Value* v = root.Find(field);
     if (v == nullptr || !v->is_number()) {
       return where + ": missing numeric " + field;
+    }
+  }
+
+  // v4: scheduler block, present only for morsel-scheduled runs. Totals
+  // must be non-negative and the per-worker array must sum to them.
+  if (const json::Value* sched = root.Find("scheduler"); sched != nullptr) {
+    if (version->number < 4) {
+      return where + ": scheduler block requires record_version >= 4";
+    }
+    if (!sched->is_object()) return where + ": scheduler is not an object";
+    const json::Value* mode = sched->Find("mode");
+    if (mode == nullptr || !mode->is_string() || mode->string != "morsel") {
+      return where + ": scheduler.mode must be \"morsel\"";
+    }
+    const char* totals[] = {"morsel_size",  "numa_nodes",   "morsels",
+                            "tuples",       "steals",       "steal_misses",
+                            "remote_steals"};
+    for (const char* field : totals) {
+      const json::Value* v = sched->Find(field);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return where + ": scheduler." + field + " missing or negative";
+      }
+    }
+    const json::Value* workers = sched->Find("workers");
+    if (workers == nullptr || !workers->is_array() || workers->array.empty()) {
+      return where + ": scheduler.workers missing or empty";
+    }
+    double sum_morsels = 0, sum_steals = 0;
+    size_t index = 0;
+    for (const json::Value& wkr : workers->array) {
+      const std::string at =
+          where + ": scheduler.workers[" + std::to_string(index++) + "]";
+      if (!wkr.is_object()) return at + " is not an object";
+      for (const char* field : {"worker", "node", "morsels", "tuples",
+                                "steals", "steal_misses", "remote_steals"}) {
+        const json::Value* v = wkr.Find(field);
+        if (v == nullptr || !v->is_number() || v->number < 0) {
+          return at + " missing numeric " + field;
+        }
+      }
+      sum_morsels += wkr.Find("morsels")->number;
+      sum_steals += wkr.Find("steals")->number;
+    }
+    if (sum_morsels != sched->Find("morsels")->number ||
+        sum_steals != sched->Find("steals")->number) {
+      return where + ": scheduler totals disagree with the workers array";
     }
   }
 
