@@ -1,49 +1,100 @@
 // Figure 19: micro-architectural analysis on Rovio.
 //
 // (a) The paper's top-down breakdown (retiring / core bound / memory bound)
-//     comes from hardware PMU counters; this bench reports the portable
-//     proxies the simulator and phase profiles provide: per-phase time
-//     shares plus simulated miss intensity (L1/L3 misses per input), which
-//     separate the same populations — sort-based lazy (high retiring, low
-//     misses), NPJ (memory bound), eager (core+memory bound).
+//     comes from hardware PMU counters. With --counters=pmu (profiling/
+//     pmu.h, kernel permitting) this bench reports the measured proxies:
+//     per-phase time shares plus real IPC and LLC misses per input. With
+//     --counters=sim (default) it reports the simulator's miss intensity
+//     (L1/L3 misses per input). Both separate the same populations —
+//     sort-based lazy (high retiring, low misses), NPJ (memory bound),
+//     eager (core+memory bound).
 // (b) Memory consumption over time from the allocation tracker.
 #include "bench/bench_util.h"
 #include "src/profiling/resource.h"
 
-int main() {
+namespace {
+
+using namespace iawj;
+
+// Per-input run total of a named PMU event, 0 when not measured.
+double PmuPerInput(const pmu::PmuReport& pmu, uint64_t inputs,
+                   const std::string& event) {
+  if (inputs == 0) return 0;
+  for (size_t e = 0; e < pmu.events.size(); ++e) {
+    if (pmu.events[e] == event) {
+      return static_cast<double>(pmu.profile.Total(static_cast<int>(e))) /
+             static_cast<double>(inputs);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace iawj;
   bench::Scale scale = bench::GetScale(0.01);
-  bench::PrintTitle("Figure 19: micro-architectural analysis (Rovio)", scale);
+  const bench::CounterSource source =
+      bench::GetCounterSource(argc, argv, bench::CounterSource::kSim);
+  bench::PrintTitle(std::string("Figure 19: micro-architectural analysis, ") +
+                        bench::CounterSourceName(source) +
+                        " counters (Rovio)",
+                    scale);
   const Workload w = GenerateRealWorld(
       {.which = RealWorkload::kRovio, .scale = scale.workload});
 
   std::printf("--- (a) execution profile proxies ---\n");
-  std::printf("%-8s %10s %10s %10s %12s %12s\n", "algo", "cpu%/phase:",
-              "partition", "probe", "L1miss/in", "L3miss/in");
+  if (source == bench::CounterSource::kPmu) {
+    std::printf("%-8s %10s %10s %10s %10s %12s\n", "algo", "cpu%/phase:",
+                "partition", "probe", "pmu_IPC", "pmu_LLC/in");
+  } else {
+    std::printf("%-8s %10s %10s %10s %12s %12s\n", "algo", "cpu%/phase:",
+                "partition", "probe", "sim_L1/in", "sim_L3/in");
+  }
   for (AlgorithmId id : bench::AllAlgorithms()) {
     const JoinSpec spec = bench::AtRestSpec(scale);
-    std::vector<CacheSim> sims;
-    for (int t = 0; t < spec.num_threads; ++t) {
-      sims.push_back(CacheSim::XeonGold6126());
-    }
-    std::vector<CacheSim*> ptrs;
-    for (auto& sim : sims) ptrs.push_back(&sim);
-    auto traced = CreateTracedAlgorithm(id);
-    JoinRunner runner;
-    const RunResult result =
-        runner.RunWith(traced.get(), w.r, w.s, spec, ptrs.data());
+    RunResult result;
     CacheCounters total;
-    for (const auto& sim : sims) total += sim.Total();
+    if (source == bench::CounterSource::kPmu) {
+      result = bench::RunJoin(id, w.r, w.s, spec, "rovio");
+    } else {
+      std::vector<CacheSim> sims;
+      for (int t = 0; t < spec.num_threads; ++t) {
+        sims.push_back(CacheSim::XeonGold6126());
+      }
+      std::vector<CacheSim*> ptrs;
+      for (auto& sim : sims) ptrs.push_back(&sim);
+      auto traced = CreateTracedAlgorithm(id);
+      JoinRunner runner;
+      result = runner.RunWith(traced.get(), w.r, w.s, spec, ptrs.data());
+      RunRecordContext context;
+      context.bench = bench::BenchBinaryName();
+      context.workload = "rovio";
+      context.workload_scale = scale.workload;
+      MaybeWriteRunRecord(result, spec, context);
+      for (const auto& sim : sims) total += sim.Total();
+    }
     const double inputs = static_cast<double>(result.inputs);
     const double work = static_cast<double>(result.phases.TotalNs() -
                                             result.phases.GetNs(Phase::kWait));
-    std::printf("%-8s %10s %9.1f%% %9.1f%% %12.2f %12.4f\n",
-                result.algorithm.c_str(), "",
-                100.0 * result.phases.GetNs(Phase::kPartition) /
-                    std::max(work, 1.0),
-                100.0 * result.phases.GetNs(Phase::kProbe) /
-                    std::max(work, 1.0),
-                total.l1_misses / inputs, total.l3_misses / inputs);
+    const double part_share = 100.0 *
+                              result.phases.GetNs(Phase::kPartition) /
+                              std::max(work, 1.0);
+    const double probe_share = 100.0 * result.phases.GetNs(Phase::kProbe) /
+                               std::max(work, 1.0);
+    if (source == bench::CounterSource::kPmu) {
+      const double cycles = PmuPerInput(result.pmu, result.inputs, "cycles");
+      const double instructions =
+          PmuPerInput(result.pmu, result.inputs, "instructions");
+      std::printf("%-8s %10s %9.1f%% %9.1f%% %10.2f %12.4f\n",
+                  result.algorithm.c_str(), "", part_share, probe_share,
+                  cycles > 0 ? instructions / cycles : 0,
+                  PmuPerInput(result.pmu, result.inputs, "llc_misses"));
+    } else {
+      std::printf("%-8s %10s %9.1f%% %9.1f%% %12.2f %12.4f\n",
+                  result.algorithm.c_str(), "", part_share, probe_share,
+                  total.l1_misses / inputs, total.l3_misses / inputs);
+    }
   }
 
   std::printf("\n--- (b) memory consumption over time ---\n");

@@ -1,28 +1,25 @@
-// Figure 8: cache-efficiency profiling on YSB — simulated L1/L2/L3 misses
-// per input tuple during the partition and probe phases.
-//
-// Substitution: the paper reads Intel PCM counters; this bench replays the
-// algorithms' memory accesses through the trace-driven cache simulator
-// (profiling/cache_sim.h) sized like the paper's Xeon Gold 6126.
+// Figure 8: cache-efficiency profiling on YSB — misses per input tuple
+// during the partition/build/probe phases, by counter source
+// (--counters=pmu|sim, default sim):
+//   sim  replays the algorithms' memory accesses through the trace-driven
+//        cache simulator (profiling/cache_sim.h) sized like the paper's
+//        Xeon Gold 6126 — deterministic L1/L2/L3/TLB per phase.
+//   pmu  real perf_event counters attributed to phases by the
+//        profiling/phase.h hooks (the paper reads Intel PCM). Falls back
+//        to sim with a note when the kernel refuses perf_event_open.
 //
 // Paper shape: SHJ-JB / PMJ-JB show elevated L1/L2 misses in partitioning
 // (content-sensitive routing); all eager algorithms show heavy L1 misses in
 // probing (interleaved stream access).
 #include "bench/bench_util.h"
 
-int main() {
-  using namespace iawj;
-  // Large enough that the eager hash tables overflow L2; tracing through
-  // the simulator costs ~50ns per access, so stay below paper scale.
-  bench::Scale scale = bench::GetScale(0.05);
-  bench::PrintTitle(
-      "Figure 8: simulated cache misses per input tuple, YSB, by phase",
-      scale);
-  const Workload w = GenerateRealWorld(
-      {.which = RealWorkload::kYsb, .scale = scale.workload});
+namespace {
 
-  std::printf("%-8s %-10s %10s %10s %10s %10s\n", "algo", "phase", "L1/in",
-              "L2/in", "L3/in", "TLB/in");
+using namespace iawj;
+
+void RunSim(const Workload& w, const bench::Scale& scale) {
+  std::printf("%-8s %-10s %10s %10s %10s %10s\n", "algo", "phase",
+              "sim_L1/in", "sim_L2/in", "sim_L3/in", "sim_TLB/in");
   for (AlgorithmId id : bench::AllAlgorithms()) {
     JoinSpec spec = bench::AtRestSpec(scale);  // at rest: pure access pattern
     std::vector<CacheSim> sims;
@@ -37,6 +34,11 @@ int main() {
     JoinRunner runner;
     const RunResult result = runner.RunWith(traced.get(), w.r, w.s, spec,
                                             ptrs.data());
+    RunRecordContext context;
+    context.bench = bench::BenchBinaryName();
+    context.workload = "ysb";
+    context.workload_scale = scale.workload;
+    MaybeWriteRunRecord(result, spec, context);
     const double inputs = static_cast<double>(result.inputs);
     for (Phase phase : {Phase::kPartition, Phase::kBuild, Phase::kProbe}) {
       CacheCounters counters;
@@ -47,6 +49,61 @@ int main() {
                   counters.l1_misses / inputs, counters.l2_misses / inputs,
                   counters.l3_misses / inputs, counters.tlb_misses / inputs);
     }
+  }
+}
+
+// Per-input delta of a named PMU event within one phase.
+double PhasePerInput(const pmu::PmuReport& pmu, uint64_t inputs, Phase phase,
+                     const std::string& event) {
+  if (inputs == 0) return 0;
+  for (size_t e = 0; e < pmu.events.size(); ++e) {
+    if (pmu.events[e] == event) {
+      return static_cast<double>(pmu.profile.Get(static_cast<int>(phase),
+                                                 static_cast<int>(e))) /
+             static_cast<double>(inputs);
+    }
+  }
+  return 0;
+}
+
+void RunPmu(const Workload& w, const bench::Scale& scale) {
+  std::printf("%-8s %-10s %12s %12s %12s %12s\n", "algo", "phase",
+              "pmu_cyc/in", "pmu_L1D/in", "pmu_LLC/in", "pmu_TLBD/in");
+  for (AlgorithmId id : bench::AllAlgorithms()) {
+    JoinSpec spec = bench::AtRestSpec(scale);
+    const RunResult result = bench::RunJoin(id, w.r, w.s, spec, "ysb");
+    for (Phase phase : {Phase::kPartition, Phase::kBuild, Phase::kProbe}) {
+      std::printf(
+          "%-8s %-10s %12.1f %12.3f %12.3f %12.3f\n",
+          result.algorithm.c_str(), std::string(PhaseName(phase)).c_str(),
+          PhasePerInput(result.pmu, result.inputs, phase, "cycles"),
+          PhasePerInput(result.pmu, result.inputs, phase, "l1d_misses"),
+          PhasePerInput(result.pmu, result.inputs, phase, "llc_misses"),
+          PhasePerInput(result.pmu, result.inputs, phase, "dtlb_misses"));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iawj;
+  // Large enough that the eager hash tables overflow L2; tracing through
+  // the simulator costs ~50ns per access, so stay below paper scale.
+  bench::Scale scale = bench::GetScale(0.05);
+  const bench::CounterSource source =
+      bench::GetCounterSource(argc, argv, bench::CounterSource::kSim);
+  bench::PrintTitle(std::string("Figure 8: ") +
+                        bench::CounterSourceName(source) +
+                        " cache misses per input tuple, YSB, by phase",
+                    scale);
+  const Workload w = GenerateRealWorld(
+      {.which = RealWorkload::kYsb, .scale = scale.workload});
+
+  if (source == bench::CounterSource::kPmu) {
+    RunPmu(w, scale);
+  } else {
+    RunSim(w, scale);
   }
   std::printf(
       "# paper shape: JB variants show high partition-phase L1/L2 misses; "

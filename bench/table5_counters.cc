@@ -1,23 +1,25 @@
-// Table 5: hardware counters per input tuple on Rovio — here, the
-// simulated data-side counters (L1D / L2 / L3 / data-TLB misses per input).
+// Table 5: hardware counters per input tuple on Rovio.
 //
-// Substitution: the paper reads PMU counters (including instruction-side
-// TLBI/L1I and branch mispredictions, which a data-access simulator cannot
-// see); the analysis in §5.6 rests on the *data*-side ordering, which the
-// simulator reproduces: NPJ and the SHJ variants miss catastrophically
-// (shared/huge hash tables), PRJ and the sort joins stay cache-friendly.
+// Counter source is an explicit axis (--counters=pmu|sim, default sim):
+//   sim  trace-driven data-side cache simulator (L1D / L2 / L3 / dTLB per
+//        input). Deterministic; cannot see instruction-side events.
+//   pmu  real perf_event counters (profiling/pmu.h): cycles, IPC, L1D /
+//        LLC / dTLB / branch misses per input, as the paper measured via
+//        Intel PCM. Requires kernel cooperation; when perf_event_open is
+//        refused the bench announces why and falls back to sim.
+//
+// The analysis in §5.6 rests on the data-side ordering, which both sources
+// reproduce: NPJ and the SHJ variants miss catastrophically (shared/huge
+// hash tables), PRJ and the sort joins stay cache-friendly.
 #include "bench/bench_util.h"
 
-int main() {
-  using namespace iawj;
-  bench::Scale scale = bench::GetScale(0.01);
-  bench::PrintTitle("Table 5: simulated counters per input tuple (Rovio)",
-                    scale);
-  const Workload w = GenerateRealWorld(
-      {.which = RealWorkload::kRovio, .scale = scale.workload});
+namespace {
 
-  std::printf("%-8s %12s %12s %12s %12s\n", "algo", "L1D/in", "L2/in",
-              "L3/in", "TLBD/in");
+using namespace iawj;
+
+void RunSim(const Workload& w, const bench::Scale& scale) {
+  std::printf("%-8s %12s %12s %12s %12s\n", "algo", "sim_L1D/in", "sim_L2/in",
+              "sim_L3/in", "sim_TLBD/in");
   for (AlgorithmId id : bench::AllAlgorithms()) {
     const JoinSpec spec = bench::AtRestSpec(scale);
     std::vector<CacheSim> sims;
@@ -30,6 +32,11 @@ int main() {
     JoinRunner runner;
     const RunResult result =
         runner.RunWith(traced.get(), w.r, w.s, spec, ptrs.data());
+    RunRecordContext context;
+    context.bench = bench::BenchBinaryName();
+    context.workload = "rovio";
+    context.workload_scale = scale.workload;
+    MaybeWriteRunRecord(result, spec, context);
     CacheCounters total;
     for (const auto& sim : sims) total += sim.Total();
     const double inputs = static_cast<double>(result.inputs);
@@ -37,6 +44,68 @@ int main() {
                 result.algorithm.c_str(), total.l1_misses / inputs,
                 total.l2_misses / inputs, total.l3_misses / inputs,
                 total.tlb_misses / inputs);
+  }
+}
+
+// Per-input value of a named PMU event, 0 when the event was not measured.
+double PerInput(const pmu::PmuReport& pmu, uint64_t inputs,
+                const std::string& event) {
+  if (inputs == 0) return 0;
+  for (size_t e = 0; e < pmu.events.size(); ++e) {
+    if (pmu.events[e] == event) {
+      return static_cast<double>(pmu.profile.Total(static_cast<int>(e))) /
+             static_cast<double>(inputs);
+    }
+  }
+  return 0;
+}
+
+void RunPmu(const Workload& w, const bench::Scale& scale) {
+  std::printf("%-8s %10s %8s %12s %12s %12s %12s\n", "algo", "pmu_cyc/in",
+              "pmu_IPC", "pmu_L1D/in", "pmu_LLC/in", "pmu_TLBD/in",
+              "pmu_BR/in");
+  for (AlgorithmId id : bench::AllAlgorithms()) {
+    const JoinSpec spec = bench::AtRestSpec(scale);
+    const RunResult result = bench::RunJoin(id, w.r, w.s, spec, "rovio");
+    const double cycles = PerInput(result.pmu, result.inputs, "cycles");
+    const double instructions =
+        PerInput(result.pmu, result.inputs, "instructions");
+    std::printf("%-8s %10.1f %8.2f %12.3f %12.3f %12.3f %12.3f\n",
+                result.algorithm.c_str(), cycles,
+                cycles > 0 ? instructions / cycles : 0,
+                PerInput(result.pmu, result.inputs, "l1d_misses"),
+                PerInput(result.pmu, result.inputs, "llc_misses"),
+                PerInput(result.pmu, result.inputs, "dtlb_misses"),
+                PerInput(result.pmu, result.inputs, "branch_misses"));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iawj;
+  bench::Scale scale = bench::GetScale(0.01);
+  const bench::CounterSource source =
+      bench::GetCounterSource(argc, argv, bench::CounterSource::kSim);
+  bench::PrintTitle(std::string("Table 5: ") +
+                        bench::CounterSourceName(source) +
+                        " counters per input tuple (Rovio)",
+                    scale);
+  const Workload w = GenerateRealWorld(
+      {.which = RealWorkload::kRovio, .scale = scale.workload});
+
+  if (source == bench::CounterSource::kPmu) {
+    RunPmu(w, scale);
+  } else if (source == bench::CounterSource::kSim) {
+    RunSim(w, scale);
+  } else {
+    // --counters=off: wall-clock metrics only.
+    bench::PrintMetricsHeader();
+    for (AlgorithmId id : bench::AllAlgorithms()) {
+      const JoinSpec spec = bench::AtRestSpec(scale);
+      bench::PrintMetricsRow("rovio",
+                             bench::RunJoin(id, w.r, w.s, spec, "rovio"));
+    }
   }
   std::printf(
       "# paper shape: NPJ and SHJ-JM/JB dominate L2/L3 misses (shared or "

@@ -5,28 +5,57 @@
 // Paper shape: the lazy algorithms except NPJ idle while waiting (low CPU
 // utilization); NPJ burns cycles on cache misses; the eager algorithms run
 // hot on both CPU and memory bandwidth.
+//
+// With --counters=pmu (kernel permitting) two measured columns are added:
+// IPC and cycles per input, distinguishing "busy retiring" from "busy
+// missing" the way the paper's PCM columns do.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iawj;
   const bench::Scale scale = bench::GetScale(0.02);
-  bench::PrintTitle("Table 6: resource utilization (Rovio)", scale);
+  const bench::CounterSource source =
+      bench::GetCounterSource(argc, argv, bench::CounterSource::kOff);
+  bench::PrintTitle(std::string("Table 6: resource utilization, counters=") +
+                        bench::CounterSourceName(source) + " (Rovio)",
+                    scale);
   const Workload w = GenerateRealWorld(
       {.which = RealWorkload::kRovio, .scale = scale.workload,
        .window_ms = 200});
 
-  std::printf("%-8s %12s %14s\n", "algo", "cpu_util(%)", "peak_mem(MB)");
+  const bool pmu_cols = source == bench::CounterSource::kPmu;
+  if (pmu_cols) {
+    std::printf("%-8s %12s %14s %10s %12s\n", "algo", "cpu_util(%)",
+                "peak_mem(MB)", "pmu_IPC", "pmu_cyc/in");
+  } else {
+    std::printf("%-8s %12s %14s\n", "algo", "cpu_util(%)", "peak_mem(MB)");
+  }
   for (AlgorithmId id : bench::AllAlgorithms()) {
     JoinSpec spec = bench::StreamingSpec(scale, 200);
-    JoinRunner runner;
-    const RunResult result = runner.Run(id, w.r, w.s, spec);
+    const RunResult result = bench::RunJoin(id, w.r, w.s, spec, "rovio");
     const double wall_ms = result.elapsed_ms;
     const double util =
         wall_ms > 0
             ? 100.0 * result.cpu_time_ms / (wall_ms * spec.num_threads)
             : 0;
-    std::printf("%-8s %12.1f %14.2f\n", result.algorithm.c_str(), util,
-                static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+    const double peak_mb =
+        static_cast<double>(result.peak_tracked_bytes) / (1 << 20);
+    if (pmu_cols) {
+      // Fixed-event order (pmu::FixedEvents): cycles first, instructions
+      // second.
+      const double cycles = static_cast<double>(result.pmu.profile.Total(0));
+      const double instructions =
+          static_cast<double>(result.pmu.profile.Total(1));
+      std::printf("%-8s %12.1f %14.2f %10.2f %12.1f\n",
+                  result.algorithm.c_str(), util, peak_mb,
+                  cycles > 0 ? instructions / cycles : 0,
+                  result.inputs > 0
+                      ? cycles / static_cast<double>(result.inputs)
+                      : 0);
+    } else {
+      std::printf("%-8s %12.1f %14.2f\n", result.algorithm.c_str(), util,
+                  peak_mb);
+    }
   }
   std::printf(
       "# paper shape: PRJ/MWAY/MPASS low CPU utilization (waiting); NPJ and "

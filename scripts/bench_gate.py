@@ -21,11 +21,23 @@ Escape hatches for noisy runners:
   IAWJ_BENCH_GATE=off          skip the gate entirely (exit 0)
   IAWJ_BENCH_TOLERANCE=<frac>  override the regression tolerance (e.g. 0.25)
 
+A third, counter-based mode gates on run records instead of wall-clock:
+
+  --records <dir> --records-baseline <dir>
+      Compares cycles-per-input-tuple per (bench, algorithm) between two
+      IAWJ_METRICS_DIR directories of run records. Only records with
+      measured PMU counters (record_version >= 5, pmu.available) count;
+      when either side has none the gate SKIPS silently (exit 0) — hosts
+      that refuse perf_event_open must not fail CI. Cycles per tuple are
+      far less noisy than wall-clock on shared runners, so this catches
+      the regressions the ratio mode's tolerance has to forgive.
+
 Usage:
   bench_gate.py --bench <path-to-kernels_microbench> [--mode ratio|absolute]
                 [--baseline BENCH_baseline.json] [--tolerance 0.15]
   bench_gate.py --current run.json --baseline BENCH_baseline.json
   bench_gate.py --bench <...> --update    # rebaseline: overwrite baseline
+  bench_gate.py --records <metrics-dir> --records-baseline <metrics-dir>
 """
 
 import argparse
@@ -84,11 +96,95 @@ def compare(baseline, current, mode, tolerance):
     return failures
 
 
+def cycles_per_input_by_group(directory):
+    """(bench, algo) -> cycles per input, from PMU-measured run records.
+
+    Sums cycles and inputs across records per group so several small runs
+    weigh like one big one. Groups without measured PMU data are absent.
+    """
+    groups = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return {}
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as f:
+                record = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(record, dict):
+            continue
+        pmu = record.get("pmu")
+        inputs = record.get("inputs", 0)
+        if (not isinstance(pmu, dict) or not pmu.get("available")
+                or not isinstance(inputs, (int, float)) or inputs <= 0):
+            continue
+        cycles = pmu.get("totals", {}).get("cycles")
+        if not isinstance(cycles, (int, float)) or cycles <= 0:
+            continue
+        key = (str(record.get("bench", "?")),
+               str(record.get("algorithm", "?")))
+        acc = groups.setdefault(key, [0, 0])
+        acc[0] += cycles
+        acc[1] += inputs
+    return {key: cycles / inputs
+            for key, (cycles, inputs) in groups.items() if inputs > 0}
+
+
+def gate_records(records_dir, baseline_dir, tolerance):
+    """Counter gate: fails when cycles/tuple grew beyond tolerance.
+
+    Returns an exit code. Skips (0) when either directory lacks measured
+    PMU records — an unprivileged runner is not a regression.
+    """
+    current = cycles_per_input_by_group(records_dir)
+    baseline = cycles_per_input_by_group(baseline_dir)
+    if not current or not baseline:
+        print("bench_gate: no measured PMU records on "
+              f"{'current' if not current else 'baseline'} side, skipping")
+        return 0
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("bench_gate: no (bench, algorithm) overlap with PMU data, "
+              "skipping")
+        return 0
+    print(f"bench_gate: mode=records tolerance={tolerance:.0%} "
+          f"baseline={baseline_dir}")
+    failures = []
+    for key in shared:
+        base_val, cur_val = baseline[key], current[key]
+        # Cycles per tuple: LOWER is better, so the ceiling grows with
+        # tolerance (the wall-clock modes gate a floor instead).
+        ceiling = base_val * (1.0 + tolerance)
+        status = "ok" if cur_val <= ceiling else "REGRESSED"
+        name = "/".join(key)
+        print(f"  {name:<28} baseline cyc/in {base_val:>12.1f}  "
+              f"current {cur_val:>12.1f}  ceiling {ceiling:>12.1f}  {status}")
+        if cur_val > ceiling:
+            failures.append(
+                f"{name}: cycles/tuple {cur_val:.1f} > ceiling {ceiling:.1f} "
+                f"(baseline {base_val:.1f}, tolerance {tolerance:.0%})")
+    if failures:
+        print("\nbench_gate: FAILED")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench_gate: ok")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", help="path to kernels_microbench binary")
     parser.add_argument("--current", help="pre-recorded --json output to use "
                         "instead of running --bench")
+    parser.add_argument("--records", help="IAWJ_METRICS_DIR of run records "
+                        "to gate on cycles-per-tuple")
+    parser.add_argument("--records-baseline",
+                        help="baseline IAWJ_METRICS_DIR for --records")
     parser.add_argument("--baseline", default=os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "BENCH_baseline.json"))
@@ -107,6 +203,11 @@ def main():
     if tolerance is None:
         tolerance = float(os.environ.get("IAWJ_BENCH_TOLERANCE",
                                          DEFAULT_TOLERANCE))
+
+    if args.records:
+        if not args.records_baseline:
+            parser.error("--records needs --records-baseline")
+        return gate_records(args.records, args.records_baseline, tolerance)
 
     if args.current:
         current = load_json(args.current)

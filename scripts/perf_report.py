@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Aggregate an IAWJ_METRICS_DIR of run records into a perf trajectory report.
+
+Reads every *.json run record in the given directory (the files that
+JoinRunner/benches emit when IAWJ_METRICS_DIR is set), groups them by
+(bench, algorithm), and writes a markdown report plus a CSV with one row
+per group:
+
+  runs, ok runs, mean throughput, mean work-ns-per-input, and — when the
+  records carry measured PMU counters (record_version >= 5 with
+  pmu.available) — cycles per input tuple, IPC, and L1D/LLC/dTLB misses
+  per input, plus the per-phase cycle split.
+
+Intended use: run the bench suite with IAWJ_METRICS_DIR set on two
+revisions, run this script on each directory, and diff the CSVs — the
+counters catch regressions that wall-clock noise hides. Stdlib only.
+
+Usage:
+  scripts/perf_report.py <metrics-dir> [--out <dir>] [--format md|csv|both]
+
+Exit codes: 0 ok, 1 bad arguments or unreadable directory, 2 no records.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Events reported as per-input columns when PMU data is present, in column
+# order. Missing events (skipped siblings, older records) print empty cells.
+PMU_COLUMNS = [
+    ("cycles", "cyc/in"),
+    ("instructions", "ins/in"),
+    ("l1d_misses", "L1D/in"),
+    ("llc_misses", "LLC/in"),
+    ("dtlb_misses", "dTLB/in"),
+    ("branch_misses", "BR/in"),
+]
+
+
+def load_records(directory):
+    records = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as err:
+        print(f"error: cannot read {directory}: {err}", file=sys.stderr)
+        sys.exit(1)
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"warning: skipping {path}: {err}", file=sys.stderr)
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+class Group:
+    """Aggregate of all runs for one (bench, algorithm) pair."""
+
+    def __init__(self, bench, algorithm):
+        self.bench = bench
+        self.algorithm = algorithm
+        self.runs = 0
+        self.ok_runs = 0
+        self.inputs = 0
+        self.throughputs = []
+        self.work_ns = []
+        # PMU accumulation: totals per event and per (phase, event), summed
+        # over runs that measured; pmu_inputs is their input sum so
+        # per-input values weight runs by size.
+        self.pmu_runs = 0
+        self.pmu_inputs = 0
+        self.pmu_totals = {}
+        self.pmu_phases = {}
+
+    def add(self, record):
+        self.runs += 1
+        if record.get("status") == "ok":
+            self.ok_runs += 1
+        inputs = int(record.get("inputs", 0))
+        self.inputs += inputs
+        tput = record.get("throughput_per_ms")
+        if isinstance(tput, (int, float)) and tput > 0:
+            self.throughputs.append(float(tput))
+        work = record.get("work_ns_per_input")
+        if isinstance(work, (int, float)) and work > 0:
+            self.work_ns.append(float(work))
+        pmu = record.get("pmu")
+        if not isinstance(pmu, dict) or not pmu.get("available"):
+            return
+        totals = pmu.get("totals", {})
+        if not isinstance(totals, dict) or inputs <= 0:
+            return
+        self.pmu_runs += 1
+        self.pmu_inputs += inputs
+        for event, value in totals.items():
+            if isinstance(value, (int, float)):
+                self.pmu_totals[event] = self.pmu_totals.get(event, 0) + value
+        phases = pmu.get("phases", {})
+        if isinstance(phases, dict):
+            for phase, deltas in phases.items():
+                if not isinstance(deltas, dict):
+                    continue
+                row = self.pmu_phases.setdefault(phase, {})
+                for event, value in deltas.items():
+                    if isinstance(value, (int, float)):
+                        row[event] = row.get(event, 0) + value
+
+    def per_input(self, event):
+        if self.pmu_inputs <= 0 or event not in self.pmu_totals:
+            return None
+        return self.pmu_totals[event] / self.pmu_inputs
+
+    def ipc(self):
+        cycles = self.pmu_totals.get("cycles", 0)
+        instructions = self.pmu_totals.get("instructions", 0)
+        return instructions / cycles if cycles > 0 else None
+
+    def phase_cycle_shares(self):
+        """(phase, share) pairs for phases that burned cycles, largest first."""
+        total = self.pmu_totals.get("cycles", 0)
+        if total <= 0:
+            return []
+        shares = []
+        for phase, deltas in self.pmu_phases.items():
+            cycles = deltas.get("cycles", 0)
+            if cycles > 0:
+                shares.append((phase, cycles / total))
+        shares.sort(key=lambda item: -item[1])
+        return shares
+
+    @staticmethod
+    def mean(values):
+        return sum(values) / len(values) if values else None
+
+
+def fmt(value, digits=2):
+    return "" if value is None else f"{value:.{digits}f}"
+
+
+def write_csv(groups, path):
+    header = ["bench", "algo", "runs", "ok_runs", "inputs",
+              "mean_tput_per_ms", "mean_work_ns_per_input",
+              "pmu_runs", "ipc"]
+    header += [f"pmu_{event}_per_input" for event, _ in PMU_COLUMNS]
+    lines = [",".join(header)]
+    for g in groups:
+        row = [g.bench, g.algorithm, str(g.runs), str(g.ok_runs),
+               str(g.inputs), fmt(Group.mean(g.throughputs), 1),
+               fmt(Group.mean(g.work_ns), 1), str(g.pmu_runs),
+               fmt(g.ipc())]
+        row += [fmt(g.per_input(event), 4) for event, _ in PMU_COLUMNS]
+        lines.append(",".join(row))
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+
+
+def write_markdown(groups, path, directory):
+    out = [f"# Perf report: `{directory}`", ""]
+    measured = sum(1 for g in groups if g.pmu_runs > 0)
+    out.append(f"{sum(g.runs for g in groups)} run(s) in "
+               f"{len(groups)} (bench, algorithm) group(s); "
+               f"{measured} group(s) carry measured PMU counters.")
+    out.append("")
+    header = ["bench", "algo", "runs", "tput/ms", "work ns/in", "IPC"]
+    header += [label for _, label in PMU_COLUMNS]
+    out.append("| " + " | ".join(header) + " |")
+    out.append("|" + "---|" * len(header))
+    for g in groups:
+        row = [g.bench, g.algorithm, f"{g.ok_runs}/{g.runs}",
+               fmt(Group.mean(g.throughputs), 1),
+               fmt(Group.mean(g.work_ns), 1), fmt(g.ipc())]
+        row += [fmt(g.per_input(event), 3) for event, _ in PMU_COLUMNS]
+        out.append("| " + " | ".join(row) + " |")
+    out.append("")
+    phased = [g for g in groups if g.phase_cycle_shares()]
+    if phased:
+        out.append("## Cycle split by phase (measured groups)")
+        out.append("")
+        for g in phased:
+            split = ", ".join(f"{phase} {share:.0%}"
+                              for phase, share in g.phase_cycle_shares())
+            out.append(f"- **{g.bench} / {g.algorithm}**: {split}")
+        out.append("")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out) + "\n")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Aggregate IAWJ run records into a perf report.")
+    parser.add_argument("metrics_dir", help="IAWJ_METRICS_DIR directory")
+    parser.add_argument("--out", default=None,
+                        help="output directory (default: metrics_dir)")
+    parser.add_argument("--format", choices=["md", "csv", "both"],
+                        default="both")
+    args = parser.parse_args()
+
+    records = load_records(args.metrics_dir)
+    if not records:
+        print(f"error: no run records in {args.metrics_dir}",
+              file=sys.stderr)
+        return 2
+
+    groups = {}
+    for record in records:
+        key = (str(record.get("bench", "?")),
+               str(record.get("algorithm", "?")))
+        groups.setdefault(key, Group(*key)).add(record)
+    ordered = [groups[key] for key in sorted(groups)]
+
+    out_dir = args.out or args.metrics_dir
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    if args.format in ("md", "both"):
+        path = os.path.join(out_dir, "perf_report.md")
+        write_markdown(ordered, path, args.metrics_dir)
+        written.append(path)
+    if args.format in ("csv", "both"):
+        path = os.path.join(out_dir, "perf_report.csv")
+        write_csv(ordered, path)
+        written.append(path)
+    measured = sum(1 for g in ordered if g.pmu_runs > 0)
+    print(f"perf_report: {len(records)} record(s), {len(ordered)} group(s), "
+          f"{measured} with PMU data -> {', '.join(written)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

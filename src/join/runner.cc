@@ -19,6 +19,9 @@
 #include "src/join/prj.h"
 #include "src/join/sortmerge.h"
 #include "src/memory/tracker.h"
+#include "src/profiling/metrics.h"
+#include "src/profiling/phase.h"
+#include "src/profiling/pmu.h"
 #include "src/profiling/resource.h"
 #include "src/profiling/trace.h"
 
@@ -139,6 +142,10 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
 
   std::vector<MatchSink> sinks(threads);
   std::vector<PhaseProfile> profiles(threads);
+  // One PMU destination per worker; merged like PhaseProfile after join.
+  // Stays untouched (and free) unless PMU is requested AND available.
+  std::vector<pmu::PmuProfile> pmu_profiles(threads);
+  const bool pmu_requested = pmu::Requested();
   for (auto& sink : sinks) sink.Bind(&clock);
   ctx.sinks = sinks.data();
   ctx.profiles = profiles.data();
@@ -249,6 +256,10 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
           tracing ? std::string(algorithm->name()) + " w" + std::to_string(t)
                   : std::string(),
           pinned_core);
+      // Opens this worker's perf event group (no-op when PMU is off or the
+      // kernel refuses); phase hooks in ScopedPhase/PhaseStopwatch attribute
+      // counter deltas to phases from here on.
+      pmu::ScopedThreadPmu worker_pmu(&pmu_profiles[t]);
       if (tracing) trace::BeginSpan(run_label);
       if (stall) {
         // Fault: this worker wedges before doing any work — the shape of a
@@ -263,6 +274,18 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
         algorithm->RunWorker(ctx, t);
       }
       done[t].store(true, std::memory_order_release);
+      // Final PMU snapshot now, so the per-worker totals below see it and
+      // the trailing delta is attributed before the trace row closes.
+      const bool pmu_measured = worker_pmu.installed();
+      worker_pmu.Finish();
+      if (tracing && pmu_measured) {
+        const auto& events = pmu::Events();
+        for (int e = 0; e < static_cast<int>(events.size()); ++e) {
+          trace::Counter(
+              trace::Intern("worker_pmu_" + events[e].name),
+              static_cast<double>(pmu_profiles[t].Total(e)));
+        }
+      }
       if (tracing && scheduler.enabled()) {
         // Per-thread scheduling counters land in this worker's trace row so
         // the timeline shows who executed and who stole.
@@ -318,6 +341,67 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
     for (int t = 0; t < threads; ++t) {
       result.worker_morsels.push_back(scheduler.stats(t));
       result.worker_nodes.push_back(scheduler.node_of(t));
+    }
+  }
+
+  // PMU report: merged per-worker profiles when measured, otherwise the
+  // reason nothing was (not requested, or the kernel refused the probe).
+  result.pmu.requested = pmu_requested;
+  if (!pmu_requested) {
+    result.pmu.available = false;
+    result.pmu.reason = "not requested (IAWJ_PMU unset)";
+  } else {
+    const pmu::Availability& avail = pmu::Probe();
+    result.pmu.available = avail.available;
+    result.pmu.reason = avail.reason;
+    if (avail.available) {
+      for (const pmu::EventDef& event : pmu::Events()) {
+        result.pmu.events.push_back(event.name);
+      }
+      for (int t = 0; t < threads; ++t) {
+        result.pmu.profile.Merge(pmu_profiles[t]);
+      }
+    }
+  }
+
+  // Live metrics feed (profiling/metrics.h): one relaxed load each when
+  // $IAWJ_METRICS_DIR is unset. Registered once per process; per-run cost
+  // is a handful of sharded adds.
+  if (metrics::Enabled()) {
+    static metrics::Counter* runs_total = metrics::GetCounter("runs.total");
+    static metrics::Counter* runs_failed = metrics::GetCounter("runs.failed");
+    static metrics::Counter* inputs_total =
+        metrics::GetCounter("runs.inputs_total");
+    static metrics::Counter* matches_total =
+        metrics::GetCounter("runs.matches_total");
+    static metrics::Counter* morsels_total =
+        metrics::GetCounter("scheduler.morsels_total");
+    static metrics::Counter* steals_total =
+        metrics::GetCounter("scheduler.steals_total");
+    static metrics::Counter* steal_misses_total =
+        metrics::GetCounter("scheduler.steal_misses_total");
+    static metrics::Histogram* elapsed_ms =
+        metrics::GetHistogram("run.elapsed_ms");
+    if (runs_total != nullptr) runs_total->Add();
+    if (runs_failed != nullptr && !result.status.ok()) runs_failed->Add();
+    if (inputs_total != nullptr) inputs_total->Add(result.inputs);
+    if (matches_total != nullptr) matches_total->Add(result.matches);
+    if (scheduler.enabled()) {
+      const MorselStats totals = scheduler.Totals();
+      if (morsels_total != nullptr) morsels_total->Add(totals.morsels);
+      if (steals_total != nullptr) steals_total->Add(totals.steals);
+      if (steal_misses_total != nullptr) {
+        steal_misses_total->Add(totals.steal_misses);
+      }
+    }
+    if (elapsed_ms != nullptr) elapsed_ms->Record(result.elapsed_ms);
+    if (result.pmu.available) {
+      const auto& events = result.pmu.events;
+      for (int e = 0; e < static_cast<int>(events.size()); ++e) {
+        if (metrics::Counter* c = metrics::GetCounter("pmu." + events[e])) {
+          c->Add(result.pmu.profile.Total(e));
+        }
+      }
     }
   }
   if (tracing && trace::Active()) {

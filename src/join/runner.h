@@ -16,6 +16,7 @@
 #include "src/join/context.h"
 #include "src/join/recovery.h"
 #include "src/profiling/cache_sim.h"
+#include "src/profiling/pmu.h"
 #include "src/stream/stream.h"
 
 namespace iawj {
@@ -48,6 +49,11 @@ struct RunResult {
   // What the supervisor (join/supervisor.h) did to produce this result:
   // retries, fallbacks, shed tuples. Empty (and free) for unsupervised runs.
   RecoveryLog recovery;
+
+  // Hardware counter measurement (profiling/pmu.h): per-phase deltas summed
+  // across workers when $IAWJ_PMU=1 (or --counters=pmu) and the kernel
+  // allows perf_event_open; otherwise available=false with the reason.
+  pmu::PmuReport pmu;
 
   // Scheduling (join/scheduler.h): the mode the run executed (never kAuto),
   // the resolved morsel size, and — for morsel runs only — per-worker claim

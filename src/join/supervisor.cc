@@ -10,8 +10,40 @@
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/profiling/metrics.h"
 
 namespace iawj {
+
+namespace {
+
+// Publishes one finished supervision episode into the live metrics registry
+// (profiling/metrics.h) so recovery activity is visible without parsing run
+// records. One relaxed load when metrics are off.
+void PublishRecoveryMetrics(const RecoveryLog& log) {
+  if (!metrics::Enabled()) return;
+  static metrics::Counter* retries =
+      metrics::GetCounter("supervisor.retries");
+  static metrics::Counter* fallbacks =
+      metrics::GetCounter("supervisor.fallbacks");
+  static metrics::Counter* windows_skipped =
+      metrics::GetCounter("supervisor.windows_skipped");
+  static metrics::Counter* tuples_shed =
+      metrics::GetCounter("supervisor.tuples_shed");
+  if (retries != nullptr && log.attempts > 1) {
+    retries->Add(static_cast<uint64_t>(log.attempts - 1));
+  }
+  if (fallbacks != nullptr && log.fallbacks_taken > 0) {
+    fallbacks->Add(static_cast<uint64_t>(log.fallbacks_taken));
+  }
+  if (windows_skipped != nullptr && log.windows_skipped > 0) {
+    windows_skipped->Add(log.windows_skipped);
+  }
+  if (tuples_shed != nullptr && log.tuples_shed > 0) {
+    tuples_shed->Add(log.tuples_shed);
+  }
+}
+
+}  // namespace
 
 std::string_view RecoveryActionName(RecoveryAction action) {
   switch (action) {
@@ -198,6 +230,7 @@ RunResult SuperviseAttempts(AlgorithmId id, const JoinSpec& spec,
       ++log.attempts;
       result = attempt(current_id, current_spec);
       if (result.status.ok()) {
+        PublishRecoveryMetrics(log);
         result.recovery = std::move(log);
         return result;
       }
@@ -228,6 +261,7 @@ RunResult SuperviseAttempts(AlgorithmId id, const JoinSpec& spec,
     current_id = next->id;
     current_spec = next->spec;
   }
+  PublishRecoveryMetrics(log);
   result.recovery = std::move(log);
   return result;
 }
@@ -273,7 +307,10 @@ RunResult Supervisor::Run(AlgorithmId id, const Stream& r, const Stream& s,
       [&](AlgorithmId attempt_id, const JoinSpec& attempt_spec) {
         return runner.Run(attempt_id, *run_r, *run_s, attempt_spec);
       });
-  if (shed_log.tuples_shed > 0) result.recovery.Merge(shed_log);
+  if (shed_log.tuples_shed > 0) {
+    PublishRecoveryMetrics(shed_log);
+    result.recovery.Merge(shed_log);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/join/supervisor.h"
+#include "src/profiling/metrics.h"
 #include "src/profiling/trace.h"
 
 namespace iawj {
@@ -160,6 +161,11 @@ PipelineResult RunSegments(
           std::max(static_cast<double>(run.result.progress.total()),
                    rate * static_cast<double>(dropped));
       ++pipeline.recovery.windows_skipped;
+      if (metrics::Enabled()) {
+        if (auto* c = metrics::GetCounter("supervisor.windows_skipped")) {
+          c->Add();
+        }
+      }
       pipeline.recovery.tuples_dropped += dropped;
       pipeline.recovery.est_matches_lost += est_lost;
       pipeline.recovery.events.push_back(

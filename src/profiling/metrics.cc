@@ -1,0 +1,201 @@
+#include "src/profiling/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "src/common/json.h"
+
+namespace iawj::metrics {
+namespace {
+
+// The registry proper. Instruments are heap-allocated and never freed —
+// handles must stay valid for the process lifetime (hot paths cache them),
+// and a static-destruction-order race against worker threads would be
+// worse than the bounded leak. ResetForTesting swaps in a fresh registry.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry*& GlobalRegistry() {
+  static Registry* registry = new Registry;
+  return registry;
+}
+
+// True when `name` is already bound to a different instrument kind.
+// Caller holds the registry mutex.
+bool NameTaken(const Registry& registry, const std::string& name,
+               Sample::Kind kind) {
+  if (kind != Sample::Kind::kCounter && registry.counters.count(name)) {
+    return true;
+  }
+  if (kind != Sample::Kind::kGauge && registry.gauges.count(name)) {
+    return true;
+  }
+  if (kind != Sample::Kind::kHistogram && registry.histograms.count(name)) {
+    return true;
+  }
+  return false;
+}
+
+void WarnKindClash(const std::string& name) {
+  std::fprintf(stderr,
+               "iawj metrics: \"%s\" already registered as a different "
+               "instrument kind; returning nullptr\n",
+               name.c_str());
+}
+
+std::atomic<int> g_next_shard{0};
+
+}  // namespace
+
+bool EnabledSlow() {
+  const char* dir = std::getenv("IAWJ_METRICS_DIR");
+  const int resolved = (dir != nullptr && dir[0] != '\0') ? 1 : 0;
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, resolved,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+void ForceEnable(bool enabled) {
+  g_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+int ThisThreadShard() {
+  thread_local int shard =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+Counter* GetCounter(const std::string& name) {
+  Registry& registry = *GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (NameTaken(registry, name, Sample::Kind::kCounter)) {
+    WarnKindClash(name);
+    return nullptr;
+  }
+  auto& slot = registry.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* GetGauge(const std::string& name) {
+  Registry& registry = *GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (NameTaken(registry, name, Sample::Kind::kGauge)) {
+    WarnKindClash(name);
+    return nullptr;
+  }
+  auto& slot = registry.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  Registry& registry = *GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (NameTaken(registry, name, Sample::Kind::kHistogram)) {
+    WarnKindClash(name);
+    return nullptr;
+  }
+  auto& slot = registry.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<Sample> Snapshot() {
+  Registry& registry = *GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<Sample> samples;
+  samples.reserve(registry.counters.size() + registry.gauges.size() +
+                  registry.histograms.size());
+  for (const auto& [name, counter] : registry.counters) {
+    Sample sample;
+    sample.name = name;
+    sample.kind = Sample::Kind::kCounter;
+    sample.value = static_cast<double>(counter->Value());
+    samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    Sample sample;
+    sample.name = name;
+    sample.kind = Sample::Kind::kGauge;
+    sample.value = static_cast<double>(gauge->Value());
+    samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : registry.histograms) {
+    const LatencyHistogram merged = histogram->Merged();
+    Sample sample;
+    sample.name = name;
+    sample.kind = Sample::Kind::kHistogram;
+    sample.count = merged.count();
+    sample.mean = merged.MeanMs();
+    sample.p50 = merged.QuantileMs(0.50);
+    sample.p95 = merged.QuantileMs(0.95);
+    samples.push_back(std::move(sample));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return samples;
+}
+
+void WriteJson(json::Writer* writer) {
+  writer->BeginObject();
+  if (!Enabled()) {
+    writer->Field("enabled", false);
+    writer->EndObject();
+    return;
+  }
+  writer->Field("enabled", true);
+  const std::vector<Sample> samples = Snapshot();
+  writer->Key("counters").BeginObject();
+  for (const Sample& sample : samples) {
+    if (sample.kind != Sample::Kind::kCounter) continue;
+    writer->Field(sample.name, static_cast<uint64_t>(sample.value));
+  }
+  writer->EndObject();
+  writer->Key("gauges").BeginObject();
+  for (const Sample& sample : samples) {
+    if (sample.kind != Sample::Kind::kGauge) continue;
+    writer->Field(sample.name, static_cast<int64_t>(sample.value));
+  }
+  writer->EndObject();
+  writer->Key("histograms").BeginObject();
+  for (const Sample& sample : samples) {
+    if (sample.kind != Sample::Kind::kHistogram) continue;
+    writer->Key(sample.name)
+        .BeginObject()
+        .Field("count", sample.count)
+        .Field("mean", sample.mean)
+        .Field("p50", sample.p50)
+        .Field("p95", sample.p95)
+        .EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string SnapshotJson() {
+  json::Writer writer;
+  WriteJson(&writer);
+  return writer.str();
+}
+
+void ResetForTesting() {
+  // Old instruments are leaked deliberately: a cached handle from a prior
+  // test must stay dereferenceable even if stale.
+  GlobalRegistry() = new Registry;
+  g_enabled.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace iawj::metrics

@@ -1,0 +1,177 @@
+// Process-wide live metrics registry (ISSUE 6 tentpole).
+//
+// Named counters, gauges, and log-bucketed histograms that every subsystem
+// publishes into: the runner (runs, scheduler steal totals, PMU counter
+// totals), the supervisor (retries, fallbacks, skipped windows, shed
+// tuples), and whatever the serving daemon grows next. One registry per
+// process; a snapshot serializes every instrument as one JSON object —
+// the run record's "metrics" block today, the `iawj_serve` scrape endpoint
+// tomorrow (ROADMAP item 1).
+//
+// Cost contract:
+//   - Disabled (the default: $IAWJ_METRICS_DIR unset, no ForceEnable):
+//     every Add/Set/Record is ONE relaxed atomic load and a branch — no
+//     other atomics, no locks, no allocation. Instrumented hot paths cost
+//     nothing in production.
+//   - Enabled: Counter::Add is one relaxed fetch_add on a cache-line-padded
+//     shard picked per thread, so 8 workers bumping one counter never
+//     contend on one line. Value() sums the shards (reader pays).
+//   - Lookup (GetCounter etc.) takes the registry mutex; call it once and
+//     cache the pointer — handles are stable for the process lifetime.
+//
+// Histograms reuse the log-bucketed fixed-memory LatencyHistogram
+// (common/histogram.h): constant footprint, ~6% bucket resolution,
+// quantiles by interpolation.
+#ifndef IAWJ_PROFILING_METRICS_H_
+#define IAWJ_PROFILING_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace iawj::json {
+class Writer;
+}
+
+namespace iawj::metrics {
+
+// Shard count: enough that a full 16-worker box rarely collides, small
+// enough that Value() stays trivial.
+inline constexpr int kShards = 16;
+
+// -1 = not yet resolved from the environment; 0/1 = resolved. Kept inline
+// so Enabled() compiles to a load + sign test on the hot path.
+inline std::atomic<int> g_enabled{-1};
+
+// Resolves the initial enabled state: true when $IAWJ_METRICS_DIR is set
+// (the same gate as run records — if you asked for telemetry files you get
+// live metrics feeding them). Out-of-line cold path.
+bool EnabledSlow();
+
+inline bool Enabled() {
+  const int state = g_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  return EnabledSlow();
+}
+
+// Overrides the environment either way; tests and the serving daemon use
+// this. Reset() (test hook) returns to env-driven.
+void ForceEnable(bool enabled);
+
+namespace internal {
+// Stable per-thread shard index; assigned round-robin on first use so
+// workers spread across shards regardless of thread-id hashing quality.
+int ThisThreadShard();
+}  // namespace internal
+
+// Monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Last-writer-wins gauge. One atomic — gauges are set per run, not per
+// tuple, so sharding would only blur the reading.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!Enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-bucketed histogram, sharded LatencyHistogram per shard with a small
+// per-shard lock (Record is per run/window, never per tuple).
+class Histogram {
+ public:
+  void Record(double value) {
+    if (!Enabled()) return;
+    Shard& shard = shards_[internal::ThisThreadShard()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.histogram.RecordMs(value);
+  }
+
+  // Merged view of all shards.
+  LatencyHistogram Merged() const {
+    LatencyHistogram merged;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      merged.Merge(shard.histogram);
+    }
+    return merged;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    LatencyHistogram histogram;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Registry lookups: returns the instrument registered under `name`,
+// creating it on first use. Pointers are stable for the process lifetime;
+// cache them outside hot loops. A name is bound to one instrument kind —
+// asking for a Counter named like an existing Gauge returns nullptr (and
+// logs once) instead of aliasing.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+
+// One instrument's snapshot row, name-sorted by Snapshot().
+struct Sample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind;
+  // Counter/gauge: `value`. Histogram: count/mean/p50/p95.
+  double value = 0;
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+};
+
+std::vector<Sample> Snapshot();
+
+// Serializes the registry as one JSON object:
+//   {"enabled": true, "counters": {...}, "gauges": {...},
+//    "histograms": {name: {count, mean, p50, p95}, ...}}
+// Writes {"enabled": false} when disabled. Used for the run record's
+// "metrics" block; `iawj_serve` will expose the same shape.
+void WriteJson(json::Writer* writer);
+std::string SnapshotJson();
+
+// Test hook: drops every instrument and returns Enabled() to env-driven.
+void ResetForTesting();
+
+}  // namespace iawj::metrics
+
+#endif  // IAWJ_PROFILING_METRICS_H_

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/profiling/pmu.h"
 #include "src/profiling/trace.h"
 
 namespace iawj {
@@ -54,13 +55,16 @@ class PhaseProfile {
 // RAII phase attribution. Nesting is allowed: time spent in an inner scope is
 // charged to the inner phase only. When the thread has a trace recorder
 // installed (trace::ScopedThreadTrace), the scope also emits a Chrome-trace
-// span named after the phase.
+// span named after the phase; when a PMU group is installed
+// (pmu::ScopedThreadPmu), entering/leaving the scope snapshots the hardware
+// counters so PMU deltas follow the same nesting rules as nanoseconds.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseProfile* profile, Phase phase)
       : profile_(profile),
         phase_(phase),
         traced_(trace::Active()),
+        pmu_prev_(pmu::SwitchPhase(phase)),
         start_(std::chrono::steady_clock::now()) {
     if (traced_) trace::BeginSpan(PhaseName(phase).data());
   }
@@ -69,6 +73,7 @@ class ScopedPhase {
                         std::chrono::steady_clock::now() - start_)
                         .count();
     profile_->AddNs(phase_, static_cast<uint64_t>(ns));
+    pmu::SwitchPhase(pmu_prev_);
     if (traced_) trace::EndSpan();
   }
 
@@ -79,6 +84,7 @@ class ScopedPhase {
   PhaseProfile* profile_;
   Phase phase_;
   bool traced_;
+  Phase pmu_prev_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -97,6 +103,7 @@ class PhaseStopwatch {
   explicit PhaseStopwatch(PhaseProfile* profile) : profile_(profile) {}
 
   void Switch(Phase phase) {
+    pmu::SwitchPhase(phase);  // throttled internally; see pmu.h cost model
     const auto now = std::chrono::steady_clock::now();
     if (running_) {
       profile_->AddNs(current_, static_cast<uint64_t>(

@@ -1,0 +1,433 @@
+#include "src/profiling/pmu.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/logging.h"
+#include "src/profiling/phase.h"
+
+namespace iawj::pmu {
+
+static_assert(kNumPhases <= kMaxPhases,
+              "PmuProfile phase rows must cover every Phase");
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr uint64_t HwCacheConfig(uint64_t cache, uint64_t op,
+                                 uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// errno -> an actionable reason. EACCES/EPERM almost always mean
+// kernel.perf_event_paranoid or a container seccomp policy.
+std::string OpenErrorReason(int err) {
+  std::string reason = std::strerror(err);
+  if (err == EACCES || err == EPERM) {
+    reason +=
+        " (kernel.perf_event_paranoid too high or container seccomp "
+        "policy; try sysctl kernel.perf_event_paranoid=1)";
+  } else if (err == ENOSYS) {
+    reason += " (kernel built without perf events)";
+  } else if (err == ENOENT) {
+    reason += " (event not supported on this CPU)";
+  }
+  return reason;
+}
+
+bool ValidEventName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+struct RequestedState {
+  std::once_flag once;
+  bool forced = false;
+  bool value = false;
+};
+RequestedState& GetRequestedState() {
+  static RequestedState state;
+  return state;
+}
+
+struct ProbeState {
+  std::once_flag once;
+  Availability availability;
+};
+ProbeState*& GetProbeState() {
+  static ProbeState* state = new ProbeState;
+  return state;
+}
+
+struct EventsState {
+  std::once_flag once;
+  std::vector<EventDef> events;
+  Status extras_status = Status::Ok();
+};
+EventsState*& GetEventsState() {
+  static EventsState* state = new EventsState;
+  return state;
+}
+
+// Parse status of $IAWJ_PMU_EVENTS, resolved alongside Events(); a
+// malformed value keeps the fixed six and turns Probe() unavailable so
+// the operator sees the mistake instead of silently losing their events.
+const Status& ExtrasStatus() {
+  Events();
+  return GetEventsState()->extras_status;
+}
+
+}  // namespace
+
+std::vector<EventDef> FixedEvents() {
+  return {
+      {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+      {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+      {"l1d_misses", PERF_TYPE_HW_CACHE,
+       HwCacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+      {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+      {"dtlb_misses", PERF_TYPE_HW_CACHE,
+       HwCacheConfig(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+      {"branch_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+  };
+}
+
+Status ParseExtraEvents(const std::string& text,
+                        std::vector<EventDef>* out) {
+  std::vector<EventDef> extras;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      if (text.empty()) break;  // "" parses to no extras
+      return Status::InvalidArgument(
+          "IAWJ_PMU_EVENTS: empty entry (want name=r<hex>[,name=r<hex>...])");
+    }
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("IAWJ_PMU_EVENTS: '" + entry +
+                                     "' has no '=' (want name=r<hex>)");
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (!ValidEventName(name)) {
+      return Status::InvalidArgument(
+          "IAWJ_PMU_EVENTS: bad event name '" + name +
+          "' (want [a-z0-9_]+)");
+    }
+    if (value.size() < 2 || value[0] != 'r') {
+      return Status::InvalidArgument(
+          "IAWJ_PMU_EVENTS: bad event spec '" + value +
+          "' for '" + name + "' (want r<hex>, a raw PMU encoding)");
+    }
+    char* end = nullptr;
+    errno = 0;
+    const uint64_t config = std::strtoull(value.c_str() + 1, &end, 16);
+    if (end == value.c_str() + 1 || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument(
+          "IAWJ_PMU_EVENTS: '" + value + "' is not r followed by hex");
+    }
+    for (const EventDef& fixed : FixedEvents()) {
+      if (fixed.name == name) {
+        return Status::InvalidArgument(
+            "IAWJ_PMU_EVENTS: '" + name + "' collides with a fixed event");
+      }
+    }
+    for (const EventDef& prior : extras) {
+      if (prior.name == name) {
+        return Status::InvalidArgument("IAWJ_PMU_EVENTS: duplicate event '" +
+                                       name + "'");
+      }
+    }
+    extras.push_back({name, PERF_TYPE_RAW, config});
+    if (static_cast<int>(extras.size()) > kMaxEvents - kNumFixedEvents) {
+      return Status::InvalidArgument(
+          "IAWJ_PMU_EVENTS: too many extra events (max " +
+          std::to_string(kMaxEvents - kNumFixedEvents) + ")");
+    }
+    if (comma == text.size()) break;
+  }
+  *out = std::move(extras);
+  return Status::Ok();
+}
+
+const std::vector<EventDef>& Events() {
+  EventsState* state = GetEventsState();
+  std::call_once(state->once, [state] {
+    state->events = FixedEvents();
+    const char* env = std::getenv("IAWJ_PMU_EVENTS");
+    if (env == nullptr || env[0] == '\0') return;
+    std::vector<EventDef> extras;
+    state->extras_status = ParseExtraEvents(env, &extras);
+    if (!state->extras_status.ok()) {
+      IAWJ_LOG(Warning) << "ignoring IAWJ_PMU_EVENTS: "
+                        << state->extras_status.ToString();
+      return;
+    }
+    for (EventDef& extra : extras) state->events.push_back(std::move(extra));
+  });
+  return state->events;
+}
+
+Status PmuGroup::Open() {
+  if (leader_fd_ >= 0) {
+    return Status::FailedPrecondition("pmu group already open");
+  }
+  const std::vector<EventDef>& events = Events();
+  for (int slot = 0; slot < static_cast<int>(events.size()); ++slot) {
+    const EventDef& event = events[slot];
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = event.type;
+    attr.config = event.config;
+    attr.disabled = leader_fd_ < 0 ? 1 : 0;  // start the group atomically
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.inherit = 0;
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const int fd = static_cast<int>(
+        PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, leader_fd_, 0));
+    if (fd < 0) {
+      const int err = errno;
+      if (leader_fd_ < 0) {
+        return Status::FailedPrecondition("perf_event_open(" + event.name +
+                                          "): " + OpenErrorReason(err));
+      }
+      // A sibling the PMU lacks (common for dTLB in VMs): drop the event,
+      // keep the group.
+      IAWJ_LOG(Warning) << "pmu: skipping event " << event.name << ": "
+                        << OpenErrorReason(err);
+      continue;
+    }
+    uint64_t id = 0;
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &id) != 0) {
+      close(fd);
+      if (leader_fd_ < 0) {
+        return Status::FailedPrecondition("PERF_EVENT_IOC_ID(" + event.name +
+                                          "): " + std::strerror(errno));
+      }
+      continue;
+    }
+    if (leader_fd_ < 0) leader_fd_ = fd;
+    fds_.push_back(fd);
+    open_names_.push_back(event.name);
+    ids_.push_back(id);
+    event_slots_.push_back(slot);
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  if (ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+    const std::string reason = std::strerror(errno);
+    Close();
+    return Status::FailedPrecondition("PERF_EVENT_IOC_ENABLE: " + reason);
+  }
+  return Status::Ok();
+}
+
+Status PmuGroup::ReadCounters(uint64_t* out) const {
+  for (int e = 0; e < kMaxEvents; ++e) out[e] = 0;
+  if (leader_fd_ < 0) {
+    return Status::FailedPrecondition("pmu group not open");
+  }
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+  // { value, id } per counter.
+  struct {
+    uint64_t nr;
+    uint64_t time_enabled;
+    uint64_t time_running;
+    struct {
+      uint64_t value;
+      uint64_t id;
+    } values[kMaxEvents];
+  } buffer;
+  const ssize_t want = static_cast<ssize_t>(
+      3 * sizeof(uint64_t) + open_names_.size() * 2 * sizeof(uint64_t));
+  const ssize_t got = read(leader_fd_, &buffer, sizeof(buffer));
+  if (got < want) {
+    return Status::FailedPrecondition(
+        "pmu group read returned " + std::to_string(got) + " bytes, want " +
+        std::to_string(want));
+  }
+  // Multiplex scaling: when more counters are requested than the PMU has,
+  // the kernel time-slices them; value * enabled / running estimates the
+  // full-run count.
+  const double scale =
+      buffer.time_running > 0
+          ? static_cast<double>(buffer.time_enabled) /
+                static_cast<double>(buffer.time_running)
+          : 1.0;
+  for (uint64_t i = 0; i < buffer.nr && i < uint64_t{kMaxEvents}; ++i) {
+    for (size_t e = 0; e < ids_.size(); ++e) {
+      if (ids_[e] == buffer.values[i].id) {
+        out[event_slots_[e]] = static_cast<uint64_t>(
+            static_cast<double>(buffer.values[i].value) * scale);
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void PmuGroup::Close() {
+  for (int fd : fds_) close(fd);
+  fds_.clear();
+  open_names_.clear();
+  ids_.clear();
+  event_slots_.clear();
+  leader_fd_ = -1;
+}
+
+bool Requested() {
+  RequestedState& state = GetRequestedState();
+  if (state.forced) return state.value;
+  std::call_once(state.once, [&state] {
+    if (state.forced) return;
+    const char* env = std::getenv("IAWJ_PMU");
+    state.value = env != nullptr && env[0] != '\0' &&
+                  !(env[0] == '0' && env[1] == '\0');
+  });
+  return state.value;
+}
+
+void ForceRequested(bool requested) {
+  RequestedState& state = GetRequestedState();
+  state.value = requested;
+  state.forced = true;
+}
+
+const Availability& Probe() {
+  ProbeState* state = GetProbeState();
+  std::call_once(state->once, [state] {
+    if (const Status& extras = ExtrasStatus(); !extras.ok()) {
+      state->availability.available = false;
+      state->availability.reason =
+          "pmu unavailable: " + std::string(extras.message());
+      return;
+    }
+    PmuGroup group;
+    if (const Status status = group.Open(); !status.ok()) {
+      state->availability.available = false;
+      state->availability.reason =
+          "pmu unavailable: " + std::string(status.message());
+      return;
+    }
+    uint64_t scratch[kMaxEvents];
+    if (const Status status = group.ReadCounters(scratch); !status.ok()) {
+      state->availability.available = false;
+      state->availability.reason =
+          "pmu unavailable: " + std::string(status.message());
+      return;
+    }
+    state->availability.available = true;
+  });
+  return state->availability;
+}
+
+void ThreadPmu::Switch(int next_phase) {
+  if (next_phase == current_phase) return;
+  const uint64_t now = NowNs();
+  if (now - last_sample_ns < kMinSampleNs) {
+    // Below the sampling grain: stay attributed to the current phase (the
+    // bounded-granularity contract; see the header comment). The eager
+    // engine flaps phases every tuple — snapshotting each flap would cost
+    // a read(2) per tuple.
+    return;
+  }
+  uint64_t now_values[kMaxEvents];
+  if (!group.ReadCounters(now_values).ok()) return;
+  uint64_t delta[kMaxEvents];
+  const int n = static_cast<int>(Events().size());  // slots, incl. skipped
+  for (int e = 0; e < n; ++e) {
+    // Clamp: multiplex scaling estimates can jitter a counter slightly
+    // backwards between reads; deltas must stay non-negative.
+    delta[e] = now_values[e] >= mark[e] ? now_values[e] - mark[e] : 0;
+    mark[e] = now_values[e];
+  }
+  out->Add(current_phase, delta, n);
+  current_phase = next_phase;
+  last_sample_ns = now;
+}
+
+ScopedThreadPmu::ScopedThreadPmu(PmuProfile* out) {
+  if (!Requested() || t_pmu != nullptr || out == nullptr) return;
+  if (!Probe().available) return;
+  if (!state_.group.Open().ok()) return;
+  state_.out = out;
+  state_.current_phase = static_cast<int>(Phase::kOther);
+  uint64_t values[kMaxEvents];
+  if (!state_.group.ReadCounters(values).ok()) {
+    state_.group.Close();
+    return;
+  }
+  for (int e = 0; e < kMaxEvents; ++e) state_.mark[e] = values[e];
+  state_.last_sample_ns = NowNs();
+  t_pmu = &state_;
+  installed_ = true;
+}
+
+void ScopedThreadPmu::Finish() {
+  if (!installed_) return;
+  // Attribute the tail delta to whatever phase is current, bypassing the
+  // sampling throttle so short runs still report counts.
+  uint64_t values[kMaxEvents];
+  if (state_.group.ReadCounters(values).ok()) {
+    uint64_t delta[kMaxEvents];
+    const int n = static_cast<int>(Events().size());
+    for (int e = 0; e < n; ++e) {
+      delta[e] = values[e] >= state_.mark[e] ? values[e] - state_.mark[e] : 0;
+    }
+    state_.out->Add(state_.current_phase, delta, n);
+  }
+  state_.group.Close();
+  t_pmu = nullptr;
+  installed_ = false;
+}
+
+Phase SwitchPhase(Phase next) {
+  ThreadPmu* state = t_pmu;
+  if (state == nullptr) return next;
+  const Phase previous = static_cast<Phase>(state->current_phase);
+  state->Switch(static_cast<int>(next));
+  return previous;
+}
+
+void ResetForTesting() {
+  GetRequestedState().forced = false;
+  // The once_flags cannot be rearmed; replace the cached states wholesale.
+  // (Leaks one small struct per reset — test-only.)
+  GetProbeState() = new ProbeState;
+  GetEventsState() = new EventsState;
+}
+
+}  // namespace iawj::pmu

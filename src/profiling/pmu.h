@@ -1,0 +1,238 @@
+// Hardware PMU counters via perf_event_open(2) (ISSUE 6 tentpole).
+//
+// The paper's microarchitectural exhibits (§5.6, Table 5, Figs. 8/19) are
+// built on real PMU counters read through Intel PCM; until now this repo
+// only reproduced them on the trace-driven cache *simulator*
+// (profiling/cache_sim.h). This subsystem measures the actual hardware:
+// each worker thread opens one perf event group — cycles, instructions,
+// L1D misses, LLC misses, dTLB misses, branch misses, plus extra raw
+// events from $IAWJ_PMU_EVENTS — and the phase-attribution hooks in
+// profiling/phase.h snapshot the group at phase boundaries, so every phase
+// of every worker gets real counter deltas next to its nanoseconds.
+//
+// Degradation is graceful by construction: perf_event_open is refused in
+// most containers (seccomp) and on hosts with kernel.perf_event_paranoid
+// >= 2 for unprivileged users. Availability is probed once per process and
+// cached; when the kernel refuses, every run still completes normally and
+// reports {available: false, reason: "pmu unavailable: ..."} in its run
+// record — PMU absence is a measurement note, never a failure.
+//
+// Cost model: with PMU off (not requested, or unavailable) the per-phase
+// hook is one thread-local pointer load. With PMU on, group reads are
+// throttled to kMinSampleNs so the eager engine's tuple-granular phase
+// flapping cannot degenerate into a read(2) per tuple: counts accrued
+// below the threshold stay attributed to the phase that was current at
+// the last snapshot — the same bounded-granularity contract the trace
+// timeline uses (see PhaseStopwatch).
+#ifndef IAWJ_PROFILING_PMU_H_
+#define IAWJ_PROFILING_PMU_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace iawj {
+
+enum class Phase : int;  // profiling/phase.h
+
+namespace pmu {
+
+// Fixed event slots + room for $IAWJ_PMU_EVENTS extras. kMaxPhases must
+// cover kNumPhases (static_assert in pmu.cc — the two headers cannot
+// include each other).
+inline constexpr int kMaxEvents = 16;
+inline constexpr int kMaxPhases = 8;
+inline constexpr int kNumFixedEvents = 6;
+
+// Group reads are throttled to one per this many nanoseconds per thread;
+// phase switches below the threshold keep accruing into the current phase.
+inline constexpr uint64_t kMinSampleNs = 50 * 1000;  // 50 us
+
+// One counter to open: a perf_event_attr (type, config) plus its report
+// name. The fixed six use PERF_TYPE_HARDWARE / PERF_TYPE_HW_CACHE; extras
+// from $IAWJ_PMU_EVENTS are PERF_TYPE_RAW.
+struct EventDef {
+  std::string name;
+  uint32_t type = 0;
+  uint64_t config = 0;
+};
+
+// The fixed event list every group opens.
+std::vector<EventDef> FixedEvents();
+
+// Parses the $IAWJ_PMU_EVENTS grammar: a comma-separated list of
+// name=r<hex> raw events (e.g. "offcore_misses=r01b7,uops=r010e"). Names
+// must be [a-z0-9_]+ and unique against the fixed set; at most
+// kMaxEvents - kNumFixedEvents extras fit. Malformed input returns
+// invalid_argument and leaves *out untouched.
+Status ParseExtraEvents(const std::string& text,
+                        std::vector<EventDef>* out);
+
+// The process-wide resolved event list: fixed + $IAWJ_PMU_EVENTS extras,
+// cached on first call. A malformed $IAWJ_PMU_EVENTS drops the extras and
+// surfaces through Probe() as unavailable instead.
+const std::vector<EventDef>& Events();
+
+// Per-worker, per-phase counter deltas. Plain uint64 arrays — each worker
+// owns exactly one, merged by the runner like PhaseProfile.
+class PmuProfile {
+ public:
+  PmuProfile() {
+    for (auto& row : values_) row.fill(0);
+  }
+
+  void Add(int phase, const uint64_t* delta, int n) {
+    for (int e = 0; e < n; ++e) values_[phase][e] += delta[e];
+  }
+
+  void Merge(const PmuProfile& other) {
+    for (int p = 0; p < kMaxPhases; ++p) {
+      for (int e = 0; e < kMaxEvents; ++e) {
+        values_[p][e] += other.values_[p][e];
+      }
+    }
+  }
+
+  uint64_t Get(int phase, int event) const { return values_[phase][event]; }
+
+  // Sum over phases — the run total for one event; phase deltas can never
+  // exceed it, which iawj_trace_check --records asserts.
+  uint64_t Total(int event) const {
+    uint64_t total = 0;
+    for (int p = 0; p < kMaxPhases; ++p) total += values_[p][event];
+    return total;
+  }
+
+  bool empty() const {
+    for (int p = 0; p < kMaxPhases; ++p) {
+      for (int e = 0; e < kMaxEvents; ++e) {
+        if (values_[p][e] != 0) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::array<uint64_t, kMaxEvents>, kMaxPhases> values_;
+};
+
+// What a run reports about its PMU measurement: either per-phase deltas
+// for the named events, or the reason there are none. Embedded in
+// RunResult and serialized as the run record's "pmu" block.
+struct PmuReport {
+  bool requested = false;  // was PMU measurement asked for at all
+  bool available = false;
+  std::string reason;              // set when !available
+  std::vector<std::string> events;  // names, parallel to profile indices
+  PmuProfile profile;              // summed across workers
+};
+
+// One thread's perf event group. Open() must be called on the measured
+// thread (events are bound to the calling thread, any CPU). Not
+// thread-safe; each worker owns exactly one.
+class PmuGroup {
+ public:
+  PmuGroup() = default;
+  ~PmuGroup() { Close(); }
+  PmuGroup(const PmuGroup&) = delete;
+  PmuGroup& operator=(const PmuGroup&) = delete;
+
+  // Opens one counter per Events() entry as a single group on the calling
+  // thread. A refused leader fails the whole group (failed_precondition
+  // with the errno spelled out); a refused sibling is skipped — its slot
+  // reads as zero and its name is dropped from event_names().
+  Status Open();
+
+  bool ok() const { return leader_fd_ >= 0; }
+  int num_events() const { return static_cast<int>(open_names_.size()); }
+  const std::vector<std::string>& event_names() const { return open_names_; }
+
+  // Reads all open counters, multiplex-scaled (value * enabled / running).
+  // out must hold kMaxEvents slots and is indexed by the Events() order —
+  // slots of skipped siblings (and beyond Events().size()) read as zero, so
+  // counter index i always means Events()[i] regardless of what opened.
+  Status ReadCounters(uint64_t* out) const;
+
+  void Close();
+
+ private:
+  int leader_fd_ = -1;
+  std::vector<int> fds_;                 // all fds including the leader
+  std::vector<std::string> open_names_;  // names of successfully opened
+  std::vector<uint64_t> ids_;            // perf ids, parallel to open_names_
+  std::vector<int> event_slots_;         // Events() index, parallel to ids_
+};
+
+// Whether PMU measurement was requested: $IAWJ_PMU=1, or forced
+// programmatically (the --counters=pmu flag path). Cached after first use;
+// ForceRequested overrides either way.
+bool Requested();
+void ForceRequested(bool requested);
+
+struct Availability {
+  bool available = false;
+  std::string reason;  // "pmu unavailable: <why>" when !available
+};
+
+// Probes availability once per process (opens and closes a scratch group
+// on the calling thread) and caches the outcome. Safe to call from any
+// thread; never fails — refusal becomes {false, reason}.
+const Availability& Probe();
+
+// --- Per-thread phase attribution ----------------------------------------
+
+// Installed state for the current thread; non-null only between
+// ScopedThreadPmu construction and Finish()/destruction.
+struct ThreadPmu {
+  PmuGroup group;
+  PmuProfile* out = nullptr;
+  int current_phase = 0;
+  uint64_t last_sample_ns = 0;
+  std::array<uint64_t, kMaxEvents> mark{};  // counter values at last sample
+
+  // Snapshots the group and attributes the delta since `mark` to
+  // current_phase (clamped at zero per event: multiplex scaling can jitter
+  // estimates downward). Then switches to next_phase.
+  void Switch(int next_phase);
+};
+
+inline thread_local ThreadPmu* t_pmu = nullptr;
+
+// RAII: opens this thread's event group (when PMU is requested and
+// available) and installs the phase hook; the destructor attributes the
+// trailing delta and uninstalls. Zero side effects when PMU is off.
+class ScopedThreadPmu {
+ public:
+  explicit ScopedThreadPmu(PmuProfile* out);
+  ~ScopedThreadPmu() { Finish(); }
+
+  ScopedThreadPmu(const ScopedThreadPmu&) = delete;
+  ScopedThreadPmu& operator=(const ScopedThreadPmu&) = delete;
+
+  bool installed() const { return installed_; }
+
+  // Final snapshot + uninstall, idempotent; lets the runner read per-worker
+  // totals (trace counter tracks) before the scope unwinds.
+  void Finish();
+
+ private:
+  ThreadPmu state_;
+  bool installed_ = false;
+};
+
+// Phase hook used by ScopedPhase / PhaseStopwatch (profiling/phase.h).
+// Returns the phase that was current before the call so RAII scopes can
+// restore it. Cost with PMU off: one thread-local load.
+Phase SwitchPhase(Phase next);
+
+// Test hook: drops the cached Requested/Probe/Events state so tests can
+// exercise the env-parsing and refusal paths repeatedly.
+void ResetForTesting();
+
+}  // namespace pmu
+}  // namespace iawj
+
+#endif  // IAWJ_PROFILING_PMU_H_

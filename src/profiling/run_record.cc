@@ -14,6 +14,7 @@
 
 #include "src/common/json.h"
 #include "src/common/logging.h"
+#include "src/profiling/metrics.h"
 
 namespace iawj {
 
@@ -82,7 +83,11 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // v4: adds spec.scheduler / spec.scheduler_resolved / spec.morsel_size and
   // the `scheduler` block (per-worker morsel/steal counters) for morsel
   // runs; static runs omit the block.
-  w.Field("record_version", int64_t{4});
+  // v5: adds the always-present `pmu` block (hardware counter deltas per
+  // phase when measured; {available: false, reason} otherwise) and the
+  // always-present `metrics` block (live registry snapshot, or
+  // {enabled: false}).
+  w.Field("record_version", int64_t{5});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -207,6 +212,58 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
     w.Key(PhaseName(phase)).Uint(result.phases.GetNs(phase));
   }
   w.EndObject();
+
+  // v5: always present. `available` leads the block — downstream greps key
+  // on the literal prefix `"pmu": {"available": ...`. When measured, totals
+  // are the per-event sums over phases, so any per-phase delta is <= its
+  // total by construction (iawj_trace_check --records asserts this).
+  w.Key("pmu").BeginObject();
+  w.Field("available", result.pmu.available);
+  w.Field("requested", result.pmu.requested);
+  if (!result.pmu.available) {
+    w.Field("reason", result.pmu.reason);
+  } else {
+    const int num_events = static_cast<int>(result.pmu.events.size());
+    w.Key("events").BeginArray();
+    for (const std::string& name : result.pmu.events) w.String(name);
+    w.EndArray();
+    w.Key("totals").BeginObject();
+    for (int e = 0; e < num_events; ++e) {
+      w.Key(result.pmu.events[e]).Uint(result.pmu.profile.Total(e));
+    }
+    w.EndObject();
+    w.Key("per_input").BeginObject();
+    for (int e = 0; e < num_events; ++e) {
+      const double per_input =
+          result.inputs > 0
+              ? static_cast<double>(result.pmu.profile.Total(e)) /
+                    static_cast<double>(result.inputs)
+              : 0;
+      w.Key(result.pmu.events[e]).Double(per_input);
+    }
+    w.EndObject();
+    const uint64_t cycles = result.pmu.profile.Total(0);
+    const uint64_t instructions = result.pmu.profile.Total(1);
+    w.Field("ipc", cycles > 0 ? static_cast<double>(instructions) /
+                                    static_cast<double>(cycles)
+                              : 0.0);
+    w.Key("phases").BeginObject();
+    for (int p = 0; p < kNumPhases; ++p) {
+      const Phase phase = static_cast<Phase>(p);
+      w.Key(PhaseName(phase)).BeginObject();
+      for (int e = 0; e < num_events; ++e) {
+        w.Key(result.pmu.events[e]).Uint(result.pmu.profile.Get(p, e));
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+
+  // v5: always present — a snapshot of the live metrics registry, or
+  // {enabled: false} when $IAWJ_METRICS_DIR is unset and nothing forced it.
+  w.Key("metrics");
+  metrics::WriteJson(&w);
 
   w.EndObject();
   return w.str();

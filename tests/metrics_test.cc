@@ -1,0 +1,181 @@
+// Tests for the live metrics registry (profiling/metrics.h): the sharded
+// counters must lose no increments under contention, the disabled path
+// must be a no-op, and the JSON snapshot must parse back into the shape
+// the run record embeds.
+#include "src/profiling/metrics.h"
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/json.h"
+
+namespace iawj::metrics {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("IAWJ_METRICS_DIR");
+    ResetForTesting();
+  }
+  void TearDown() override {
+    unsetenv("IAWJ_METRICS_DIR");
+    ResetForTesting();
+  }
+};
+
+TEST_F(MetricsTest, DisabledByDefaultWithoutMetricsDir) {
+  EXPECT_FALSE(Enabled());
+  Counter* counter = GetCounter("test.disabled");
+  ASSERT_NE(counter, nullptr);
+  counter->Add(42);
+  EXPECT_EQ(counter->Value(), 0u);  // Add is a no-op while disabled
+  Gauge* gauge = GetGauge("test.disabled_gauge");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(7);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+TEST_F(MetricsTest, EnabledViaMetricsDirEnv) {
+  setenv("IAWJ_METRICS_DIR", "/tmp/does-not-need-to-exist", 1);
+  ResetForTesting();
+  EXPECT_TRUE(Enabled());
+}
+
+TEST_F(MetricsTest, CounterLosesNoIncrementsUnderEightThreads) {
+  ForceEnable(true);
+  Counter* counter = GetCounter("test.concurrent");
+  ASSERT_NE(counter, nullptr);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddWithDeltaAndGaugeLastWriterWins) {
+  ForceEnable(true);
+  Counter* counter = GetCounter("test.delta");
+  counter->Add(3);
+  counter->Add(4);
+  EXPECT_EQ(counter->Value(), 7u);
+  Gauge* gauge = GetGauge("test.gauge");
+  gauge->Set(10);
+  gauge->Set(-2);
+  EXPECT_EQ(gauge->Value(), -2);
+}
+
+TEST_F(MetricsTest, HistogramMergesShardsAcrossThreads) {
+  ForceEnable(true);
+  Histogram* histogram = GetHistogram("test.latency");
+  ASSERT_NE(histogram, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 1; i <= 100; ++i) histogram->Record(i);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const LatencyHistogram merged = histogram->Merged();
+  EXPECT_EQ(merged.count(), 400u);
+  EXPECT_GT(merged.QuantileMs(0.95), merged.QuantileMs(0.5));
+}
+
+TEST_F(MetricsTest, NameBoundToOneKind) {
+  ForceEnable(true);
+  ASSERT_NE(GetCounter("test.kind"), nullptr);
+  EXPECT_EQ(GetGauge("test.kind"), nullptr);
+  EXPECT_EQ(GetHistogram("test.kind"), nullptr);
+  // The original registration keeps working.
+  EXPECT_NE(GetCounter("test.kind"), nullptr);
+}
+
+TEST_F(MetricsTest, HandlesAreStableAcrossLookups) {
+  ForceEnable(true);
+  Counter* first = GetCounter("test.stable");
+  Counter* second = GetCounter("test.stable");
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted) {
+  ForceEnable(true);
+  GetCounter("zz.last")->Add(1);
+  GetCounter("aa.first")->Add(2);
+  GetGauge("mm.middle")->Set(3);
+  const std::vector<Sample> samples = Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "aa.first");
+  EXPECT_EQ(samples[1].name, "mm.middle");
+  EXPECT_EQ(samples[2].name, "zz.last");
+  EXPECT_EQ(samples[0].kind, Sample::Kind::kCounter);
+  EXPECT_EQ(samples[0].value, 2.0);
+  EXPECT_EQ(samples[1].kind, Sample::Kind::kGauge);
+  EXPECT_EQ(samples[1].value, 3.0);
+}
+
+TEST_F(MetricsTest, JsonSnapshotParsesBackWithAllSections) {
+  ForceEnable(true);
+  GetCounter("runs.total")->Add(5);
+  GetGauge("threads")->Set(4);
+  GetHistogram("elapsed")->Record(1.5);
+  const std::string text = SnapshotJson();
+  json::Value doc;
+  ASSERT_TRUE(json::Parse(text, &doc).ok()) << text;
+  ASSERT_TRUE(doc.is_object()) << text;
+  const json::Value* enabled = doc.Find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_TRUE(enabled->boolean);
+  const json::Value* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  const json::Value* total = counters->Find("runs.total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_DOUBLE_EQ(total->number, 5.0);
+  const json::Value* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("threads"), nullptr);
+  const json::Value* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const json::Value* elapsed = histograms->Find("elapsed");
+  ASSERT_NE(elapsed, nullptr);
+  ASSERT_TRUE(elapsed->is_object());
+  const json::Value* count = elapsed->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->number, 1.0);
+}
+
+TEST_F(MetricsTest, JsonSnapshotWhenDisabledIsJustTheFlag) {
+  ForceEnable(false);
+  const std::string text = SnapshotJson();
+  json::Value doc;
+  ASSERT_TRUE(json::Parse(text, &doc).ok()) << text;
+  ASSERT_TRUE(doc.is_object()) << text;
+  const json::Value* enabled = doc.Find("enabled");
+  ASSERT_NE(enabled, nullptr);
+  EXPECT_FALSE(enabled->boolean);
+  EXPECT_EQ(doc.Find("counters"), nullptr);
+}
+
+TEST_F(MetricsTest, ResetDropsInstrumentsButKeepsOldHandlesSafe) {
+  ForceEnable(true);
+  Counter* old_handle = GetCounter("test.reset");
+  old_handle->Add(9);
+  ResetForTesting();
+  ForceEnable(true);
+  // A fresh lookup starts from zero; the old handle stays dereferenceable
+  // (the registry leaks deliberately so cached pointers never dangle).
+  Counter* fresh = GetCounter("test.reset");
+  EXPECT_EQ(fresh->Value(), 0u);
+  EXPECT_EQ(old_handle->Value(), 9u);
+}
+
+}  // namespace
+}  // namespace iawj::metrics

@@ -1,0 +1,217 @@
+// Tests for the perf_event_open counter subsystem (profiling/pmu.h).
+//
+// Hardware counters are unavailable on most CI hosts (seccomp or
+// perf_event_paranoid), so the tests split into two groups: the env-parsing
+// and degradation contracts, which must hold everywhere, and the
+// measurement contracts, which run only when Probe() says the kernel
+// cooperates and GTEST_SKIP otherwise — a skip documents the host, a
+// failure means the graceful-degradation promise broke.
+#include "src/profiling/pmu.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "src/datagen/micro.h"
+#include "src/join/runner.h"
+#include "src/profiling/phase.h"
+
+namespace iawj::pmu {
+namespace {
+
+class PmuTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("IAWJ_PMU");
+    unsetenv("IAWJ_PMU_EVENTS");
+    ResetForTesting();
+  }
+  void TearDown() override {
+    unsetenv("IAWJ_PMU");
+    unsetenv("IAWJ_PMU_EVENTS");
+    ResetForTesting();
+  }
+};
+
+TEST_F(PmuTest, FixedEventListHasTheSixPaperCounters) {
+  const std::vector<EventDef> fixed = FixedEvents();
+  ASSERT_EQ(fixed.size(), static_cast<size_t>(kNumFixedEvents));
+  EXPECT_EQ(fixed[0].name, "cycles");
+  EXPECT_EQ(fixed[1].name, "instructions");
+  EXPECT_EQ(fixed[2].name, "l1d_misses");
+  EXPECT_EQ(fixed[3].name, "llc_misses");
+  EXPECT_EQ(fixed[4].name, "dtlb_misses");
+  EXPECT_EQ(fixed[5].name, "branch_misses");
+}
+
+TEST_F(PmuTest, ParseExtraEventsAcceptsTheDocumentedGrammar) {
+  std::vector<EventDef> extras;
+  ASSERT_TRUE(ParseExtraEvents("offcore=r01b7,uops=r010e", &extras).ok());
+  ASSERT_EQ(extras.size(), 2u);
+  EXPECT_EQ(extras[0].name, "offcore");
+  EXPECT_EQ(extras[0].config, 0x01b7u);
+  EXPECT_EQ(extras[1].name, "uops");
+  EXPECT_EQ(extras[1].config, 0x010eu);
+}
+
+TEST_F(PmuTest, ParseExtraEventsRejectsMalformedInput) {
+  // Every malformed input must come back invalid_argument and leave the
+  // output alone.
+  for (const char* bad :
+       {"noequals", "=r01", "name=", "name=01b7", "name=rzz",
+        "UPPER=r01", "cycles=r01", "dup=r01,dup=r02", "a=r01,,b=r02"}) {
+    std::vector<EventDef> extras;
+    const Status status = ParseExtraEvents(bad, &extras);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << "input: " << bad << " -> " << status.ToString();
+    EXPECT_TRUE(extras.empty()) << "input: " << bad;
+  }
+}
+
+TEST_F(PmuTest, ParseExtraEventsCapsTheExtraCount) {
+  std::string many;
+  for (int i = 0; i < kMaxEvents; ++i) {
+    if (!many.empty()) many += ",";
+    many += "e";
+    many += std::to_string(i);
+    many += "=r";
+    many += std::to_string(i + 1);
+  }
+  std::vector<EventDef> extras;
+  EXPECT_EQ(ParseExtraEvents(many, &extras).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PmuTest, NotRequestedWithoutEnvOrForce) {
+  EXPECT_FALSE(Requested());
+  ForceRequested(true);
+  EXPECT_TRUE(Requested());
+  ForceRequested(false);
+  EXPECT_FALSE(Requested());
+}
+
+TEST_F(PmuTest, ProbeNeverFailsAndGivesAReasonWhenUnavailable) {
+  const Availability& avail = Probe();
+  if (!avail.available) {
+    // The degradation contract: a refusal names itself.
+    EXPECT_NE(avail.reason.find("pmu unavailable:"), std::string::npos)
+        << avail.reason;
+  } else {
+    EXPECT_TRUE(avail.reason.empty());
+  }
+}
+
+TEST_F(PmuTest, MalformedExtrasSurfaceThroughProbeAsUnavailable) {
+  setenv("IAWJ_PMU_EVENTS", "not a grammar", 1);
+  ResetForTesting();
+  const Availability& avail = Probe();
+  EXPECT_FALSE(avail.available);
+  EXPECT_NE(avail.reason.find("IAWJ_PMU_EVENTS"), std::string::npos)
+      << avail.reason;
+}
+
+TEST_F(PmuTest, ScopedThreadPmuIsInertWhenNotRequested) {
+  ForceRequested(false);
+  PmuProfile profile;
+  ScopedThreadPmu scoped(&profile);
+  EXPECT_FALSE(scoped.installed());
+  EXPECT_EQ(t_pmu, nullptr);
+  // SwitchPhase with no installed state is a no-op returning its input.
+  EXPECT_EQ(SwitchPhase(Phase::kProbe), Phase::kProbe);
+  EXPECT_TRUE(profile.empty());
+}
+
+TEST_F(PmuTest, ProfileMergeAndTotalSumOverPhases) {
+  PmuProfile a, b;
+  const uint64_t delta_a[2] = {10, 20};
+  const uint64_t delta_b[2] = {1, 2};
+  a.Add(static_cast<int>(Phase::kBuild), delta_a, 2);
+  b.Add(static_cast<int>(Phase::kProbe), delta_b, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(static_cast<int>(Phase::kBuild), 0), 10u);
+  EXPECT_EQ(a.Get(static_cast<int>(Phase::kProbe), 0), 1u);
+  EXPECT_EQ(a.Total(0), 11u);
+  EXPECT_EQ(a.Total(1), 22u);
+  EXPECT_FALSE(a.empty());
+}
+
+// --- Hardware-dependent group tests (skip when the kernel refuses) --------
+
+TEST_F(PmuTest, GroupOpenSnapshotClose) {
+  ForceRequested(true);
+  if (!Probe().available) GTEST_SKIP() << Probe().reason;
+  PmuGroup group;
+  ASSERT_TRUE(group.Open().ok());
+  EXPECT_TRUE(group.ok());
+  EXPECT_GE(group.num_events(), 1);
+
+  // Burn some cycles so the counters move between snapshots.
+  uint64_t before[kMaxEvents], after[kMaxEvents];
+  ASSERT_TRUE(group.ReadCounters(before).ok());
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + static_cast<uint64_t>(i) * 31;
+  }
+  ASSERT_TRUE(group.ReadCounters(after).ok());
+  EXPECT_GT(after[0], before[0]) << "cycles did not advance";
+  EXPECT_GT(after[1], before[1]) << "instructions did not advance";
+
+  group.Close();
+  EXPECT_FALSE(group.ok());
+  EXPECT_EQ(group.ReadCounters(before).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PmuTest, RunnerAttributesCountersToPhases) {
+  ForceRequested(true);
+  if (!Probe().available) GTEST_SKIP() << Probe().reason;
+
+  MicroSpec mspec;
+  mspec.size_r = 20000;
+  mspec.size_s = 20000;
+  mspec.window_ms = 100;
+  const MicroWorkload w = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 100;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.pmu.requested);
+  EXPECT_TRUE(result.pmu.available);
+  ASSERT_GE(result.pmu.events.size(),
+            static_cast<size_t>(kNumFixedEvents));
+  EXPECT_GT(result.pmu.profile.Total(0), 0u) << "no cycles measured";
+  // Totals are sums over phases by construction; spot-check the invariant
+  // the record validator relies on.
+  for (int e = 0; e < kNumFixedEvents; ++e) {
+    uint64_t phase_sum = 0;
+    for (int p = 0; p < kMaxPhases; ++p) {
+      phase_sum += result.pmu.profile.Get(p, e);
+    }
+    EXPECT_EQ(phase_sum, result.pmu.profile.Total(e));
+  }
+}
+
+TEST_F(PmuTest, RunnerReportsUnavailableWithReasonWhenBlocked) {
+  // Regardless of host capability, an unrequested run must say why there
+  // is no PMU data. Force-off: Requested() caches its env resolution, and
+  // earlier tests force it on.
+  ForceRequested(false);
+  MicroSpec mspec;
+  mspec.size_r = 100;
+  mspec.size_s = 100;
+  mspec.window_ms = 10;
+  const MicroWorkload w = GenerateMicro(mspec);
+  JoinSpec spec;
+  spec.num_threads = 1;
+  spec.window_ms = 10;
+  JoinRunner runner;
+  const RunResult result = runner.Run(AlgorithmId::kNpj, w.r, w.s, spec);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_FALSE(result.pmu.requested);
+  EXPECT_FALSE(result.pmu.available);
+  EXPECT_FALSE(result.pmu.reason.empty());
+}
+
+}  // namespace
+}  // namespace iawj::pmu

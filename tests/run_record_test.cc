@@ -110,15 +110,43 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsFourWithoutOptionalBlocksForPlainRuns) {
+TEST(RunRecord, VersionIsFiveWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 4);
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 5);
   // Unsupervised static runs carry neither optional block.
   EXPECT_EQ(record.Find("recovery"), nullptr);
   EXPECT_EQ(record.Find("scheduler"), nullptr);
+}
+
+TEST(RunRecord, PmuAndMetricsBlocksAlwaysPresentInV5) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+
+  // The pmu block is present whether or not counters were measured; an
+  // unmeasured run says why there is no data.
+  const json::Value* pmu = record.Find("pmu");
+  ASSERT_NE(pmu, nullptr);
+  ASSERT_TRUE(pmu->is_object());
+  const json::Value* available = pmu->Find("available");
+  ASSERT_NE(available, nullptr);
+  if (!available->boolean) {
+    const json::Value* reason = pmu->Find("reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_FALSE(reason->string.empty());
+  } else {
+    EXPECT_NE(pmu->Find("totals"), nullptr);
+    EXPECT_NE(pmu->Find("phases"), nullptr);
+  }
+
+  const json::Value* metrics = record.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  ASSERT_NE(metrics->Find("enabled"), nullptr);
 }
 
 TEST(RunRecord, SchedulerBlockRoundTripsForMorselRuns) {

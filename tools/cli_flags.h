@@ -78,6 +78,9 @@ inline constexpr FlagInfo kFlags[] = {
     {"supervisor-seed", "<n>", "supervisor: shedding seed (default 42)"},
 
     // Output.
+    {"counters", "<mode>",
+     "counter source: off|sim|pmu; pmu = hardware perf events, sim = "
+     "cache simulator (default off, $IAWJ_PMU=1 implies pmu)"},
     {"objective", "<name>",
      "adaptive: throughput|latency|progress (default throughput)"},
     {"csv", "<path>", "also write the metrics table as CSV"},

@@ -22,6 +22,8 @@
 #include "src/join/runner.h"
 #include "src/join/supervisor.h"
 #include "src/join/window_pipeline.h"
+#include "src/profiling/cache_sim.h"
+#include "src/profiling/pmu.h"
 #include "src/profiling/run_record.h"
 #include "src/report/report.h"
 #include "tools/cli_flags.h"
@@ -196,6 +198,23 @@ int Run(int argc, char** argv) {
   const std::string csv_path = flags.GetString("csv", "");
   const std::string objective = flags.GetString("objective", "throughput");
 
+  // Counter source: off (default), pmu (hardware counters measured inside
+  // the normal run; $IAWJ_PMU=1 makes this the default), or sim (swap in
+  // the cache-simulator-instrumented algorithm — single-window,
+  // non-adaptive runs only). A pmu request on a host that refuses
+  // perf_event_open is NOT an error: the run proceeds and its record
+  // carries {available: false, reason}.
+  const std::string counters =
+      flags.GetString("counters", pmu::Requested() ? "pmu" : "off");
+  if (counters == "pmu") {
+    pmu::ForceRequested(true);
+    if (const pmu::Availability& avail = pmu::Probe(); !avail.available) {
+      std::fprintf(stderr, "note: %s\n", avail.reason.c_str());
+    }
+  } else if (counters != "off" && counters != "sim") {
+    return Fail("unknown --counters (off|sim|pmu)");
+  }
+
   if (const auto unknown = flags.Unknown(); !unknown.empty()) {
     std::string all;
     for (const auto& u : unknown) all += " --" + u;
@@ -265,6 +284,34 @@ int Run(int argc, char** argv) {
       add_row(std::string(AlgorithmName(id)),
               static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
+    } else if (counters == "sim") {
+      // Simulated counters need the traced algorithm variant, which runs
+      // outside the supervisor (deterministic replay, no retries).
+      std::vector<CacheSim> sims;
+      for (int t = 0; t < spec.num_threads; ++t) {
+        sims.push_back(CacheSim::XeonGold6126());
+      }
+      std::vector<CacheSim*> ptrs;
+      for (auto& sim : sims) ptrs.push_back(&sim);
+      auto traced = CreateTracedAlgorithm(id);
+      JoinRunner runner;
+      const RunResult result =
+          runner.RunWith(traced.get(), r, s, spec, ptrs.data());
+      run_status = result.status;
+      MaybeWriteRunRecord(result, spec,
+                          {.bench = "iawj_cli", .workload = workload_name});
+      add_row(result.algorithm, 1, result.inputs, result.matches,
+              result.throughput_per_ms, result.p95_latency_ms,
+              result.progress.TimeToFractionMs(0.5),
+              static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+      CacheCounters total;
+      for (const auto& sim : sims) total += sim.Total();
+      const double inputs =
+          result.inputs > 0 ? static_cast<double>(result.inputs) : 1;
+      std::printf("counters[sim]: L1D/in=%.3f L2/in=%.3f L3/in=%.3f "
+                  "TLBD/in=%.3f\n",
+                  total.l1_misses / inputs, total.l2_misses / inputs,
+                  total.l3_misses / inputs, total.tlb_misses / inputs);
     } else {
       // Supervisor::Run is a plain JoinRunner::Run when no policy is
       // configured (flags above or environment), so the unsupervised path
@@ -279,6 +326,21 @@ int Run(int argc, char** argv) {
               result.throughput_per_ms, result.p95_latency_ms,
               result.progress.TimeToFractionMs(0.5),
               static_cast<double>(result.peak_tracked_bytes) / (1 << 20));
+      if (result.pmu.available && result.inputs > 0) {
+        const double inputs = static_cast<double>(result.inputs);
+        const double cycles =
+            static_cast<double>(result.pmu.profile.Total(0));
+        const double instructions =
+            static_cast<double>(result.pmu.profile.Total(1));
+        std::printf("counters[pmu]: cyc/in=%.1f IPC=%.2f L1D/in=%.3f "
+                    "LLC/in=%.3f TLBD/in=%.3f BR/in=%.3f\n",
+                    cycles / inputs,
+                    cycles > 0 ? instructions / cycles : 0,
+                    static_cast<double>(result.pmu.profile.Total(2)) / inputs,
+                    static_cast<double>(result.pmu.profile.Total(3)) / inputs,
+                    static_cast<double>(result.pmu.profile.Total(4)) / inputs,
+                    static_cast<double>(result.pmu.profile.Total(5)) / inputs);
+      }
     }
   }
 

@@ -14,9 +14,12 @@
 // With --records, validates structured run records (IAWJ_METRICS_DIR JSON
 // files) instead: shape of the v2+ fields, for v3 records the internal
 // consistency of the `recovery` block (flag/counter agreement, shed_ratio
-// in [0, 1], well-formed events), and for v4 records the `scheduler` block
+// in [0, 1], well-formed events), for v4 records the `scheduler` block
 // (morsel mode, non-negative counters, per-worker rows summing to the
-// totals). Usage:
+// totals), and for v5 records the always-present `pmu` block (measured
+// counters non-negative, per-phase deltas summing to the totals, or a
+// nonempty unavailability reason) and `metrics` block (enabled flag,
+// non-negative counters). Older versions are still accepted. Usage:
 //   iawj_trace_check --records <run_record.json | metrics-dir>
 #include <dirent.h>
 
@@ -121,6 +124,81 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     }
   }
 
+  // v5: pmu + metrics blocks, both mandatory from v5 on. A record may
+  // lack measurements, but it must SAY so ({available: false, reason} /
+  // {enabled: false}) — silence is indistinguishable from a wiring bug.
+  if (version->number >= 5) {
+    const json::Value* pmu = root.Find("pmu");
+    if (pmu == nullptr || !pmu->is_object()) {
+      return where + ": v5 record without pmu object";
+    }
+    const json::Value* available = pmu->Find("available");
+    if (!IsBool(available)) return where + ": pmu.available missing";
+    if (!available->boolean) {
+      const json::Value* reason = pmu->Find("reason");
+      if (reason == nullptr || !reason->is_string() || reason->string.empty()) {
+        return where + ": unavailable pmu without a reason";
+      }
+    } else {
+      const json::Value* events = pmu->Find("events");
+      if (events == nullptr || !events->is_array() || events->array.empty()) {
+        return where + ": available pmu without events";
+      }
+      const json::Value* totals = pmu->Find("totals");
+      const json::Value* phases = pmu->Find("phases");
+      if (totals == nullptr || !totals->is_object()) {
+        return where + ": pmu.totals missing";
+      }
+      if (phases == nullptr || !phases->is_object()) {
+        return where + ": pmu.phases missing";
+      }
+      for (const json::Value& event : events->array) {
+        if (!event.is_string() || event.string.empty()) {
+          return where + ": pmu.events entry is not a name";
+        }
+        const json::Value* total = totals->Find(event.string);
+        if (total == nullptr || !total->is_number() || total->number < 0) {
+          return where + ": pmu.totals." + event.string +
+                 " missing or negative";
+        }
+        // Phase deltas: each non-negative, and their sum must not exceed
+        // the run total (equality holds by construction — totals are
+        // defined as the sum over phases — but only <= is contractual).
+        double phase_sum = 0;
+        for (const auto& [phase_name, phase] : phases->object) {
+          const json::Value* delta = phase.Find(event.string);
+          if (delta == nullptr || !delta->is_number() || delta->number < 0) {
+            return where + ": pmu.phases." + phase_name + "." + event.string +
+                   " missing or negative";
+          }
+          phase_sum += delta->number;
+        }
+        if (phase_sum > total->number) {
+          return where + ": pmu." + event.string +
+                 " phase deltas exceed the run total";
+        }
+      }
+    }
+    const json::Value* metrics = root.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return where + ": v5 record without metrics object";
+    }
+    const json::Value* enabled = metrics->Find("enabled");
+    if (!IsBool(enabled)) return where + ": metrics.enabled missing";
+    if (enabled->boolean) {
+      const json::Value* counters_obj = metrics->Find("counters");
+      if (counters_obj == nullptr || !counters_obj->is_object()) {
+        return where + ": enabled metrics without counters";
+      }
+      for (const auto& [name, value] : counters_obj->object) {
+        if (!value.is_number() || value.number < 0) {
+          return where + ": metrics.counters." + name +
+                 " missing or negative";
+        }
+      }
+    }
+  }
+
   const json::Value* recovery = root.Find("recovery");
   if (recovery == nullptr) return "";  // unsupervised: no block to check
   if (version->number < 3) {
@@ -198,7 +276,7 @@ int CheckRecords(const std::string& path, bool verbose) {
     files.push_back(path);
   }
 
-  size_t supervised = 0;
+  size_t supervised = 0, pmu_measured = 0;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) return Fail("cannot open " + file);
@@ -212,10 +290,16 @@ int CheckRecords(const std::string& path, bool verbose) {
       return Fail(err);
     }
     if (root.Find("recovery") != nullptr) ++supervised;
+    if (const json::Value* pmu = root.Find("pmu"); pmu != nullptr) {
+      const json::Value* available = pmu->Find("available");
+      if (IsBool(available) && available->boolean) ++pmu_measured;
+    }
     if (verbose) std::printf("ok: %s\n", file.c_str());
   }
-  std::printf("OK: %zu record(s) validated, %zu with recovery blocks\n",
-              files.size(), supervised);
+  std::printf(
+      "OK: %zu record(s) validated, %zu with recovery blocks, "
+      "%zu with measured pmu counters\n",
+      files.size(), supervised, pmu_measured);
   return 0;
 }
 
