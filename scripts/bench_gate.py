@@ -143,13 +143,19 @@ def gate_records(records_dir, baseline_dir, tolerance):
     current = cycles_per_input_by_group(records_dir)
     baseline = cycles_per_input_by_group(baseline_dir)
     if not current or not baseline:
-        print("bench_gate: no measured PMU records on "
-              f"{'current' if not current else 'baseline'} side, skipping")
+        # Explicit, greppable skip: a CI log must never make a no-data run
+        # look like a gated-and-passed run.
+        side = "current" if not current else "baseline"
+        side_dir = records_dir if not current else baseline_dir
+        print(f"bench_gate: skipped: no measured PMU records on the {side} "
+              f"side ({side_dir}); counter gate did not run (exit 0)")
         return 0
     shared = sorted(set(current) & set(baseline))
     if not shared:
-        print("bench_gate: no (bench, algorithm) overlap with PMU data, "
-              "skipping")
+        print("bench_gate: skipped: no measured PMU overlap between "
+              f"{records_dir} and {baseline_dir} "
+              "(no shared (bench, algorithm) group); counter gate did not "
+              "run (exit 0)")
         return 0
     print(f"bench_gate: mode=records tolerance={tolerance:.0%} "
           f"baseline={baseline_dir}")

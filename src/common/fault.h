@@ -38,8 +38,11 @@ inline constexpr const char* kKnownSites[] = {
     "worker_stall", // runner: a spawned worker parks until cancelled
     "eager_stall",  // eager pull loop: parks at a progress checkpoint
     "window_fail",  // window pipeline: one window's run fails outright
-    "io_truncate",  // workload IO: loaded stream file appears truncated
+    "io_truncate",  // workload + spill IO: a page/file read looks truncated
     "clock_skew",   // virtual clock: Start() skews backwards ~10 s
+    "disk_full",    // spill writer: next page write fails like ENOSPC
+    "spill_corrupt",  // spill reader: next page's checksum mismatches
+    "record_truncate",  // run-record writer dies mid-write (partial JSON)
 };
 
 namespace internal {

@@ -1,0 +1,254 @@
+#include "src/io/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/fault.h"
+#include "src/hash/hash_fn.h"
+
+namespace iawj::spill {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'I', 'A', 'W', 'J', 'S', 'P', 'L', '1'};
+constexpr uint32_t kPageMagic = 0x53504731;  // "SPG1"
+
+struct PageHeader {
+  uint32_t magic;
+  uint32_t tuple_count;
+  uint64_t checksum;
+};
+static_assert(sizeof(PageHeader) == 16, "page header layout");
+
+}  // namespace
+
+uint64_t PageChecksum(const Tuple* tuples, size_t n) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t word =
+        (static_cast<uint64_t>(tuples[i].key) << 32) | tuples[i].ts;
+    h = Mix64(h ^ word);
+  }
+  return h;
+}
+
+std::string RootDir() {
+  if (const char* dir = std::getenv("IAWJ_SPILL_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return dir;
+  }
+  if (const char* tmp = std::getenv("TMPDIR");
+      tmp != nullptr && tmp[0] != '\0') {
+    return tmp;
+  }
+  return "/tmp";
+}
+
+size_t PageBytes() {
+  long kb = 64;
+  if (const char* env = std::getenv("IAWJ_SPILL_PAGE_KB");
+      env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) kb = v;
+  }
+  if (kb > 16384) kb = 16384;
+  return static_cast<size_t>(kb) * 1024;
+}
+
+Status CreateRunDir(std::string* dir) {
+  static std::atomic<uint64_t> sequence{0};
+  const uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = RootDir() + "/iawj_spill_" +
+                           std::to_string(getpid()) + "_" +
+                           std::to_string(seq);
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::FailedPrecondition("cannot create spill directory " +
+                                      path + ": " + ec.message());
+  }
+  *dir = path;
+  return Status::Ok();
+}
+
+void RemoveRunDir(const std::string& dir) {
+  if (dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // best-effort cleanup
+}
+
+// --- SpillWriter ------------------------------------------------------------
+
+SpillWriter::~SpillWriter() { Close(); }
+
+Status SpillWriter::Open(const std::string& path, size_t page_bytes) {
+  if (file_ != nullptr) return Status::InvalidArgument("writer already open");
+  path_ = path;
+  page_capacity_ = page_bytes / sizeof(Tuple);
+  if (page_capacity_ == 0) page_capacity_ = 1;
+  if (Status s = mem::Preflight(
+          static_cast<int64_t>(page_capacity_ * sizeof(Tuple)),
+          "spill page buffer");
+      !s.ok()) {
+    return s;
+  }
+  page_.Reserve(page_capacity_);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("cannot open spill file " + path +
+                                      ": " + std::strerror(errno));
+  }
+  if (std::fwrite(kFileMagic, 1, sizeof(kFileMagic), file_) !=
+      sizeof(kFileMagic)) {
+    return Status::ResourceExhausted("cannot write spill header to " + path);
+  }
+  bytes_written_ += sizeof(kFileMagic);
+  return Status::Ok();
+}
+
+Status SpillWriter::FlushPage() {
+  if (page_.empty()) return Status::Ok();
+  // Fault: the device fills up mid-spill. ResourceExhausted (not DataLoss):
+  // disk is the resource the spill path trades memory for, and the code
+  // routes the supervisor to the NPJ fallback, which needs no disk at all.
+  if (fault::Enabled() && fault::Inject("disk_full")) {
+    sticky_ = Status::ResourceExhausted("injected disk-full writing " + path_);
+    return sticky_;
+  }
+  PageHeader header{kPageMagic, static_cast<uint32_t>(page_.size()),
+                    PageChecksum(page_.data(), page_.size())};
+  const size_t payload = page_.size() * sizeof(Tuple);
+  if (std::fwrite(&header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fwrite(page_.data(), 1, payload, file_) != payload) {
+    sticky_ = Status::ResourceExhausted("short write to spill file " + path_ +
+                                        ": " + std::strerror(errno));
+    return sticky_;
+  }
+  bytes_written_ += sizeof(header) + payload;
+  ++pages_written_;
+  page_.Clear();
+  return Status::Ok();
+}
+
+Status SpillWriter::Append(const Tuple& t) {
+  if (!sticky_.ok()) return sticky_;
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  page_.PushBack(t);
+  ++tuples_;
+  if (page_.size() >= page_capacity_) return FlushPage();
+  return Status::Ok();
+}
+
+Status SpillWriter::Close() {
+  if (file_ == nullptr) return sticky_;
+  Status status = sticky_.ok() ? FlushPage() : sticky_;
+  if (status.ok() && std::fflush(file_) != 0) {
+    status = Status::ResourceExhausted("flush of spill file " + path_ +
+                                       " failed: " + std::strerror(errno));
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  page_ = mem::TrackedBuffer<Tuple>();
+  if (sticky_.ok()) sticky_ = status;
+  return status;
+}
+
+// --- SpillReader ------------------------------------------------------------
+
+SpillReader::~SpillReader() { Close(); }
+
+Status SpillReader::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("reader already open");
+  path_ = path;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("cannot open spill file " + path +
+                                      ": " + std::strerror(errno));
+  }
+  char magic[sizeof(kFileMagic)];
+  if (std::fread(magic, 1, sizeof(magic), file_) != sizeof(magic) ||
+      std::memcmp(magic, kFileMagic, sizeof(magic)) != 0) {
+    return Status::DataLoss(path + " is not an IAWJ spill file");
+  }
+  bytes_read_ += sizeof(magic);
+  return Status::Ok();
+}
+
+Status SpillReader::ReadPage(mem::TrackedBuffer<Tuple>* out, bool* eof) {
+  *eof = false;
+  out->Clear();
+  if (file_ == nullptr) return Status::InvalidArgument("reader not open");
+  PageHeader header;
+  const size_t got = std::fread(&header, 1, sizeof(header), file_);
+  if (got == 0 && std::feof(file_)) {
+    *eof = true;
+    return Status::Ok();
+  }
+  if (got != sizeof(header) || header.magic != kPageMagic) {
+    return Status::DataLoss(path_ + ": torn or corrupt page header");
+  }
+  // A corrupt count field must not turn into a huge allocation: a page
+  // never holds more payload than the configured maximum page size.
+  if (header.tuple_count >
+      (static_cast<uint64_t>(16384) * 1024) / sizeof(Tuple)) {
+    return Status::DataLoss(path_ + ": page header promises " +
+                            std::to_string(header.tuple_count) +
+                            " tuples, over the page-size limit");
+  }
+  out->Resize(header.tuple_count);
+  const size_t payload = header.tuple_count * sizeof(Tuple);
+  if (std::fread(out->data(), 1, payload, file_) != payload) {
+    out->Clear();
+    return Status::DataLoss(path_ + ": truncated page payload");
+  }
+  // Fault: the run file shrank under us (torn copy, crashed writer).
+  if (fault::Enabled() && fault::Inject("io_truncate")) {
+    out->Clear();
+    return Status::DataLoss(path_ + ": injected truncation mid-read");
+  }
+  uint64_t checksum = PageChecksum(out->data(), out->size());
+  // Fault: silent page corruption — the checksum is what catches it.
+  if (fault::Enabled() && fault::Inject("spill_corrupt")) {
+    checksum = ~checksum;
+  }
+  if (checksum != header.checksum) {
+    out->Clear();
+    return Status::DataLoss(path_ + ": page checksum mismatch");
+  }
+  bytes_read_ += sizeof(header) + payload;
+  ++pages_read_;
+  return Status::Ok();
+}
+
+Status SpillReader::ReadAll(mem::TrackedBuffer<Tuple>* out) {
+  mem::TrackedBuffer<Tuple> page;
+  bool eof = false;
+  while (true) {
+    if (Status s = ReadPage(&page, &eof); !s.ok()) return s;
+    if (eof) return Status::Ok();
+    for (size_t i = 0; i < page.size(); ++i) out->PushBack(page[i]);
+  }
+}
+
+Status SpillReader::Rewind() {
+  if (file_ == nullptr) return Status::InvalidArgument("reader not open");
+  if (std::fseek(file_, sizeof(kFileMagic), SEEK_SET) != 0) {
+    return Status::FailedPrecondition("cannot rewind spill file " + path_);
+  }
+  return Status::Ok();
+}
+
+void SpillReader::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace iawj::spill

@@ -1,0 +1,157 @@
+// Partition spill layer for larger-than-memory windows (ISSUE 7).
+//
+// The hybrid hash join (join/hhj.h) keeps as many build partitions resident
+// as the memory budget allows and writes the rest to per-partition run
+// files through this layer. A run file is a sequence of checksummed pages:
+//
+//   file  := magic("IAWJSPL1") page*
+//   page  := header{page_magic, tuple_count, checksum} tuple[tuple_count]
+//
+// The checksum is a Mix64 fold over the payload, verified on every read, so
+// a torn write, a truncated file, or bit rot surfaces as a typed DataLoss
+// instead of wrong join output. Writes are buffered through one
+// mem::Tracker-accounted page per writer, so spill buffering itself stays
+// inside the budget it exists to enforce.
+//
+// Fault sites (common/fault.h): `disk_full` fails the next page write with
+// ResourceExhausted, `io_truncate` makes the next page read look truncated,
+// and `spill_corrupt` flips the next page's checksum — all DataLoss on the
+// read side, so iawj_chaos can kill a spill mid-flight and assert the run
+// either recovers exactly or fails with a typed Status.
+#ifndef IAWJ_IO_SPILL_H_
+#define IAWJ_IO_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/memory/tracker.h"
+
+namespace iawj {
+
+// What the spill layer did during one run; aggregated by the hybrid hash
+// join and reported through RunResult::spill and the run record's v6
+// `spill` block.
+struct SpillStats {
+  uint64_t partitions = 0;           // radix fanout of the spill decision
+  uint64_t partitions_spilled = 0;   // cold partitions written to disk
+  uint64_t partitions_resident = 0;  // hot partitions joined in memory
+  uint64_t bytes_written = 0;        // payload + headers, all run files
+  uint64_t bytes_read = 0;           // includes re-reads (recursion, BNL)
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+  uint64_t recursion_depth = 0;      // deepest repartitioning recursion
+  uint64_t bnl_fallbacks = 0;        // partitions joined block-nested-loop
+  double spill_elapsed_ms = 0;       // wall time inside spill IO + restore
+
+  bool any() const {
+    return partitions_spilled > 0 || bytes_written > 0 || bytes_read > 0;
+  }
+};
+
+namespace spill {
+
+// Directory spill run files live under: $IAWJ_SPILL_DIR, else $TMPDIR, else
+// /tmp. Every run creates (and removes) its own unique subdirectory.
+std::string RootDir();
+
+// Configured page payload capacity: $IAWJ_SPILL_PAGE_KB KiB (clamped to
+// [1, 16384]), default 64 KiB. The hybrid hash join shrinks this further
+// under tight budgets so all write buffers fit in a budget slice.
+size_t PageBytes();
+
+// Creates a fresh, process-unique spill directory under RootDir() and
+// returns its path through `dir`.
+Status CreateRunDir(std::string* dir);
+
+// Best-effort recursive removal of a spill run directory.
+void RemoveRunDir(const std::string& dir);
+
+// Buffered, page-checksummed writer for one partition run file. The page
+// buffer is tracker-accounted for the writer's lifetime. Not thread-safe:
+// concurrent appenders must serialize (join/hhj.cc holds one mutex per
+// spilled partition).
+class SpillWriter {
+ public:
+  SpillWriter() = default;
+  ~SpillWriter();
+
+  SpillWriter(const SpillWriter&) = delete;
+  SpillWriter& operator=(const SpillWriter&) = delete;
+
+  // Opens `path` for writing and sizes the page buffer. `page_bytes` is the
+  // payload capacity per page, floored to one tuple.
+  Status Open(const std::string& path, size_t page_bytes);
+
+  // Buffers one tuple, flushing a full page to disk. Failure (real ENOSPC
+  // or the `disk_full` fault) is ResourceExhausted and sticks: later
+  // appends keep failing, Close() reports it again.
+  Status Append(const Tuple& t);
+
+  // Flushes the tail page and closes the file. Idempotent.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t tuples() const { return tuples_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t pages_written() const { return pages_written_; }
+
+ private:
+  Status FlushPage();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  mem::TrackedBuffer<Tuple> page_;
+  size_t page_capacity_ = 0;
+  uint64_t tuples_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t pages_written_ = 0;
+  Status sticky_;  // first write failure, re-reported until Close
+};
+
+// Page-wise reader with checksum verification. Every page's checksum is
+// recomputed over the payload; any mismatch — including the injected
+// `spill_corrupt` flip — is DataLoss, as is a short read or the injected
+// `io_truncate`.
+class SpillReader {
+ public:
+  SpillReader() = default;
+  ~SpillReader();
+
+  SpillReader(const SpillReader&) = delete;
+  SpillReader& operator=(const SpillReader&) = delete;
+
+  Status Open(const std::string& path);
+
+  // Reads the next page into `out` (replacing its contents). On clean end
+  // of file, sets *eof and leaves `out` empty.
+  Status ReadPage(mem::TrackedBuffer<Tuple>* out, bool* eof);
+
+  // Appends every remaining tuple to `out`.
+  Status ReadAll(mem::TrackedBuffer<Tuple>* out);
+
+  // Rewinds to the first page (BNL re-streams the probe side per block).
+  Status Rewind();
+
+  void Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_read_ = 0;
+  uint64_t pages_read_ = 0;
+};
+
+// Checksum over a page payload: sequential Mix64 fold, order-sensitive.
+uint64_t PageChecksum(const Tuple* tuples, size_t n);
+
+}  // namespace spill
+}  // namespace iawj
+
+#endif  // IAWJ_IO_SPILL_H_

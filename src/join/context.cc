@@ -38,6 +38,8 @@ std::string_view AlgorithmName(AlgorithmId id) {
       return "PMJ-JM";
     case AlgorithmId::kPmjJb:
       return "PMJ-JB";
+    case AlgorithmId::kHhj:
+      return "HHJ";
   }
   return "?";
 }
@@ -48,6 +50,7 @@ bool IsLazy(AlgorithmId id) {
     case AlgorithmId::kPrj:
     case AlgorithmId::kMway:
     case AlgorithmId::kMpass:
+    case AlgorithmId::kHhj:
       return true;
     default:
       return false;
@@ -76,7 +79,8 @@ Status JoinSpec::Validate(AlgorithmId id) const {
   if (time_scale <= 0) {
     return Status::InvalidArgument("time_scale must be > 0");
   }
-  if (id == AlgorithmId::kPrj && (radix_bits < 1 || radix_bits > 24)) {
+  if ((id == AlgorithmId::kPrj || id == AlgorithmId::kHhj) &&
+      (radix_bits < 1 || radix_bits > 24)) {
     return Status::InvalidArgument("radix_bits must be in [1, 24]");
   }
   if (id == AlgorithmId::kPrj && (radix_passes < 1 || radix_passes > 2)) {

@@ -26,7 +26,11 @@
 
 namespace iawj {
 
-// The eight studied algorithms (paper Table 2).
+struct SpillStats;  // io/spill.h
+
+// The eight studied algorithms (paper Table 2), plus the robustness-layer
+// hybrid hash join (kHhj), which spills cold partitions to disk when the
+// window exceeds the memory budget (join/hhj.h).
 enum class AlgorithmId {
   kNpj,     // lazy,  hash, no physical partitioning
   kPrj,     // lazy,  hash, radix replication
@@ -36,8 +40,13 @@ enum class AlgorithmId {
   kShjJb,   // eager, hash, join-biclique
   kPmjJm,   // eager, sort, join-matrix
   kPmjJb,   // eager, sort, join-biclique
+  kHhj,     // lazy,  hash, hybrid with partition spilling (not in the paper)
 };
 
+// The paper's algorithm grid. Deliberately excludes kHhj: sweeps, chaos
+// draws, and comparison matrices iterate this, and the spill join is an
+// operational fallback rather than one of the studied designs — it is
+// reached by explicit --algo=hhj or a Supervisor fallback.
 inline constexpr AlgorithmId kAllAlgorithms[] = {
     AlgorithmId::kNpj,   AlgorithmId::kPrj,   AlgorithmId::kMway,
     AlgorithmId::kMpass, AlgorithmId::kShjJm, AlgorithmId::kShjJb,
@@ -219,6 +228,11 @@ class JoinAlgorithm {
   virtual Status Setup(const JoinContext& ctx) = 0;
   virtual void RunWorker(const JoinContext& ctx, int worker) = 0;
   virtual void Teardown() {}
+
+  // Spill accounting for algorithms that stage partitions on disk
+  // (join/hhj.h); nullptr for the in-memory algorithms. The runner reads it
+  // after workers join and before Teardown.
+  virtual const SpillStats* spill_stats() { return nullptr; }
 };
 
 }  // namespace iawj

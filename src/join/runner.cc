@@ -15,6 +15,7 @@
 #include "src/common/fault.h"
 #include "src/common/logging.h"
 #include "src/join/eager_engine.h"
+#include "src/join/hhj.h"
 #include "src/join/npj.h"
 #include "src/join/prj.h"
 #include "src/join/sortmerge.h"
@@ -49,6 +50,8 @@ std::unique_ptr<JoinAlgorithm> CreateAlgorithm(AlgorithmId id) {
       return MakeMway();
     case AlgorithmId::kMpass:
       return MakeMpass();
+    case AlgorithmId::kHhj:
+      return MakeHhj();
     default:
       return MakeEager(id);
   }
@@ -64,6 +67,8 @@ std::unique_ptr<JoinAlgorithm> CreateTracedAlgorithm(AlgorithmId id) {
       return MakeMwayTraced();
     case AlgorithmId::kMpass:
       return MakeMpassTraced();
+    case AlgorithmId::kHhj:
+      return MakeHhjTraced();
     default:
       return MakeEagerTraced(id);
   }
@@ -315,6 +320,10 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   result.cpu_time_ms = ResourceSampler::ProcessCpuTimeMs() - cpu_before;
   result.inputs = nr + ns;
 
+  // Harvest spill accounting before Teardown frees it (the spill directory
+  // itself is removed by Teardown).
+  if (const SpillStats* sp = algorithm->spill_stats()) result.spill = *sp;
+
   algorithm->Teardown();
 
   for (int t = 0; t < threads; ++t) {
@@ -395,6 +404,21 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
       }
     }
     if (elapsed_ms != nullptr) elapsed_ms->Record(result.elapsed_ms);
+    if (result.spill.any()) {
+      static metrics::Counter* spilled_parts =
+          metrics::GetCounter("spill.partitions_total");
+      static metrics::Counter* spill_written =
+          metrics::GetCounter("spill.bytes_written_total");
+      static metrics::Counter* spill_read =
+          metrics::GetCounter("spill.bytes_read_total");
+      if (spilled_parts != nullptr) {
+        spilled_parts->Add(result.spill.partitions_spilled);
+      }
+      if (spill_written != nullptr) {
+        spill_written->Add(result.spill.bytes_written);
+      }
+      if (spill_read != nullptr) spill_read->Add(result.spill.bytes_read);
+    }
     if (result.pmu.available) {
       const auto& events = result.pmu.events;
       for (int e = 0; e < static_cast<int>(events.size()); ++e) {
@@ -408,6 +432,14 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
     trace::Counter("matches", static_cast<double>(result.matches));
     trace::Counter("peak_tracked_bytes",
                    static_cast<double>(result.peak_tracked_bytes));
+    if (result.spill.any()) {
+      trace::Counter("spill_partitions",
+                     static_cast<double>(result.spill.partitions_spilled));
+      trace::Counter("spill_bytes_written",
+                     static_cast<double>(result.spill.bytes_written));
+      trace::Counter("spill_bytes_read",
+                     static_cast<double>(result.spill.bytes_read));
+    }
     if (scheduler.enabled()) {
       const MorselStats totals = scheduler.Totals();
       trace::Counter("morsels", static_cast<double>(totals.morsels));

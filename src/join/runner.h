@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/io/spill.h"
 #include "src/join/context.h"
 #include "src/join/recovery.h"
 #include "src/profiling/cache_sim.h"
@@ -49,6 +50,11 @@ struct RunResult {
   // What the supervisor (join/supervisor.h) did to produce this result:
   // retries, fallbacks, shed tuples. Empty (and free) for unsupervised runs.
   RecoveryLog recovery;
+
+  // Spill activity (io/spill.h): all-zero unless the algorithm staged
+  // partitions on disk (HHJ under a memory budget). Serialized as the run
+  // record's v6 `spill` block when spill.any().
+  SpillStats spill;
 
   // Hardware counter measurement (profiling/pmu.h): per-phase deltas summed
   // across workers when $IAWJ_PMU=1 (or --counters=pmu) and the kernel

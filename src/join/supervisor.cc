@@ -124,11 +124,28 @@ std::optional<FallbackStep> NextFallback(AlgorithmId id, const JoinSpec& spec,
                                          StatusCode code) {
   switch (code) {
     case StatusCode::kResourceExhausted:
+      // Memory pressure: spill before shrinking. HHJ (join/hhj.h) keeps the
+      // hot partitions resident and stages the rest on disk, so the window
+      // completes exactly under the same budget that just breached. Should
+      // HHJ itself exhaust a resource (disk full, budget too small even for
+      // spill buffers), degrade once more to NPJ, the smallest-footprint
+      // in-memory algorithm; NPJ has nowhere further to go. Every step
+      // emits the identical match multiset — the answer stays exact.
+      if (id != AlgorithmId::kHhj && id != AlgorithmId::kNpj) {
+        FallbackStep step{RecoveryAction::kFallbackAlgorithm,
+                          AlgorithmId::kHhj, spec,
+                          std::string(AlgorithmName(id)) + " -> HHJ (spill)"};
+        return step;
+      }
+      if (id == AlgorithmId::kHhj) {
+        FallbackStep step{RecoveryAction::kFallbackAlgorithm,
+                          AlgorithmId::kNpj, spec, "HHJ -> NPJ"};
+        return step;
+      }
+      return std::nullopt;
     case StatusCode::kInternal:
-      // Memory pressure or a transient operator failure: degrade to NPJ,
-      // the smallest-footprint algorithm (one shared table, no replication,
-      // no partitions, no sorted runs). Results stay exact — all eight
-      // algorithms emit the identical match multiset.
+      // A transient operator failure: degrade straight to NPJ — the failure
+      // was not about memory, so the spill machinery buys nothing.
       if (id != AlgorithmId::kNpj) {
         FallbackStep step{RecoveryAction::kFallbackAlgorithm,
                           AlgorithmId::kNpj, spec,

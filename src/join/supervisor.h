@@ -11,11 +11,14 @@
 //      internal); deterministic failures (invalid_argument, data_loss,
 //      failed_precondition) fail immediately.
 //   2. Fallback — once retries are exhausted, degrade the configuration:
-//      resource_exhausted falls back to NPJ (the smallest-footprint
-//      algorithm; all eight produce the identical match multiset, so the
-//      answer stays exact), deadline_exceeded halves PRJ's radix bits and
-//      then the thread count. Each step restarts the retry budget and is
-//      recorded in the result's RecoveryLog.
+//      resource_exhausted falls back to HHJ (the spill-capable hybrid hash
+//      join, which completes the window exactly under the same budget by
+//      staging cold partitions on disk) and from HHJ to NPJ (the
+//      smallest-footprint in-memory algorithm); internal failures go
+//      straight to NPJ; deadline_exceeded halves PRJ's radix bits and
+//      then the thread count. Every algorithm produces the identical match
+//      multiset, so the answer stays exact. Each step restarts the retry
+//      budget and is recorded in the result's RecoveryLog.
 //   3. Shedding — before any attempt, when a shed watermark is configured,
 //      both input streams are thinned by stream.h's deterministic load
 //      shedder and the loss is accounted in the log.

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <mutex>
 
+#include "src/common/fault.h"
 #include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/profiling/metrics.h"
@@ -87,7 +88,10 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // phase when measured; {available: false, reason} otherwise) and the
   // always-present `metrics` block (live registry snapshot, or
   // {enabled: false}).
-  w.Field("record_version", int64_t{5});
+  // v6: adds the `spill` block (partition residency split, run-file bytes
+  // and pages, recursion depth, BNL fallbacks, spill wall time) whenever
+  // the run staged partitions on disk; in-memory runs omit the block.
+  w.Field("record_version", int64_t{6});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -206,6 +210,26 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
     w.EndObject();
   }
 
+  // v6: present only when the algorithm spilled partitions to disk (HHJ
+  // under a memory budget) — in-memory runs keep their pre-v6 shape modulo
+  // record_version. A run that spilled and still reports status "ok" was
+  // exact: spilling degrades time, never the answer.
+  if (result.spill.any()) {
+    const SpillStats& sp = result.spill;
+    w.Key("spill").BeginObject();
+    w.Field("partitions", uint64_t{sp.partitions});
+    w.Field("partitions_spilled", uint64_t{sp.partitions_spilled});
+    w.Field("partitions_resident", uint64_t{sp.partitions_resident});
+    w.Field("bytes_written", uint64_t{sp.bytes_written});
+    w.Field("bytes_read", uint64_t{sp.bytes_read});
+    w.Field("pages_written", uint64_t{sp.pages_written});
+    w.Field("pages_read", uint64_t{sp.pages_read});
+    w.Field("recursion_depth", uint64_t{sp.recursion_depth});
+    w.Field("bnl_fallbacks", uint64_t{sp.bnl_fallbacks});
+    w.Field("spill_elapsed_ms", sp.spill_elapsed_ms);
+    w.EndObject();
+  }
+
   w.Key("phase_ns").BeginObject();
   for (int p = 0; p < kNumPhases; ++p) {
     const Phase phase = static_cast<Phase>(p);
@@ -288,7 +312,17 @@ Status WriteRunRecord(const RunResult& result, const JoinSpec& spec,
   if (!out) {
     return Status::FailedPrecondition("cannot open " + path + " for writing");
   }
-  out << RunRecordJson(result, spec, context) << "\n";
+  const std::string json = RunRecordJson(result, spec, context);
+  // Fault: the writer dies mid-write, leaving a torn half-record on disk —
+  // the crash-consistency shape iawj_trace_check --records must reject
+  // with a parse error instead of crashing or accepting.
+  if (fault::Enabled() && fault::Inject("record_truncate")) {
+    out << json.substr(0, json.size() / 2);
+    out.flush();
+    if (path_out != nullptr) *path_out = path;  // the torn file is on disk
+    return Status::DataLoss("injected mid-write crash on " + path);
+  }
+  out << json << "\n";
   if (!out.good()) {
     return Status::FailedPrecondition("write to " + path + " failed");
   }

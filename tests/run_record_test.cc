@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/fault.h"
 #include "src/common/json.h"
 #include "src/datagen/micro.h"
 #include "src/profiling/run_record.h"
@@ -110,18 +111,50 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsFiveWithoutOptionalBlocksForPlainRuns) {
+TEST(RunRecord, VersionIsSixWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 5);
-  // Unsupervised static runs carry neither optional block.
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 6);
+  // Unsupervised static in-memory runs carry none of the optional blocks.
   EXPECT_EQ(record.Find("recovery"), nullptr);
   EXPECT_EQ(record.Find("scheduler"), nullptr);
+  EXPECT_EQ(record.Find("spill"), nullptr);
 }
 
-TEST(RunRecord, PmuAndMetricsBlocksAlwaysPresentInV5) {
+TEST(RunRecord, SpillBlockRoundTripsWhenTheRunStagedPartitions) {
+  JoinSpec spec;
+  RunResult result = SmallRun(&spec);
+  result.spill.partitions = 32;
+  result.spill.partitions_spilled = 20;
+  result.spill.partitions_resident = 12;
+  result.spill.bytes_written = 163840;
+  result.spill.bytes_read = 163840;
+  result.spill.pages_written = 40;
+  result.spill.pages_read = 40;
+  result.spill.recursion_depth = 2;
+  result.spill.bnl_fallbacks = 1;
+  result.spill.spill_elapsed_ms = 3.5;
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  const json::Value* spill = record.Find("spill");
+  ASSERT_NE(spill, nullptr);
+  ASSERT_TRUE(spill->is_object());
+  EXPECT_DOUBLE_EQ(spill->Find("partitions")->number, 32);
+  EXPECT_DOUBLE_EQ(spill->Find("partitions_spilled")->number, 20);
+  EXPECT_DOUBLE_EQ(spill->Find("partitions_resident")->number, 12);
+  EXPECT_DOUBLE_EQ(spill->Find("bytes_written")->number, 163840);
+  EXPECT_DOUBLE_EQ(spill->Find("bytes_read")->number, 163840);
+  EXPECT_DOUBLE_EQ(spill->Find("pages_written")->number, 40);
+  EXPECT_DOUBLE_EQ(spill->Find("pages_read")->number, 40);
+  EXPECT_DOUBLE_EQ(spill->Find("recursion_depth")->number, 2);
+  EXPECT_DOUBLE_EQ(spill->Find("bnl_fallbacks")->number, 1);
+  EXPECT_DOUBLE_EQ(spill->Find("spill_elapsed_ms")->number, 3.5);
+}
+
+TEST(RunRecord, PmuAndMetricsBlocksAlwaysPresent) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
@@ -302,6 +335,48 @@ TEST(RunRecord, WriteFailsOnUnwritableDir) {
   EXPECT_FALSE(
       WriteRunRecord(result, spec, {}, "/proc/definitely/not/writable").ok());
 }
+
+#ifdef IAWJ_TRACE_CHECK_BIN
+TEST(RunRecord, TornWriteIsRejectedByTheCheckerNotCrashed) {
+  JoinSpec spec;
+  const RunResult result = SmallRun(&spec);
+  const std::string dir = testing::TempDir() + "/iawj_metrics_torn_test";
+
+  // Arm the mid-write crash: the writer emits half the JSON, flushes, and
+  // returns a typed DataLoss instead of pretending the record landed.
+  ASSERT_TRUE(fault::Configure("record_truncate").ok());
+  std::string path;
+  const Status status = WriteRunRecord(result, spec, {}, dir, &path);
+  fault::Clear();
+  ASSERT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+
+  // The partial file is on disk and is not valid JSON.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(text.empty());
+  json::Value parsed;
+  EXPECT_FALSE(json::Parse(text, &parsed).ok());
+
+  // The checker rejects the torn record with a printed reason and a
+  // nonzero exit — it must never crash or report the directory clean.
+  const std::string cmd =
+      std::string(IAWJ_TRACE_CHECK_BIN) + " --records " + path + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string out;
+  char buf[256];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+#endif  // IAWJ_TRACE_CHECK_BIN
 
 TEST(RunRecord, GitDescribeIsStableAndNonEmpty) {
   const std::string a = GitDescribeStamp();

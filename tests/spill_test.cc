@@ -1,0 +1,261 @@
+// Tests for the partition spill layer (ISSUE 7): page round-trips, checksum
+// verification against real on-disk corruption, the three injected fault
+// sites, tracker accounting of write buffers, and run-dir lifecycle.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/io/spill.h"
+
+namespace iawj {
+namespace {
+
+std::vector<Tuple> MakeTuples(size_t n) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    tuples.push_back(Tuple{static_cast<uint32_t>(i * 3 + 1),
+                           static_cast<uint32_t>((i * 2654435761u) & 0x7fffffff)});
+  }
+  return tuples;
+}
+
+class SpillTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Clear();
+    ASSERT_TRUE(spill::CreateRunDir(&dir_).ok());
+  }
+  void TearDown() override {
+    fault::Clear();
+    spill::RemoveRunDir(dir_);
+  }
+
+  std::string Path(const char* name) const { return dir_ + "/" + name; }
+
+  // Writes `tuples` through a writer with the given page payload size.
+  void WriteRun(const std::string& path, const std::vector<Tuple>& tuples,
+                size_t page_bytes, uint64_t* pages_out = nullptr) {
+    spill::SpillWriter writer;
+    ASSERT_TRUE(writer.Open(path, page_bytes).ok());
+    for (const Tuple& t : tuples) ASSERT_TRUE(writer.Append(t).ok());
+    ASSERT_TRUE(writer.Close().ok());
+    EXPECT_EQ(writer.tuples(), tuples.size());
+    if (pages_out != nullptr) *pages_out = writer.pages_written();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SpillTest, RoundTripsOnePageExactly) {
+  const std::vector<Tuple> tuples = MakeTuples(100);
+  WriteRun(Path("one.spl"), tuples, spill::PageBytes());
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("one.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  ASSERT_TRUE(reader.ReadAll(&got).ok());
+  ASSERT_EQ(got.size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(got[i], tuples[i]) << "tuple " << i;
+  }
+  EXPECT_EQ(reader.pages_read(), 1u);
+}
+
+TEST_F(SpillTest, RoundTripsManySmallPagesInOrder) {
+  const std::vector<Tuple> tuples = MakeTuples(1000);
+  uint64_t pages_written = 0;
+  // 64-byte payload = 8 tuples per page -> 125 pages.
+  WriteRun(Path("many.spl"), tuples, 64, &pages_written);
+  EXPECT_EQ(pages_written, 125u);
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("many.spl")).ok());
+  mem::TrackedBuffer<Tuple> page;
+  bool eof = false;
+  size_t i = 0;
+  while (true) {
+    ASSERT_TRUE(reader.ReadPage(&page, &eof).ok());
+    if (eof) break;
+    for (const Tuple& t : page) {
+      ASSERT_LT(i, tuples.size());
+      EXPECT_EQ(t, tuples[i++]);
+    }
+  }
+  EXPECT_EQ(i, tuples.size());
+  EXPECT_EQ(reader.pages_read(), pages_written);
+}
+
+TEST_F(SpillTest, RewindRestreamsTheSameTuples) {
+  const std::vector<Tuple> tuples = MakeTuples(300);
+  WriteRun(Path("rewind.spl"), tuples, 128);
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("rewind.spl")).ok());
+  mem::TrackedBuffer<Tuple> first, second;
+  ASSERT_TRUE(reader.ReadAll(&first).ok());
+  ASSERT_TRUE(reader.Rewind().ok());
+  ASSERT_TRUE(reader.ReadAll(&second).ok());
+  ASSERT_EQ(first.size(), tuples.size());
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], second[i]);
+}
+
+TEST_F(SpillTest, ChecksumCatchesRealOnDiskCorruption) {
+  const std::vector<Tuple> tuples = MakeTuples(64);
+  WriteRun(Path("corrupt.spl"), tuples, spill::PageBytes());
+
+  // Flip one payload byte on disk: file magic (8) + page header (16) + a
+  // few tuples in, well inside the checksummed region.
+  std::FILE* f = std::fopen(Path("corrupt.spl").c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 8 + 16 + 21, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("corrupt.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  const Status status = reader.ReadAll(&got);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SpillTest, TruncatedFileIsDataLossNotWrongAnswers) {
+  const std::vector<Tuple> tuples = MakeTuples(200);
+  WriteRun(Path("trunc.spl"), tuples, 256);
+
+  struct stat st;
+  ASSERT_EQ(stat(Path("trunc.spl").c_str(), &st), 0);
+  ASSERT_EQ(truncate(Path("trunc.spl").c_str(), st.st_size - 5), 0);
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("trunc.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  EXPECT_EQ(reader.ReadAll(&got).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SpillTest, GarbageFileIsRejectedAtOpen) {
+  std::FILE* f = std::fopen(Path("garbage.spl").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a spill file at all", f);
+  std::fclose(f);
+
+  spill::SpillReader reader;
+  EXPECT_EQ(reader.Open(Path("garbage.spl")).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SpillTest, OversizedPageCountIsRejectedWithoutAllocating) {
+  // Hand-craft a file whose header promises more tuples than any page can
+  // hold; the reader must refuse rather than trust a corrupt count.
+  std::FILE* f = std::fopen(Path("bigcount.spl").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char magic[8] = {'I', 'A', 'W', 'J', 'S', 'P', 'L', '1'};
+  ASSERT_EQ(std::fwrite(magic, 1, 8, f), 8u);
+  struct {
+    uint32_t magic;
+    uint32_t tuple_count;
+    uint64_t checksum;
+  } header{0x53504731, 0xffffffffu, 0};
+  ASSERT_EQ(std::fwrite(&header, 1, sizeof(header), f), sizeof(header));
+  std::fclose(f);
+
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("bigcount.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  bool eof = false;
+  EXPECT_EQ(reader.ReadPage(&got, &eof).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(SpillTest, DiskFullFaultIsStickyResourceExhausted) {
+  ASSERT_TRUE(fault::Configure("disk_full").ok());
+  spill::SpillWriter writer;
+  // One-tuple pages: the very first append flushes and hits the fault.
+  ASSERT_TRUE(writer.Open(Path("full.spl"), sizeof(Tuple)).ok());
+  const Status first = writer.Append(Tuple{1, 2});
+  EXPECT_EQ(first.code(), StatusCode::kResourceExhausted) << first.ToString();
+  // The failure sticks: later appends and Close keep reporting it.
+  EXPECT_EQ(writer.Append(Tuple{3, 4}).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(writer.Close().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SpillTest, IoTruncateFaultIsDataLossOnRead) {
+  const std::vector<Tuple> tuples = MakeTuples(50);
+  WriteRun(Path("iotrunc.spl"), tuples, spill::PageBytes());
+
+  ASSERT_TRUE(fault::Configure("io_truncate").ok());
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("iotrunc.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  EXPECT_EQ(reader.ReadAll(&got).code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(got.empty());  // never hand corrupt tuples to the join
+}
+
+TEST_F(SpillTest, SpillCorruptFaultIsDataLossOnRead) {
+  const std::vector<Tuple> tuples = MakeTuples(50);
+  WriteRun(Path("spcorrupt.spl"), tuples, spill::PageBytes());
+
+  ASSERT_TRUE(fault::Configure("spill_corrupt").ok());
+  spill::SpillReader reader;
+  ASSERT_TRUE(reader.Open(Path("spcorrupt.spl")).ok());
+  mem::TrackedBuffer<Tuple> got;
+  const Status status = reader.ReadAll(&got);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SpillTest, WriterPageBufferIsTrackerAccounted) {
+  const int64_t before = mem::CurrentBytes();
+  {
+    spill::SpillWriter writer;
+    ASSERT_TRUE(writer.Open(Path("tracked.spl"), 4096).ok());
+    EXPECT_GE(mem::CurrentBytes(), before + 4096);
+    ASSERT_TRUE(writer.Append(Tuple{1, 2}).ok());
+    ASSERT_TRUE(writer.Close().ok());
+    // Close releases the page buffer, not just the destructor.
+    EXPECT_EQ(mem::CurrentBytes(), before);
+  }
+  EXPECT_EQ(mem::CurrentBytes(), before);
+}
+
+TEST_F(SpillTest, RunDirsAreUniqueAndRemovable) {
+  std::string a, b;
+  ASSERT_TRUE(spill::CreateRunDir(&a).ok());
+  ASSERT_TRUE(spill::CreateRunDir(&b).ok());
+  EXPECT_NE(a, b);
+  struct stat st;
+  EXPECT_EQ(stat(a.c_str(), &st), 0);
+  EXPECT_EQ(stat(b.c_str(), &st), 0);
+
+  // Removal takes the run files with it.
+  std::FILE* f = std::fopen((a + "/p0_r.spl").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  spill::RemoveRunDir(a);
+  spill::RemoveRunDir(b);
+  EXPECT_NE(stat(a.c_str(), &st), 0);
+  EXPECT_NE(stat(b.c_str(), &st), 0);
+}
+
+TEST_F(SpillTest, PageChecksumIsOrderSensitive) {
+  const std::vector<Tuple> tuples = MakeTuples(8);
+  std::vector<Tuple> swapped = tuples;
+  std::swap(swapped[0], swapped[7]);
+  EXPECT_NE(spill::PageChecksum(tuples.data(), tuples.size()),
+            spill::PageChecksum(swapped.data(), swapped.size()));
+  EXPECT_EQ(spill::PageChecksum(tuples.data(), tuples.size()),
+            spill::PageChecksum(tuples.data(), tuples.size()));
+}
+
+}  // namespace
+}  // namespace iawj

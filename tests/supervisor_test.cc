@@ -208,7 +208,10 @@ TEST_F(SupervisorTest, BackoffScheduleIsDeterministicInSeed) {
 
 // --- Fallback chain ---------------------------------------------------------
 
-TEST_F(SupervisorTest, ResourceExhaustionFallsBackToNpj) {
+TEST_F(SupervisorTest, ResourceExhaustionFallsBackThroughHhjToNpj) {
+  // Memory pressure first degrades to the spill-capable hybrid hash join
+  // (same budget, disk-staged partitions); only when HHJ itself is starved
+  // does the chain land on the smallest in-memory algorithm.
   SupervisorPolicy policy;
   policy.fallback = true;
   std::vector<AlgorithmId> tried;
@@ -225,14 +228,17 @@ TEST_F(SupervisorTest, ResourceExhaustionFallsBackToNpj) {
         return r;
       });
   ASSERT_TRUE(result.status.ok());
-  ASSERT_EQ(tried.size(), 2u);
+  ASSERT_EQ(tried.size(), 3u);
   EXPECT_EQ(tried[0], AlgorithmId::kPrj);
-  EXPECT_EQ(tried[1], AlgorithmId::kNpj);
-  EXPECT_EQ(result.recovery.fallbacks_taken, 1);
+  EXPECT_EQ(tried[1], AlgorithmId::kHhj);
+  EXPECT_EQ(tried[2], AlgorithmId::kNpj);
+  EXPECT_EQ(result.recovery.fallbacks_taken, 2);
   EXPECT_TRUE(result.recovery.recovered());
-  ASSERT_FALSE(result.recovery.events.empty());
+  ASSERT_EQ(result.recovery.events.size(), 2u);
   EXPECT_EQ(result.recovery.events[0].action,
             RecoveryAction::kFallbackAlgorithm);
+  EXPECT_EQ(result.recovery.events[0].detail, "PRJ -> HHJ (spill)");
+  EXPECT_EQ(result.recovery.events[1].detail, "HHJ -> NPJ");
 }
 
 TEST_F(SupervisorTest, DeadlinePressureHalvesRadixBitsThenThreads) {
@@ -339,10 +345,12 @@ TEST_F(SupervisorTest, EagerStallRecoversToReferenceForEagerAlgorithms) {
   }
 }
 
-TEST_F(SupervisorTest, PersistentExhaustionFallsBackToNpjAndMatches) {
+TEST_F(SupervisorTest, PersistentExhaustionFallsBackToHhjAndMatches) {
   // Asymmetric workload: NPJ only builds a table over the small R side,
   // while PRJ scatters copies of both relations — so a budget can sit
-  // between the two footprints.
+  // between the two footprints. Under that budget the first fallback step,
+  // HHJ, completes the window exactly by staging cold partitions on disk,
+  // so the chain never needs to reach NPJ.
   MicroSpec mspec;
   mspec.size_r = 500;
   mspec.size_s = 40000;
@@ -370,13 +378,15 @@ TEST_F(SupervisorTest, PersistentExhaustionFallsBackToNpjAndMatches) {
   mem::SetBudgetBytes(0);
   ASSERT_TRUE(result.status.ok()) << result.status.ToString();
   EXPECT_EQ(result.recovery.fallbacks_taken, 1);
-  EXPECT_EQ(result.algorithm, "NPJ");
+  EXPECT_EQ(result.algorithm, "HHJ");
   EXPECT_EQ(result.matches, ref.matches);
   EXPECT_EQ(result.checksum, ref.checksum);
   ASSERT_FALSE(result.recovery.events.empty());
   EXPECT_EQ(result.recovery.events.back().action,
             RecoveryAction::kFallbackAlgorithm);
-  EXPECT_EQ(result.recovery.events.back().detail, "PRJ -> NPJ");
+  EXPECT_EQ(result.recovery.events.back().detail, "PRJ -> HHJ (spill)");
+  // Spilling is the whole point of the step: the result must say so.
+  EXPECT_TRUE(result.spill.any());
 }
 
 // --- Window-level supervision ----------------------------------------------

@@ -39,13 +39,14 @@ inline constexpr FlagInfo kFlags[] = {
 
     // Join configuration.
     {"algo", "<name>",
-     "algorithm: npj|prj|mway|mpass|shj-jm|shj-jb|pmj-jm|pmj-jb|adaptive "
-     "(default npj)"},
+     "algorithm: npj|prj|mway|mpass|shj-jm|shj-jb|pmj-jm|pmj-jb|hhj|"
+     "adaptive (default npj)"},
     {"threads", "<n>", "worker threads (default 4)"},
     {"realtime", "",
      "pace the virtual clock in wall time (default off: instant)"},
     {"time-scale", "<factor>", "realtime clock scale (default 1.0)"},
-    {"radix-bits", "<n>", "PRJ: total radix bits (default 10)"},
+    {"radix-bits", "<n>",
+     "PRJ/HHJ: total radix bits (default 10; HHJ caps at 7)"},
     {"radix-passes", "<1|2>", "PRJ: partitioning passes (default 1)"},
     {"pmj-delta", "<frac>", "PMJ: initial sorted-run fraction (default 0.2)"},
     {"jb-group", "<g>", "JB: core-group size, divides threads (default 2)"},

@@ -21,6 +21,12 @@
 // Reproducibility: schedule i under base seed B derives its RNG seed as
 // SplitMix64(B + i), so any single schedule reruns exactly with
 // --schedules=1 --seed=<B+i> (the harness prints that line on violation).
+//
+// --spill-soak narrows every schedule to the spill machinery: HHJ under a
+// memory budget small enough to stage partitions on disk, with the spill
+// fault sites (disk_full, spill_corrupt, io_truncate) in the draw. The
+// nightly ASan job runs this mode so torn pages and mid-write ENOSPC get
+// soaked, not just unit-tested.
 #include <algorithm>
 #include <cstdio>
 #include <span>
@@ -35,6 +41,7 @@
 #include "src/join/runner.h"
 #include "src/join/supervisor.h"
 #include "src/join/window_pipeline.h"
+#include "src/memory/tracker.h"
 
 namespace iawj {
 namespace {
@@ -44,15 +51,29 @@ struct Schedule {
   JoinSpec spec;
   MicroSpec micro;
   std::string fault;       // IAWJ_FAULT-style spec; empty = no injection
+  int64_t mem_budget = 0;  // tracked-byte budget for this schedule; 0 = keep
   bool pipeline = false;   // tumbling windows vs one supervised run
   bool replay = false;     // re-arm (fault::Reset) and assert determinism
 };
 
-Schedule DrawSchedule(uint64_t seed) {
+// Pins a schedule onto the spill path: HHJ under a budget small enough that
+// the partition histogram cannot keep everything resident. 64K..192K against
+// a few thousand 8-byte tuples spills more than half the partitions and
+// usually forces at least one recursive repartition.
+void ForceSpill(Rng& rng, Schedule* sched) {
+  sched->id = AlgorithmId::kHhj;
+  sched->mem_budget = 64 * 1024 + static_cast<int64_t>(rng.NextBounded(128)) * 1024;
+}
+
+Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
   Rng rng(seed);
   Schedule sched;
 
   sched.id = kAllAlgorithms[rng.NextBounded(std::size(kAllAlgorithms))];
+  // kHhj sits outside kAllAlgorithms (it is not part of the paper's study
+  // grid), so the draw above never picks it; give the spill path its own
+  // slice of fault-free coverage here.
+  if (rng.NextBounded(8) == 0) ForceSpill(rng, &sched);
   sched.pipeline = rng.NextBounded(3) == 0;
 
   // Small workloads keep one schedule in the tens of milliseconds; the soak
@@ -88,8 +109,9 @@ Schedule DrawSchedule(uint64_t seed) {
 
   // Fault spec. Stall sites park a thread until cancellation, so they are
   // only drawn together with a deadline; the other sites fail fast on
-  // their own.
-  switch (rng.NextBounded(8)) {
+  // their own. The spill sites (cases 8-10) only have hits when partitions
+  // actually stage to disk, so they force an HHJ + small-budget schedule.
+  switch (rng.NextBounded(11)) {
     case 0:
       break;  // fault-free schedule: supervision must stay invisible
     case 1:
@@ -117,6 +139,40 @@ Schedule DrawSchedule(uint64_t seed) {
     case 7:
       sched.fault = "clock_skew";
       break;
+    case 8:  // mid-write ENOSPC: retry or HHJ -> NPJ fallback recovers
+      sched.fault = "disk_full:" + std::to_string(1 + rng.NextBounded(8));
+      ForceSpill(rng, &sched);
+      break;
+    case 9:  // torn page on restore: must fail clean as data_loss
+      sched.fault =
+          "spill_corrupt:" + std::to_string(1 + rng.NextBounded(4));
+      ForceSpill(rng, &sched);
+      break;
+    case 10:  // truncated run file on restore: ditto
+      sched.fault = "io_truncate:" + std::to_string(1 + rng.NextBounded(4));
+      ForceSpill(rng, &sched);
+      break;
+  }
+
+  if (spill_soak) {
+    // Soak mode: every schedule spills. Roughly half run fault-free (pure
+    // exactness under pressure), the rest split across the spill sites.
+    ForceSpill(rng, &sched);
+    switch (rng.NextBounded(6)) {
+      case 0:
+        sched.fault = "disk_full:" + std::to_string(1 + rng.NextBounded(8));
+        break;
+      case 1:
+        sched.fault =
+            "spill_corrupt:" + std::to_string(1 + rng.NextBounded(4));
+        break;
+      case 2:
+        sched.fault = "io_truncate:" + std::to_string(1 + rng.NextBounded(4));
+        break;
+      default:
+        sched.fault.clear();
+        break;
+    }
   }
 
   sched.replay = !sched.fault.empty() && rng.NextBounded(4) == 0;
@@ -225,14 +281,18 @@ struct Tally {
   int violations = 0;
 };
 
+// "" normally, " --spill-soak" in soak mode: the flag changes how each seed
+// draws, so the printed repro line has to carry it.
+const char* g_repro_flags = "";
+
 void Violation(Tally* tally, uint64_t repro_seed, const char* what,
                const std::string& detail) {
   ++tally->violations;
   std::fprintf(stderr,
                "VIOLATION: %s (%s)\n  reproduce: iawj_chaos --schedules=1 "
-               "--seed=%llu\n",
+               "--seed=%llu%s\n",
                what, detail.c_str(),
-               static_cast<unsigned long long>(repro_seed));
+               static_cast<unsigned long long>(repro_seed), g_repro_flags);
 }
 
 void CheckSchedule(const Expectation& expect, const Outcome& out,
@@ -296,6 +356,8 @@ int Run(int argc, char** argv) {
   const auto schedules = static_cast<uint64_t>(flags.GetInt("schedules", 50));
   const auto base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool verbose = flags.GetBool("verbose", false);
+  const bool spill_soak = flags.GetBool("spill-soak", false);
+  if (spill_soak) g_repro_flags = " --spill-soak";
   if (const auto unknown = flags.Unknown(); !unknown.empty()) {
     std::string all;
     for (const auto& u : unknown) all += " --" + u;
@@ -303,8 +365,9 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("chaos soak: %llu schedule(s), base seed %llu "
+  std::printf("chaos soak%s: %llu schedule(s), base seed %llu "
               "(reproduce schedule i: --schedules=1 --seed=%llu+i)\n",
+              spill_soak ? " (spill)" : "",
               static_cast<unsigned long long>(schedules),
               static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(base_seed));
@@ -313,7 +376,7 @@ int Run(int argc, char** argv) {
   for (uint64_t i = 0; i < schedules; ++i) {
     const uint64_t repro_seed = base_seed + i;
     uint64_t x = repro_seed;
-    const Schedule sched = DrawSchedule(Rng::SplitMix64(&x));
+    const Schedule sched = DrawSchedule(Rng::SplitMix64(&x), spill_soak);
 
     const MicroWorkload workload = GenerateMicro(sched.micro);
     const Expectation expect =
@@ -327,6 +390,11 @@ int Run(int argc, char** argv) {
     } else {
       fault::Clear();
     }
+    // Spill schedules run under their own tracked-byte budget; restore the
+    // process-wide one (usually unlimited) after the replay, so budgets
+    // never leak across schedules.
+    const int64_t saved_budget = mem::BudgetBytes();
+    if (sched.mem_budget > 0) mem::SetBudgetBytes(sched.mem_budget);
     const Outcome out = RunSchedule(sched, workload.r, workload.s);
     CheckSchedule(expect, out, repro_seed, &tally);
 
@@ -350,6 +418,7 @@ int Run(int argc, char** argv) {
                       std::to_string(again.matches));
       }
     }
+    if (sched.mem_budget > 0) mem::SetBudgetBytes(saved_budget);
     fault::Clear();
 
     if (verbose) {

@@ -16,10 +16,12 @@
 // consistency of the `recovery` block (flag/counter agreement, shed_ratio
 // in [0, 1], well-formed events), for v4 records the `scheduler` block
 // (morsel mode, non-negative counters, per-worker rows summing to the
-// totals), and for v5 records the always-present `pmu` block (measured
+// totals), for v5 records the always-present `pmu` block (measured
 // counters non-negative, per-phase deltas summing to the totals, or a
 // nonempty unavailability reason) and `metrics` block (enabled flag,
-// non-negative counters). Older versions are still accepted. Usage:
+// non-negative counters), and for v6 records the `spill` block (spilled
+// runs only: non-negative counters, residency split summing within the
+// partition count). Older versions are still accepted. Usage:
 //   iawj_trace_check --records <run_record.json | metrics-dir>
 #include <dirent.h>
 
@@ -199,6 +201,33 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     }
   }
 
+  // v6: spill block, present only when the run staged partitions on disk.
+  if (const json::Value* spill = root.Find("spill"); spill != nullptr) {
+    if (version->number < 6) {
+      return where + ": spill block requires record_version >= 6";
+    }
+    if (!spill->is_object()) return where + ": spill is not an object";
+    for (const char* field :
+         {"partitions", "partitions_spilled", "partitions_resident",
+          "bytes_written", "bytes_read", "pages_written", "pages_read",
+          "recursion_depth", "bnl_fallbacks", "spill_elapsed_ms"}) {
+      const json::Value* v = spill->Find(field);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return where + ": spill." + field + " missing or negative";
+      }
+    }
+    const double partitions = spill->Find("partitions")->number;
+    const double spilled = spill->Find("partitions_spilled")->number;
+    const double resident = spill->Find("partitions_resident")->number;
+    // Empty partitions belong to neither list, so <= rather than ==.
+    if (spilled + resident > partitions) {
+      return where + ": spill residency split exceeds the partition count";
+    }
+    if (spilled > 0 && spill->Find("bytes_written")->number <= 0) {
+      return where + ": spilled partitions but no bytes written";
+    }
+  }
+
   const json::Value* recovery = root.Find("recovery");
   if (recovery == nullptr) return "";  // unsupervised: no block to check
   if (version->number < 3) {
@@ -276,7 +305,7 @@ int CheckRecords(const std::string& path, bool verbose) {
     files.push_back(path);
   }
 
-  size_t supervised = 0, pmu_measured = 0;
+  size_t supervised = 0, pmu_measured = 0, spilled = 0;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) return Fail("cannot open " + file);
@@ -290,6 +319,7 @@ int CheckRecords(const std::string& path, bool verbose) {
       return Fail(err);
     }
     if (root.Find("recovery") != nullptr) ++supervised;
+    if (root.Find("spill") != nullptr) ++spilled;
     if (const json::Value* pmu = root.Find("pmu"); pmu != nullptr) {
       const json::Value* available = pmu->Find("available");
       if (IsBool(available) && available->boolean) ++pmu_measured;
@@ -298,8 +328,8 @@ int CheckRecords(const std::string& path, bool verbose) {
   }
   std::printf(
       "OK: %zu record(s) validated, %zu with recovery blocks, "
-      "%zu with measured pmu counters\n",
-      files.size(), supervised, pmu_measured);
+      "%zu with measured pmu counters, %zu with spill blocks\n",
+      files.size(), supervised, pmu_measured, spilled);
   return 0;
 }
 
