@@ -43,6 +43,10 @@ inline constexpr const char* kKnownSites[] = {
     "disk_full",    // spill writer: next page write fails like ENOSPC
     "spill_corrupt",  // spill reader: next page's checksum mismatches
     "record_truncate",  // run-record writer dies mid-write (partial JSON)
+    "disorder_burst",   // ingest: an arrival is held back ~128 deliveries
+    "late_tuple",       // ingest: an arrival is held to end of stream
+    "dup_tuple",        // ingest: an arrival is delivered twice
+    "watermark_stall",  // ingest: the watermark generator freezes briefly
 };
 
 namespace internal {

@@ -106,6 +106,15 @@ struct JoinSpec {
   double shed_watermark_per_ms = 0;  // 0 = $IAWJ_SHED_WATERMARK, < 0 = off
   uint64_t supervisor_seed = 42;   // backoff jitter + shed sampling RNG
 
+  // --- Disorder-tolerant ingestion knobs (stream/disorder.h) -----------
+  // Same precedence convention: > 0 wins, 0 defers to the env var, < 0 is
+  // explicitly off; dedup is OR'd with $IAWJ_INGEST_DEDUP. When the
+  // resolved policy is entirely off, inputs bypass the ingest layer —
+  // zero copies, byte-identical pre-ingest behavior.
+  double disorder_slack_ms = 0;     // 0 = $IAWJ_DISORDER_SLACK, < 0 = off
+  double allowed_lateness_ms = 0;   // 0 = $IAWJ_ALLOWED_LATENESS, < 0 = off
+  bool ingest_dedup = false;        // OR'd with $IAWJ_INGEST_DEDUP
+
   Status Validate(AlgorithmId id) const;
 };
 

@@ -12,7 +12,8 @@
 //                 the identical match multiset, so an algorithm fallback
 //                 still yields the exact answer);
 //   degraded()  — data was lost in a bounded, accounted way (windows
-//                 skipped or tuples shed), so the result is approximate.
+//                 skipped, tuples shed, or tuples quarantined by the
+//                 ingest layer), so the result is approximate.
 #ifndef IAWJ_JOIN_RECOVERY_H_
 #define IAWJ_JOIN_RECOVERY_H_
 
@@ -32,6 +33,7 @@ enum class RecoveryAction {
   kHalveRadixBits,     // deadline pressure on PRJ: cheaper partitioning
   kSkipWindow,         // pipeline gave up on one window (bounded loss)
   kShedLoad,           // overload shedding before execution (bounded loss)
+  kQuarantine,         // ingest quarantined tuples (late/dup/corrupt loss)
 };
 
 std::string_view RecoveryActionName(RecoveryAction action);
@@ -53,8 +55,10 @@ struct RecoveryLog {
   int fallbacks_taken = 0;
 
   // Bounded-loss accounting. tuples_dropped counts the skipped windows'
-  // input tuples; est_matches_lost extrapolates the matches those windows
-  // would have produced (see window_pipeline.cc for the estimator).
+  // input tuples plus tuples the ingest layer quarantined (dropped-late,
+  // duplicate, corrupt — stream/disorder.h); est_matches_lost extrapolates
+  // the matches they would have produced (see window_pipeline.cc and
+  // supervisor.cc for the estimators).
   uint64_t windows_skipped = 0;
   uint64_t tuples_dropped = 0;
   double est_matches_lost = 0;
@@ -64,7 +68,9 @@ struct RecoveryLog {
   double shed_ratio = 0;
 
   bool recovered() const { return attempts > 1 || fallbacks_taken > 0; }
-  bool degraded() const { return windows_skipped > 0 || tuples_shed > 0; }
+  bool degraded() const {
+    return windows_skipped > 0 || tuples_shed > 0 || tuples_dropped > 0;
+  }
   bool empty() const {
     return events.empty() && attempts <= 1 && fallbacks_taken == 0 &&
            !degraded();

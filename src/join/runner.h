@@ -18,6 +18,7 @@
 #include "src/join/recovery.h"
 #include "src/profiling/cache_sim.h"
 #include "src/profiling/pmu.h"
+#include "src/stream/disorder.h"
 #include "src/stream/stream.h"
 
 namespace iawj {
@@ -55,6 +56,13 @@ struct RunResult {
   // partitions on disk (HHJ under a memory budget). Serialized as the run
   // record's v6 `spill` block when spill.any().
   SpillStats spill;
+
+  // Disorder-tolerant ingestion accounting (stream/disorder.h): all-zero
+  // unless an ingest policy was configured, in which case the supervisor or
+  // pipeline fed the inputs through the reorder buffer + watermark +
+  // quarantine before execution. Serialized as the run record's v7 `ingest`
+  // block when ingest.any().
+  IngestStats ingest;
 
   // Hardware counter measurement (profiling/pmu.h): per-phase deltas summed
   // across workers when $IAWJ_PMU=1 (or --counters=pmu) and the kernel

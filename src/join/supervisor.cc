@@ -11,6 +11,7 @@
 #include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/profiling/metrics.h"
+#include "src/stream/disorder.h"
 
 namespace iawj {
 
@@ -59,6 +60,8 @@ std::string_view RecoveryActionName(RecoveryAction action) {
       return "skip_window";
     case RecoveryAction::kShedLoad:
       return "shed_load";
+    case RecoveryAction::kQuarantine:
+      return "quarantine";
   }
   return "?";
 }
@@ -287,19 +290,41 @@ RunResult Supervisor::Run(AlgorithmId id, const Stream& r, const Stream& s,
                           const JoinSpec& spec) {
   const SupervisorPolicy policy =
       has_policy_ ? policy_ : SupervisorPolicy::Resolve(spec);
+  const IngestPolicy ingest_policy = IngestPolicy::Resolve(
+      spec.disorder_slack_ms, spec.allowed_lateness_ms, spec.ingest_dedup);
   JoinRunner runner;
-  if (!policy.Enabled()) return runner.Run(id, r, s, spec);
+  if (!policy.Enabled() && !ingest_policy.Enabled()) {
+    return runner.Run(id, r, s, spec);
+  }
 
-  // Overload shedding first, so every attempt sees the same thinned input
-  // (deterministic: same watermark + seed => same surviving tuples).
+  // Ingestion first: restore ts order through the reorder buffer +
+  // watermark + quarantine (stream/disorder.h) so every later stage — the
+  // shedder's backlog model, windowing, the algorithms' sorted-stream
+  // assumption — sees an honest ordered stream.
   const Stream* run_r = &r;
   const Stream* run_s = &s;
+  Stream ingested_r, ingested_s;
+  IngestStats ingest_stats;
+  if (ingest_policy.Enabled()) {
+    IngestResult in_r = IngestStream(r, ingest_policy);
+    IngestResult in_s = IngestStream(s, ingest_policy);
+    ingest_stats = in_r.stats;
+    ingest_stats.Merge(in_s.stats);
+    ingested_r = std::move(in_r.stream);
+    ingested_s = std::move(in_s.stream);
+    run_r = &ingested_r;
+    run_s = &ingested_s;
+    PublishIngestMetrics(ingest_stats);
+  }
+
+  // Overload shedding next, so every attempt sees the same thinned input
+  // (deterministic: same watermark + seed => same surviving tuples).
   ShedResult shed_r, shed_s;
   RecoveryLog shed_log;
   if (policy.shed_watermark_per_ms > 0) {
-    shed_r = ShedToWatermark(r, policy.shed_watermark_per_ms,
+    shed_r = ShedToWatermark(*run_r, policy.shed_watermark_per_ms,
                              policy.shed_max_lag_ms, policy.seed);
-    shed_s = ShedToWatermark(s, policy.shed_watermark_per_ms,
+    shed_s = ShedToWatermark(*run_s, policy.shed_watermark_per_ms,
                              policy.shed_max_lag_ms, policy.seed + 1);
     run_r = &shed_r.stream;
     run_s = &shed_s.stream;
@@ -319,14 +344,41 @@ RunResult Supervisor::Run(AlgorithmId id, const Stream& r, const Stream& s,
     }
   }
 
-  RunResult result = SuperviseAttempts(
-      id, spec, policy,
-      [&](AlgorithmId attempt_id, const JoinSpec& attempt_spec) {
-        return runner.Run(attempt_id, *run_r, *run_s, attempt_spec);
-      });
+  RunResult result =
+      policy.Enabled()
+          ? SuperviseAttempts(
+                id, spec, policy,
+                [&](AlgorithmId attempt_id, const JoinSpec& attempt_spec) {
+                  return runner.Run(attempt_id, *run_r, *run_s, attempt_spec);
+                })
+          : runner.Run(id, *run_r, *run_s, spec);
   if (shed_log.tuples_shed > 0) {
     PublishRecoveryMetrics(shed_log);
     result.recovery.Merge(shed_log);
+  }
+  if (ingest_stats.any()) {
+    result.ingest = ingest_stats;
+    const uint64_t quarantined = ingest_stats.quarantined();
+    if (quarantined > 0) {
+      // Quarantined tuples are bounded loss: count them and extrapolate
+      // the matches they would have produced from this run's match rate.
+      RecoveryLog quarantine_log;
+      const double rate = result.inputs > 0
+                              ? static_cast<double>(result.matches) /
+                                    static_cast<double>(result.inputs)
+                              : 0;
+      quarantine_log.tuples_dropped = quarantined;
+      quarantine_log.est_matches_lost =
+          rate * static_cast<double>(quarantined);
+      quarantine_log.events.push_back(
+          {RecoveryAction::kQuarantine, StatusCode::kOk, 0,
+           "ingest quarantined " + std::to_string(quarantined) + " tuples (" +
+               std::to_string(ingest_stats.late_dropped) + " late, " +
+               std::to_string(ingest_stats.duplicates) + " duplicate, " +
+               std::to_string(ingest_stats.corrupt) + " corrupt)",
+           0});
+      result.recovery.Merge(quarantine_log);
+    }
   }
   return result;
 }

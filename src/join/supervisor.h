@@ -23,6 +23,12 @@
 //      both input streams are thinned by stream.h's deterministic load
 //      shedder and the loss is accounted in the log.
 //
+// When the spec additionally resolves an ingest policy (disorder_slack_ms /
+// allowed_lateness_ms / ingest_dedup, stream/disorder.h), both inputs are
+// fed through the disorder-tolerant ingestion layer before shedding; the
+// stats land on RunResult::ingest and quarantined tuples join the
+// bounded-loss accounting (tuples_dropped / est_matches_lost).
+//
 // Window-level supervision (retry-then-skip with bounded-loss accounting)
 // lives in window_pipeline.cc and reuses SuperviseAttempts below.
 //

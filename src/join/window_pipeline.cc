@@ -52,6 +52,43 @@ RunResult RunWindowOnce(JoinRunner& runner, AlgorithmId id, const Stream& wr,
   return runner.Run(id, wr, ws, window_spec);
 }
 
+// The pipeline's inputs after disorder-tolerant ingestion. With no ingest
+// policy configured `r`/`s` alias the caller's streams (no copy, no stats);
+// with one configured they point at the restored, ordered streams owned
+// here. Ingestion must run BEFORE segmentation: Stream::MaxTs() and
+// SliceWindow both assume the sorted contract, so segmenting an
+// arrival-order sequence would mis-place tuples silently.
+struct IngestedInputs {
+  const Stream* r = nullptr;
+  const Stream* s = nullptr;
+  Stream owned_r, owned_s;
+  IngestStats stats;
+  bool active = false;
+};
+
+IngestedInputs ApplyIngest(const Stream& r, const Stream& s,
+                           const JoinSpec& spec) {
+  IngestedInputs in;
+  const IngestPolicy policy = IngestPolicy::Resolve(
+      spec.disorder_slack_ms, spec.allowed_lateness_ms, spec.ingest_dedup);
+  if (!policy.Enabled()) {
+    in.r = &r;
+    in.s = &s;
+    return in;
+  }
+  IngestResult ingested_r = IngestStream(r, policy);
+  IngestResult ingested_s = IngestStream(s, policy);
+  in.stats = ingested_r.stats;
+  in.stats.Merge(ingested_s.stats);
+  in.owned_r = std::move(ingested_r.stream);
+  in.owned_s = std::move(ingested_s.stream);
+  in.r = &in.owned_r;
+  in.s = &in.owned_s;
+  in.active = true;
+  PublishIngestMetrics(in.stats);
+  return in;
+}
+
 // Shared driver: runs one IaWJ per (start, length) segment. Degrades
 // gracefully on failure: each failed window is retried and fallen back per
 // the supervision policy (join/supervisor.h), then — under a skip policy —
@@ -60,7 +97,7 @@ RunResult RunWindowOnce(JoinRunner& runner, AlgorithmId id, const Stream& wr,
 // with its partial metrics, its status copied to the pipeline, and no
 // further windows run.
 PipelineResult RunSegments(
-    const Stream& r, const Stream& s, const JoinSpec& spec,
+    const IngestedInputs& in, const JoinSpec& spec,
     const std::vector<std::pair<uint64_t, uint32_t>>& segments,
     const AlgorithmPolicy& policy) {
   PipelineResult pipeline;
@@ -75,15 +112,16 @@ PipelineResult RunSegments(
   // single-attempt path below.
   const SupervisorPolicy supervision = SupervisorPolicy::Resolve(spec);
 
-  // Overload shedding applies to the whole timeline before segmentation, so
-  // every window sees the post-shed arrival sequence.
-  const Stream* in_r = &r;
-  const Stream* in_s = &s;
+  // Overload shedding applies to the whole (already ingested) timeline
+  // before windowing, so every window sees the post-shed sequence —
+  // shedding after reorder keeps its lag-bounded backlog model honest.
+  const Stream* in_r = in.r;
+  const Stream* in_s = in.s;
   ShedResult shed_r, shed_s;
   if (supervision.shed_watermark_per_ms > 0) {
-    shed_r = ShedToWatermark(r, supervision.shed_watermark_per_ms,
+    shed_r = ShedToWatermark(*in.r, supervision.shed_watermark_per_ms,
                              supervision.shed_max_lag_ms, supervision.seed);
-    shed_s = ShedToWatermark(s, supervision.shed_watermark_per_ms,
+    shed_s = ShedToWatermark(*in.s, supervision.shed_watermark_per_ms,
                              supervision.shed_max_lag_ms,
                              supervision.seed + 1);
     in_r = &shed_r.stream;
@@ -183,6 +221,28 @@ PipelineResult RunSegments(
     pipeline.windows.push_back(std::move(run));
     if (failed) break;
   }
+  if (in.active) {
+    pipeline.ingest = in.stats;
+    const uint64_t quarantined = in.stats.quarantined();
+    if (quarantined > 0) {
+      // Quarantined tuples are bounded loss, same as a skipped window:
+      // count them and extrapolate the matches they would have produced
+      // from the completed windows' match rate.
+      const double rate = ok_inputs > 0 ? static_cast<double>(ok_matches) /
+                                              static_cast<double>(ok_inputs)
+                                        : 0;
+      pipeline.recovery.tuples_dropped += quarantined;
+      pipeline.recovery.est_matches_lost +=
+          rate * static_cast<double>(quarantined);
+      pipeline.recovery.events.push_back(
+          {RecoveryAction::kQuarantine, StatusCode::kOk, 0,
+           "ingest quarantined " + std::to_string(quarantined) + " tuples (" +
+               std::to_string(in.stats.late_dropped) + " late, " +
+               std::to_string(in.stats.duplicates) + " duplicate, " +
+               std::to_string(in.stats.corrupt) + " corrupt)",
+           0});
+    }
+  }
   return pipeline;
 }
 
@@ -197,12 +257,13 @@ PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
         Status::InvalidArgument("tumbling windows need window_ms >= 1");
     return pipeline;
   }
-  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  const IngestedInputs in = ApplyIngest(r, s, spec);
+  const uint64_t max_ts = std::max<uint64_t>(in.r->MaxTs(), in.s->MaxTs());
   std::vector<std::pair<uint64_t, uint32_t>> segments;
   for (uint64_t start = 0; start <= max_ts; start += spec.window_ms) {
     segments.emplace_back(start, spec.window_ms);
   }
-  return RunSegments(r, s, spec, segments, policy);
+  return RunSegments(in, spec, segments, policy);
 }
 
 PipelineResult RunTumblingWindows(AlgorithmId id, const Stream& r,
@@ -220,12 +281,13 @@ PipelineResult RunSlidingWindows(const Stream& r, const Stream& s,
         Status::InvalidArgument("sliding windows need hop_ms >= 1");
     return pipeline;
   }
-  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  const IngestedInputs in = ApplyIngest(r, s, spec);
+  const uint64_t max_ts = std::max<uint64_t>(in.r->MaxTs(), in.s->MaxTs());
   std::vector<std::pair<uint64_t, uint32_t>> segments;
   for (uint64_t start = 0; start <= max_ts; start += hop_ms) {
     segments.emplace_back(start, spec.window_ms);
   }
-  return RunSegments(r, s, spec, segments, policy);
+  return RunSegments(in, spec, segments, policy);
 }
 
 PipelineResult RunSlidingWindows(AlgorithmId id, const Stream& r,
@@ -244,12 +306,13 @@ PipelineResult RunSessionWindows(const Stream& r, const Stream& s,
         Status::InvalidArgument("session windows need gap_ms >= 1");
     return pipeline;
   }
+  const IngestedInputs in = ApplyIngest(r, s, spec);
   // Merge the two arrival sequences and split wherever both streams are
   // silent for at least gap_ms.
   std::vector<uint32_t> arrivals;
-  arrivals.reserve(r.size() + s.size());
-  for (const Tuple& t : r.tuples) arrivals.push_back(t.ts);
-  for (const Tuple& t : s.tuples) arrivals.push_back(t.ts);
+  arrivals.reserve(in.r->size() + in.s->size());
+  for (const Tuple& t : in.r->tuples) arrivals.push_back(t.ts);
+  for (const Tuple& t : in.s->tuples) arrivals.push_back(t.ts);
   std::sort(arrivals.begin(), arrivals.end());
 
   std::vector<std::pair<uint64_t, uint32_t>> segments;
@@ -267,7 +330,7 @@ PipelineResult RunSessionWindows(const Stream& r, const Stream& s,
     segments.emplace_back(session_start,
                           static_cast<uint32_t>(last - session_start) + 1);
   }
-  return RunSegments(r, s, spec, segments, policy);
+  return RunSegments(in, spec, segments, policy);
 }
 
 PipelineResult RunSessionWindows(AlgorithmId id, const Stream& r,

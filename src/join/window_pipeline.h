@@ -48,6 +48,13 @@ struct PipelineResult {
   // fallbacks, skipped windows with their bounded loss (tuples_dropped +
   // est_matches_lost), and load shedding. Empty when supervision is off.
   RecoveryLog recovery;
+
+  // Disorder-tolerant ingestion accounting (stream/disorder.h): all-zero
+  // unless an ingest policy was configured, in which case both inputs went
+  // through the reorder buffer + watermark + quarantine before
+  // segmentation, and quarantined tuples are folded into `recovery`'s
+  // bounded-loss fields.
+  IngestStats ingest;
 };
 
 // Chooses the algorithm for one window, given its (already segmented,
@@ -59,6 +66,12 @@ using AlgorithmPolicy =
 // Runs consecutive tumbling windows of spec.window_ms over r and s. Tuples
 // beyond the last complete window form a final partial window. The spec's
 // clock settings apply to every window (each window restarts the clock).
+// When the spec resolves an ingest policy (disorder_slack_ms /
+// allowed_lateness_ms / ingest_dedup or their env vars), r and s are taken
+// as arrival-order sequences and fed through stream/disorder.h first —
+// windows are sealed by the watermark-driven flush, not by assuming the
+// input arrived sorted. The same applies to the sliding and session entry
+// points below.
 PipelineResult RunTumblingWindows(const Stream& r, const Stream& s,
                                   const JoinSpec& spec,
                                   const AlgorithmPolicy& policy);

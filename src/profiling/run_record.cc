@@ -91,7 +91,12 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // v6: adds the `spill` block (partition residency split, run-file bytes
   // and pages, recursion depth, BNL fallbacks, spill wall time) whenever
   // the run staged partitions on disk; in-memory runs omit the block.
-  w.Field("record_version", int64_t{6});
+  // v7: adds spec.disorder_slack_ms / spec.allowed_lateness_ms /
+  // spec.ingest_dedup and the `ingest` block (disposition counts, max
+  // observed disorder, final watermark) whenever the run's inputs went
+  // through the disorder-tolerant ingestion layer (stream/disorder.h);
+  // runs without an ingest policy omit the block.
+  w.Field("record_version", int64_t{7});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -134,6 +139,9 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   w.Field("scheduler_resolved",
           std::string(SchedulerModeName(result.scheduler_resolved)));
   w.Field("morsel_size", uint64_t{result.morsel_size});
+  w.Field("disorder_slack_ms", spec.disorder_slack_ms);
+  w.Field("allowed_lateness_ms", spec.allowed_lateness_ms);
+  w.Field("ingest_dedup", spec.ingest_dedup);
   w.EndObject();
 
   w.Field("inputs", uint64_t{result.inputs});
@@ -227,6 +235,28 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
     w.Field("recursion_depth", uint64_t{sp.recursion_depth});
     w.Field("bnl_fallbacks", uint64_t{sp.bnl_fallbacks});
     w.Field("spill_elapsed_ms", sp.spill_elapsed_ms);
+    w.EndObject();
+  }
+
+  // v7: present only when the inputs went through the ingest layer — runs
+  // without a configured policy keep their pre-v7 shape modulo
+  // record_version, honoring the zero-overhead contract. Dispositions obey
+  // tuples_out + late_dropped + duplicates + corrupt == tuples_in.
+  if (result.ingest.any()) {
+    const IngestStats& in = result.ingest;
+    w.Key("ingest").BeginObject();
+    w.Field("tuples_in", uint64_t{in.tuples_in});
+    w.Field("tuples_out", uint64_t{in.tuples_out});
+    w.Field("reordered", uint64_t{in.reordered});
+    w.Field("late_total", uint64_t{in.late_total});
+    w.Field("late_admitted", uint64_t{in.late_admitted});
+    w.Field("late_dropped", uint64_t{in.late_dropped});
+    w.Field("duplicates", uint64_t{in.duplicates});
+    w.Field("corrupt", uint64_t{in.corrupt});
+    w.Field("watermark_clamps", uint64_t{in.watermark_clamps});
+    w.Field("max_disorder_ms", uint64_t{in.max_disorder_ms});
+    w.Field("max_ts_ms", uint64_t{in.max_ts_ms});
+    w.Field("final_watermark_ms", uint64_t{in.final_watermark_ms});
     w.EndObject();
   }
 

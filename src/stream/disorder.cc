@@ -1,0 +1,308 @@
+#include "src/stream/disorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/profiling/metrics.h"
+
+namespace iawj {
+
+namespace {
+
+// Generators keep keys below 2^31 (datagen/micro.h); anything above is a
+// corrupted delivery, not a joinable tuple.
+constexpr uint32_t kKeyDomainLimit = 1u << 31;
+
+// How far the disorder_burst fault holds a delivery back, and how long the
+// watermark_stall fault freezes the generator. Both deliberately exceed any
+// plausible test slack so the faults produce observable disorder.
+constexpr size_t kBurstDelayArrivals = 128;
+constexpr uint32_t kStallObservations = 256;
+
+// The clock_skew fault's step, matching common/clock.cc's 10 s regression.
+constexpr uint32_t kSkewMs = 10000;
+
+// Orders the reorder buffer by (ts, key): a single uint64 comparison, and
+// deterministic for equal timestamps.
+inline uint64_t HeapKey(Tuple t) {
+  return (static_cast<uint64_t>(t.ts) << 32) | t.key;
+}
+
+double EnvPositiveDouble(const char* name) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || text[0] == '\0') return 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v >= 0) || !std::isfinite(v)) {
+    IAWJ_LOG(Warning) << "ignoring malformed " << name << "='" << text
+                      << "' (want a non-negative stream-ms value)";
+    return 0;
+  }
+  return v;
+}
+
+bool EnvBool(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// Stream-ms knobs round up: a slack of 0.5 ms must still hold one tick.
+uint32_t CeilTicks(double ms) {
+  if (ms <= 0) return 0;
+  return static_cast<uint32_t>(std::ceil(ms));
+}
+
+}  // namespace
+
+IngestPolicy IngestPolicy::Resolve(double spec_slack_ms,
+                                   double spec_allowed_lateness_ms,
+                                   bool spec_dedup) {
+  IngestPolicy policy;
+  if (spec_slack_ms > 0) {
+    policy.slack_ms = spec_slack_ms;
+  } else if (spec_slack_ms == 0) {
+    policy.slack_ms = EnvPositiveDouble("IAWJ_DISORDER_SLACK");
+  }
+  if (spec_allowed_lateness_ms > 0) {
+    policy.allowed_lateness_ms = spec_allowed_lateness_ms;
+  } else if (spec_allowed_lateness_ms == 0) {
+    policy.allowed_lateness_ms = EnvPositiveDouble("IAWJ_ALLOWED_LATENESS");
+  }
+  policy.dedup = spec_dedup || EnvBool("IAWJ_INGEST_DEDUP");
+  return policy;
+}
+
+void IngestStats::Merge(const IngestStats& other) {
+  tuples_in += other.tuples_in;
+  tuples_out += other.tuples_out;
+  reordered += other.reordered;
+  late_total += other.late_total;
+  late_admitted += other.late_admitted;
+  late_dropped += other.late_dropped;
+  duplicates += other.duplicates;
+  corrupt += other.corrupt;
+  watermark_clamps += other.watermark_clamps;
+  max_disorder_ms = std::max(max_disorder_ms, other.max_disorder_ms);
+  max_ts_ms = std::max(max_ts_ms, other.max_ts_ms);
+  final_watermark_ms = std::max(final_watermark_ms, other.final_watermark_ms);
+}
+
+WatermarkGenerator::WatermarkGenerator(double allowed_lateness_ms)
+    : lateness_ms_(CeilTicks(allowed_lateness_ms)) {}
+
+uint32_t WatermarkGenerator::Observe(uint32_t ts) {
+  uint32_t observed = ts;
+  if (fault::Enabled()) {
+    // Fault "clock_skew": this observation arrives stamped ~10 s in the
+    // past, the producer-side shape of the NTP step Clock::Start models.
+    // The candidate below regresses; the clamp must absorb it.
+    if (fault::Inject("clock_skew")) {
+      observed = ts >= kSkewMs ? ts - kSkewMs : 0;
+    }
+    // Fault "watermark_stall": the generator freezes — observations still
+    // count (lateness classification keeps working off the stale mark) but
+    // the watermark stops advancing for a burst.
+    if (fault::Inject("watermark_stall")) {
+      stall_remaining_ = kStallObservations;
+    }
+  }
+  const uint32_t candidate =
+      observed > lateness_ms_ ? observed - lateness_ms_ : 0;
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+  } else if (candidate > watermark_) {
+    watermark_ = candidate;
+  } else if (candidate < watermark_) {
+    ++clamps_;
+  }
+  return watermark_;
+}
+
+IngestResult IngestStream(const Stream& arrivals, const IngestPolicy& policy) {
+  IngestResult result;
+  IngestStats& st = result.stats;
+  const uint32_t slack = CeilTicks(policy.slack_ms);
+  WatermarkGenerator watermark(policy.allowed_lateness_ms);
+
+  // Min-heap by (ts, key): the bounded reorder buffer.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> buffer;
+  // dedup: multiplicity of each exact (ts, key) currently held in the
+  // buffer; a re-delivery while the original is still pending quarantines.
+  std::unordered_map<uint64_t, uint32_t> pending;
+
+  std::vector<Tuple>& out = result.stream.tuples;
+  out.reserve(arrivals.size());
+  std::vector<Tuple> admitted_late;
+
+  uint32_t max_seen = 0;
+  bool any_seen = false;
+  uint32_t frontier = 0;  // largest released ts
+  bool emitted_any = false;
+
+  const auto drain = [&](bool flush) {
+    while (!buffer.empty()) {
+      const uint64_t top = buffer.top();
+      const uint32_t ts = static_cast<uint32_t>(top >> 32);
+      if (!flush && static_cast<uint64_t>(ts) + slack > max_seen) break;
+      buffer.pop();
+      if (policy.dedup) {
+        const auto it = pending.find(top);
+        if (it != pending.end() && --it->second == 0) pending.erase(it);
+      }
+      out.push_back(Tuple{ts, static_cast<uint32_t>(top)});
+      frontier = ts;
+      emitted_any = true;
+    }
+  };
+
+  const auto deliver = [&](Tuple t) {
+    ++st.tuples_in;
+    if (t.key >= kKeyDomainLimit) {
+      ++st.corrupt;
+      return;
+    }
+    const uint32_t wm = watermark.Observe(t.ts);
+    if (any_seen && t.ts < max_seen) {
+      ++st.reordered;
+      st.max_disorder_ms = std::max(st.max_disorder_ms, max_seen - t.ts);
+    }
+    if (!any_seen || t.ts > max_seen) {
+      max_seen = t.ts;
+      any_seen = true;
+    }
+    if (emitted_any && t.ts < frontier) {
+      // Behind the emit frontier: this tuple can no longer be placed in
+      // order. Admit it (merged at the end) while it is still inside the
+      // allowed lateness, quarantine it once the watermark has passed.
+      ++st.late_total;
+      if (t.ts >= wm) {
+        ++st.late_admitted;
+        admitted_late.push_back(t);
+      } else {
+        ++st.late_dropped;
+      }
+      return;
+    }
+    const uint64_t packed = HeapKey(t);
+    if (policy.dedup) {
+      const auto [it, inserted] = pending.try_emplace(packed, 1u);
+      if (!inserted) {
+        ++st.duplicates;
+        return;
+      }
+    }
+    buffer.push(packed);
+    drain(/*flush=*/false);
+  };
+
+  // Delivery loop. The fault sites perturb the arrival sequence itself:
+  // disorder_burst holds a delivery back ~128 arrivals, late_tuple holds
+  // one to end of stream, dup_tuple delivers one twice.
+  const bool faults = fault::Enabled();
+  std::deque<std::pair<size_t, Tuple>> burst_held;  // (release index, tuple)
+  std::vector<Tuple> eos_held;
+  size_t arrival_index = 0;
+  for (const Tuple& t : arrivals.tuples) {
+    if (faults) {
+      if (fault::Inject("late_tuple")) {
+        eos_held.push_back(t);
+        continue;
+      }
+      if (fault::Inject("disorder_burst")) {
+        burst_held.emplace_back(arrival_index + kBurstDelayArrivals, t);
+        continue;
+      }
+      if (fault::Inject("dup_tuple")) deliver(t);
+    }
+    deliver(t);
+    ++arrival_index;
+    while (!burst_held.empty() && burst_held.front().first <= arrival_index) {
+      deliver(burst_held.front().second);
+      burst_held.pop_front();
+    }
+  }
+  for (const auto& [release_at, held] : burst_held) deliver(held);
+  for (const Tuple& held : eos_held) deliver(held);
+
+  // End of stream: flush the buffer — this is what seals the final windows
+  // even when the watermark stalled or never reached them.
+  drain(/*flush=*/true);
+
+  if (!admitted_late.empty()) {
+    std::sort(admitted_late.begin(), admitted_late.end(),
+              [](Tuple a, Tuple b) { return HeapKey(a) < HeapKey(b); });
+    const auto mid = out.insert(out.end(), admitted_late.begin(),
+                                admitted_late.end()) -
+                     out.begin();
+    std::inplace_merge(out.begin(), out.begin() + mid, out.end(),
+                       [](Tuple a, Tuple b) { return a.ts < b.ts; });
+  }
+
+  st.tuples_out = out.size();
+  st.max_ts_ms = any_seen ? max_seen : 0;
+  st.final_watermark_ms = watermark.Current();
+  st.watermark_clamps = watermark.clamps();
+  return result;
+}
+
+Stream PermuteWithinSlack(const Stream& stream, uint32_t max_shift_ms,
+                          uint64_t seed) {
+  std::vector<std::pair<uint64_t, Tuple>> keyed;
+  keyed.reserve(stream.size());
+  Rng rng(seed);
+  for (const Tuple& t : stream.tuples) {
+    const uint64_t jitter =
+        max_shift_ms > 0 ? rng.NextBounded(uint64_t{max_shift_ms} + 1) : 0;
+    keyed.emplace_back(static_cast<uint64_t>(t.ts) + jitter, t);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  Stream permuted;
+  permuted.tuples.reserve(keyed.size());
+  for (const auto& [jittered_ts, t] : keyed) permuted.tuples.push_back(t);
+  return permuted;
+}
+
+void PublishIngestMetrics(const IngestStats& stats) {
+  if (!metrics::Enabled()) return;
+  static metrics::Counter* reordered =
+      metrics::GetCounter("ingest.reordered");
+  static metrics::Counter* late_admitted =
+      metrics::GetCounter("ingest.late_admitted");
+  static metrics::Counter* late_dropped =
+      metrics::GetCounter("ingest.late_dropped");
+  static metrics::Counter* duplicates =
+      metrics::GetCounter("ingest.duplicates");
+  static metrics::Counter* corrupt = metrics::GetCounter("ingest.corrupt");
+  static metrics::Counter* clamps =
+      metrics::GetCounter("ingest.watermark_clamps");
+  if (reordered != nullptr && stats.reordered > 0) {
+    reordered->Add(stats.reordered);
+  }
+  if (late_admitted != nullptr && stats.late_admitted > 0) {
+    late_admitted->Add(stats.late_admitted);
+  }
+  if (late_dropped != nullptr && stats.late_dropped > 0) {
+    late_dropped->Add(stats.late_dropped);
+  }
+  if (duplicates != nullptr && stats.duplicates > 0) {
+    duplicates->Add(stats.duplicates);
+  }
+  if (corrupt != nullptr && stats.corrupt > 0) corrupt->Add(stats.corrupt);
+  if (clamps != nullptr && stats.watermark_clamps > 0) {
+    clamps->Add(stats.watermark_clamps);
+  }
+}
+
+}  // namespace iawj

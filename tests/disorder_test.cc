@@ -1,0 +1,489 @@
+// Disorder-tolerant ingestion tests (ISSUE 8): reorder-buffer restoration,
+// watermark monotonicity (including under injected clock skew and stalls),
+// quarantine dispositions with their conservation invariant, the
+// per-algorithm differential proof that bounded-disorder permutations join
+// byte-exact, and the zero-overhead contract for unconfigured runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/join/runner.h"
+#include "src/join/supervisor.h"
+#include "src/join/window_pipeline.h"
+#include "src/stream/disorder.h"
+#include "src/stream/stream.h"
+
+namespace iawj {
+namespace {
+
+// The ingest env knobs leak across tests if a prior test (or the invoking
+// shell) set them; every fixtureless test goes through this.
+void ClearIngestEnv() {
+  unsetenv("IAWJ_DISORDER_SLACK");
+  unsetenv("IAWJ_ALLOWED_LATENESS");
+  unsetenv("IAWJ_INGEST_DEDUP");
+}
+
+Stream RandomStream(uint32_t n, uint32_t max_ts, uint32_t keys,
+                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    tuples.push_back({.ts = static_cast<uint32_t>(rng.NextBounded(max_ts)),
+                      .key = static_cast<uint32_t>(rng.NextBounded(keys))});
+  }
+  return MakeStream(std::move(tuples));
+}
+
+void ExpectConservation(const IngestStats& st) {
+  EXPECT_EQ(st.tuples_out + st.late_dropped + st.duplicates + st.corrupt,
+            st.tuples_in);
+  EXPECT_LE(st.late_admitted + st.late_dropped, st.late_total);
+  EXPECT_LE(st.final_watermark_ms, st.max_ts_ms);
+}
+
+void ExpectSorted(const Stream& s) {
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s.tuples[i - 1].ts, s.tuples[i].ts) << "at index " << i;
+  }
+}
+
+// --- Policy resolution ------------------------------------------------------
+
+TEST(IngestPolicy, DefaultsAreOff) {
+  ClearIngestEnv();
+  const IngestPolicy policy = IngestPolicy::Resolve(0, 0, false);
+  EXPECT_FALSE(policy.Enabled());
+  EXPECT_DOUBLE_EQ(policy.slack_ms, 0);
+  EXPECT_DOUBLE_EQ(policy.allowed_lateness_ms, 0);
+  EXPECT_FALSE(policy.dedup);
+}
+
+TEST(IngestPolicy, SpecWinsOverEnvAndNegativeDisables) {
+  setenv("IAWJ_DISORDER_SLACK", "64", 1);
+  setenv("IAWJ_ALLOWED_LATENESS", "128", 1);
+  setenv("IAWJ_INGEST_DEDUP", "1", 1);
+  IngestPolicy policy = IngestPolicy::Resolve(8, 16, false);
+  EXPECT_DOUBLE_EQ(policy.slack_ms, 8);
+  EXPECT_DOUBLE_EQ(policy.allowed_lateness_ms, 16);
+  EXPECT_TRUE(policy.dedup);  // OR'd with the env
+  // 0 defers to the environment.
+  policy = IngestPolicy::Resolve(0, 0, false);
+  EXPECT_DOUBLE_EQ(policy.slack_ms, 64);
+  EXPECT_DOUBLE_EQ(policy.allowed_lateness_ms, 128);
+  // Negative is explicitly off regardless of the environment.
+  policy = IngestPolicy::Resolve(-1, -1, false);
+  EXPECT_DOUBLE_EQ(policy.slack_ms, 0);
+  EXPECT_DOUBLE_EQ(policy.allowed_lateness_ms, 0);
+  ClearIngestEnv();
+}
+
+TEST(IngestPolicy, MalformedEnvIsIgnored) {
+  setenv("IAWJ_DISORDER_SLACK", "not-a-number", 1);
+  setenv("IAWJ_ALLOWED_LATENESS", "-5", 1);
+  const IngestPolicy policy = IngestPolicy::Resolve(0, 0, false);
+  EXPECT_FALSE(policy.Enabled());
+  ClearIngestEnv();
+}
+
+// --- Watermark generator ----------------------------------------------------
+
+TEST(Watermark, TracksMaxMinusLatenessMonotone) {
+  WatermarkGenerator wm(10);
+  EXPECT_EQ(wm.Observe(100), 90u);
+  // A regressing observation never moves the watermark backwards.
+  EXPECT_EQ(wm.Observe(50), 90u);
+  EXPECT_EQ(wm.clamps(), 1u);
+  EXPECT_EQ(wm.Observe(200), 190u);
+  // Below-lateness timestamps clamp at zero, not underflow.
+  WatermarkGenerator small(1000);
+  EXPECT_EQ(small.Observe(5), 0u);
+}
+
+TEST(Watermark, MonotoneUnderInjectedClockSkew) {
+  // Satellite 1: clock_skew now also fires inside the generator — hits 5-7
+  // arrive stamped ~10 s in the past, the shape of an NTP step on the
+  // producer. The emitted watermark must stay non-decreasing throughout,
+  // absorbing each regression as a counted clamp.
+  ASSERT_TRUE(fault::Configure("clock_skew:5:3").ok());
+  WatermarkGenerator wm(5);
+  uint32_t prev = 0;
+  for (uint32_t ts = 0; ts < 30000; ts += 500) {
+    const uint32_t cur = wm.Observe(ts);
+    EXPECT_GE(cur, prev) << "watermark regressed at ts " << ts;
+    prev = cur;
+  }
+  EXPECT_EQ(wm.clamps(), 3u);
+  EXPECT_EQ(wm.Current(), 29500u - 5u);
+  fault::Clear();
+}
+
+TEST(Watermark, StallFreezesThenRecovers) {
+  ASSERT_TRUE(fault::Configure("watermark_stall:2").ok());
+  WatermarkGenerator wm(0);
+  EXPECT_EQ(wm.Observe(100), 100u);
+  // The second observation trips the stall: the watermark freezes for the
+  // next 256 observations even as timestamps advance...
+  uint32_t ts = 100;
+  for (int i = 0; i < 256; ++i) {
+    ts += 10;
+    EXPECT_EQ(wm.Observe(ts), 100u);
+  }
+  // ...then resumes tracking.
+  EXPECT_GT(wm.Observe(ts + 10), 100u);
+  fault::Clear();
+}
+
+// --- Reorder buffer + quarantine -------------------------------------------
+
+TEST(Ingest, OrderedInputPassesThroughUnchanged) {
+  ClearIngestEnv();
+  const Stream s = RandomStream(2000, 500, 100, 1);
+  IngestPolicy policy;
+  policy.slack_ms = 32;
+  const IngestResult result = IngestStream(s, policy);
+  ASSERT_EQ(result.stream.size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(result.stream.tuples[i].ts, s.tuples[i].ts);
+  }
+  EXPECT_EQ(result.stats.tuples_in, s.size());
+  EXPECT_EQ(result.stats.late_total, 0u);
+  ExpectConservation(result.stats);
+}
+
+TEST(Ingest, BoundedDisorderIsRestoredExactlyWithZeroLoss) {
+  ClearIngestEnv();
+  const Stream s = RandomStream(4000, 1000, 200, 2);
+  const Stream permuted = PermuteWithinSlack(s, 32, 99);
+  IngestPolicy policy;
+  policy.slack_ms = 32;
+  const IngestResult result = IngestStream(permuted, policy);
+  ASSERT_EQ(result.stream.size(), s.size());
+  EXPECT_EQ(result.stats.late_total, 0u);
+  EXPECT_GT(result.stats.reordered, 0u);
+  EXPECT_LE(result.stats.max_disorder_ms, 32u);
+  ExpectSorted(result.stream);
+  // Exact multiset restoration: same (ts, key) sequence after sorting the
+  // original the same way the buffer orders ties.
+  std::vector<Tuple> want = s.tuples;
+  std::stable_sort(want.begin(), want.end(), [](Tuple a, Tuple b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.key < b.key;
+  });
+  std::vector<Tuple> got = result.stream.tuples;
+  std::stable_sort(got.begin(), got.end(), [](Tuple a, Tuple b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.key < b.key;
+  });
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].ts, want[i].ts);
+    EXPECT_EQ(got[i].key, want[i].key);
+  }
+  ExpectConservation(result.stats);
+}
+
+TEST(Ingest, LateTupleWithinLatenessIsAdmitted) {
+  ClearIngestEnv();
+  Stream arrivals;  // built in arrival order on purpose
+  for (uint32_t ts = 0; ts < 100; ++ts) {
+    arrivals.tuples.push_back({.ts = ts, .key = ts});
+  }
+  arrivals.tuples.push_back({.ts = 50, .key = 777});  // 49 ms late
+  IngestPolicy policy;
+  policy.slack_ms = 1;
+  policy.allowed_lateness_ms = 200;  // watermark 0: everything admissible
+  const IngestResult result = IngestStream(arrivals, policy);
+  EXPECT_EQ(result.stats.late_total, 1u);
+  EXPECT_EQ(result.stats.late_admitted, 1u);
+  EXPECT_EQ(result.stats.late_dropped, 0u);
+  EXPECT_EQ(result.stream.size(), arrivals.size());
+  ExpectSorted(result.stream);
+  // The admitted tuple sits merged at its timestamp, not appended.
+  const auto it = std::find_if(
+      result.stream.tuples.begin(), result.stream.tuples.end(),
+      [](Tuple t) { return t.key == 777; });
+  ASSERT_NE(it, result.stream.tuples.end());
+  EXPECT_EQ(it->ts, 50u);
+  ExpectConservation(result.stats);
+}
+
+TEST(Ingest, LateTupleBeyondLatenessIsQuarantinedNotSilentlyLost) {
+  ClearIngestEnv();
+  Stream arrivals;
+  for (uint32_t ts = 0; ts < 100; ++ts) {
+    arrivals.tuples.push_back({.ts = ts, .key = ts});
+  }
+  arrivals.tuples.push_back({.ts = 5, .key = 777});  // far beyond lateness
+  IngestPolicy policy;
+  policy.slack_ms = 1;
+  policy.allowed_lateness_ms = 10;  // watermark 89 when the straggler lands
+  const IngestResult result = IngestStream(arrivals, policy);
+  EXPECT_EQ(result.stats.late_total, 1u);
+  EXPECT_EQ(result.stats.late_admitted, 0u);
+  EXPECT_EQ(result.stats.late_dropped, 1u);
+  EXPECT_EQ(result.stats.quarantined(), 1u);
+  EXPECT_EQ(result.stream.size(), arrivals.size() - 1);
+  ExpectConservation(result.stats);
+}
+
+TEST(Ingest, DedupQuarantinesExactRedeliveryOnlyWhenEnabled) {
+  ClearIngestEnv();
+  Stream arrivals;
+  arrivals.tuples = {{.ts = 1, .key = 7},
+                     {.ts = 1, .key = 7},   // exact re-delivery
+                     {.ts = 1, .key = 8},   // same ts, different key: kept
+                     {.ts = 2, .key = 7}};  // same key, different ts: kept
+  IngestPolicy policy;
+  policy.slack_ms = 16;
+  const IngestResult off = IngestStream(arrivals, policy);
+  EXPECT_EQ(off.stats.duplicates, 0u);
+  EXPECT_EQ(off.stream.size(), 4u);
+  policy.dedup = true;
+  const IngestResult on = IngestStream(arrivals, policy);
+  EXPECT_EQ(on.stats.duplicates, 1u);
+  EXPECT_EQ(on.stream.size(), 3u);
+  ExpectConservation(on.stats);
+}
+
+TEST(Ingest, CorruptKeyIsQuarantined) {
+  ClearIngestEnv();
+  Stream arrivals;
+  arrivals.tuples = {{.ts = 1, .key = 7},
+                     {.ts = 2, .key = 0xFFFFFFFFu},  // outside the key domain
+                     {.ts = 3, .key = 9}};
+  IngestPolicy policy;
+  policy.slack_ms = 4;
+  const IngestResult result = IngestStream(arrivals, policy);
+  EXPECT_EQ(result.stats.corrupt, 1u);
+  EXPECT_EQ(result.stream.size(), 2u);
+  ExpectConservation(result.stats);
+}
+
+TEST(Ingest, EmptyStreamIsANoOp) {
+  ClearIngestEnv();
+  IngestPolicy policy;
+  policy.slack_ms = 8;
+  const IngestResult result = IngestStream(Stream{}, policy);
+  EXPECT_FALSE(result.stats.any());
+  EXPECT_EQ(result.stream.size(), 0u);
+}
+
+// --- PermuteWithinSlack -----------------------------------------------------
+
+TEST(Permute, DeterministicAndBoundedDisorder) {
+  const Stream s = RandomStream(3000, 800, 100, 3);
+  const Stream a = PermuteWithinSlack(s, 20, 5);
+  const Stream b = PermuteWithinSlack(s, 20, 5);
+  ASSERT_EQ(a.size(), b.size());
+  bool identical = true;
+  for (size_t i = 0; i < a.size(); ++i) {
+    identical = identical && a.tuples[i].ts == b.tuples[i].ts &&
+                a.tuples[i].key == b.tuples[i].key;
+  }
+  EXPECT_TRUE(identical);
+  // Disorder bound: no tuple arrives more than max_shift behind the running
+  // maximum (the jitter-sort proof in disorder.h).
+  uint32_t max_seen = 0;
+  for (const Tuple& t : a.tuples) {
+    if (t.ts > max_seen) max_seen = t.ts;
+    EXPECT_LE(max_seen - t.ts, 20u + 20u);
+  }
+  // A different seed produces a different arrival order.
+  const Stream c = PermuteWithinSlack(s, 20, 6);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size() && !any_difference; ++i) {
+    any_difference = a.tuples[i].ts != c.tuples[i].ts ||
+                     a.tuples[i].key != c.tuples[i].key;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// --- Fault sites ------------------------------------------------------------
+
+TEST(IngestFault, DisorderBurstIsAbsorbedBySufficientSlack) {
+  ClearIngestEnv();
+  Stream arrivals;
+  for (uint32_t ts = 0; ts < 1000; ++ts) {
+    arrivals.tuples.push_back({.ts = ts, .key = ts});
+  }
+  IngestPolicy policy;
+  policy.slack_ms = 200;  // > the burst's 128-arrival hold
+  ASSERT_TRUE(fault::Configure("disorder_burst:100").ok());
+  const IngestResult result = IngestStream(arrivals, policy);
+  fault::Clear();
+  EXPECT_GT(result.stats.reordered, 0u);
+  EXPECT_EQ(result.stats.late_dropped, 0u);
+  EXPECT_EQ(result.stream.size(), arrivals.size());
+  ExpectSorted(result.stream);
+  ExpectConservation(result.stats);
+}
+
+TEST(IngestFault, LateTupleHeldToEndOfStreamIsAccounted) {
+  ClearIngestEnv();
+  Stream arrivals;
+  for (uint32_t ts = 0; ts < 1000; ++ts) {
+    arrivals.tuples.push_back({.ts = ts, .key = ts});
+  }
+  IngestPolicy policy;
+  policy.slack_ms = 4;
+  policy.allowed_lateness_ms = 10;
+  ASSERT_TRUE(fault::Configure("late_tuple:100").ok());
+  const IngestResult result = IngestStream(arrivals, policy);
+  fault::Clear();
+  EXPECT_EQ(result.stats.late_total, 1u);
+  EXPECT_EQ(result.stats.late_dropped, 1u);  // ~900 ms late, lateness 10
+  ExpectConservation(result.stats);
+}
+
+TEST(IngestFault, DupTupleQuarantinedUnderDedup) {
+  ClearIngestEnv();
+  Stream arrivals;
+  for (uint32_t ts = 0; ts < 100; ++ts) {
+    arrivals.tuples.push_back({.ts = ts, .key = ts});
+  }
+  IngestPolicy policy;
+  policy.slack_ms = 8;
+  policy.dedup = true;
+  ASSERT_TRUE(fault::Configure("dup_tuple:50").ok());
+  const IngestResult result = IngestStream(arrivals, policy);
+  fault::Clear();
+  EXPECT_EQ(result.stats.duplicates, 1u);
+  EXPECT_EQ(result.stream.size(), arrivals.size());
+  ExpectConservation(result.stats);
+}
+
+TEST(IngestFault, ReplayIsDeterministic) {
+  ClearIngestEnv();
+  const Stream s = RandomStream(2000, 400, 80, 4);
+  const Stream permuted = PermuteWithinSlack(s, 16, 11);
+  IngestPolicy policy;
+  policy.slack_ms = 16;
+  policy.allowed_lateness_ms = 8;
+  ASSERT_TRUE(
+      fault::Configure("disorder_burst:10,late_tuple:20,watermark_stall:3")
+          .ok());
+  const IngestResult first = IngestStream(permuted, policy);
+  fault::Reset();  // re-arm the same schedule
+  const IngestResult second = IngestStream(permuted, policy);
+  fault::Clear();
+  EXPECT_EQ(first.stats.tuples_out, second.stats.tuples_out);
+  EXPECT_EQ(first.stats.reordered, second.stats.reordered);
+  EXPECT_EQ(first.stats.late_dropped, second.stats.late_dropped);
+  EXPECT_EQ(first.stats.final_watermark_ms, second.stats.final_watermark_ms);
+  ASSERT_EQ(first.stream.size(), second.stream.size());
+  for (size_t i = 0; i < first.stream.size(); ++i) {
+    EXPECT_EQ(first.stream.tuples[i].key, second.stream.tuples[i].key);
+  }
+  ExpectConservation(first.stats);
+}
+
+// --- End-to-end: supervisor + pipeline + differential proof -----------------
+
+TEST(IngestEndToEnd, DifferentialProofAcrossAllAlgorithms) {
+  ClearIngestEnv();
+  const Stream r = RandomStream(1500, 500, 120, 20);
+  const Stream s = RandomStream(1500, 500, 120, 21);
+  const Stream pr = PermuteWithinSlack(r, 24, 31);
+  const Stream ps = PermuteWithinSlack(s, 24, 32);
+  for (AlgorithmId id : kAllAlgorithms) {
+    SCOPED_TRACE(AlgorithmName(id));
+    JoinSpec spec;
+    spec.num_threads = 4;
+    spec.window_ms = 600;
+    JoinRunner runner;
+    const RunResult ref = runner.Run(id, r, s, spec);
+    ASSERT_TRUE(ref.status.ok()) << ref.status.ToString();
+
+    JoinSpec dspec = spec;
+    dspec.disorder_slack_ms = 24;
+    Supervisor supervisor;
+    const RunResult got = supervisor.Run(id, pr, ps, dspec);
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    // Byte-exact: same match count and order-insensitive checksum.
+    EXPECT_EQ(got.matches, ref.matches);
+    EXPECT_EQ(got.checksum, ref.checksum);
+    EXPECT_TRUE(got.ingest.any());
+    EXPECT_EQ(got.ingest.late_dropped, 0u);
+    EXPECT_EQ(got.ingest.tuples_out, got.ingest.tuples_in);
+    ExpectConservation(got.ingest);
+  }
+}
+
+TEST(IngestEndToEnd, UnconfiguredRunHasZeroIngestFootprint) {
+  ClearIngestEnv();
+  const Stream r = RandomStream(1000, 300, 80, 22);
+  const Stream s = RandomStream(1000, 300, 80, 23);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 400;
+  JoinRunner runner;
+  const RunResult ref = runner.Run(AlgorithmId::kNpj, r, s, spec);
+  Supervisor supervisor;
+  const RunResult got = supervisor.Run(AlgorithmId::kNpj, r, s, spec);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_FALSE(got.ingest.any());
+  EXPECT_TRUE(got.recovery.empty());
+  EXPECT_EQ(got.matches, ref.matches);
+  EXPECT_EQ(got.checksum, ref.checksum);
+}
+
+TEST(IngestEndToEnd, QuarantineFeedsBoundedLossAccounting) {
+  ClearIngestEnv();
+  Stream r, s;
+  for (uint32_t ts = 0; ts < 200; ++ts) {
+    r.tuples.push_back({.ts = ts, .key = ts % 40});
+    s.tuples.push_back({.ts = ts, .key = ts % 40});
+  }
+  // One straggler on each side, far beyond the allowed lateness.
+  r.tuples.push_back({.ts = 3, .key = 3});
+  s.tuples.push_back({.ts = 4, .key = 4});
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 256;
+  spec.disorder_slack_ms = 2;
+  spec.allowed_lateness_ms = 10;
+  Supervisor supervisor;
+  const RunResult got = supervisor.Run(AlgorithmId::kNpj, r, s, spec);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_EQ(got.ingest.late_dropped, 2u);
+  EXPECT_EQ(got.recovery.tuples_dropped, 2u);
+  EXPECT_GT(got.recovery.est_matches_lost, 0);
+  EXPECT_TRUE(got.recovery.degraded());
+  bool quarantine_event = false;
+  for (const RecoveryEvent& e : got.recovery.events) {
+    quarantine_event =
+        quarantine_event || e.action == RecoveryAction::kQuarantine;
+  }
+  EXPECT_TRUE(quarantine_event);
+}
+
+TEST(IngestEndToEnd, PipelineIngestsBeforeSegmentation) {
+  ClearIngestEnv();
+  const Stream r = RandomStream(2000, 900, 100, 24);
+  const Stream s = RandomStream(2000, 900, 100, 25);
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = 250;  // 4 windows
+  const PipelineResult ref =
+      RunTumblingWindows(AlgorithmId::kNpj, r, s, spec);
+  ASSERT_TRUE(ref.status.ok());
+
+  JoinSpec dspec = spec;
+  dspec.disorder_slack_ms = 16;
+  const Stream pr = PermuteWithinSlack(r, 16, 41);
+  const Stream ps = PermuteWithinSlack(s, 16, 42);
+  const PipelineResult got =
+      RunTumblingWindows(AlgorithmId::kNpj, pr, ps, dspec);
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_EQ(got.total_matches, ref.total_matches);
+  EXPECT_EQ(got.total_checksum, ref.total_checksum);
+  EXPECT_TRUE(got.ingest.any());
+  EXPECT_EQ(got.ingest.late_dropped, 0u);
+  ExpectConservation(got.ingest);
+}
+
+}  // namespace
+}  // namespace iawj

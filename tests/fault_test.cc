@@ -78,6 +78,22 @@ TEST_F(FaultTest, EmptySpecDisables) {
   EXPECT_FALSE(fault::Enabled());
 }
 
+TEST_F(FaultTest, DisorderSitesAreRegistered) {
+  // The ingestion faults added for disorder hardening parse, fire, and
+  // count like any other site, including nth/count schedules.
+  for (const char* site :
+       {"disorder_burst", "late_tuple", "dup_tuple", "watermark_stall"}) {
+    ASSERT_TRUE(fault::Configure(site).ok()) << site;
+    EXPECT_TRUE(fault::Inject(site)) << site;
+    EXPECT_EQ(fault::Hits(site), 1u) << site;
+  }
+  ASSERT_TRUE(fault::Configure("dup_tuple:2:1,watermark_stall").ok());
+  EXPECT_FALSE(fault::Inject("dup_tuple"));  // hit 1: before nth
+  EXPECT_TRUE(fault::Inject("dup_tuple"));   // hit 2: fires
+  EXPECT_FALSE(fault::Inject("dup_tuple"));  // hit 3: schedule spent
+  EXPECT_TRUE(fault::Inject("watermark_stall"));
+}
+
 TEST_F(FaultTest, FiresOnHitsNthThroughNthPlusCount) {
   ASSERT_TRUE(fault::Configure("alloc:2:2").ok());
   EXPECT_FALSE(fault::Inject("alloc"));  // hit 1

@@ -111,16 +111,56 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsSixWithoutOptionalBlocksForPlainRuns) {
+TEST(RunRecord, VersionIsSevenWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 6);
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 7);
   // Unsupervised static in-memory runs carry none of the optional blocks.
   EXPECT_EQ(record.Find("recovery"), nullptr);
   EXPECT_EQ(record.Find("scheduler"), nullptr);
   EXPECT_EQ(record.Find("spill"), nullptr);
+  EXPECT_EQ(record.Find("ingest"), nullptr);
+}
+
+TEST(RunRecord, IngestBlockRoundTripsWhenTheRunIngestedDisorder) {
+  JoinSpec spec;
+  RunResult result = SmallRun(&spec);
+  spec.disorder_slack_ms = 32;
+  spec.allowed_lateness_ms = 8;
+  result.ingest.tuples_in = 1000;
+  result.ingest.tuples_out = 996;
+  result.ingest.reordered = 120;
+  result.ingest.late_total = 5;
+  result.ingest.late_admitted = 2;
+  result.ingest.late_dropped = 3;
+  result.ingest.duplicates = 1;
+  result.ingest.corrupt = 0;
+  result.ingest.watermark_clamps = 4;
+  result.ingest.max_disorder_ms = 27;
+  result.ingest.max_ts_ms = 999;
+  result.ingest.final_watermark_ms = 991;
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  EXPECT_DOUBLE_EQ(record.Find("spec")->Find("disorder_slack_ms")->number, 32);
+  EXPECT_DOUBLE_EQ(record.Find("spec")->Find("allowed_lateness_ms")->number, 8);
+  const json::Value* ingest = record.Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  ASSERT_TRUE(ingest->is_object());
+  EXPECT_DOUBLE_EQ(ingest->Find("tuples_in")->number, 1000);
+  EXPECT_DOUBLE_EQ(ingest->Find("tuples_out")->number, 996);
+  EXPECT_DOUBLE_EQ(ingest->Find("reordered")->number, 120);
+  EXPECT_DOUBLE_EQ(ingest->Find("late_total")->number, 5);
+  EXPECT_DOUBLE_EQ(ingest->Find("late_admitted")->number, 2);
+  EXPECT_DOUBLE_EQ(ingest->Find("late_dropped")->number, 3);
+  EXPECT_DOUBLE_EQ(ingest->Find("duplicates")->number, 1);
+  EXPECT_DOUBLE_EQ(ingest->Find("corrupt")->number, 0);
+  EXPECT_DOUBLE_EQ(ingest->Find("watermark_clamps")->number, 4);
+  EXPECT_DOUBLE_EQ(ingest->Find("max_disorder_ms")->number, 27);
+  EXPECT_DOUBLE_EQ(ingest->Find("max_ts_ms")->number, 999);
+  EXPECT_DOUBLE_EQ(ingest->Find("final_watermark_ms")->number, 991);
 }
 
 TEST(RunRecord, SpillBlockRoundTripsWhenTheRunStagedPartitions) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/stream/disorder.h"
 #include "src/stream/distribution.h"
 #include "src/stream/stream.h"
 
@@ -113,6 +114,63 @@ TEST(Shed, EmptyStreamIsANoOp) {
   EXPECT_EQ(shed.tuples_in, 0u);
   EXPECT_EQ(shed.tuples_shed, 0u);
   EXPECT_DOUBLE_EQ(shed.shed_ratio, 0);
+}
+
+TEST(Shed, ZeroLagToleranceShedsEveryBucket) {
+  // lag_bound = watermark * 0 = 0: the backlog drains only across silent
+  // gaps, so every bucket's own arrivals exceed the bound the instant they
+  // land — zero tolerance sheds everything, even at a sustainable rate.
+  const Stream s = BurstyStream(10, 10);
+  const ShedResult shed = ShedToWatermark(s, 10, 0.0, 7);
+  EXPECT_EQ(shed.tuples_shed, shed.tuples_in);
+  EXPECT_EQ(shed.stream.size(), 0u);
+  EXPECT_DOUBLE_EQ(shed.shed_ratio, 1.0);
+}
+
+TEST(Shed, SingleTimestampBurstThinsToTheLagBound) {
+  // All 500 tuples share one timestamp: one bucket, no gaps to drain
+  // across, so exactly lag_bound = 10/ms * 5ms = 50 tuples survive.
+  const Stream s = BurstyStream(1, 500);
+  const ShedResult shed = ShedToWatermark(s, 10, 5.0, 7);
+  EXPECT_EQ(shed.stream.size(), 50u);
+  EXPECT_EQ(shed.tuples_shed, 450u);
+  for (const Tuple& t : shed.stream.tuples) EXPECT_EQ(t.ts, 0u);
+  // Deterministic in the seed even in the single-bucket degenerate case.
+  const ShedResult again = ShedToWatermark(s, 10, 5.0, 7);
+  ASSERT_EQ(again.stream.size(), shed.stream.size());
+  for (size_t i = 0; i < shed.stream.size(); ++i) {
+    EXPECT_EQ(again.stream.tuples[i].key, shed.stream.tuples[i].key);
+  }
+}
+
+TEST(Shed, AfterReorderBufferShedMatchesTheOrderedReference) {
+  // Shedding consumes the reorder buffer's output: since ingestion with
+  // slack >= the disorder bound restores the exact ordered stream, shed
+  // decisions downstream of ingest must be byte-identical to shedding the
+  // ordered stream directly — and the two accounting stages must chain
+  // without losing a tuple.
+  const Stream ordered = BurstyStream(20, 50);
+  const Stream shuffled = PermuteWithinSlack(ordered, 8, 99);
+  IngestPolicy policy;
+  policy.slack_ms = 8;
+  const IngestResult in = IngestStream(shuffled, policy);
+  ASSERT_EQ(in.stats.late_dropped, 0u);
+  ASSERT_EQ(in.stats.tuples_out, ordered.size());
+
+  const ShedResult via_ingest = ShedToWatermark(in.stream, 20, 1.0, 7);
+  const ShedResult reference = ShedToWatermark(ordered, 20, 1.0, 7);
+  EXPECT_GT(via_ingest.tuples_shed, 0u);
+  ASSERT_EQ(via_ingest.stream.size(), reference.stream.size());
+  for (size_t i = 0; i < reference.stream.size(); ++i) {
+    EXPECT_EQ(via_ingest.stream.tuples[i].ts, reference.stream.tuples[i].ts);
+    EXPECT_EQ(via_ingest.stream.tuples[i].key,
+              reference.stream.tuples[i].key);
+  }
+  // Chained conservation: every input tuple is admitted, quarantined, or
+  // shed — never silently lost between the two stages.
+  EXPECT_EQ(via_ingest.stream.size() + via_ingest.tuples_shed +
+                in.stats.quarantined(),
+            shuffled.size());
 }
 
 TEST(Stream, ZipfEstimateSeparatesSkewedFromUniform) {

@@ -77,6 +77,17 @@ inline constexpr FlagInfo kFlags[] = {
     {"shed-watermark", "<tuples/ms>",
      "supervisor: shed load above this input rate, 0 = off (default 0)"},
     {"supervisor-seed", "<n>", "supervisor: shedding seed (default 42)"},
+    {"disorder-slack", "<ms>",
+     "ingest: reorder-buffer slack, 0 = $IAWJ_DISORDER_SLACK, -1 = off "
+     "(default 0)"},
+    {"allowed-lateness", "<ms>",
+     "ingest: admit late tuples within this of the watermark, 0 = "
+     "$IAWJ_ALLOWED_LATENESS, -1 = off (default 0)"},
+    {"ingest-dedup", "",
+     "ingest: quarantine exact (ts,key) re-deliveries (default off)"},
+    {"disorder-shuffle", "<ms>",
+     "test aid: permute arrivals within this bound before ingest; needs an "
+     "enabled ingest policy (default 0)"},
 
     // Output.
     {"counters", "<mode>",

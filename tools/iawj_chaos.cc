@@ -27,6 +27,16 @@
 // fault sites (disk_full, spill_corrupt, io_truncate) in the draw. The
 // nightly ASan job runs this mode so torn pages and mid-write ENOSPC get
 // soaked, not just unit-tested.
+//
+// --disorder-soak narrows every schedule to the disorder-tolerant ingestion
+// layer: arrivals are permuted within a random bound, a random reorder
+// slack / allowed lateness / dedup policy is drawn, and the ingest fault
+// sites (disorder_burst, late_tuple, dup_tuple, watermark_stall) join the
+// draw. The harness mirrors ingestion deterministically (same fault
+// schedule, re-armed before the real run), so the joined result must match
+// the reference over the ingested streams exactly and every quarantined
+// tuple must be accounted in the recovery log — disorder never silently
+// loses or duplicates a match.
 #include <algorithm>
 #include <cstdio>
 #include <span>
@@ -42,6 +52,7 @@
 #include "src/join/supervisor.h"
 #include "src/join/window_pipeline.h"
 #include "src/memory/tracker.h"
+#include "src/stream/disorder.h"
 
 namespace iawj {
 namespace {
@@ -54,6 +65,8 @@ struct Schedule {
   int64_t mem_budget = 0;  // tracked-byte budget for this schedule; 0 = keep
   bool pipeline = false;   // tumbling windows vs one supervised run
   bool replay = false;     // re-arm (fault::Reset) and assert determinism
+  bool disorder = false;   // permute arrivals and run an ingest policy
+  uint32_t disorder_shift = 0;  // permutation bound (<= the drawn slack)
 };
 
 // Pins a schedule onto the spill path: HHJ under a budget small enough that
@@ -65,7 +78,27 @@ void ForceSpill(Rng& rng, Schedule* sched) {
   sched->mem_budget = 64 * 1024 + static_cast<int64_t>(rng.NextBounded(128)) * 1024;
 }
 
-Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
+// Pins a schedule onto the disorder path: arrivals permuted within a random
+// bound and ingested under a random slack / lateness / dedup policy. The
+// permutation stays within the slack, so absent faults ingestion is
+// lossless; shedding is forced off because the harness's expectation is the
+// reference join over the ingested streams, not a shed subset of them.
+void ForceDisorder(Rng& rng, Schedule* sched) {
+  JoinSpec& spec = sched->spec;
+  sched->disorder = true;
+  spec.disorder_slack_ms = 4 + static_cast<double>(rng.NextBounded(29));
+  spec.allowed_lateness_ms =
+      rng.NextBounded(2) == 0
+          ? 1 + static_cast<double>(rng.NextBounded(16))
+          : -1;
+  spec.ingest_dedup = rng.NextBounded(4) == 0;
+  sched->disorder_shift =
+      static_cast<uint32_t>(rng.NextBounded(
+          static_cast<uint64_t>(spec.disorder_slack_ms) + 1));
+  spec.shed_watermark_per_ms = -1;
+}
+
+Schedule DrawSchedule(uint64_t seed, bool spill_soak, bool disorder_soak) {
   Rng rng(seed);
   Schedule sched;
 
@@ -92,6 +125,10 @@ Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
   spec.window_ms = sched.pipeline ? 2 : window_ms;
   spec.radix_bits = 4 + static_cast<int>(rng.NextBounded(7));
   spec.supervisor_seed = rng.Next();
+  // Explicitly off (ignore environment) unless ForceDisorder turns them on:
+  // a stray $IAWJ_DISORDER_SLACK must not change what a seed reproduces.
+  spec.disorder_slack_ms = -1;
+  spec.allowed_lateness_ms = -1;
 
   // Supervision policy: sometimes nothing (unsupervised control group),
   // usually retries and/or fallbacks, occasionally skipping and shedding.
@@ -110,8 +147,10 @@ Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
   // Fault spec. Stall sites park a thread until cancellation, so they are
   // only drawn together with a deadline; the other sites fail fast on
   // their own. The spill sites (cases 8-10) only have hits when partitions
-  // actually stage to disk, so they force an HHJ + small-budget schedule.
-  switch (rng.NextBounded(11)) {
+  // actually stage to disk, so they force an HHJ + small-budget schedule,
+  // and the ingest sites (cases 11-15) only have hits when an ingest policy
+  // is enabled, so they force a disorder schedule.
+  switch (rng.NextBounded(16)) {
     case 0:
       break;  // fault-free schedule: supervision must stay invisible
     case 1:
@@ -152,6 +191,28 @@ Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
       sched.fault = "io_truncate:" + std::to_string(1 + rng.NextBounded(4));
       ForceSpill(rng, &sched);
       break;
+    case 11:  // fault-free disorder: bounded permutation must be lossless
+      ForceDisorder(rng, &sched);
+      break;
+    case 12:  // an arrival held back ~128 deliveries: may exceed the slack
+      sched.fault =
+          "disorder_burst:" + std::to_string(1 + rng.NextBounded(100));
+      ForceDisorder(rng, &sched);
+      break;
+    case 13:  // an arrival held to EOS: admitted-late or quarantined
+      sched.fault = "late_tuple:" + std::to_string(1 + rng.NextBounded(100));
+      ForceDisorder(rng, &sched);
+      break;
+    case 14:  // an arrival delivered twice: dedup must quarantine it
+      sched.fault = "dup_tuple:" + std::to_string(1 + rng.NextBounded(100));
+      ForceDisorder(rng, &sched);
+      sched.spec.ingest_dedup = true;
+      break;
+    case 15:  // the watermark generator freezes briefly
+      sched.fault =
+          "watermark_stall:" + std::to_string(1 + rng.NextBounded(20));
+      ForceDisorder(rng, &sched);
+      break;
   }
 
   if (spill_soak) {
@@ -175,6 +236,34 @@ Schedule DrawSchedule(uint64_t seed, bool spill_soak) {
     }
   }
 
+  if (disorder_soak) {
+    // Soak mode: every schedule ingests permuted arrivals. Roughly half run
+    // fault-free (pure reorder exactness), the rest split across the
+    // ingest fault sites.
+    ForceDisorder(rng, &sched);
+    switch (rng.NextBounded(8)) {
+      case 0:
+        sched.fault =
+            "disorder_burst:" + std::to_string(1 + rng.NextBounded(100));
+        break;
+      case 1:
+        sched.fault =
+            "late_tuple:" + std::to_string(1 + rng.NextBounded(100));
+        break;
+      case 2:
+        sched.fault = "dup_tuple:" + std::to_string(1 + rng.NextBounded(100));
+        sched.spec.ingest_dedup = true;
+        break;
+      case 3:
+        sched.fault =
+            "watermark_stall:" + std::to_string(1 + rng.NextBounded(20));
+        break;
+      default:
+        sched.fault.clear();
+        break;
+    }
+  }
+
   sched.replay = !sched.fault.empty() && rng.NextBounded(4) == 0;
   return sched;
 }
@@ -186,6 +275,8 @@ struct Expectation {
   uint64_t matches = 0;
   uint64_t checksum = 0;
   uint64_t tuples_shed = 0;
+  bool disorder = false;  // expectation computed over ingested streams
+  IngestStats ingest;     // the harness's own deterministic ingestion
 };
 
 // Window slice with rebased timestamps, exactly as the pipeline feeds each
@@ -251,6 +342,7 @@ struct Outcome {
   uint64_t matches = 0;
   uint64_t checksum = 0;
   RecoveryLog recovery;
+  IngestStats ingest;
 };
 
 Outcome RunSchedule(const Schedule& sched, const Stream& r, const Stream& s) {
@@ -262,6 +354,7 @@ Outcome RunSchedule(const Schedule& sched, const Stream& r, const Stream& s) {
     out.matches = pipeline.total_matches;
     out.checksum = pipeline.total_checksum;
     out.recovery = pipeline.recovery;
+    out.ingest = pipeline.ingest;
   } else {
     Supervisor supervisor;
     const RunResult result = supervisor.Run(sched.id, r, s, sched.spec);
@@ -269,6 +362,7 @@ Outcome RunSchedule(const Schedule& sched, const Stream& r, const Stream& s) {
     out.matches = result.matches;
     out.checksum = result.checksum;
     out.recovery = result.recovery;
+    out.ingest = result.ingest;
   }
   return out;
 }
@@ -317,6 +411,42 @@ void CheckSchedule(const Expectation& expect, const Outcome& out,
               std::to_string(rec.tuples_shed) + " vs expected " +
                   std::to_string(expect.tuples_shed));
   }
+  if (expect.disorder) {
+    // Every delivered tuple must be admitted or quarantined under a typed
+    // disposition, the run's own ingestion must match the harness's
+    // deterministic mirror, and quarantined tuples must surface in the
+    // bounded-loss accounting — never silently vanish.
+    const IngestStats& in = out.ingest;
+    if (in.tuples_out + in.late_dropped + in.duplicates + in.corrupt !=
+        in.tuples_in) {
+      Violation(tally, repro_seed, "ingest conservation violated",
+                "out=" + std::to_string(in.tuples_out) +
+                    " dropped=" + std::to_string(in.late_dropped) +
+                    " dup=" + std::to_string(in.duplicates) +
+                    " corrupt=" + std::to_string(in.corrupt) +
+                    " vs in=" + std::to_string(in.tuples_in));
+    }
+    if (in.tuples_in != expect.ingest.tuples_in ||
+        in.tuples_out != expect.ingest.tuples_out ||
+        in.reordered != expect.ingest.reordered ||
+        in.late_dropped != expect.ingest.late_dropped ||
+        in.duplicates != expect.ingest.duplicates ||
+        in.corrupt != expect.ingest.corrupt) {
+      Violation(tally, repro_seed,
+                "ingest differs from the deterministic mirror",
+                "out " + std::to_string(in.tuples_out) + "/" +
+                    std::to_string(in.tuples_in) + " vs expected " +
+                    std::to_string(expect.ingest.tuples_out) + "/" +
+                    std::to_string(expect.ingest.tuples_in));
+    }
+    if (rec.windows_skipped == 0 &&
+        rec.tuples_dropped != expect.ingest.quarantined()) {
+      Violation(tally, repro_seed,
+                "quarantine not accounted as dropped tuples",
+                std::to_string(rec.tuples_dropped) + " vs quarantined " +
+                    std::to_string(expect.ingest.quarantined()));
+    }
+  }
   if (rec.windows_skipped > 0 && rec.tuples_dropped == 0) {
     Violation(tally, repro_seed, "skipped windows without dropped tuples",
               std::to_string(rec.windows_skipped) + " skipped");
@@ -357,7 +487,14 @@ int Run(int argc, char** argv) {
   const auto base_seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   const bool verbose = flags.GetBool("verbose", false);
   const bool spill_soak = flags.GetBool("spill-soak", false);
+  const bool disorder_soak = flags.GetBool("disorder-soak", false);
+  if (spill_soak && disorder_soak) {
+    std::fprintf(stderr,
+                 "error: --spill-soak and --disorder-soak are exclusive\n");
+    return 1;
+  }
   if (spill_soak) g_repro_flags = " --spill-soak";
+  if (disorder_soak) g_repro_flags = " --disorder-soak";
   if (const auto unknown = flags.Unknown(); !unknown.empty()) {
     std::string all;
     for (const auto& u : unknown) all += " --" + u;
@@ -367,7 +504,7 @@ int Run(int argc, char** argv) {
 
   std::printf("chaos soak%s: %llu schedule(s), base seed %llu "
               "(reproduce schedule i: --schedules=1 --seed=%llu+i)\n",
-              spill_soak ? " (spill)" : "",
+              spill_soak ? " (spill)" : disorder_soak ? " (disorder)" : "",
               static_cast<unsigned long long>(schedules),
               static_cast<unsigned long long>(base_seed),
               static_cast<unsigned long long>(base_seed));
@@ -376,12 +513,15 @@ int Run(int argc, char** argv) {
   for (uint64_t i = 0; i < schedules; ++i) {
     const uint64_t repro_seed = base_seed + i;
     uint64_t x = repro_seed;
-    const Schedule sched = DrawSchedule(Rng::SplitMix64(&x), spill_soak);
+    const Schedule sched =
+        DrawSchedule(Rng::SplitMix64(&x), spill_soak, disorder_soak);
 
     const MicroWorkload workload = GenerateMicro(sched.micro);
-    const Expectation expect =
-        ComputeExpectation(sched, workload.r, workload.s);
 
+    // The fault schedule is armed before the expectation is computed:
+    // disorder schedules mirror ingestion under the same injected faults
+    // (then re-arm, so the real run sees an identical fault sequence). The
+    // harness's shed/reference machinery itself never hits a fault site.
     if (!sched.fault.empty()) {
       if (const Status st = fault::Configure(sched.fault); !st.ok()) {
         Violation(&tally, repro_seed, "fault spec rejected", st.ToString());
@@ -390,12 +530,37 @@ int Run(int argc, char** argv) {
     } else {
       fault::Clear();
     }
+
+    Stream run_r = workload.r;
+    Stream run_s = workload.s;
+    Expectation expect;
+    if (sched.disorder) {
+      run_r = PermuteWithinSlack(workload.r, sched.disorder_shift,
+                                 sched.micro.seed);
+      run_s = PermuteWithinSlack(workload.s, sched.disorder_shift,
+                                 sched.micro.seed + 1);
+      // Mirror the supervisor/pipeline exactly: resolve the policy, ingest
+      // R then S, merge the accounting — then re-arm the fault counters.
+      const IngestPolicy policy = IngestPolicy::Resolve(
+          sched.spec.disorder_slack_ms, sched.spec.allowed_lateness_ms,
+          sched.spec.ingest_dedup);
+      const IngestResult ir = IngestStream(run_r, policy);
+      const IngestResult is = IngestStream(run_s, policy);
+      expect = ComputeExpectation(sched, ir.stream, is.stream);
+      expect.disorder = true;
+      expect.ingest = ir.stats;
+      expect.ingest.Merge(is.stats);
+      fault::Reset();
+    } else {
+      expect = ComputeExpectation(sched, run_r, run_s);
+    }
+
     // Spill schedules run under their own tracked-byte budget; restore the
     // process-wide one (usually unlimited) after the replay, so budgets
     // never leak across schedules.
     const int64_t saved_budget = mem::BudgetBytes();
     if (sched.mem_budget > 0) mem::SetBudgetBytes(sched.mem_budget);
-    const Outcome out = RunSchedule(sched, workload.r, workload.s);
+    const Outcome out = RunSchedule(sched, run_r, run_s);
     CheckSchedule(expect, out, repro_seed, &tally);
 
     if (sched.replay) {
@@ -405,7 +570,7 @@ int Run(int argc, char** argv) {
       // match counts depend on how far each worker raced before the
       // cancellation landed.
       fault::Reset();
-      const Outcome again = RunSchedule(sched, workload.r, workload.s);
+      const Outcome again = RunSchedule(sched, run_r, run_s);
       ++tally.replayed;
       const bool answers_comparable = out.status.ok() && again.status.ok();
       if (again.status.code() != out.status.code() ||
@@ -423,17 +588,19 @@ int Run(int argc, char** argv) {
 
     if (verbose) {
       std::printf(
-          "  #%llu algo=%s %s fault=%s -> %s matches=%llu attempts=%d "
-          "fallbacks=%d skipped=%llu shed=%llu\n",
+          "  #%llu algo=%s %s%s fault=%s -> %s matches=%llu attempts=%d "
+          "fallbacks=%d skipped=%llu shed=%llu dropped=%llu\n",
           static_cast<unsigned long long>(i),
           std::string(AlgorithmName(sched.id)).c_str(),
           sched.pipeline ? "pipeline" : "single",
+          sched.disorder ? " disorder" : "",
           sched.fault.empty() ? "-" : sched.fault.c_str(),
           std::string(StatusCodeName(out.status.code())).c_str(),
           static_cast<unsigned long long>(out.matches), out.recovery.attempts,
           out.recovery.fallbacks_taken,
           static_cast<unsigned long long>(out.recovery.windows_skipped),
-          static_cast<unsigned long long>(out.recovery.tuples_shed));
+          static_cast<unsigned long long>(out.recovery.tuples_shed),
+          static_cast<unsigned long long>(out.recovery.tuples_dropped));
     }
   }
 

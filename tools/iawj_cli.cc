@@ -26,6 +26,7 @@
 #include "src/profiling/pmu.h"
 #include "src/profiling/run_record.h"
 #include "src/report/report.h"
+#include "src/stream/disorder.h"
 #include "tools/cli_flags.h"
 
 namespace iawj {
@@ -199,6 +200,16 @@ int Run(int argc, char** argv) {
   spec.supervisor_seed =
       static_cast<uint64_t>(flags.GetInt("supervisor-seed", 42));
 
+  // Disorder-tolerant ingestion (stream/disorder.h). Same precedence as the
+  // supervision knobs: 0 defers to the environment, negative is explicitly
+  // off. --disorder-shuffle perturbs the loaded arrival order within a
+  // bound before ingest — a test aid for proving the reorder buffer
+  // restores it (see the jitter-sort proof in disorder.h).
+  spec.disorder_slack_ms = flags.GetDouble("disorder-slack", 0);
+  spec.allowed_lateness_ms = flags.GetDouble("allowed-lateness", 0);
+  spec.ingest_dedup = flags.GetBool("ingest-dedup", false);
+  const double disorder_shuffle = flags.GetDouble("disorder-shuffle", 0);
+
   const std::string algo = flags.GetString("algo", "npj");
   const auto windows = static_cast<uint32_t>(flags.GetInt("windows", 1));
   const std::string csv_path = flags.GetString("csv", "");
@@ -227,6 +238,26 @@ int Run(int argc, char** argv) {
     return Fail("unknown flags:" + all);
   }
 
+  if (disorder_shuffle > 0) {
+    // The shuffled sequence violates Stream's sorted contract, so it may
+    // only flow into paths that ingest it back into order: a resolved
+    // ingest policy on the supervisor or window-pipeline path.
+    const IngestPolicy ingest_policy = IngestPolicy::Resolve(
+        spec.disorder_slack_ms, spec.allowed_lateness_ms, spec.ingest_dedup);
+    if (!ingest_policy.Enabled()) {
+      return Fail("--disorder-shuffle needs an enabled ingest policy "
+                  "(--disorder-slack, --allowed-lateness or --ingest-dedup)");
+    }
+    if (algo == "adaptive" || counters == "sim") {
+      return Fail("--disorder-shuffle is not supported with --algo=adaptive "
+                  "or --counters=sim (those paths bypass ingestion)");
+    }
+    const auto shift = static_cast<uint32_t>(disorder_shuffle);
+    const auto shuffle_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    r = PermuteWithinSlack(r, shift, shuffle_seed);
+    s = PermuteWithinSlack(s, shift, shuffle_seed + 1);
+  }
+
   // --- Execute ---
   report::Table table({"workload", "algo", "windows", "inputs", "matches",
                        "tput_per_ms", "p95_latency_ms", "t50_ms",
@@ -246,6 +277,7 @@ int Run(int argc, char** argv) {
   // Recovery accounting decides between 0, 9 (recovered) and 10 (degraded).
   Status run_status = Status::Ok();
   RecoveryLog recovery;
+  IngestStats ingest;
 
   if (algo == "adaptive") {
     AdaptiveOptions options;
@@ -259,6 +291,7 @@ int Run(int argc, char** argv) {
           r, s, spec, MakeAdaptivePolicy(options));
       run_status = pipeline.status;
       recovery = pipeline.recovery;
+      ingest = pipeline.ingest;
       add_row("adaptive", static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
     } else {
@@ -287,6 +320,7 @@ int Run(int argc, char** argv) {
       const PipelineResult pipeline = RunTumblingWindows(id, r, s, spec);
       run_status = pipeline.status;
       recovery = pipeline.recovery;
+      ingest = pipeline.ingest;
       add_row(std::string(AlgorithmName(id)),
               static_cast<uint32_t>(pipeline.windows.size()),
               pipeline.total_inputs, pipeline.total_matches, 0, 0, 0, 0);
@@ -326,6 +360,7 @@ int Run(int argc, char** argv) {
       const RunResult result = supervisor.Run(id, r, s, spec);
       run_status = result.status;
       recovery = result.recovery;
+      ingest = result.ingest;
       MaybeWriteRunRecord(result, spec,
                           {.bench = "iawj_cli", .workload = workload_name});
       add_row(result.algorithm, 1, result.inputs, result.matches,
@@ -363,6 +398,25 @@ int Run(int argc, char** argv) {
     }
   }
 
+  if (ingest.any()) {
+    // Ingestion alone never fails a run; dropped-late/duplicate/corrupt
+    // tuples surface through the degraded exit code below (bounded loss),
+    // while a clean reorder stays exit 0.
+    std::printf("ingest: %llu in, %llu out, %llu reordered, %llu late "
+                "(%llu admitted, %llu dropped), %llu duplicate, %llu "
+                "corrupt, max disorder %llu ms, watermark %llu/%llu ms\n",
+                static_cast<unsigned long long>(ingest.tuples_in),
+                static_cast<unsigned long long>(ingest.tuples_out),
+                static_cast<unsigned long long>(ingest.reordered),
+                static_cast<unsigned long long>(ingest.late_total),
+                static_cast<unsigned long long>(ingest.late_admitted),
+                static_cast<unsigned long long>(ingest.late_dropped),
+                static_cast<unsigned long long>(ingest.duplicates),
+                static_cast<unsigned long long>(ingest.corrupt),
+                static_cast<unsigned long long>(ingest.max_disorder_ms),
+                static_cast<unsigned long long>(ingest.final_watermark_ms),
+                static_cast<unsigned long long>(ingest.max_ts_ms));
+  }
   std::fputs(table.ToText().c_str(), stdout);
   if (!csv_path.empty()) {
     if (const Status status = table.WriteCsv(csv_path); !status.ok()) {

@@ -19,9 +19,13 @@
 // totals), for v5 records the always-present `pmu` block (measured
 // counters non-negative, per-phase deltas summing to the totals, or a
 // nonempty unavailability reason) and `metrics` block (enabled flag,
-// non-negative counters), and for v6 records the `spill` block (spilled
+// non-negative counters), for v6 records the `spill` block (spilled
 // runs only: non-negative counters, residency split summing within the
-// partition count). Older versions are still accepted. Usage:
+// partition count), and for v7 records the `ingest` block (ingested runs
+// only: non-negative counts, late_admitted + late_dropped <= late_total,
+// watermark <= max ts, and the conservation invariant tuples_out +
+// late_dropped + duplicates + corrupt == tuples_in). Older versions are
+// still accepted. Usage:
 //   iawj_trace_check --records <run_record.json | metrics-dir>
 #include <dirent.h>
 
@@ -228,6 +232,44 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     }
   }
 
+  // v7: ingest block, present only when the run's inputs went through the
+  // disorder-tolerant ingestion layer. Every tuple must be accounted for:
+  // admitted, or quarantined under a typed disposition — never silent.
+  if (const json::Value* ingest = root.Find("ingest"); ingest != nullptr) {
+    if (version->number < 7) {
+      return where + ": ingest block requires record_version >= 7";
+    }
+    if (!ingest->is_object()) return where + ": ingest is not an object";
+    for (const char* field :
+         {"tuples_in", "tuples_out", "reordered", "late_total",
+          "late_admitted", "late_dropped", "duplicates", "corrupt",
+          "watermark_clamps", "max_disorder_ms", "max_ts_ms",
+          "final_watermark_ms"}) {
+      const json::Value* v = ingest->Find(field);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return where + ": ingest." + field + " missing or negative";
+      }
+    }
+    const double tuples_in = ingest->Find("tuples_in")->number;
+    const double tuples_out = ingest->Find("tuples_out")->number;
+    const double late_total = ingest->Find("late_total")->number;
+    const double late_admitted = ingest->Find("late_admitted")->number;
+    const double late_dropped = ingest->Find("late_dropped")->number;
+    const double duplicates = ingest->Find("duplicates")->number;
+    const double corrupt = ingest->Find("corrupt")->number;
+    if (late_admitted + late_dropped > late_total) {
+      return where + ": ingest late dispositions exceed late_total";
+    }
+    if (tuples_out + late_dropped + duplicates + corrupt != tuples_in) {
+      return where + ": ingest conservation violated (out + quarantined "
+             "!= in)";
+    }
+    if (ingest->Find("final_watermark_ms")->number >
+        ingest->Find("max_ts_ms")->number) {
+      return where + ": ingest watermark beyond the maximum timestamp";
+    }
+  }
+
   const json::Value* recovery = root.Find("recovery");
   if (recovery == nullptr) return "";  // unsupervised: no block to check
   if (version->number < 3) {
@@ -260,9 +302,10 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     return where + ": recovered flag disagrees with attempts/fallbacks";
   }
   const bool want_degraded =
-      recovery->Find("windows_skipped")->number > 0 || tuples_shed > 0;
+      recovery->Find("windows_skipped")->number > 0 || tuples_shed > 0 ||
+      recovery->Find("tuples_dropped")->number > 0;
   if (degraded->boolean != want_degraded) {
-    return where + ": degraded flag disagrees with skip/shed counters";
+    return where + ": degraded flag disagrees with skip/shed/drop counters";
   }
   const json::Value* events = recovery->Find("events");
   if (events == nullptr || !events->is_array()) {
@@ -305,7 +348,7 @@ int CheckRecords(const std::string& path, bool verbose) {
     files.push_back(path);
   }
 
-  size_t supervised = 0, pmu_measured = 0, spilled = 0;
+  size_t supervised = 0, pmu_measured = 0, spilled = 0, ingested = 0;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) return Fail("cannot open " + file);
@@ -320,6 +363,7 @@ int CheckRecords(const std::string& path, bool verbose) {
     }
     if (root.Find("recovery") != nullptr) ++supervised;
     if (root.Find("spill") != nullptr) ++spilled;
+    if (root.Find("ingest") != nullptr) ++ingested;
     if (const json::Value* pmu = root.Find("pmu"); pmu != nullptr) {
       const json::Value* available = pmu->Find("available");
       if (IsBool(available) && available->boolean) ++pmu_measured;
@@ -328,8 +372,9 @@ int CheckRecords(const std::string& path, bool verbose) {
   }
   std::printf(
       "OK: %zu record(s) validated, %zu with recovery blocks, "
-      "%zu with measured pmu counters, %zu with spill blocks\n",
-      files.size(), supervised, pmu_measured, spilled);
+      "%zu with measured pmu counters, %zu with spill blocks, "
+      "%zu with ingest blocks\n",
+      files.size(), supervised, pmu_measured, spilled, ingested);
   return 0;
 }
 
