@@ -1,14 +1,15 @@
 // google-benchmark microbenchmarks for the substrates: sort kernels
 // (vectorized vs scalar), bucket-chain hash build/probe (scalar vs
-// prefetch-batched), radix partitioning (scalar vs SWWC scatter), and merge
-// strategies. These are the kernel-level numbers behind the figure-level
-// benches.
+// prefetch-batched), the AVX2 vertical probe over the linear-probe table
+// (scalar vs simd), the shared-table build (latched vs lock-free CAS),
+// radix partitioning (scalar vs SWWC scatter), and merge strategies. These
+// are the kernel-level numbers behind the figure-level benches.
 //
 // Two modes:
 //   kernels_microbench [gbench flags]   — the usual google-benchmark run.
 //   kernels_microbench --json [--out=F] — pinned-scale kernel A/B pass that
-//     emits machine-readable JSON (schema iawj-kernels-bench-v1) with
-//     per-kernel throughput and scalar-vs-cache-conscious speedups, for
+//     emits machine-readable JSON (schema iawj-kernels-bench-v2) with
+//     per-kernel throughput and scalar-vs-optimized speedups, for
 //     scripts/bench_gate.py and the checked-in BENCH_baseline.json.
 #include <benchmark/benchmark.h>
 
@@ -17,12 +18,17 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/json.h"
 #include "src/common/rng.h"
 #include "src/hash/bucket_chain.h"
+#include "src/hash/concurrent_table.h"
+#include "src/hash/linear_probe.h"
+#include "src/hash/lockfree_table.h"
 #include "src/hash/prefetch.h"
+#include "src/hash/simd_probe.h"
 #include "src/partition/radix.h"
 #include "src/partition/swwc.h"
 #include "src/sort/avxsort.h"
@@ -144,6 +150,77 @@ BENCHMARK(BM_HashProbe)
     ->Args({1 << 20, 1 << 30, 1})
     ->Args({1 << 16, 1 << 8, 0})
     ->Args({1 << 16, 1 << 8, 1});
+
+void BM_LinearProbe(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t domain = static_cast<uint32_t>(state.range(1));
+  const bool simd = state.range(2) != 0;
+  const auto build = RandomTuples(n, domain, 5);
+  const auto probe = RandomTuples(n, domain, 6);
+  LinearProbeTable<> table(n);
+  NullTracer tracer;
+  for (const Tuple& t : build) table.Insert(t, tracer);
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    if (simd) {
+      kernels::ProbeSimdBatch(
+          table, probe.data(), n,
+          [&](const Tuple&, const Tuple&) { ++matches; }, tracer);
+    } else {
+      for (const Tuple& t : probe) {
+        table.Probe(
+            t.key, [&](Tuple) { ++matches; }, tracer);
+      }
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_LinearProbe)
+    ->Args({1 << 16, 1 << 30, 0})
+    ->Args({1 << 16, 1 << 30, 1})
+    ->Args({1 << 20, 1 << 30, 0})  // table ~4x L2: misses dominate
+    ->Args({1 << 20, 1 << 30, 1})
+    ->Args({1 << 16, 1 << 8, 0})   // long clusters: multi-step scans
+    ->Args({1 << 16, 1 << 8, 1});
+
+void BM_SharedBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool lockfree = state.range(2) != 0;
+  const auto input = RandomTuples(n, 1u << 30, 4);
+  const auto build_with = [&](auto& table) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        NullTracer tracer;
+        const size_t begin = n * t / threads;
+        const size_t end = n * (t + 1) / threads;
+        for (size_t i = begin; i < end; ++i) table.Insert(input[i], tracer);
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+  for (auto _ : state) {
+    if (lockfree) {
+      LockFreeChainTable<> table(n);
+      build_with(table);
+      benchmark::DoNotOptimize(table.size());
+    } else {
+      ConcurrentBucketChainTable<> table(n);
+      build_with(table);
+      benchmark::DoNotOptimize(table.memory_bytes());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+  state.SetLabel(lockfree ? "lockfree" : "latched");
+}
+BENCHMARK(BM_SharedBuild)
+    ->Args({1 << 16, 1, 0})
+    ->Args({1 << 16, 1, 1})
+    ->Args({1 << 16, 4, 0})
+    ->Args({1 << 16, 4, 1});
 
 void BM_RadixPartition(benchmark::State& state) {
   const size_t n = 1 << 18;
@@ -292,6 +369,68 @@ void RunHashJson(std::vector<JsonResult>* results) {
   }
 }
 
+// Linear-probe table: scalar per-key probe vs the AVX2 vertical probe. On
+// hosts without AVX2 (or with $IAWJ_SIMD_PROBE=0) the "simd" side runs the
+// scalar fallback; the emitted simd_probe_supported flag lets the gate skip
+// the vector floor there instead of failing it.
+void RunSimdProbeJson(std::vector<JsonResult>* results) {
+  NullTracer tracer;
+  const auto bench = [&](const std::string& label, size_t n,
+                         uint32_t domain) {
+    const auto build = RandomTuples(n, domain, 5);
+    const auto probe = RandomTuples(n, domain, 6);
+    LinearProbeTable<> table(n);
+    for (const Tuple& t : build) table.Insert(t, tracer);
+    uint64_t matches = 0;
+    const double scalar = MeasureItemsPerSec(n, kJsonReps, [&] {
+      for (const Tuple& t : probe) {
+        table.Probe(
+            t.key, [&](Tuple) { ++matches; }, tracer);
+      }
+    });
+    const double simd = MeasureItemsPerSec(n, kJsonReps, [&] {
+      kernels::ProbeSimdBatch(
+          table, probe.data(), n,
+          [&](const Tuple&, const Tuple&) { ++matches; }, tracer);
+    });
+    if (matches == 0xffffffffffffffffull) std::puts("");
+    results->push_back({"probe/linear/" + label + "/scalar", scalar});
+    results->push_back({"probe/linear/" + label + "/simd", simd});
+  };
+  bench("n=64k", kJsonHashTuples, 1u << 30);
+  bench("n=1m", kJsonBigHashTuples, 1u << 30);
+}
+
+// Shared-table build, 4 threads over one table: per-bucket-latched
+// ConcurrentBucketChainTable vs the CAS head-push LockFreeChainTable.
+void RunSharedBuildJson(std::vector<JsonResult>* results) {
+  const size_t n = kJsonHashTuples;
+  const int threads = 4;
+  const auto input = RandomTuples(n, 1u << 30, 4);
+  const auto build_with = [&](auto& table) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        NullTracer tracer;
+        const size_t begin = n * t / threads;
+        const size_t end = n * (t + 1) / threads;
+        for (size_t i = begin; i < end; ++i) table.Insert(input[i], tracer);
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+  const double latched = MeasureItemsPerSec(n, kJsonReps, [&] {
+    ConcurrentBucketChainTable<> table(n);
+    build_with(table);
+  });
+  const double lockfree = MeasureItemsPerSec(n, kJsonReps, [&] {
+    LockFreeChainTable<> table(n);
+    build_with(table);
+  });
+  results->push_back({"build/shared/n=64k/latched", latched});
+  results->push_back({"build/shared/n=64k/lockfree", lockfree});
+}
+
 double FindRate(const std::vector<JsonResult>& results,
                 const std::string& name) {
   for (const auto& r : results) {
@@ -304,10 +443,13 @@ int RunJsonMode(const std::string& out_path) {
   std::vector<JsonResult> results;
   RunScatterJson(&results);
   RunHashJson(&results);
+  RunSimdProbeJson(&results);
+  RunSharedBuildJson(&results);
 
   json::Writer w;
   w.BeginObject();
-  w.Field("schema", "iawj-kernels-bench-v1");
+  w.Field("schema", "iawj-kernels-bench-v2");
+  w.Field("simd_probe_supported", kernels::SimdProbeSupported());
   w.Key("scale").BeginObject();
   w.Field("scatter_tuples", uint64_t{kJsonScatterTuples});
   w.Field("hash_tuples", uint64_t{kJsonHashTuples});
@@ -322,8 +464,13 @@ int RunJsonMode(const std::string& out_path) {
     w.EndObject();
   }
   w.EndArray();
-  // Scalar-vs-cache-conscious speedups of the same run: the
+  // Optimized-vs-baseline speedups of the same run: the
   // hardware-normalized numbers the gate's ratio mode compares.
+  //
+  // "build/n=64k" (batched vs scalar bucket-chain build) is deliberately
+  // absent: it measured 0.95x of scalar, so the batched build is retired —
+  // its raw rates stay in `results` for reference, but a gate must not
+  // bless a regression as a floor. See notes.batched_build below.
   w.Key("speedups").BeginObject();
   for (const auto& pair : std::vector<std::pair<std::string, std::string>>{
            {"scatter/bits=6", "swwc"},
@@ -331,11 +478,23 @@ int RunJsonMode(const std::string& out_path) {
            {"scatter/bits=14", "swwc"},
            {"probe/n=64k", "batched"},
            {"probe/n=1m", "batched"},
-           {"build/n=64k", "batched"}}) {
+           {"probe/linear/n=64k", "simd"},
+           {"probe/linear/n=1m", "simd"}}) {
     const double scalar = FindRate(results, pair.first + "/scalar");
     const double fast = FindRate(results, pair.first + "/" + pair.second);
     if (scalar > 0) w.Field(pair.first, fast / scalar);
   }
+  {
+    const double latched = FindRate(results, "build/shared/n=64k/latched");
+    const double lockfree = FindRate(results, "build/shared/n=64k/lockfree");
+    if (latched > 0) w.Field("build/shared/n=64k", lockfree / latched);
+  }
+  w.EndObject();
+  w.Key("notes").BeginObject();
+  w.Field("batched_build",
+          "retired: batched bucket-chain build measured 0.95x of scalar "
+          "(build/n=64k); builds resolve to scalar, raw rates kept for "
+          "reference and excluded from gated speedups");
   w.EndObject();
   w.EndObject();
 

@@ -47,7 +47,20 @@ import subprocess
 import sys
 
 DEFAULT_TOLERANCE = 0.15
-SCHEMA = "iawj-kernels-bench-v1"
+SCHEMA = "iawj-kernels-bench-v2"
+
+# Absolute speedup floors from the ISSUE's acceptance bar, enforced in ratio
+# mode on top of the baseline comparison (no tolerance: these are the
+# minimum ratios at which each kernel earns its keep). The vector-probe
+# floors are skipped — loudly — when the run reports the host cannot run
+# the vector path (no AVX2, or $IAWJ_SIMD_PROBE=0), since the "simd" side
+# is then the scalar fallback measuring itself.
+MIN_SPEEDUPS = {
+    "probe/linear/n=64k": 1.5,   # AVX2 vertical probe vs scalar walk
+    "probe/linear/n=1m": 1.5,
+    "build/shared/n=64k": 1.0,   # lock-free CAS build vs latched build
+}
+SIMD_FLOORS = ("probe/linear/n=64k", "probe/linear/n=1m")
 
 
 def run_bench(bench_path):
@@ -93,6 +106,27 @@ def compare(baseline, current, mode, tolerance):
                 f"{name}: {kind} {cur_val:.3f} < floor {floor:.3f} "
                 f"(baseline {base_val:.3f}, tolerance {tolerance:.0%})"
             )
+
+    if mode == "ratio":
+        simd_ok = current.get("simd_probe_supported", True)
+        for name, min_speedup in sorted(MIN_SPEEDUPS.items()):
+            if name in SIMD_FLOORS and not simd_ok:
+                print(f"  {name:<28} absolute floor {min_speedup:.2f}x "
+                      "skipped: host cannot run the vector probe")
+                continue
+            cur_val = cur.get(name)
+            if cur_val is None:
+                failures.append(f"{name}: missing (absolute floor "
+                                f"{min_speedup:.2f}x not checked)")
+                continue
+            status = "ok" if cur_val >= min_speedup else "BELOW FLOOR"
+            print(f"  {name:<28} absolute floor {min_speedup:>12.3f}  "
+                  f"current {cur_val:>12.3f}  {status}")
+            if cur_val < min_speedup:
+                failures.append(
+                    f"{name}: speedup {cur_val:.3f} < absolute floor "
+                    f"{min_speedup:.2f}x (the kernel no longer earns its "
+                    "keep)")
     return failures
 
 

@@ -1,8 +1,11 @@
 #include "src/common/kernels.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "src/common/logging.h"
+#include "src/hash/simd_probe.h"
 
 namespace iawj {
 
@@ -14,6 +17,10 @@ std::string_view KernelModeName(KernelMode mode) {
       return "scalar";
     case KernelMode::kSwwc:
       return "swwc";
+    case KernelMode::kSimd:
+      return "simd";
+    case KernelMode::kLockfree:
+      return "lockfree";
   }
   return "?";
 }
@@ -37,7 +44,7 @@ KernelMode KernelModeFromEnv() {
     if (!warned) {
       warned = true;
       IAWJ_LOG(Warning) << "ignoring unrecognized IAWJ_KERNELS=" << env
-                        << " (want auto|scalar|swwc)";
+                        << " (want auto|scalar|swwc|simd|lockfree)";
     }
   }
   return mode;
@@ -45,6 +52,63 @@ KernelMode KernelModeFromEnv() {
 
 KernelMode ResolveKernelMode(KernelMode spec_mode) {
   return spec_mode == KernelMode::kAuto ? KernelModeFromEnv() : spec_mode;
+}
+
+namespace {
+
+// Satellite of the PR-4 regression fix: the batched prefetch build measured
+// 0.95x of scalar (BENCH_baseline.json "notes.batched_build"), so every
+// cache-conscious plan resolves builds back to scalar. Said once, on
+// stderr, the first time a plan that historically batched builds resolves.
+void NoteBatchedBuildRetirementOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    std::fprintf(stderr,
+                 "iawj: note: batched hash build resolves to scalar "
+                 "(measured 0.95x of scalar; see BENCH_baseline.json "
+                 "notes.batched_build)\n");
+  });
+}
+
+}  // namespace
+
+KernelPlan ResolveKernelPlan(KernelMode spec_mode, bool tracer_enabled) {
+  KernelPlan plan;
+  if (tracer_enabled) {
+    plan.mode = KernelMode::kScalar;
+    return plan;
+  }
+  KernelMode mode = ResolveKernelMode(spec_mode);
+  if (mode == KernelMode::kAuto) mode = KernelMode::kSwwc;
+  plan.mode = mode;
+  if (mode == KernelMode::kScalar) return plan;
+
+  // Every cache-conscious plan shares the swwc scatter and the batched
+  // probe; builds stay scalar (see NoteBatchedBuildRetirementOnce).
+  plan.swwc_scatter = true;
+  plan.batched_probe = true;
+  NoteBatchedBuildRetirementOnce();
+  if (mode == KernelMode::kSimd) {
+    // Runtime dispatch: without AVX2 (or with $IAWJ_SIMD_PROBE=0) the plan
+    // degrades to the batched scalar probe — byte-identical output.
+    plan.simd_probe = kernels::SimdProbeSupported();
+  } else if (mode == KernelMode::kLockfree) {
+    plan.lockfree_build = true;
+  }
+  return plan;
+}
+
+std::string_view KernelScatterVariant(const KernelPlan& plan) {
+  return plan.swwc_scatter ? "swwc" : "scalar";
+}
+
+std::string_view KernelBuildVariant(const KernelPlan& plan) {
+  return plan.lockfree_build ? "lockfree" : "scalar";
+}
+
+std::string_view KernelProbeVariant(const KernelPlan& plan) {
+  if (plan.simd_probe) return "simd";
+  return plan.batched_probe ? "batched" : "scalar";
 }
 
 bool UseCacheKernels(KernelMode spec_mode, bool tracer_enabled) {

@@ -1,24 +1,37 @@
-// Hot-path kernel selection (scalar vs cache-conscious).
+// Hot-path kernel selection (scalar vs cache-conscious vs vectorized vs
+// lock-free).
 //
 // The paper's microarchitectural analysis (Fig. 8, Fig. 19, Fig. 21) shows
 // the lazy algorithms bound by partition/build/probe memory behaviour. The
-// cache-conscious kernels close that gap: a software write-combining scatter
-// (partition/swwc.h) and prefetch-batched hash build/probe (hash/prefetch.h).
-// This header owns the knob that picks between them:
+// kernel variants close that gap layer by layer: a software write-combining
+// scatter (partition/swwc.h), a prefetch-batched hash probe
+// (hash/prefetch.h), an AVX2 vertical SIMD probe over the open-addressing
+// table (hash/simd_probe.h), and a CAS-based lock-free build for the NPJ
+// shared table (hash/lockfree_table.h). This header owns the knob that
+// picks between them:
 //
-//   kAuto   — cache-conscious kernels wherever they are bit-identical to the
-//             scalar ones (i.e. everywhere except SimTracer builds); defers
-//             to $IAWJ_KERNELS when set.
-//   kScalar — the original one-tuple-at-a-time loops.
-//   kSwwc   — force the cache-conscious kernels (still falls back to scalar
-//             under SimTracer so the Fig. 8 cache simulation stays faithful:
-//             the simulator has no prefetcher and models per-access LRU, so
-//             staging-buffer traffic would distort the traces it exists to
-//             reproduce).
+//   kAuto     — best bit-identical kernels (currently the swwc plan);
+//               defers to $IAWJ_KERNELS when set.
+//   kScalar   — the original one-tuple-at-a-time loops everywhere.
+//   kSwwc     — SWWC scatter + prefetch-batched probe. The batched *build*
+//               this mode used to select was retired after it regressed to
+//               0.95x of scalar (BENCH_baseline.json "notes"); builds now
+//               resolve back to scalar and a one-time stderr note records
+//               the substitution.
+//   kSimd     — the swwc plan, plus the AVX2 vertical probe on
+//               linear-probe tables (gather 8 keys, compare-mask). Runtime
+//               dispatched: hosts without AVX2 (or with $IAWJ_SIMD_PROBE=0)
+//               fall back to the batched scalar probe, byte-identically.
+//   kLockfree — the swwc plan, plus the CAS head-pointer build on the NPJ
+//               shared table (no latches).
 //
-// Every kernel pair produces identical output (same bytes, same order, same
-// cursor end-state); the differential test suite enforces that across all
-// eight algorithms.
+// SimTracer builds always run scalar so the Fig. 8 cache simulation stays
+// faithful: the simulator has no prefetcher and models per-access LRU, so
+// staging-buffer/vector traffic would distort the traces it reproduces.
+//
+// Every kernel plan produces identical output (same match multiset, same
+// checksum, same cursor end-state); the differential test suite enforces
+// that across all eight algorithms x all modes x both schedulers.
 #ifndef IAWJ_COMMON_KERNELS_H_
 #define IAWJ_COMMON_KERNELS_H_
 
@@ -26,15 +39,16 @@
 
 namespace iawj {
 
-enum class KernelMode { kAuto, kScalar, kSwwc };
+enum class KernelMode { kAuto, kScalar, kSwwc, kSimd, kLockfree };
 
 inline constexpr KernelMode kAllKernelModes[] = {
-    KernelMode::kAuto, KernelMode::kScalar, KernelMode::kSwwc};
+    KernelMode::kAuto, KernelMode::kScalar, KernelMode::kSwwc,
+    KernelMode::kSimd, KernelMode::kLockfree};
 
 std::string_view KernelModeName(KernelMode mode);
 
-// Parses "auto" / "scalar" / "swwc"; returns false (and leaves *mode
-// untouched) on anything else.
+// Parses "auto" / "scalar" / "swwc" / "simd" / "lockfree"; returns false
+// (and leaves *mode untouched) on anything else.
 bool ParseKernelMode(std::string_view text, KernelMode* mode);
 
 // $IAWJ_KERNELS, or kAuto when unset/unparseable (a bad value warns once).
@@ -44,9 +58,36 @@ KernelMode KernelModeFromEnv();
 // environment (mirroring how deadline_ms / the supervision knobs resolve).
 KernelMode ResolveKernelMode(KernelMode spec_mode);
 
+// The fully resolved per-site kernel decisions for one run. Each flag names
+// the variant a hot path should take when it has that substrate; sites
+// without the substrate (e.g. a sort join with no hash build) simply never
+// consult the flag. Run records serialize the plan as the v8 `kernels`
+// block via the *VariantName helpers below.
+struct KernelPlan {
+  KernelMode mode = KernelMode::kScalar;  // resolved; never kAuto
+  bool swwc_scatter = false;   // radix scatter via write-combining buffers
+  bool batched_probe = false;  // group-prefetched probe batches
+  bool simd_probe = false;     // AVX2 vertical probe (linear-probe tables);
+                               // already false when the host lacks AVX2
+  bool lockfree_build = false;  // CAS build on the NPJ shared table
+};
+
+// Resolves spec mode + environment + tracer + host capability into the
+// per-site plan. Tracer-enabled (SimTracer) runs always get the all-scalar
+// plan. Emits the one-time batched-build retirement note on the first
+// non-scalar resolution (see KernelMode::kSwwc above).
+KernelPlan ResolveKernelPlan(KernelMode spec_mode, bool tracer_enabled);
+
+// Per-phase variant names for the run-record v8 `kernels` block.
+std::string_view KernelScatterVariant(const KernelPlan& plan);  // scalar|swwc
+std::string_view KernelBuildVariant(const KernelPlan& plan);  // scalar|lockfree
+std::string_view KernelProbeVariant(
+    const KernelPlan& plan);  // scalar|batched|simd
+
 // The per-algorithm decision: should this hot path run the cache-conscious
-// kernels? True for kAuto and kSwwc on untraced (NullTracer) builds; always
-// false when the cache simulator is attached.
+// kernels? True for every non-scalar mode on untraced (NullTracer) builds;
+// always false when the cache simulator is attached. Retained for the
+// scatter/probe sites that only need the boolean.
 bool UseCacheKernels(KernelMode spec_mode, bool tracer_enabled);
 
 }  // namespace iawj

@@ -86,6 +86,12 @@ class LinearProbeTable {
   uint64_t size() const { return size_; }
   int64_t memory_bytes() const { return tracked_bytes_; }
 
+  // Raw storage for the AVX2 vertical probe (hash/simd_probe.h): the flat
+  // power-of-two slot array and its index mask. Capacity is always >= 32,
+  // so an 8-lane gather never wraps more than once per step.
+  const Tuple* slots() const { return slots_.data(); }
+  uint64_t mask() const { return mask_; }
+
  private:
   void Grow() {
     std::vector<Tuple> old = std::move(slots_);

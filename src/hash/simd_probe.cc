@@ -1,0 +1,52 @@
+#include "src/hash/simd_probe.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace iawj {
+namespace kernels {
+
+namespace {
+
+bool EnvDisablesSimdProbe() {
+  const char* env = std::getenv("IAWJ_SIMD_PROBE");
+  if (env == nullptr || *env == '\0') return false;
+  return std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+         std::strcmp(env, "false") == 0;
+}
+
+bool CpuHasAvx2() {
+#ifdef __AVX2__
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+thread_local const char* g_unsupported_reason = "";
+
+}  // namespace
+
+bool SimdProbeSupported() {
+#ifndef __AVX2__
+  g_unsupported_reason = "compiled without AVX2";
+  return false;
+#else
+  if (!CpuHasAvx2()) {
+    g_unsupported_reason = "cpu lacks AVX2";
+    return false;
+  }
+  if (EnvDisablesSimdProbe()) {
+    g_unsupported_reason = "disabled via IAWJ_SIMD_PROBE";
+    return false;
+  }
+  g_unsupported_reason = "";
+  return true;
+#endif
+}
+
+const char* SimdProbeUnsupportedReason() { return g_unsupported_reason; }
+
+}  // namespace kernels
+}  // namespace iawj

@@ -56,6 +56,10 @@ struct EagerStateConfig {
   // prefetch: hint the opposite table's probe bucket before the insert so
   // the probe's miss overlaps the build work. Always false under SimTracer.
   bool cache_kernels = false;
+  // kernels=simd resolved to a supported AVX2 host (KernelPlan::simd_probe):
+  // ShjLinearState runs each per-tuple probe as one vertical cluster scan
+  // (hash/simd_probe.h). Ignored by the bucket-chain states.
+  bool simd_probe = false;
 };
 
 enum class EagerKind { kShj, kPmj };

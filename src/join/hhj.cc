@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "src/hash/linear_probe.h"
+#include "src/hash/prefetch.h"
+#include "src/hash/simd_probe.h"
 #include "src/partition/radix.h"
 #include "src/partition/range.h"
 
@@ -43,6 +45,7 @@ template <typename Tracer>
 Status HhjJoin<Tracer>::Setup(const JoinContext& ctx) {
   const int threads = ctx.spec->num_threads;
   const int64_t budget = mem::BudgetBytes();
+  plan_ = ResolveKernelPlan(ctx.spec->kernels, Tracer::kEnabled);
 
   // Fanout and page size adapt to the budget: all spill write buffers (two
   // relations' worth) must fit inside one budget quarter.
@@ -243,12 +246,28 @@ bool HhjJoin<Tracer>::JoinResident(const JoinContext& ctx, size_t p,
   {
     ScopedPhase probe(&prof, Phase::kProbe);
     tracer.SetPhase(Phase::kProbe);
-    for (uint64_t i = 0; i < hs_[p]; ++i) {
-      if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
-      const Tuple t = s[i];
-      tracer.Access(&s[i], sizeof(Tuple));
-      table.Probe(
-          t.key, [&](Tuple rt) { sink.OnMatch(t.key, rt.ts, t.ts); }, tracer);
+    if (plan_.batched_probe || plan_.simd_probe) {
+      // Batched/SIMD probe in cancel-cadence stripes; HHJ always probes a
+      // LinearProbeTable, so kernels=simd takes the AVX2 vertical scan.
+      constexpr uint64_t kStripe = kCancelMask + 1;
+      const auto on_match = [&](const Tuple& st, const Tuple& rt) {
+        sink.OnMatch(st.key, rt.ts, st.ts);
+      };
+      for (uint64_t i = 0; i < hs_[p]; i += kStripe) {
+        if (ctx.AbortRequested()) return false;
+        const uint64_t end = std::min<uint64_t>(hs_[p], i + kStripe);
+        kernels::ProbeDispatch(table, s + i, end - i, on_match, tracer,
+                               plan_);
+      }
+    } else {
+      for (uint64_t i = 0; i < hs_[p]; ++i) {
+        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
+        const Tuple t = s[i];
+        tracer.Access(&s[i], sizeof(Tuple));
+        table.Probe(
+            t.key, [&](Tuple rt) { sink.OnMatch(t.key, rt.ts, t.ts); },
+            tracer);
+      }
     }
   }
   return true;
@@ -292,14 +311,29 @@ Status HhjJoin<Tracer>::JoinLoadedRun(const JoinContext& ctx, int worker,
       break;
     }
     if (eof) break;
-    for (size_t i = 0; i < page.size(); ++i) {
-      if ((i & kCancelMask) == 0 && ctx.Cancelled()) {
-        status = ctx.cancel->reason();
-        break;
+    if (ctx.Cancelled()) {
+      status = ctx.cancel->reason();
+      break;
+    }
+    if (plan_.batched_probe || plan_.simd_probe) {
+      // One spill page is well under the cancel stripe; dispatch it whole.
+      kernels::ProbeDispatch(
+          table, page.data(), page.size(),
+          [&](const Tuple& st, const Tuple& rt) {
+            sink.OnMatch(st.key, rt.ts, st.ts);
+          },
+          tracer, plan_);
+    } else {
+      for (size_t i = 0; i < page.size(); ++i) {
+        if ((i & kCancelMask) == 0 && ctx.Cancelled()) {
+          status = ctx.cancel->reason();
+          break;
+        }
+        const Tuple t = page[i];
+        table.Probe(
+            t.key, [&](Tuple rt) { sink.OnMatch(t.key, rt.ts, t.ts); },
+            tracer);
       }
-      const Tuple t = page[i];
-      table.Probe(
-          t.key, [&](Tuple rt) { sink.OnMatch(t.key, rt.ts, t.ts); }, tracer);
     }
   }
   bytes_read_.fetch_add(sr.bytes_read(), std::memory_order_relaxed);

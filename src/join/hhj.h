@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/kernels.h"
 #include "src/io/spill.h"
 #include "src/join/context.h"
 #include "src/memory/tracker.h"
@@ -87,6 +88,11 @@ class HhjJoin : public JoinAlgorithm {
   void NoteDepth(int depth);
   void NoteElapsedUs(uint64_t us);
 
+  // Resolved once in Setup; HHJ builds are scalar (its tables are private
+  // per worker), but the probe loops dispatch on the plan — batched
+  // prefetching or, on the linear-probe tables HHJ always uses, the AVX2
+  // vertical probe (hash/simd_probe.h).
+  KernelPlan plan_;
   int bits_ = 0;
   size_t parts_ = 0;
   size_t page_bytes_ = 0;

@@ -3,16 +3,18 @@
 #include <algorithm>
 
 #include "src/hash/prefetch.h"
+#include "src/hash/simd_probe.h"
 
 namespace iawj {
 
 template <typename Tracer>
-void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+template <typename Table>
+void NpjJoin<Tracer>::RunWorkerOn(Table& table, const JoinContext& ctx,
+                                  int worker) {
   PhaseProfile& prof = ctx.profile(worker);
   MatchSink& sink = ctx.sink(worker);
   Tracer tracer = MakeWorkerTracer<Tracer>(ctx, worker);
-  const bool batched =
-      UseCacheKernels(ctx.spec->kernels, Tracer::kEnabled);
+  const bool batched = plan_.batched_probe || plan_.simd_probe;
 
   // Cancellation checkpoints every 8K tuples: one relaxed load amortized
   // over the batch, invisible next to the hash-table work. The batched
@@ -31,24 +33,19 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
   const bool morsel = ctx.MorselMode();
 
   // Build: all threads insert R into the shared table — their equisized
-  // chunks in static mode, dynamically claimed morsels otherwise. Each
-  // morsel runs the same kernel dispatch and keeps the 8K cancel cadence.
+  // chunks in static mode, dynamically claimed morsels otherwise. Inserts
+  // are always one-at-a-time: the batched build variant was retired after
+  // it measured 0.95x of scalar (BENCH_baseline.json "notes"); with
+  // kernels=lockfree the per-insert latch acquisition becomes one release
+  // CAS instead.
   {
     ScopedPhase build(&prof, Phase::kBuild);
     tracer.SetPhase(Phase::kBuild);
     const auto build_range = [&](const ChunkRange& chunk) -> bool {
-      if (batched) {
-        for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
-          if (ctx.AbortRequested()) return false;
-          const size_t end = std::min(chunk.end, i + kCancelStripe);
-          kernels::InsertBatched(*table_, ctx.r.data() + i, end - i, tracer);
-        }
-      } else {
-        for (size_t i = chunk.begin; i < chunk.end; ++i) {
-          if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
-          tracer.Access(&ctx.r[i], sizeof(Tuple));
-          table_->Insert(ctx.r[i], tracer);
-        }
+      for (size_t i = chunk.begin; i < chunk.end; ++i) {
+        if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
+        tracer.Access(&ctx.r[i], sizeof(Tuple));
+        table.Insert(ctx.r[i], tracer);
       }
       return true;
     };
@@ -78,15 +75,15 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
         for (size_t i = chunk.begin; i < chunk.end; i += kCancelStripe) {
           if (ctx.AbortRequested()) return false;
           const size_t end = std::min(chunk.end, i + kCancelStripe);
-          kernels::ProbeBatched(*table_, ctx.s.data() + i, end - i, on_match,
-                                tracer);
+          kernels::ProbeDispatch(table, ctx.s.data() + i, end - i, on_match,
+                                 tracer, plan_);
         }
       } else {
         for (size_t i = chunk.begin; i < chunk.end; ++i) {
           if ((i & kCancelMask) == 0 && ctx.AbortRequested()) return false;
           const Tuple s = ctx.s[i];
           tracer.Access(&ctx.s[i], sizeof(Tuple));
-          table_->Probe(
+          table.Probe(
               s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); },
               tracer);
         }
@@ -103,6 +100,15 @@ void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
                                   ctx.spec->num_threads))) {
       return;
     }
+  }
+}
+
+template <typename Tracer>
+void NpjJoin<Tracer>::RunWorker(const JoinContext& ctx, int worker) {
+  if (lockfree_table_ != nullptr) {
+    RunWorkerOn(*lockfree_table_, ctx, worker);
+  } else {
+    RunWorkerOn(*table_, ctx, worker);
   }
 }
 

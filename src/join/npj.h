@@ -8,7 +8,9 @@
 
 #include <memory>
 
+#include "src/common/kernels.h"
 #include "src/hash/concurrent_table.h"
+#include "src/hash/lockfree_table.h"
 #include "src/join/context.h"
 #include "src/partition/range.h"
 
@@ -20,15 +22,25 @@ class NpjJoin : public JoinAlgorithm {
   std::string_view name() const override { return "NPJ"; }
 
   Status Setup(const JoinContext& ctx) override {
-    if (Status s = mem::Preflight(
-            ConcurrentBucketChainTable<Tracer>::TrackedBytesFor(
-                ctx.r.size()),
-            "NPJ shared hash table");
+    plan_ = ResolveKernelPlan(ctx.spec->kernels, Tracer::kEnabled);
+    // kernels=lockfree swaps the latched bucket-chain table for the CAS
+    // head-pointer table; both preflight their full footprint first.
+    const int64_t table_bytes =
+        plan_.lockfree_build
+            ? LockFreeChainTable<Tracer>::TrackedBytesFor(ctx.r.size())
+            : ConcurrentBucketChainTable<Tracer>::TrackedBytesFor(
+                  ctx.r.size());
+    if (Status s = mem::Preflight(table_bytes, "NPJ shared hash table");
         !s.ok()) {
       return s;
     }
-    table_ = std::make_unique<ConcurrentBucketChainTable<Tracer>>(
-        ctx.r.size());
+    if (plan_.lockfree_build) {
+      lockfree_table_ =
+          std::make_unique<LockFreeChainTable<Tracer>>(ctx.r.size());
+    } else {
+      table_ = std::make_unique<ConcurrentBucketChainTable<Tracer>>(
+          ctx.r.size());
+    }
     if (ctx.MorselMode()) {
       // Both parallel loops become morsel phases. Sized here, not by worker
       // 0, because the build loop starts straight after the window wait with
@@ -41,10 +53,20 @@ class NpjJoin : public JoinAlgorithm {
 
   void RunWorker(const JoinContext& ctx, int worker) override;
 
-  void Teardown() override { table_.reset(); }
+  void Teardown() override {
+    table_.reset();
+    lockfree_table_.reset();
+  }
 
  private:
+  // The build/probe loops are identical across the two shared-table
+  // substrates; RunWorker picks the active one and instantiates this.
+  template <typename Table>
+  void RunWorkerOn(Table& table, const JoinContext& ctx, int worker);
+
+  KernelPlan plan_;
   std::unique_ptr<ConcurrentBucketChainTable<Tracer>> table_;
+  std::unique_ptr<LockFreeChainTable<Tracer>> lockfree_table_;
   MorselPhase build_phase_;
   MorselPhase probe_phase_;
 };

@@ -3,6 +3,7 @@
 #include "src/hash/bucket_chain.h"
 #include "src/hash/linear_probe.h"
 #include "src/hash/prefetch.h"
+#include "src/hash/simd_probe.h"
 #include "src/partition/radix.h"
 #include "src/partition/range.h"
 
@@ -29,7 +30,8 @@ Status PrjJoin<Tracer>::Setup(const JoinContext& ctx) {
   }
   parts1_ = size_t{1} << bits1_;
   parts_total_ = size_t{1} << bits;
-  use_cache_kernels_ = UseCacheKernels(ctx.spec->kernels, Tracer::kEnabled);
+  plan_ = ResolveKernelPlan(ctx.spec->kernels, Tracer::kEnabled);
+  use_cache_kernels_ = plan_.swwc_scatter;
 
   // Scattered copies of both relations, doubled in two-pass mode, dominate
   // PRJ's footprint; preflight them against the memory budget before
@@ -197,34 +199,33 @@ bool PrjJoin<Tracer>::JoinPartitions(const JoinContext& ctx, int worker,
   };
 
   // Build/probe one partition with the configured hash-table backend. The
-  // batched kernels group-prefetch bucket heads (hash/prefetch.h); mostly a
-  // wash for cache-resident partitions but a clear win once skew or low
-  // radix bits leave partitions bigger than L2.
+  // batched probe kernels group-prefetch bucket heads (hash/prefetch.h) and
+  // kernels=simd runs the AVX2 vertical probe on linear-probe tables
+  // (hash/simd_probe.h); mostly a wash for cache-resident partitions but a
+  // clear win once skew or low radix bits leave partitions bigger than L2.
+  // Builds stay scalar in every plan: the batched build variant measured
+  // 0.95x of scalar and was retired (BENCH_baseline.json "notes").
+  const bool nonscalar_probe = plan_.batched_probe || plan_.simd_probe;
   const auto join_one = [&](auto& table, uint64_t r_begin, uint64_t r_end,
                             uint64_t s_begin, uint64_t s_end) {
     {
       ScopedPhase build(&prof, Phase::kBuild);
       tracer.SetPhase(Phase::kBuild);
-      if (use_cache_kernels_) {
-        kernels::InsertBatched(table, r_data + r_begin, r_end - r_begin,
-                               tracer);
-      } else {
-        for (uint64_t i = r_begin; i < r_end; ++i) {
-          tracer.Access(&r_data[i], sizeof(Tuple));
-          table.Insert(r_data[i], tracer);
-        }
+      for (uint64_t i = r_begin; i < r_end; ++i) {
+        tracer.Access(&r_data[i], sizeof(Tuple));
+        table.Insert(r_data[i], tracer);
       }
     }
     {
       ScopedPhase probe(&prof, Phase::kProbe);
       tracer.SetPhase(Phase::kProbe);
-      if (use_cache_kernels_) {
-        kernels::ProbeBatched(
+      if (nonscalar_probe) {
+        kernels::ProbeDispatch(
             table, s_data + s_begin, s_end - s_begin,
             [&](const Tuple& s, const Tuple& r) {
               sink.OnMatch(s.key, r.ts, s.ts);
             },
-            tracer);
+            tracer, plan_);
       } else {
         for (uint64_t i = s_begin; i < s_end; ++i) {
           const Tuple s = s_data[i];

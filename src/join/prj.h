@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/kernels.h"
 #include "src/join/context.h"
 #include "src/memory/tracker.h"
 #include "src/profiling/cache_sim.h"
@@ -42,9 +43,11 @@ class PrjJoin : public JoinAlgorithm {
   // Bit split: pass 1 uses the low bits1_ bits, pass 2 the next bits2_.
   int bits1_ = 0;
   int bits2_ = 0;
-  // Resolved once in Setup: cache-conscious kernels (SWWC scatter, batched
-  // prefetch build/probe) vs the scalar loops (common/kernels.h).
-  bool use_cache_kernels_ = false;
+  // Resolved once in Setup: the per-site kernel plan (common/kernels.h) —
+  // SWWC scatter, batched/SIMD probe — vs the scalar loops. Builds are
+  // always scalar (the batched build was retired; see kernels.h).
+  KernelPlan plan_;
+  bool use_cache_kernels_ = false;  // plan_.swwc_scatter, for the scatter API
   // Resolved once in Setup: morsel-driven scheduling (join/scheduler.h).
   // Pass 1 histograms/cursors become per-morsel instead of per-thread, and
   // the refine/join task queues drain through morsel phases so steals are

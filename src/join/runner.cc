@@ -167,6 +167,17 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
   result.morsel_size = scheduler.morsel_size();
   result.numa_nodes = scheduler.num_nodes();
 
+  // Resolve the kernel plan the algorithms will resolve in Setup (identical
+  // inputs, deterministic result) so the run record's v8 `kernels` block
+  // names the variants that actually ran — tracer forcing and the AVX2
+  // runtime dispatch included. Traced runs are the ones given simulators.
+  const KernelPlan kernel_plan =
+      ResolveKernelPlan(spec.kernels, /*tracer_enabled=*/cache_sims != nullptr);
+  result.kernels_resolved = kernel_plan.mode;
+  result.kernel_scatter = std::string(KernelScatterVariant(kernel_plan));
+  result.kernel_build = std::string(KernelBuildVariant(kernel_plan));
+  result.kernel_probe = std::string(KernelProbeVariant(kernel_plan));
+
   // Run-wide cancellation: the deadline watchdog, memory-budget breaches
   // (via the tracker's breach token) and injected faults all funnel into one
   // token; workers unwind at their next checkpoint. First cancel wins.
@@ -427,11 +438,38 @@ RunResult JoinRunner::RunWith(JoinAlgorithm* algorithm, const Stream& r,
         }
       }
     }
+    // Kernel-variant adoption: runs that executed each non-scalar variant,
+    // so a fleet dashboard can see whether simd/lockfree actually engaged
+    // (the runtime dispatch can quietly fall back on non-AVX2 hosts).
+    static metrics::Counter* swwc_runs =
+        metrics::GetCounter("kernels.swwc_scatter_runs");
+    static metrics::Counter* batched_probe_runs =
+        metrics::GetCounter("kernels.batched_probe_runs");
+    static metrics::Counter* simd_probe_runs =
+        metrics::GetCounter("kernels.simd_probe_runs");
+    static metrics::Counter* lockfree_build_runs =
+        metrics::GetCounter("kernels.lockfree_build_runs");
+    if (swwc_runs != nullptr && kernel_plan.swwc_scatter) swwc_runs->Add();
+    if (batched_probe_runs != nullptr && kernel_plan.batched_probe &&
+        !kernel_plan.simd_probe) {
+      batched_probe_runs->Add();
+    }
+    if (simd_probe_runs != nullptr && kernel_plan.simd_probe) {
+      simd_probe_runs->Add();
+    }
+    if (lockfree_build_runs != nullptr && kernel_plan.lockfree_build) {
+      lockfree_build_runs->Add();
+    }
   }
   if (tracing && trace::Active()) {
     trace::Counter("matches", static_cast<double>(result.matches));
     trace::Counter("peak_tracked_bytes",
                    static_cast<double>(result.peak_tracked_bytes));
+    // Mirror the run record's v8 kernels block into the trace so a span can
+    // be attributed to the variant that produced it (the KernelMode enum
+    // ordinal; resolved modes are never kAuto).
+    trace::Counter("kernel_mode",
+                   static_cast<double>(result.kernels_resolved));
     if (result.spill.any()) {
       trace::Counter("spill_partitions",
                      static_cast<double>(result.spill.partitions_spilled));

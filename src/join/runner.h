@@ -69,6 +69,15 @@ struct RunResult {
   // allows perf_event_open; otherwise available=false with the reason.
   pmu::PmuReport pmu;
 
+  // The kernel plan the run executed (common/kernels.h): the resolved mode
+  // (never kAuto) and the variant each hot-path phase actually took,
+  // accounting for tracer forcing and AVX2 runtime dispatch. Serialized as
+  // the run record's v8 `kernels` block.
+  KernelMode kernels_resolved = KernelMode::kScalar;
+  std::string kernel_scatter = "scalar";  // "scalar" | "swwc"
+  std::string kernel_build = "scalar";    // "scalar" | "lockfree"
+  std::string kernel_probe = "scalar";    // "scalar" | "batched" | "simd"
+
   // Scheduling (join/scheduler.h): the mode the run executed (never kAuto),
   // the resolved morsel size, and — for morsel runs only — per-worker claim
   // and steal counters plus each worker's NUMA node, so Fig. 7 breakdowns

@@ -12,6 +12,7 @@
 
 #include "src/hash/bucket_chain.h"
 #include "src/hash/linear_probe.h"
+#include "src/hash/simd_probe.h"
 #include "src/join/eager_engine.h"
 
 namespace iawj {
@@ -156,7 +157,8 @@ class ShjLinearState : public EagerState {
       : table_r_(config.expected_r),
         table_s_(config.expected_s),
         tracer_(std::move(tracer)),
-        prefetch_(config.cache_kernels) {}
+        prefetch_(config.cache_kernels),
+        simd_(config.simd_probe) {}
 
   void OnR(const Tuple& r, MatchSink& sink, PhaseStopwatch& sw) override {
     sw.Switch(Phase::kBuild);
@@ -165,8 +167,8 @@ class ShjLinearState : public EagerState {
     table_r_.Insert(r, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
-    table_s_.Probe(
-        r.key, [&](Tuple s) { sink.OnMatch(r.key, r.ts, s.ts); }, tracer_);
+    ProbeOpposite(table_s_, r.key,
+                  [&](const Tuple& s) { sink.OnMatch(r.key, r.ts, s.ts); });
   }
 
   void OnS(const Tuple& s, MatchSink& sink, PhaseStopwatch& sw) override {
@@ -176,16 +178,32 @@ class ShjLinearState : public EagerState {
     table_s_.Insert(s, tracer_);
     sw.Switch(Phase::kProbe);
     tracer_.SetPhase(Phase::kProbe);
-    table_r_.Probe(
-        s.key, [&](Tuple r) { sink.OnMatch(s.key, r.ts, s.ts); }, tracer_);
+    ProbeOpposite(table_r_, s.key,
+                  [&](const Tuple& r) { sink.OnMatch(s.key, r.ts, s.ts); });
   }
 
  private:
+  // SHJ is one probe per arrival, so there is no batch to amortize over —
+  // but the vertical kernel still collapses the opposite table's cluster
+  // walk into one gather + compare per 8 slots (EagerStateConfig::
+  // simd_probe; resolved false under SimTracer and on non-AVX2 hosts).
+  template <typename F>
+  void ProbeOpposite(const LinearProbeTable<Tracer>& table, uint32_t key,
+                     F&& on_match) {
+    if (simd_) {
+      kernels::SimdProbeKey(table, key, std::forward<F>(on_match));
+    } else {
+      table.Probe(key, std::forward<F>(on_match), tracer_);
+    }
+  }
+
   LinearProbeTable<Tracer> table_r_;
   LinearProbeTable<Tracer> table_s_;
   Tracer tracer_;
   // Cross-table probe prefetch (EagerStateConfig::cache_kernels).
   bool prefetch_;
+  // AVX2 vertical probe of the opposite table (EagerStateConfig::simd_probe).
+  bool simd_;
 };
 
 // SHJ over pointer-storing tables (physical partitioning off; the default,

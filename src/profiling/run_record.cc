@@ -96,7 +96,12 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // observed disorder, final watermark) whenever the run's inputs went
   // through the disorder-tolerant ingestion layer (stream/disorder.h);
   // runs without an ingest policy omit the block.
-  w.Field("record_version", int64_t{7});
+  // v8: adds the always-present `kernels` block naming the resolved kernel
+  // mode and the variant each hot-path phase actually executed (scatter:
+  // scalar|swwc, build: scalar|lockfree, probe: scalar|batched|simd) —
+  // after tracer forcing and the AVX2 runtime dispatch, so A/B tooling sees
+  // what ran, not what was asked for.
+  w.Field("record_version", int64_t{8});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -217,6 +222,16 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
     w.EndArray();
     w.EndObject();
   }
+
+  // v8: always present — every run executes some kernel plan, scalar
+  // included, and naming it unconditionally is what lets A/B tooling split
+  // result sets without consulting the resolution rules.
+  w.Key("kernels").BeginObject();
+  w.Field("mode", KernelModeName(result.kernels_resolved));
+  w.Field("scatter", result.kernel_scatter);
+  w.Field("build", result.kernel_build);
+  w.Field("probe", result.kernel_probe);
+  w.EndObject();
 
   // v6: present only when the algorithm spilled partitions to disk (HHJ
   // under a memory budget) — in-memory runs keep their pre-v6 shape modulo

@@ -1,8 +1,10 @@
-// Differential property test for the cache-conscious kernel layer and the
-// morsel scheduler: every algorithm must produce the exact multiset of
-// matches (count + order-insensitive checksum vs the sequential nested-loop
-// reference) under BOTH kernel modes — forced-scalar and forced-SWWC/
-// batched — and BOTH scheduler modes — static chunking and morsel-driven
+// Differential property test for the kernel layer and the morsel
+// scheduler: every algorithm must produce the exact multiset of matches
+// (count + order-insensitive checksum vs the sequential nested-loop
+// reference) under ALL kernel modes — forced-scalar, SWWC/batched, AVX2
+// SIMD probe, and lock-free CAS build — under both hash-table substrates
+// for the modes that exercise the open-addressing table, and BOTH
+// scheduler modes — static chunking and morsel-driven
 // work stealing with a deliberately tiny morsel size — across seeded
 // randomized workloads. The workloads deliberately include sizes whose
 // tails are not divisible by the SWWC line width (8) or the probe batch
@@ -17,6 +19,7 @@
 #include "src/common/rng.h"
 #include "src/datagen/micro.h"
 #include "src/hash/prefetch.h"
+#include "src/hash/simd_probe.h"
 #include "src/join/reference.h"
 #include "src/join/runner.h"
 #include "src/partition/swwc.h"
@@ -70,32 +73,55 @@ void ExpectAllAlgorithmsMatchReference(const RandomWorkload& w) {
   const Stream s = MakeStream(w.s);
   const ReferenceResult expected = NestedLoopJoin(r.view(), s.view());
 
-  for (const KernelMode mode : {KernelMode::kScalar, KernelMode::kSwwc}) {
+  for (const KernelMode mode :
+       {KernelMode::kScalar, KernelMode::kSwwc, KernelMode::kSimd,
+        KernelMode::kLockfree}) {
     for (const SchedulerMode sched :
          {SchedulerMode::kStatic, SchedulerMode::kMorsel}) {
       for (AlgorithmId id : kAllAlgorithms) {
-        SCOPED_TRACE(testing::Message()
-                     << w.name << " algo=" << AlgorithmName(id)
-                     << " kernels=" << KernelModeName(mode)
-                     << " scheduler=" << SchedulerModeName(sched)
-                     << " threads=" << w.threads << " bits=" << w.radix_bits
-                     << " r=" << w.r.size() << " s=" << w.s.size());
-        JoinSpec spec;
-        spec.num_threads = w.threads;
-        spec.window_ms = 1000;
-        spec.clock_mode = Clock::Mode::kInstant;
-        spec.kernels = mode;
-        spec.scheduler = sched;
-        // Small enough that these few-thousand-tuple inputs split into many
-        // morsels per worker, so the steal paths actually execute.
-        spec.morsel_size = 128;
-        spec.radix_bits = w.radix_bits;
-        spec.jb_group_size = w.threads % 2 == 0 ? 2 : 1;
-        JoinRunner runner;
-        const RunResult result = runner.Run(id, r, s, spec);
-        EXPECT_EQ(result.matches, expected.matches);
-        EXPECT_EQ(result.checksum, expected.checksum);
-        EXPECT_EQ(result.scheduler_resolved, sched);
+        // The simd plan's main consumers are the open-addressing tables:
+        // exercise the vertical probe through SHJ/PRJ too, not just HHJ.
+        // Scalar gets the same treatment so the linear-probe grid has its
+        // own reference axis. One table kind per (mode, sched) otherwise.
+        const bool also_linear =
+            (mode == KernelMode::kSimd || mode == KernelMode::kScalar) &&
+            sched == SchedulerMode::kStatic;
+        for (const HashTableKind table_kind :
+             also_linear ? std::vector<HashTableKind>{
+                               HashTableKind::kBucketChain,
+                               HashTableKind::kLinearProbe}
+                         : std::vector<HashTableKind>{
+                               HashTableKind::kBucketChain}) {
+          SCOPED_TRACE(testing::Message()
+                       << w.name << " algo=" << AlgorithmName(id)
+                       << " kernels=" << KernelModeName(mode)
+                       << " scheduler=" << SchedulerModeName(sched)
+                       << " table="
+                       << (table_kind == HashTableKind::kLinearProbe
+                               ? "linear_probe"
+                               : "bucket_chain")
+                       << " threads=" << w.threads
+                       << " bits=" << w.radix_bits << " r=" << w.r.size()
+                       << " s=" << w.s.size());
+          JoinSpec spec;
+          spec.num_threads = w.threads;
+          spec.window_ms = 1000;
+          spec.clock_mode = Clock::Mode::kInstant;
+          spec.kernels = mode;
+          spec.scheduler = sched;
+          spec.hash_table_kind = table_kind;
+          // Small enough that these few-thousand-tuple inputs split into
+          // many morsels per worker, so the steal paths actually execute.
+          spec.morsel_size = 128;
+          spec.radix_bits = w.radix_bits;
+          spec.jb_group_size = w.threads % 2 == 0 ? 2 : 1;
+          JoinRunner runner;
+          const RunResult result = runner.Run(id, r, s, spec);
+          EXPECT_EQ(result.matches, expected.matches);
+          EXPECT_EQ(result.checksum, expected.checksum);
+          EXPECT_EQ(result.scheduler_resolved, sched);
+          EXPECT_EQ(result.kernels_resolved, mode);
+        }
       }
     }
   }
@@ -183,7 +209,69 @@ TEST(KernelModeResolution, SpecEnvAndTracerPrecedence) {
   EXPECT_EQ(parsed, KernelMode::kAuto);
   EXPECT_TRUE(ParseKernelMode("swwc", &parsed));
   EXPECT_EQ(parsed, KernelMode::kSwwc);
+  EXPECT_TRUE(ParseKernelMode("simd", &parsed));
+  EXPECT_EQ(parsed, KernelMode::kSimd);
+  EXPECT_TRUE(ParseKernelMode("lockfree", &parsed));
+  EXPECT_EQ(parsed, KernelMode::kLockfree);
   EXPECT_FALSE(ParseKernelMode("vectorized", &parsed));
+}
+
+// The per-site plan: what each mode resolves to, per phase — including the
+// batched-build retirement (builds are scalar in every plan) and the
+// tracer/AVX2 forcing rules.
+TEST(KernelModeResolution, PlanPerPhaseVariants) {
+  const KernelPlan scalar =
+      ResolveKernelPlan(KernelMode::kScalar, /*tracer_enabled=*/false);
+  EXPECT_EQ(scalar.mode, KernelMode::kScalar);
+  EXPECT_FALSE(scalar.swwc_scatter);
+  EXPECT_FALSE(scalar.batched_probe);
+  EXPECT_FALSE(scalar.simd_probe);
+  EXPECT_FALSE(scalar.lockfree_build);
+  EXPECT_EQ(KernelScatterVariant(scalar), "scalar");
+  EXPECT_EQ(KernelBuildVariant(scalar), "scalar");
+  EXPECT_EQ(KernelProbeVariant(scalar), "scalar");
+
+  const KernelPlan swwc =
+      ResolveKernelPlan(KernelMode::kSwwc, /*tracer_enabled=*/false);
+  EXPECT_TRUE(swwc.swwc_scatter);
+  EXPECT_TRUE(swwc.batched_probe);
+  // Satellite of the PR-4 regression fix: no plan batches builds anymore.
+  EXPECT_EQ(KernelBuildVariant(swwc), "scalar");
+  EXPECT_EQ(KernelProbeVariant(swwc), "batched");
+  EXPECT_EQ(KernelScatterVariant(swwc), "swwc");
+
+  const KernelPlan lockfree =
+      ResolveKernelPlan(KernelMode::kLockfree, /*tracer_enabled=*/false);
+  EXPECT_TRUE(lockfree.lockfree_build);
+  EXPECT_TRUE(lockfree.swwc_scatter);
+  EXPECT_EQ(KernelBuildVariant(lockfree), "lockfree");
+
+  const KernelPlan simd =
+      ResolveKernelPlan(KernelMode::kSimd, /*tracer_enabled=*/false);
+  EXPECT_EQ(simd.simd_probe, kernels::SimdProbeSupported());
+  if (simd.simd_probe) {
+    EXPECT_EQ(KernelProbeVariant(simd), "simd");
+  } else {
+    // Non-AVX2 host: the plan degrades to the batched probe.
+    EXPECT_EQ(KernelProbeVariant(simd), "batched");
+  }
+
+  // SimTracer runs force the all-scalar plan regardless of the knob.
+  for (const KernelMode mode : kAllKernelModes) {
+    const KernelPlan traced = ResolveKernelPlan(mode, /*tracer_enabled=*/true);
+    EXPECT_EQ(traced.mode, KernelMode::kScalar);
+    EXPECT_FALSE(traced.swwc_scatter);
+    EXPECT_FALSE(traced.simd_probe);
+    EXPECT_FALSE(traced.lockfree_build);
+  }
+
+  // The $IAWJ_SIMD_PROBE kill switch forces the runtime fallback.
+  ASSERT_EQ(setenv("IAWJ_SIMD_PROBE", "0", 1), 0);
+  const KernelPlan killed =
+      ResolveKernelPlan(KernelMode::kSimd, /*tracer_enabled=*/false);
+  EXPECT_FALSE(killed.simd_probe);
+  EXPECT_EQ(KernelProbeVariant(killed), "batched");
+  ASSERT_EQ(unsetenv("IAWJ_SIMD_PROBE"), 0);
 }
 
 }  // namespace

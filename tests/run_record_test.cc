@@ -111,17 +111,53 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsSevenWithoutOptionalBlocksForPlainRuns) {
+TEST(RunRecord, VersionIsEightWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 7);
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 8);
   // Unsupervised static in-memory runs carry none of the optional blocks.
   EXPECT_EQ(record.Find("recovery"), nullptr);
   EXPECT_EQ(record.Find("scheduler"), nullptr);
   EXPECT_EQ(record.Find("spill"), nullptr);
   EXPECT_EQ(record.Find("ingest"), nullptr);
+  // v8: the kernels block is always present — every run resolves a plan.
+  // The default spec resolves auto -> swwc; the build is scalar regardless
+  // (the batched build is retired).
+  const json::Value* kernels = record.Find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  ASSERT_TRUE(kernels->is_object());
+  EXPECT_EQ(kernels->Find("mode")->string, "swwc");
+  EXPECT_EQ(kernels->Find("scatter")->string, "swwc");
+  EXPECT_EQ(kernels->Find("build")->string, "scalar");
+  EXPECT_EQ(kernels->Find("probe")->string, "batched");
+}
+
+TEST(RunRecord, KernelsBlockNamesTheResolvedVariantPerPhase) {
+  JoinSpec spec;
+  RunResult result = SmallRun(&spec);
+  result.kernels_resolved = KernelMode::kSimd;
+  result.kernel_scatter = "swwc";
+  result.kernel_build = "scalar";
+  result.kernel_probe = "simd";
+
+  json::Value record;
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  const json::Value* kernels = record.Find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  EXPECT_EQ(kernels->Find("mode")->string, "simd");
+  EXPECT_EQ(kernels->Find("scatter")->string, "swwc");
+  EXPECT_EQ(kernels->Find("build")->string, "scalar");
+  EXPECT_EQ(kernels->Find("probe")->string, "simd");
+
+  result.kernels_resolved = KernelMode::kLockfree;
+  result.kernel_probe = "batched";
+  result.kernel_build = "lockfree";
+  ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
+  EXPECT_EQ(record.Find("kernels")->Find("mode")->string, "lockfree");
+  EXPECT_EQ(record.Find("kernels")->Find("build")->string, "lockfree");
+  EXPECT_EQ(record.Find("kernels")->Find("probe")->string, "batched");
 }
 
 TEST(RunRecord, IngestBlockRoundTripsWhenTheRunIngestedDisorder) {

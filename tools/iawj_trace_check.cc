@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <map>
 #include <sstream>
 #include <string>
@@ -268,6 +269,48 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
         ingest->Find("max_ts_ms")->number) {
       return where + ": ingest watermark beyond the maximum timestamp";
     }
+  }
+
+  // v8: kernels block — always present from v8 on, naming the resolved
+  // mode and the variant each phase executed. Values are closed enums, so
+  // a typo'd or stale writer fails here rather than in a downstream A/B.
+  if (const json::Value* kernels = root.Find("kernels"); kernels != nullptr) {
+    if (version->number < 8) {
+      return where + ": kernels block requires record_version >= 8";
+    }
+    if (!kernels->is_object()) return where + ": kernels is not an object";
+    const auto one_of = [&](const char* field,
+                            std::initializer_list<const char*> allowed)
+        -> std::string {
+      const json::Value* v = kernels->Find(field);
+      if (v == nullptr || !v->is_string()) {
+        return where + ": kernels." + field + " missing or not a string";
+      }
+      for (const char* a : allowed) {
+        if (v->string == a) return "";
+      }
+      return where + ": kernels." + field + " has unknown value '" +
+             v->string + "'";
+    };
+    if (std::string err =
+            one_of("mode", {"scalar", "swwc", "simd", "lockfree"});
+        !err.empty()) {
+      return err;
+    }
+    if (std::string err = one_of("scatter", {"scalar", "swwc"});
+        !err.empty()) {
+      return err;
+    }
+    if (std::string err = one_of("build", {"scalar", "lockfree"});
+        !err.empty()) {
+      return err;
+    }
+    if (std::string err = one_of("probe", {"scalar", "batched", "simd"});
+        !err.empty()) {
+      return err;
+    }
+  } else if (version->number >= 8) {
+    return where + ": record_version >= 8 but no kernels block";
   }
 
   const json::Value* recovery = root.Find("recovery");
