@@ -6,9 +6,11 @@ Checks, each fatal:
      bench/, examples/, or scripts/ is mentioned in MANUAL.md.
   2. Every IAWJ_* token in MANUAL.md corresponds to a real read in the
      code — no phantom knobs surviving a rename or removal.
-  3. Every flag in the tools/cli_flags.h table (the single source of truth
-     --help prints and iawj_cli parses) appears as --<name> in MANUAL.md.
-  4. Every --flag row of MANUAL.md's flag tables exists in cli_flags.h.
+  3. Every flag in the tools/cli_flags.h and tools/serve_flags.h tables
+     (the single sources of truth --help prints and iawj_cli / iawj_serve
+     parse) appears as --<name> in MANUAL.md.
+  4. Every --flag row of MANUAL.md's flag tables exists in one of those
+     two tables.
   5. All eleven exit codes (0..10) have a row in MANUAL.md's table.
 
 Run from anywhere inside the repo:  python3 scripts/docs_check.py
@@ -71,7 +73,6 @@ def fail(errors):
 def main():
     root = repo_root()
     manual_path = os.path.join(root, "docs", "MANUAL.md")
-    flags_path = os.path.join(root, "tools", "cli_flags.h")
     errors = []
 
     if not os.path.isfile(manual_path):
@@ -86,22 +87,31 @@ def main():
     for var in sorted(in_manual - in_code):
         errors.append(f"{var} is documented in MANUAL.md but nothing reads it")
 
-    # 3 & 4: CLI flags vs the cli_flags.h table, both directions.
-    table_flags = set(TABLE_FLAG_RE.findall(read(flags_path)))
-    if not table_flags:
-        errors.append("no flag entries parsed from tools/cli_flags.h")
+    # 3 & 4: flags vs the cli_flags.h and serve_flags.h tables, both
+    # directions. Each binary's table must be fully documented; a MANUAL
+    # row must trace back to at least one table.
+    tables = {}
+    for header in ("cli_flags.h", "serve_flags.h"):
+        flags = set(TABLE_FLAG_RE.findall(read(os.path.join(root, "tools", header))))
+        if not flags:
+            errors.append(f"no flag entries parsed from tools/{header}")
+        tables[header] = flags
     manual_flags = set()
     for line in manual.splitlines():
         m = MANUAL_FLAG_ROW_RE.match(line.strip())
         if m:
             manual_flags.add(m.group(1))
-    for flag in sorted(table_flags - manual_flags):
+    for header, flags in tables.items():
+        for flag in sorted(flags - manual_flags):
+            errors.append(
+                f"--{flag} is in the tools/{header} table but has no row "
+                "in MANUAL.md"
+            )
+    all_table_flags = set().union(*tables.values())
+    for flag in sorted(manual_flags - all_table_flags):
         errors.append(
-            f"--{flag} is in the cli_flags.h table but has no row in MANUAL.md"
-        )
-    for flag in sorted(manual_flags - table_flags):
-        errors.append(
-            f"--{flag} has a MANUAL.md row but is not in the cli_flags.h table"
+            f"--{flag} has a MANUAL.md row but is in neither the "
+            "cli_flags.h nor the serve_flags.h table"
         )
 
     # 5: exit codes 0..10 each need a table row.
@@ -112,8 +122,10 @@ def main():
     if errors:
         return fail(errors)
     print(
-        f"docs_check: ok ({len(in_code)} env vars, {len(table_flags)} CLI "
-        "flags, 11 exit codes documented)"
+        f"docs_check: ok ({len(in_code)} env vars, "
+        f"{len(tables['cli_flags.h'])} iawj_cli flags, "
+        f"{len(tables['serve_flags.h'])} iawj_serve flags, "
+        "11 exit codes documented)"
     )
     return 0
 

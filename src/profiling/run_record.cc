@@ -101,7 +101,10 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
   // scalar|swwc, build: scalar|lockfree, probe: scalar|batched|simd) —
   // after tracer forcing and the AVX2 runtime dispatch, so A/B tooling sees
   // what ran, not what was asked for.
-  w.Field("record_version", int64_t{8});
+  // v9: adds the `serve` block (tenant, window slot, pool placement, queue
+  // wait, cross-tenant steal and shed totals) whenever the run executed
+  // inside the iawj_serve daemon (src/serve/); offline runs omit the block.
+  w.Field("record_version", int64_t{9});
   w.Field("timestamp_utc", UtcTimestamp(/*compact=*/false));
   w.Field("git_describe", GitDescribeStamp());
   w.Field("pid", int64_t{getpid()});
@@ -272,6 +275,27 @@ std::string RunRecordJson(const RunResult& result, const JoinSpec& spec,
     w.Field("max_disorder_ms", uint64_t{in.max_disorder_ms});
     w.Field("max_ts_ms", uint64_t{in.max_ts_ms});
     w.Field("final_watermark_ms", uint64_t{in.final_watermark_ms});
+    w.EndObject();
+  }
+
+  // v9: present only for windows the iawj_serve daemon executed — offline
+  // runs keep their pre-v9 shape modulo record_version. Placement fields
+  // (worker, stolen, wait_ms) attribute multi-tenant interference; the
+  // steal/shed totals are daemon-lifetime counters sampled at completion,
+  // so deltas between consecutive records of one tenant are meaningful.
+  if (context.serve.active) {
+    const ServeRecordInfo& sv = context.serve;
+    w.Key("serve").BeginObject();
+    w.Field("tenant", sv.tenant);
+    w.Field("window_index", uint64_t{sv.window_index});
+    w.Field("window_start_ms", uint64_t{sv.window_start_ms});
+    w.Field("tenants_active", int64_t{sv.tenants_active});
+    w.Field("queue_depth", uint64_t{sv.queue_depth});
+    w.Field("cross_tenant_steals", uint64_t{sv.cross_tenant_steals});
+    w.Field("windows_shed", uint64_t{sv.windows_shed});
+    w.Field("wait_ms", sv.wait_ms);
+    w.Field("worker", int64_t{sv.worker});
+    w.Field("stolen", sv.stolen);
     w.EndObject();
   }
 

@@ -16,11 +16,30 @@
 
 namespace iawj {
 
+// Serving provenance for one tenant-window record (the v9 `serve` block).
+// Filled by the iawj_serve daemon; `active` gates emission so offline runs
+// keep their pre-v9 shape modulo record_version. Declared here rather than
+// in src/serve/ so profiling stays independent of the serving layer.
+struct ServeRecordInfo {
+  bool active = false;
+  std::string tenant;             // tenant name from the hello frame
+  uint64_t window_index = 0;      // tumbling slot: start / window_ms
+  uint64_t window_start_ms = 0;
+  int64_t tenants_active = 0;     // registered tenants when the job ran
+  uint64_t queue_depth = 0;       // tenant jobs pending at submit time
+  uint64_t cross_tenant_steals = 0;  // pool lifetime total at completion
+  uint64_t windows_shed = 0;      // daemon lifetime total at completion
+  double wait_ms = 0;             // queue wait: submit -> execution start
+  int64_t worker = -1;            // pool worker that executed the window
+  bool stolen = false;            // executed off the tenant's home worker
+};
+
 // Caller-provided provenance for a record; all fields optional.
 struct RunRecordContext {
   std::string bench;       // emitting binary or figure name
   std::string workload;    // workload label, when the caller knows it
   double workload_scale = 0;  // bench scale factor; 0 = unreported
+  ServeRecordInfo serve;   // v9: present only for daemon-executed windows
 };
 
 // The record as a single JSON object (no trailing newline).

@@ -1,0 +1,167 @@
+#include "src/serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace iawj::serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ServeClient::Connect(const std::string& socket_path) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad socket path: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::FailedPrecondition(std::string("socket(): ") +
+                                      std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::FailedPrecondition("connect(" + socket_path +
+                                      "): " + std::strerror(err));
+  }
+  fd_ = fd;
+  reader_ = FrameReader(fd_);
+  drained_ = false;
+  windows_.clear();
+  totals_ = Totals{};
+  return Status::Ok();
+}
+
+Status ServeClient::Hello(const TenantSpec& tenant) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (Status sent = WriteFrame(fd_, tenant.ToHelloJson()); !sent.ok()) {
+    return sent;
+  }
+  json::Value reply;
+  bool eof = false;
+  if (Status read = reader_.ReadMessage(&reply, &eof); !read.ok()) {
+    return read;
+  }
+  if (eof) return Status::DataLoss("server closed during hello");
+  const json::Value* op = reply.Find("op");
+  if (op != nullptr && op->string == "ok") return Status::Ok();
+  if (op != nullptr && op->string == "error") return ParseError(reply);
+  return Status::InvalidArgument("unexpected hello reply");
+}
+
+Status ServeClient::SendBatch(std::span<const Tuple> r,
+                              std::span<const Tuple> s) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (drained_) return Status::Ok();  // daemon already sealed the stream
+  if (Status sent = WriteFrame(fd_, BatchJson(r, s)); !sent.ok()) {
+    return sent;
+  }
+  json::Value reply;
+  bool eof = false;
+  if (Status read = reader_.ReadMessage(&reply, &eof); !read.ok()) {
+    return read;
+  }
+  if (eof) return Status::DataLoss("server closed during batch");
+  const json::Value* op = reply.Find("op");
+  const std::string op_name = op != nullptr ? op->string : "";
+  if (op_name == "ok") return Status::Ok();
+  if (op_name == "error") return ParseError(reply);
+  if (op_name == "window" || op_name == "bye") {
+    // Drain: the daemon sealed the stream and is sending results in place
+    // of the batch ack. The batch just sent was never admitted.
+    return ReadTail(op_name == "window", reply);
+  }
+  return Status::InvalidArgument("unexpected batch reply op '" + op_name +
+                                 "'");
+}
+
+Status ServeClient::End() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (drained_) return Status::Ok();
+  if (Status sent = WriteFrame(fd_, EndJson()); !sent.ok()) return sent;
+  json::Value first;
+  bool eof = false;
+  if (Status read = reader_.ReadMessage(&first, &eof); !read.ok()) {
+    return read;
+  }
+  if (eof) return Status::DataLoss("server closed before the result tail");
+  const json::Value* op = first.Find("op");
+  const std::string op_name = op != nullptr ? op->string : "";
+  if (op_name == "error") return ParseError(first);
+  if (op_name != "window" && op_name != "bye") {
+    return Status::InvalidArgument("unexpected end reply op '" + op_name +
+                                   "'");
+  }
+  return ReadTail(op_name == "window", first);
+}
+
+Status ServeClient::ReadTail(bool first_is_window, const json::Value& first) {
+  windows_.clear();
+  const json::Value* frame = &first;
+  json::Value next;
+  if (first_is_window) {
+    for (;;) {
+      WindowResult window;
+      if (Status parsed = ParseWindow(*frame, &window); !parsed.ok()) {
+        return parsed;
+      }
+      windows_.push_back(std::move(window));
+      bool eof = false;
+      if (Status read = reader_.ReadMessage(&next, &eof); !read.ok()) {
+        return read;
+      }
+      if (eof) return Status::DataLoss("server closed before bye");
+      const json::Value* op = next.Find("op");
+      const std::string op_name = op != nullptr ? op->string : "";
+      if (op_name == "window") {
+        frame = &next;
+        continue;
+      }
+      if (op_name == "bye") {
+        frame = &next;
+        break;
+      }
+      return Status::InvalidArgument("unexpected tail op '" + op_name + "'");
+    }
+  }
+  // `frame` is the bye.
+  const auto number = [frame](const char* key) -> uint64_t {
+    const json::Value* v = frame->Find(key);
+    return v != nullptr && v->is_number() ? static_cast<uint64_t>(v->number)
+                                          : 0;
+  };
+  totals_.windows = number("windows");
+  totals_.inputs = number("inputs");
+  totals_.matches = number("matches");
+  const json::Value* checksum = frame->Find("checksum");
+  totals_.checksum = 0;
+  if (checksum != nullptr && checksum->is_string()) {
+    totals_.checksum = std::strtoull(checksum->string.c_str(), nullptr, 10);
+  } else if (checksum != nullptr && checksum->is_number()) {
+    totals_.checksum = static_cast<uint64_t>(checksum->number);
+  }
+  const json::Value* recovered = frame->Find("recovered");
+  const json::Value* degraded = frame->Find("degraded");
+  totals_.recovered = recovered != nullptr && recovered->boolean;
+  totals_.degraded = degraded != nullptr && degraded->boolean;
+  drained_ = true;
+  return Status::Ok();
+}
+
+}  // namespace iawj::serve

@@ -1,0 +1,80 @@
+// Client side of the iawj_serve protocol (serve/protocol.h), used by
+// iawj_cli --connect, the serve tests, and the chaos serve soak.
+//
+// Usage is the lockstep conversation: Connect, Hello (registers the tenant
+// and its JoinSpec), SendBatch per arrival chunk, End to seal; after End
+// the per-window results and tenant totals are available. The client is
+// drain-aware: a daemon hit by SIGTERM seals streams server-side and emits
+// the window/bye tail in place of a batch ack, and SendBatch surfaces that
+// as drained() rather than a protocol error — callers stop sending and
+// read their results, exactly as if they had sent end themselves.
+#ifndef IAWJ_SERVE_CLIENT_H_
+#define IAWJ_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/serve/protocol.h"
+
+namespace iawj::serve {
+
+class ServeClient {
+ public:
+  // Tenant totals from the bye frame (ok windows only, like the offline
+  // pipeline's totals).
+  struct Totals {
+    uint64_t windows = 0;
+    uint64_t inputs = 0;
+    uint64_t matches = 0;
+    uint64_t checksum = 0;
+    bool recovered = false;
+    bool degraded = false;
+  };
+
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  Status Connect(const std::string& socket_path);
+
+  // Registers the tenant. A typed error (admission refusal, bad spec) comes
+  // back as the Status the server sent.
+  Status Hello(const TenantSpec& tenant);
+
+  // Sends one batch of arrivals (either side may be empty). A typed batch
+  // rejection (out-of-order stream, buffer overflow) is returned as its
+  // Status; the connection stays usable. When the daemon drained instead of
+  // acking, returns Ok with drained() true and the results populated.
+  Status SendBatch(std::span<const Tuple> r, std::span<const Tuple> s);
+
+  // Seals the stream and collects the window results and totals. A no-op
+  // (Ok) when the daemon already drained.
+  Status End();
+
+  void Close();
+
+  // True once the daemon sealed this stream on its own (SIGTERM drain).
+  bool drained() const { return drained_; }
+  const std::vector<WindowResult>& windows() const { return windows_; }
+  const Totals& totals() const { return totals_; }
+
+ private:
+  // Reads the window/bye tail into windows_/totals_.
+  Status ReadTail(bool first_is_window, const json::Value& first);
+
+  int fd_ = -1;
+  FrameReader reader_{-1};
+  bool drained_ = false;
+  std::vector<WindowResult> windows_;
+  Totals totals_;
+};
+
+}  // namespace iawj::serve
+
+#endif  // IAWJ_SERVE_CLIENT_H_

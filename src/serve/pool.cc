@@ -1,0 +1,164 @@
+#include "src/serve/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/profiling/metrics.h"
+
+namespace iawj::serve {
+
+namespace {
+
+void PublishSteal() {
+  if (!metrics::Enabled()) return;
+  static metrics::Counter* steals =
+      metrics::GetCounter("serve.cross_tenant_steals");
+  if (steals != nullptr) steals->Add();
+}
+
+}  // namespace
+
+FairSharePool::~FairSharePool() { Stop(); }
+
+void FairSharePool::Start(int threads, int max_inflight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  max_inflight_ = std::max(1, max_inflight);
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void FairSharePool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.clear();
+  started_ = false;
+}
+
+int FairSharePool::AddTenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantQueue queue;
+  queue.name = name;
+  // A newcomer starts at the current service minimum: it gets the next free
+  // worker (nothing has been spent on it this epoch) without banking an
+  // unbounded credit against long-lived tenants.
+  uint64_t min_service = 0;
+  bool first = true;
+  for (const TenantQueue& t : tenants_) {
+    if (t.closed) continue;
+    if (first || t.service_ns < min_service) min_service = t.service_ns;
+    first = false;
+  }
+  queue.service_ns = first ? 0 : min_service;
+  tenants_.push_back(std::move(queue));
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+void FairSharePool::RemoveTenant(int tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return;
+  tenants_[static_cast<size_t>(tenant)].closed = true;
+}
+
+bool FairSharePool::Submit(int tenant, WindowJob job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return false;
+  TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
+  idle_cv_.wait(lock, [this, &queue] {
+    return stopping_ || queue.closed ||
+           static_cast<int>(queue.pending.size()) + queue.running <
+               max_inflight_;
+  });
+  if (stopping_ || queue.closed) return false;
+  queue.pending.push_back(
+      PendingJob{std::move(job), std::chrono::steady_clock::now()});
+  lock.unlock();
+  work_cv_.notify_one();
+  return true;
+}
+
+void FairSharePool::WaitIdle(int tenant) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return;
+  TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
+  idle_cv_.wait(lock,
+                [&queue] { return queue.pending.empty() && queue.running == 0; });
+}
+
+FairSharePool::Stats FairSharePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t FairSharePool::TenantServiceNs(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return 0;
+  return tenants_[static_cast<size_t>(tenant)].service_ns;
+}
+
+int FairSharePool::PickTenantLocked() const {
+  int best = -1;
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantQueue& queue = tenants_[t];
+    if (queue.pending.empty()) continue;
+    if (best < 0 ||
+        queue.service_ns < tenants_[static_cast<size_t>(best)].service_ns) {
+      best = static_cast<int>(t);
+    }
+  }
+  return best;
+}
+
+void FairSharePool::WorkerLoop(int worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stopping_ || PickTenantLocked() >= 0; });
+    int tenant = PickTenantLocked();
+    if (tenant < 0) {
+      if (stopping_) return;  // stopping with nothing left: drain complete
+      continue;
+    }
+    TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
+    PendingJob job = std::move(queue.pending.front());
+    queue.pending.pop_front();
+    ++queue.running;
+    const bool stolen =
+        !workers_.empty() &&
+        tenant % static_cast<int>(workers_.size()) != worker;
+    if (stolen) ++stats_.cross_tenant_steals;
+    lock.unlock();
+
+    if (stolen) PublishSteal();
+    const auto started = std::chrono::steady_clock::now();
+    const double wait_ms =
+        std::chrono::duration<double, std::milli>(started - job.submitted)
+            .count();
+    job.run(worker, stolen, wait_ms);
+    const uint64_t service_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+
+    lock.lock();
+    --queue.running;
+    queue.service_ns += service_ns;
+    stats_.total_service_ns += service_ns;
+    ++stats_.jobs_done;
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace iawj::serve

@@ -1,0 +1,119 @@
+// Fair-share window-job pool for the iawj_serve daemon (ISSUE 10).
+//
+// One pool of worker threads executes every tenant's window jobs; the
+// multiplexing problem is keeping a hot tenant (many queued windows, heavy
+// per-window work) from starving a quiet one. The pool keeps one FIFO queue
+// per tenant plus a per-tenant service-time account (wall nanoseconds its
+// jobs have consumed), and each free worker serves the *least-serviced*
+// tenant with work pending — deficit-style fair sharing: a quiet tenant's
+// first window always preempts the hot tenant's hundredth in the dispatch
+// order, so its queue wait is bounded by one in-flight job per worker
+// rather than by the hot backlog.
+//
+// Every tenant also has a home worker (tenant slot modulo pool size, the
+// same hashing the morsel scheduler uses for NUMA homes). A worker
+// executing a job whose tenant homes elsewhere counts one cross-tenant
+// steal — the run-record evidence that tenants really share one pool
+// instead of partitioning it.
+//
+// Submission is backpressured, not rejected: Submit blocks while the
+// tenant already has max_inflight jobs pending or running, bounding both
+// memory (sliced window copies live inside the queued jobs) and the damage
+// one flooding connection can do. Rejection-style admission (tenant count,
+// buffer caps, memory preflight) lives in server.cc — by the time a job
+// reaches the pool it has been admitted.
+#ifndef IAWJ_SERVE_POOL_H_
+#define IAWJ_SERVE_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace iawj::serve {
+
+// A window job: executed on a pool worker. `worker` is the executing
+// thread's index, `stolen` whether that worker is not the tenant's home,
+// `wait_ms` the queue wait between Submit and execution start.
+using WindowJob = std::function<void(int worker, bool stolen, double wait_ms)>;
+
+class FairSharePool {
+ public:
+  struct Stats {
+    uint64_t jobs_done = 0;
+    uint64_t cross_tenant_steals = 0;
+    uint64_t total_service_ns = 0;
+  };
+
+  FairSharePool() = default;
+  ~FairSharePool();
+
+  FairSharePool(const FairSharePool&) = delete;
+  FairSharePool& operator=(const FairSharePool&) = delete;
+
+  // Starts `threads` workers (>= 1; clamped). max_inflight bounds each
+  // tenant's pending + running jobs (>= 1; clamped).
+  void Start(int threads, int max_inflight);
+
+  // Finishes every queued job, then joins the workers. Idempotent.
+  void Stop();
+
+  // Registers a tenant queue; the returned slot id names it in Submit.
+  // Slots are never reused within one pool lifetime, so a stale id from a
+  // departed tenant cannot alias a new one.
+  int AddTenant(const std::string& name);
+
+  // Marks the tenant's queue closed. Pending jobs still run; Submit on the
+  // slot becomes a no-op returning false.
+  void RemoveTenant(int tenant);
+
+  // Enqueues a job, blocking while the tenant is at its in-flight bound.
+  // Returns false (job dropped) when the slot is closed or the pool is
+  // stopping.
+  bool Submit(int tenant, WindowJob job);
+
+  // Blocks until the tenant has no pending or running jobs.
+  void WaitIdle(int tenant);
+
+  Stats stats() const;
+  // Wall nanoseconds of job execution charged to the tenant so far.
+  uint64_t TenantServiceNs(int tenant) const;
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct PendingJob {
+    WindowJob run;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  struct TenantQueue {
+    std::string name;
+    std::deque<PendingJob> pending;
+    int running = 0;
+    uint64_t service_ns = 0;
+    bool closed = false;
+  };
+
+  void WorkerLoop(int worker);
+  // Picks the least-serviced open queue with pending work; -1 when none.
+  int PickTenantLocked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: work available / stopping
+  std::condition_variable idle_cv_;   // submitters: slot freed / tenant idle
+  std::vector<TenantQueue> tenants_;
+  std::vector<std::thread> workers_;
+  int max_inflight_ = 4;
+  bool stopping_ = false;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace iawj::serve
+
+#endif  // IAWJ_SERVE_POOL_H_

@@ -1,0 +1,133 @@
+// Wire protocol for the iawj_serve daemon (ISSUE 10 tentpole).
+//
+// Transport is a Unix domain stream socket carrying newline-framed JSON:
+// every message is one JSON object terminated by '\n', no other framing.
+// The conversation is lockstep per connection, one logical tenant each:
+//
+//   client                             server
+//   ------                             ------
+//   {"op":"hello","tenant":...}   ->
+//                                 <-   {"op":"ok"} | {"op":"error",...}
+//   {"op":"batch","r":[[ts,key],...],"s":[...]}  ->        (repeated)
+//                                 <-   {"op":"ok"} | {"op":"error",...}
+//   {"op":"end"}                  ->
+//                                 <-   {"op":"window",...}  (one per window)
+//                                 <-   {"op":"bye",...}
+//
+// A draining server (SIGTERM) may emit the window/bye tail spontaneously —
+// clients must treat a window/bye frame arriving in place of a batch ack as
+// "the daemon sealed my stream for me" and stop sending.
+//
+// The hello carries the tenant spec: the algorithm plus every JoinSpec knob
+// that affects the answer or its execution, so a tenant window run inside
+// the daemon is byte-identical (matches and checksum) to the same spec run
+// offline through iawj_cli. Errors carry the engine's stable status-code
+// names ("resource_exhausted", ...), so clients recover typed Statuses and
+// the CLI maps them onto its usual exit codes.
+#ifndef IAWJ_SERVE_PROTOCOL_H_
+#define IAWJ_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/join/context.h"
+
+namespace iawj::serve {
+
+// Parses the lower-case wire name of an algorithm ("npj", "shj-jm", "hhj",
+// ...) — the same names iawj_cli's --algo accepts.
+bool ParseAlgorithmName(const std::string& name, AlgorithmId* id);
+
+// Maps a wire status-code name back to the enum; false for unknown names.
+bool ParseStatusCodeName(const std::string& name, StatusCode* code);
+
+// One logical query: a tenant name plus the algorithm and JoinSpec knobs
+// its windows execute under.
+struct TenantSpec {
+  std::string name;
+  AlgorithmId algo = AlgorithmId::kNpj;
+  JoinSpec spec;
+
+  // Rejects unusable specs (empty/oversized name, JoinSpec::Validate).
+  Status Validate() const;
+
+  // The {"op":"hello",...} frame (no trailing newline).
+  std::string ToHelloJson() const;
+
+  // Parses a hello frame. Unknown keys are ignored (forward compatibility);
+  // missing keys keep their defaults.
+  static Status FromHello(const json::Value& message, TenantSpec* out);
+};
+
+// One sealed window's outcome, as reported to the client and mirrored into
+// the v9 run record's `serve` block.
+struct WindowResult {
+  uint64_t window_index = 0;     // tumbling slot: window_start / window_ms
+  uint64_t window_start_ms = 0;
+  std::string algorithm;         // what finally produced the result
+  std::string status_code = "ok";
+  std::string status_message;
+  uint64_t inputs = 0;
+  uint64_t matches = 0;
+  uint64_t checksum = 0;
+  bool recovered = false;        // supervisor retried / fell back
+  bool degraded = false;         // bounded loss (skip/shed/quarantine)
+  double wait_ms = 0;            // queue wait: submit -> execution start
+  int worker = -1;               // pool worker that executed it
+  bool stolen = false;           // executed off the tenant's home worker
+
+  bool ok() const { return status_code == "ok"; }
+};
+
+// Frame builders. All return one JSON object without the trailing newline;
+// WriteFrame appends it.
+std::string OkJson();
+std::string ErrorJson(const Status& status);
+std::string BatchJson(std::span<const Tuple> r, std::span<const Tuple> s);
+std::string EndJson();
+std::string WindowJson(const WindowResult& window);
+std::string ByeJson(const std::string& tenant, uint64_t windows,
+                    uint64_t inputs, uint64_t matches, uint64_t checksum,
+                    bool recovered, bool degraded);
+
+// Frame parsers (the "op" key has already been dispatched on).
+Status ParseBatch(const json::Value& message, std::vector<Tuple>* r,
+                  std::vector<Tuple>* s);
+Status ParseWindow(const json::Value& message, WindowResult* out);
+// Reconstructs the typed Status carried by an {"op":"error"} frame.
+Status ParseError(const json::Value& message);
+
+// --- Framing over a file descriptor ---
+
+// Writes `json` plus the terminating newline, retrying short writes.
+Status WriteFrame(int fd, const std::string& json);
+
+// Buffered newline-framed reader. Not thread-safe.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  // Reads one frame into *frame (newline stripped). Outcomes:
+  //   ok + *eof=false              — one frame delivered
+  //   ok + *eof=true               — orderly close, no frame
+  //   ok + *timed_out=true         — poll_timeout_ms elapsed, no frame yet
+  //   !ok                          — transport error
+  // poll_timeout_ms < 0 blocks indefinitely.
+  Status ReadFrame(std::string* frame, bool* eof, int poll_timeout_ms = -1,
+                   bool* timed_out = nullptr);
+
+  // ReadFrame + json::Parse in one step (blocking form).
+  Status ReadMessage(json::Value* message, bool* eof);
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+}  // namespace iawj::serve
+
+#endif  // IAWJ_SERVE_PROTOCOL_H_

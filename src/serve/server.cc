@@ -1,0 +1,764 @@
+#include "src/serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/common/fault.h"
+#include "src/common/logging.h"
+#include "src/join/runner.h"
+#include "src/join/supervisor.h"
+#include "src/memory/tracker.h"
+#include "src/profiling/metrics.h"
+#include "src/profiling/run_record.h"
+#include "src/stream/disorder.h"
+
+namespace iawj::serve {
+
+namespace {
+
+// Rough per-tuple footprint of one in-flight window: the sliced input copy
+// plus hash-table / partition-buffer overhead across the algorithms. Used
+// only for admission preflight, never charged.
+constexpr int64_t kBytesPerTuplePreflight = 48;
+
+// Radix bound the skew detector will not push past (2^14 partitions is
+// already past the sweet spot of every PRJ sweep in the paper's Figure 18).
+constexpr int kMaxSkewRadixBits = 14;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) {
+    IAWJ_LOG(Warning) << "ignoring malformed $" << name << "='" << value
+                      << "'";
+    return fallback;
+  }
+  return parsed;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed <= 0) {
+    IAWJ_LOG(Warning) << "ignoring malformed $" << name << "='" << value
+                      << "'";
+    return fallback;
+  }
+  return parsed;
+}
+
+// Same slice as window_pipeline.cc's: tuples with ts in [start, start +
+// length), timestamps rebased to the window-local origin. The rebase is
+// load-bearing for the differential tests — the checksum mixes timestamps,
+// so serving and offline must present identical window-local values.
+Stream SliceWindow(const std::vector<Tuple>& tuples, uint64_t start,
+                   uint32_t length) {
+  const auto lo = std::lower_bound(
+      tuples.begin(), tuples.end(), start,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  const auto hi = std::lower_bound(
+      lo, tuples.end(), start + length,
+      [](const Tuple& t, uint64_t v) { return t.ts < v; });
+  Stream window;
+  window.tuples.reserve(static_cast<size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) {
+    window.tuples.push_back(
+        Tuple{static_cast<uint32_t>(it->ts - start), it->key});
+  }
+  return window;
+}
+
+// One window attempt with the same "window_fail" fault site the offline
+// pipeline hosts, so chaos schedules exercise daemon windows identically.
+RunResult RunWindowOnce(JoinRunner& runner, AlgorithmId id, const Stream& wr,
+                        const Stream& ws, const JoinSpec& window_spec,
+                        uint64_t window_index) {
+  if (fault::Enabled() && fault::Inject("window_fail")) {
+    RunResult result;
+    result.algorithm = std::string(AlgorithmName(id));
+    result.inputs = wr.size() + ws.size();
+    result.status = Status::Internal("injected window failure (window " +
+                                     std::to_string(window_index) + ")");
+    return result;
+  }
+  return runner.Run(id, wr, ws, window_spec);
+}
+
+void BumpCounter(const char* name, uint64_t n = 1) {
+  if (!metrics::Enabled()) return;
+  if (auto* counter = metrics::GetCounter(name)) counter->Add(n);
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::Resolve(ServeOptions o) {
+  if (o.socket_path.empty()) {
+    const char* path = std::getenv("IAWJ_SERVE_SOCKET");
+    if (path != nullptr) o.socket_path = path;
+  }
+  if (o.pool_threads <= 0) {
+    o.pool_threads = static_cast<int>(EnvInt("IAWJ_SERVE_POOL_THREADS", 4));
+  }
+  if (o.max_tenants <= 0) {
+    o.max_tenants = static_cast<int>(EnvInt("IAWJ_SERVE_MAX_TENANTS", 8));
+  }
+  if (o.max_inflight <= 0) {
+    o.max_inflight = static_cast<int>(EnvInt("IAWJ_SERVE_MAX_INFLIGHT", 4));
+  }
+  if (o.max_buffer_tuples <= 0) {
+    o.max_buffer_tuples = EnvInt("IAWJ_SERVE_MAX_BUFFER", 4194304);
+  }
+  if (o.mem_share <= 0) o.mem_share = EnvDouble("IAWJ_SERVE_MEM_SHARE", 1.0);
+  o.mem_share = std::min(o.mem_share, 1.0);
+  return o;
+}
+
+// Per-connection tenant state. Lives on the HandleConnection stack: window
+// jobs referencing it always complete before SealFinal's WaitIdle returns,
+// and SealFinal always runs before the frame loop exits.
+struct ServeServer::TenantSession {
+  TenantSpec tenant;
+  int slot = -1;
+  SupervisorPolicy supervision;
+  IngestPolicy ingest_policy;
+  // Sealing is deferred to end-of-stream when ingestion or shedding is
+  // configured: both transforms are whole-timeline operations and must see
+  // the same sequence the offline pipeline would.
+  bool defer_sealing = false;
+
+  std::vector<Tuple> r, s;     // retained arrivals, per stream
+  uint64_t next_seal_start = 0;  // first unsealed tumbling slot (eager path)
+
+  // Skew detector state: the radix bits subsequent windows run with.
+  std::atomic<int> radix_bits{0};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> completed{0};
+
+  // Bounded-loss accounting outside individual windows.
+  uint64_t tuples_shed = 0;       // end-of-stream + backlog shedding
+  uint64_t backlog_shed_events = 0;
+  IngestStats ingest_stats;
+
+  std::mutex results_mu;
+  std::vector<WindowResult> results;
+};
+
+ServeServer::ServeServer(ServeOptions options)
+    : options_(ServeOptions::Resolve(std::move(options))) {}
+
+ServeServer::~ServeServer() { Shutdown(); }
+
+Status ServeServer::Start() {
+  if (started_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument(
+        "no socket path (set --socket or $IAWJ_SERVE_SOCKET)");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::FailedPrecondition(std::string("socket(): ") +
+                                      std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale file from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::FailedPrecondition("bind(" + options_.socket_path +
+                                      "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::FailedPrecondition(std::string("listen(): ") +
+                                      std::strerror(err));
+  }
+
+  pool_.Start(options_.pool_threads, options_.max_inflight);
+  started_.store(true, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  IAWJ_LOG(Info) << "iawj_serve listening on " << options_.socket_path << " ("
+                 << options_.pool_threads << " pool threads, max "
+                 << options_.max_tenants << " tenants)";
+  return Status::Ok();
+}
+
+void ServeServer::RequestDrain() {
+  draining_.store(true, std::memory_order_relaxed);
+}
+
+void ServeServer::Shutdown() {
+  if (!started_.load(std::memory_order_relaxed)) return;
+  if (shut_down_.exchange(true)) return;
+  RequestDrain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Connection threads notice draining_ within one poll interval, seal
+  // their tails, and finish; join them all before stopping the pool.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) connection.join();
+  pool_.Stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.cross_tenant_steals = pool_.stats().cross_tenant_steals;
+  }
+  IAWJ_LOG(Info) << "iawj_serve drained: " << stats().windows_done
+                 << " windows done, " << stats().cross_tenant_steals
+                 << " cross-tenant steals";
+}
+
+ServeServer::ServerStats ServeServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats snapshot = stats_;
+  snapshot.cross_tenant_steals = pool_.stats().cross_tenant_steals;
+  return snapshot;
+}
+
+void ServeServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections;
+    }
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.emplace_back([this, fd] {
+      HandleConnection(fd);
+      ::close(fd);
+    });
+  }
+}
+
+void ServeServer::HandleConnection(int fd) {
+  FrameReader reader(fd);
+
+  // Hello + admission. The poll timeout keeps a silent connection from
+  // pinning the drain.
+  TenantSession session;
+  for (;;) {
+    std::string frame;
+    bool eof = false, timed_out = false;
+    const Status status = reader.ReadFrame(&frame, &eof, 100, &timed_out);
+    if (!status.ok() || eof) return;
+    if (timed_out) {
+      if (draining_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    json::Value message;
+    Status parsed = json::Parse(frame, &message);
+    if (parsed.ok()) {
+      const json::Value* op = message.Find("op");
+      if (op == nullptr || op->string != "hello") {
+        parsed = Status::InvalidArgument("expected a hello frame first");
+      } else {
+        parsed = TenantSpec::FromHello(message, &session.tenant);
+      }
+    }
+    if (!parsed.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.tenants_rejected;
+      }
+      WriteFrame(fd, ErrorJson(parsed));
+      return;
+    }
+    break;
+  }
+
+  // Tenant-count admission: CAS so concurrent hellos cannot oversubscribe.
+  for (;;) {
+    if (draining_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.tenants_rejected;
+      WriteFrame(fd, ErrorJson(Status::FailedPrecondition(
+                         "daemon is draining; not accepting tenants")));
+      return;
+    }
+    int active = tenants_active_.load(std::memory_order_relaxed);
+    if (active >= options_.max_tenants) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.tenants_rejected;
+      WriteFrame(fd, ErrorJson(Status::ResourceExhausted(
+                         "tenant limit reached (" +
+                         std::to_string(options_.max_tenants) + ")")));
+      return;
+    }
+    if (tenants_active_.compare_exchange_weak(active, active + 1,
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.tenants_admitted;
+  }
+  if (metrics::Enabled()) {
+    if (auto* gauge = metrics::GetGauge("serve.tenants_active")) {
+      gauge->Set(tenants_active_.load(std::memory_order_relaxed));
+    }
+  }
+
+  session.slot = pool_.AddTenant(session.tenant.name);
+  session.supervision = SupervisorPolicy::Resolve(session.tenant.spec);
+  session.ingest_policy = IngestPolicy::Resolve(
+      session.tenant.spec.disorder_slack_ms,
+      session.tenant.spec.allowed_lateness_ms,
+      session.tenant.spec.ingest_dedup);
+  session.defer_sealing = session.ingest_policy.Enabled() ||
+                          session.supervision.shed_watermark_per_ms > 0;
+  session.radix_bits.store(session.tenant.spec.radix_bits,
+                           std::memory_order_relaxed);
+  WriteFrame(fd, OkJson());
+
+  bool sealed = false;
+  for (;;) {
+    std::string frame;
+    bool eof = false, timed_out = false;
+    const Status status = reader.ReadFrame(&frame, &eof, 100, &timed_out);
+    if (!status.ok() || eof) {
+      // The client vanished without end: its timeline is incomplete, so the
+      // unsealed tail is discarded — but windows already on the pool finish
+      // and their records flush before the tenant departs.
+      pool_.WaitIdle(session.slot);
+      sealed = true;
+      break;
+    }
+    if (timed_out) {
+      if (!draining_.load(std::memory_order_relaxed)) continue;
+      // Server-initiated drain: seal as if the client had sent end.
+      SealFinal(&session, fd, /*send=*/true);
+      sealed = true;
+      break;
+    }
+
+    json::Value message;
+    Status parsed = json::Parse(frame, &message);
+    if (!parsed.ok()) {
+      WriteFrame(fd, ErrorJson(Status::InvalidArgument("bad frame: " +
+                                                       parsed.ToString())));
+      continue;
+    }
+    const json::Value* op = message.Find("op");
+    const std::string op_name = op != nullptr ? op->string : "";
+
+    if (op_name == "end") {
+      SealFinal(&session, fd, /*send=*/true);
+      sealed = true;
+      break;
+    }
+    if (op_name != "batch") {
+      WriteFrame(fd,
+                 ErrorJson(Status::InvalidArgument("unknown op: " + op_name)));
+      continue;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      // The drain wins over a batch already in flight: instead of the ack
+      // the client gets the sealed window/bye tail covering everything the
+      // daemon acked before the drain. The unacked batch is the client's to
+      // replay elsewhere — acking it here would promise a seal the
+      // draining daemon may not deliver.
+      SealFinal(&session, fd, /*send=*/true);
+      sealed = true;
+      break;
+    }
+
+    std::vector<Tuple> batch_r, batch_s;
+    Status admitted = ParseBatch(message, &batch_r, &batch_s);
+    // Without an ingest policy the engine's sorted-stream contract is the
+    // client's to honor; a regressing timestamp would silently corrupt
+    // window slicing, so it is refused typed instead.
+    if (admitted.ok() && !session.ingest_policy.Enabled()) {
+      const auto regresses = [](const std::vector<Tuple>& buffered,
+                                const std::vector<Tuple>& batch) {
+        uint32_t last = buffered.empty() ? 0 : buffered.back().ts;
+        for (const Tuple& t : batch) {
+          if (t.ts < last) return true;
+          last = t.ts;
+        }
+        return false;
+      };
+      if (regresses(session.r, batch_r) || regresses(session.s, batch_s)) {
+        admitted = Status::InvalidArgument(
+            "timestamps regress within the stream; configure "
+            "disorder_slack_ms/allowed_lateness_ms to accept out-of-order "
+            "arrivals");
+      }
+    }
+    if (admitted.ok()) {
+      const uint64_t retained = session.r.size() + session.s.size();
+      const uint64_t incoming = batch_r.size() + batch_s.size();
+      if (retained + incoming >
+          static_cast<uint64_t>(options_.max_buffer_tuples)) {
+        if (session.supervision.shed_watermark_per_ms > 0) {
+          // Backlog shedding: thin the incoming batch with the tenant's
+          // configured watermark instead of refusing it. Deterministic in
+          // (batch, policy, how many backlog sheds preceded this one).
+          const uint64_t shed_seed = session.supervision.seed + 2 +
+                                     session.backlog_shed_events++;
+          uint64_t shed = 0;
+          for (auto* batch : {&batch_r, &batch_s}) {
+            ShedResult result = ShedToWatermark(
+                MakeStream(std::move(*batch)),
+                session.supervision.shed_watermark_per_ms,
+                session.supervision.shed_max_lag_ms, shed_seed);
+            shed += result.tuples_shed;
+            *batch = std::move(result.stream.tuples);
+          }
+          session.tuples_shed += shed;
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            stats_.tuples_shed += shed;
+          }
+          BumpCounter("serve.tuples_shed", shed);
+        } else {
+          admitted = Status::ResourceExhausted(
+              "tenant buffer full (" +
+              std::to_string(options_.max_buffer_tuples) +
+              " tuples); drain with end or configure shed_watermark_per_ms");
+        }
+      }
+    }
+    if (!admitted.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.batches_rejected;
+      }
+      BumpCounter("serve.batches_rejected");
+      WriteFrame(fd, ErrorJson(admitted));
+      continue;
+    }
+
+    const uint64_t incoming = batch_r.size() + batch_s.size();
+    session.r.insert(session.r.end(), batch_r.begin(), batch_r.end());
+    session.s.insert(session.s.end(), batch_s.begin(), batch_s.end());
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.tuples_in += incoming;
+    }
+    BumpCounter("serve.tuples_in", incoming);
+    if (!session.defer_sealing) SealReadyWindows(&session);
+    WriteFrame(fd, OkJson());
+  }
+
+  if (!sealed) pool_.WaitIdle(session.slot);
+  pool_.RemoveTenant(session.slot);
+  tenants_active_.fetch_sub(1, std::memory_order_relaxed);
+  if (metrics::Enabled()) {
+    if (auto* gauge = metrics::GetGauge("serve.tenants_active")) {
+      gauge->Set(tenants_active_.load(std::memory_order_relaxed));
+    }
+  }
+}
+
+void ServeServer::SealReadyWindows(TenantSession* session) {
+  // A tumbling slot [start, start + w) is sealed once BOTH streams have
+  // advanced to its end: per-stream timestamps are non-decreasing (enforced
+  // at batch admission on this path), so every future arrival lands at or
+  // past min(frontier_r, frontier_s) — eager windows see exactly the tuples
+  // the offline pipeline would.
+  if (session->r.empty() || session->s.empty()) return;
+  const uint32_t w = session->tenant.spec.window_ms;
+  const uint64_t frontier =
+      std::min<uint64_t>(session->r.back().ts, session->s.back().ts);
+  while (session->next_seal_start + w <= frontier) {
+    const uint64_t start = session->next_seal_start;
+    session->next_seal_start += w;
+    Stream wr = SliceWindow(session->r, start, w);
+    Stream ws = SliceWindow(session->s, start, w);
+    if (wr.size() == 0 && ws.size() == 0) continue;  // like the pipeline
+    SubmitWindow(session, start, std::move(wr), std::move(ws));
+  }
+}
+
+void ServeServer::SealFinal(TenantSession* session, int fd, bool send) {
+  const JoinSpec& spec = session->tenant.spec;
+  const uint32_t w = spec.window_ms;
+
+  if (session->defer_sealing) {
+    // Mirror of window_pipeline.cc's ApplyIngest + RunSegments preamble:
+    // restore order over the whole arrival sequence, shed the whole
+    // timeline, then segment — identical transforms, identical windows.
+    Stream stream_r, stream_s;
+    stream_r.tuples = std::move(session->r);
+    stream_s.tuples = std::move(session->s);
+    if (session->ingest_policy.Enabled()) {
+      IngestResult ingested_r = IngestStream(stream_r, session->ingest_policy);
+      IngestResult ingested_s = IngestStream(stream_s, session->ingest_policy);
+      session->ingest_stats = ingested_r.stats;
+      session->ingest_stats.Merge(ingested_s.stats);
+      stream_r = std::move(ingested_r.stream);
+      stream_s = std::move(ingested_s.stream);
+      PublishIngestMetrics(session->ingest_stats);
+    }
+    if (session->supervision.shed_watermark_per_ms > 0) {
+      ShedResult shed_r = ShedToWatermark(
+          stream_r, session->supervision.shed_watermark_per_ms,
+          session->supervision.shed_max_lag_ms, session->supervision.seed);
+      ShedResult shed_s = ShedToWatermark(
+          stream_s, session->supervision.shed_watermark_per_ms,
+          session->supervision.shed_max_lag_ms, session->supervision.seed + 1);
+      session->tuples_shed += shed_r.tuples_shed + shed_s.tuples_shed;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.tuples_shed += shed_r.tuples_shed + shed_s.tuples_shed;
+      }
+      BumpCounter("serve.tuples_shed",
+                  shed_r.tuples_shed + shed_s.tuples_shed);
+      stream_r = std::move(shed_r.stream);
+      stream_s = std::move(shed_s.stream);
+    }
+    const uint64_t max_ts =
+        std::max<uint64_t>(stream_r.MaxTs(), stream_s.MaxTs());
+    if (stream_r.size() + stream_s.size() > 0) {
+      for (uint64_t start = 0; start <= max_ts; start += w) {
+        Stream wr = SliceWindow(stream_r.tuples, start, w);
+        Stream ws = SliceWindow(stream_s.tuples, start, w);
+        if (wr.size() == 0 && ws.size() == 0) continue;
+        SubmitWindow(session, start, std::move(wr), std::move(ws));
+      }
+    }
+  } else {
+    // Eager path: everything below next_seal_start already ran; the tail up
+    // to the overall max timestamp seals now, matching the offline
+    // enumeration 0..max_ts inclusive.
+    const uint64_t max_ts = std::max<uint64_t>(
+        session->r.empty() ? 0 : session->r.back().ts,
+        session->s.empty() ? 0 : session->s.back().ts);
+    if (session->r.size() + session->s.size() > 0) {
+      for (uint64_t start = session->next_seal_start; start <= max_ts;
+           start += w) {
+        Stream wr = SliceWindow(session->r, start, w);
+        Stream ws = SliceWindow(session->s, start, w);
+        if (wr.size() == 0 && ws.size() == 0) continue;
+        SubmitWindow(session, start, std::move(wr), std::move(ws));
+      }
+      session->next_seal_start = max_ts + 1;
+    }
+  }
+
+  pool_.WaitIdle(session->slot);
+  if (!send) return;
+
+  std::vector<WindowResult> results;
+  {
+    std::lock_guard<std::mutex> lock(session->results_mu);
+    results = session->results;
+  }
+  // Jobs complete in pool order, not window order; the client sees windows
+  // in timeline order like the offline pipeline reports them.
+  std::sort(results.begin(), results.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return a.window_index < b.window_index;
+            });
+  uint64_t inputs = 0, matches = 0, checksum = 0;
+  bool recovered = false;
+  bool degraded = session->tuples_shed > 0 ||
+                  session->ingest_stats.quarantined() > 0;
+  for (const WindowResult& window : results) {
+    WriteFrame(fd, WindowJson(window));
+    recovered = recovered || window.recovered;
+    degraded = degraded || window.degraded || !window.ok();
+    if (window.ok()) {
+      inputs += window.inputs;
+      matches += window.matches;
+      checksum += window.checksum;
+    }
+  }
+  WriteFrame(fd, ByeJson(session->tenant.name, results.size(), inputs,
+                         matches, checksum, recovered, degraded));
+}
+
+void ServeServer::SubmitWindow(TenantSession* session, uint64_t start,
+                               Stream wr, Stream ws) {
+  const JoinSpec& spec = session->tenant.spec;
+  const uint64_t window_index = start / spec.window_ms;
+
+  WindowResult shell;
+  shell.window_index = window_index;
+  shell.window_start_ms = start;
+  shell.algorithm = std::string(AlgorithmName(session->tenant.algo));
+
+  // Memory admission: the estimated footprint must fit both this tenant's
+  // share of the budget and the budget's remaining headroom (Preflight).
+  // Refused windows never reach the pool; the client gets a typed result.
+  const int64_t estimate =
+      static_cast<int64_t>(wr.size() + ws.size()) * kBytesPerTuplePreflight;
+  Status admission = Status::Ok();
+  const int64_t budget = mem::BudgetBytes();
+  if (budget > 0 &&
+      static_cast<double>(estimate) >
+          static_cast<double>(budget) * options_.mem_share) {
+    admission = Status::ResourceExhausted(
+        "window " + std::to_string(window_index) + " estimate (" +
+        std::to_string(estimate) + " bytes) exceeds the tenant share of the "
+        "memory budget");
+  } else {
+    admission = mem::Preflight(estimate, "serve window admission");
+  }
+  if (!admission.ok()) {
+    shell.status_code = std::string(StatusCodeName(admission.code()));
+    shell.status_message = admission.message();
+    shell.inputs = wr.size() + ws.size();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.windows_shed;
+    }
+    BumpCounter("serve.windows_shed");
+    std::lock_guard<std::mutex> lock(session->results_mu);
+    session->results.push_back(std::move(shell));
+    return;
+  }
+
+  JoinSpec window_spec = spec;
+  window_spec.radix_bits = session->radix_bits.load(std::memory_order_relaxed);
+  const uint64_t queue_depth =
+      session->submitted.load(std::memory_order_relaxed) -
+      session->completed.load(std::memory_order_relaxed);
+  session->submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // WindowJob is a std::function (copyable), so the sliced inputs ride in a
+  // shared_ptr instead of being copied per std::function copy.
+  auto inputs = std::make_shared<std::pair<Stream, Stream>>(std::move(wr),
+                                                            std::move(ws));
+  const bool submitted = pool_.Submit(
+      session->slot,
+      [this, session, inputs, window_spec, window_index, start, shell,
+       queue_depth](int worker, bool stolen, double wait_ms) {
+        JoinRunner runner;
+        const AttemptFn attempt = [&](AlgorithmId id,
+                                      const JoinSpec& attempt_spec) {
+          return RunWindowOnce(runner, id, inputs->first, inputs->second,
+                               attempt_spec, window_index);
+        };
+        RunResult result =
+            session->supervision.Enabled()
+                ? SuperviseAttempts(session->tenant.algo, window_spec,
+                                    session->supervision, attempt)
+                : attempt(session->tenant.algo, window_spec);
+
+        WindowResult window = shell;
+        if (!result.algorithm.empty()) window.algorithm = result.algorithm;
+        window.status_code = std::string(StatusCodeName(result.status.code()));
+        window.status_message = result.status.message();
+        window.inputs = result.inputs;
+        window.matches = result.matches;
+        window.checksum = result.checksum;
+        window.recovered = result.recovery.recovered();
+        window.degraded = result.recovery.degraded();
+        window.wait_ms = wait_ms;
+        window.worker = worker;
+        window.stolen = stolen;
+
+        RunRecordContext context;
+        context.bench = "iawj_serve";
+        context.workload = session->tenant.name;
+        context.serve.active = true;
+        context.serve.tenant = session->tenant.name;
+        context.serve.window_index = window_index;
+        context.serve.window_start_ms = start;
+        context.serve.tenants_active = tenants_active();
+        context.serve.queue_depth = queue_depth;
+        context.serve.cross_tenant_steals =
+            pool_.stats().cross_tenant_steals;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          context.serve.windows_shed = stats_.windows_shed;
+          if (result.status.ok()) ++stats_.windows_done;
+        }
+        context.serve.wait_ms = wait_ms;
+        context.serve.worker = worker;
+        context.serve.stolen = stolen;
+        MaybeWriteRunRecord(result, window_spec, context);
+        BumpCounter("serve.windows_done");
+
+        session->completed.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(session->results_mu);
+          session->results.push_back(std::move(window));
+        }
+        MaybeRepartition(session);
+      });
+  if (!submitted) {
+    // Pool stopping underneath us (hard shutdown): report the window
+    // cancelled rather than silently losing it.
+    session->submitted.fetch_sub(1, std::memory_order_relaxed);
+    shell.status_code = std::string(StatusCodeName(StatusCode::kCancelled));
+    shell.status_message = "daemon shut down before the window ran";
+    std::lock_guard<std::mutex> lock(session->results_mu);
+    session->results.push_back(std::move(shell));
+  }
+}
+
+void ServeServer::MaybeRepartition(TenantSession* session) {
+  // PanJoin-style skew response: a radix-partitioned tenant consuming more
+  // than twice its fair share of pool service gets finer partitions, which
+  // shrinks its longest indivisible work unit and lets the fair-share
+  // dispatcher interleave other tenants more often. Answer-preserving: the
+  // match multiset is invariant in radix_bits.
+  const AlgorithmId algo = session->tenant.algo;
+  if (algo != AlgorithmId::kPrj && algo != AlgorithmId::kHhj) return;
+  if (session->completed.load(std::memory_order_relaxed) < 4) return;
+  const int active = tenants_active();
+  if (active < 2) return;
+  const uint64_t mine = pool_.TenantServiceNs(session->slot);
+  const uint64_t total = pool_.stats().total_service_ns;
+  if (total == 0) return;
+  const double fair_share = static_cast<double>(total) / active;
+  if (static_cast<double>(mine) <= 2.0 * fair_share) return;
+  int bits = session->radix_bits.load(std::memory_order_relaxed);
+  if (bits >= kMaxSkewRadixBits) return;
+  if (!session->radix_bits.compare_exchange_strong(
+          bits, bits + 1, std::memory_order_relaxed)) {
+    return;  // another worker just bumped it
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.repartitions;
+  }
+  BumpCounter("serve.repartitions");
+  IAWJ_LOG(Info) << "skew detector: tenant '" << session->tenant.name
+                 << "' at " << mine << " ns of " << total
+                 << " ns pool service; radix_bits " << bits << " -> "
+                 << bits + 1;
+}
+
+}  // namespace iawj::serve

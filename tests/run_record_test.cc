@@ -111,17 +111,18 @@ TEST(RunRecord, JsonCarriesEveryListedField) {
   EXPECT_GT(phase_total, 0);
 }
 
-TEST(RunRecord, VersionIsEightWithoutOptionalBlocksForPlainRuns) {
+TEST(RunRecord, VersionIsNineWithoutOptionalBlocksForPlainRuns) {
   JoinSpec spec;
   const RunResult result = SmallRun(&spec);
   json::Value record;
   ASSERT_TRUE(json::Parse(RunRecordJson(result, spec, {}), &record).ok());
-  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 8);
+  EXPECT_DOUBLE_EQ(record.Find("record_version")->number, 9);
   // Unsupervised static in-memory runs carry none of the optional blocks.
   EXPECT_EQ(record.Find("recovery"), nullptr);
   EXPECT_EQ(record.Find("scheduler"), nullptr);
   EXPECT_EQ(record.Find("spill"), nullptr);
   EXPECT_EQ(record.Find("ingest"), nullptr);
+  EXPECT_EQ(record.Find("serve"), nullptr);
   // v8: the kernels block is always present — every run resolves a plan.
   // The default spec resolves auto -> swwc; the build is scalar regardless
   // (the batched build is retired).

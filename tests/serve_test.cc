@@ -1,0 +1,543 @@
+// Tests for the iawj_serve daemon stack (ISSUE 10): wire protocol
+// round-trips, the multi-tenant differential proof (a daemon tenant is
+// byte-identical to the same spec run through the offline tumbling-window
+// pipeline), typed admission refusals, drain completeness, fair-share
+// non-starvation, v9 run-record serve blocks, and the iawj_serve help-table
+// drift check.
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/datagen/micro.h"
+#include "src/join/context.h"
+#include "src/join/window_pipeline.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "tools/serve_flags.h"
+
+namespace iawj {
+namespace {
+
+// Each test gets its own socket so parallel ctest shards never collide.
+std::string TestSocketPath(const std::string& tag) {
+  return testing::TempDir() + "/iawj_serve_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+MicroWorkload TestWorkload(uint64_t seed, uint64_t rate = 300,
+                           uint32_t duration_ms = 12) {
+  MicroSpec micro;
+  micro.rate_r = rate;
+  micro.rate_s = rate;
+  micro.window_ms = duration_ms;  // stream duration, not the join window
+  micro.dupe = 2.0;
+  micro.seed = seed;
+  return GenerateMicro(micro);
+}
+
+JoinSpec TestSpec(uint32_t window_ms = 4) {
+  JoinSpec spec;
+  spec.num_threads = 2;
+  spec.window_ms = window_ms;
+  // Pin the policies off so ambient IAWJ_* env cannot skew expectations.
+  spec.shed_watermark_per_ms = -1;
+  spec.disorder_slack_ms = -1;
+  spec.allowed_lateness_ms = -1;
+  return spec;
+}
+
+// Streams the workload in `chunks` timeline slices, ends, and returns the
+// first non-ok status (or Ok).
+Status DriveTenant(const std::string& socket, const std::string& name,
+                   AlgorithmId id, const JoinSpec& spec,
+                   const MicroWorkload& w, serve::ServeClient* client,
+                   int chunks = 3) {
+  serve::TenantSpec tenant;
+  tenant.name = name;
+  tenant.algo = id;
+  tenant.spec = spec;
+  if (Status s = client->Connect(socket); !s.ok()) return s;
+  if (Status s = client->Hello(tenant); !s.ok()) return s;
+  const uint64_t max_ts = std::max<uint64_t>(w.r.MaxTs(), w.s.MaxTs());
+  const uint64_t step = max_ts / static_cast<uint64_t>(chunks) + 1;
+  size_t ir = 0, is = 0;
+  for (uint64_t t = 0; t <= max_ts && !client->drained(); t += step) {
+    const size_t ir0 = ir, is0 = is;
+    while (ir < w.r.tuples.size() && w.r.tuples[ir].ts < t + step) ++ir;
+    while (is < w.s.tuples.size() && w.s.tuples[is].ts < t + step) ++is;
+    if (Status s = client->SendBatch(
+            std::span<const Tuple>(w.r.tuples.data() + ir0, ir - ir0),
+            std::span<const Tuple>(w.s.tuples.data() + is0, is - is0));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return client->End();
+}
+
+// --- Protocol round-trips -------------------------------------------------
+
+TEST(ServeProtocol, WindowChecksumSurvivesFullUint64) {
+  // Mix64 checksums use all 64 bits; a JSON number would truncate past
+  // 2^53, so the wire carries checksums as decimal strings.
+  serve::WindowResult window;
+  window.window_index = 3;
+  window.window_start_ms = 12;
+  window.algorithm = "PRJ";
+  window.inputs = 1000;
+  window.matches = 17;
+  window.checksum = 0xFFFFFFFFFFFFFFF0ull;  // far beyond 2^53
+  window.wait_ms = 0.25;
+  window.worker = 2;
+  window.stolen = true;
+
+  json::Value parsed;
+  ASSERT_TRUE(json::Parse(serve::WindowJson(window), &parsed).ok());
+  serve::WindowResult back;
+  ASSERT_TRUE(serve::ParseWindow(parsed, &back).ok());
+  EXPECT_EQ(back.checksum, 0xFFFFFFFFFFFFFFF0ull);
+  EXPECT_EQ(back.window_index, 3u);
+  EXPECT_EQ(back.matches, 17u);
+  EXPECT_EQ(back.algorithm, "PRJ");
+  EXPECT_TRUE(back.stolen);
+  EXPECT_EQ(back.worker, 2);
+}
+
+TEST(ServeProtocol, HelloRoundTripsEveryAnswerAffectingKnob) {
+  serve::TenantSpec tenant;
+  tenant.name = "rt";
+  tenant.algo = AlgorithmId::kPmjJb;
+  tenant.spec = TestSpec(7);
+  tenant.spec.num_threads = 4;
+  tenant.spec.jb_group_size = 2;
+  tenant.spec.radix_bits = 9;
+  tenant.spec.retry_max_attempts = 3;
+  tenant.spec.fallback_enabled = true;
+
+  json::Value parsed;
+  ASSERT_TRUE(json::Parse(tenant.ToHelloJson(), &parsed).ok());
+  serve::TenantSpec back;
+  ASSERT_TRUE(serve::TenantSpec::FromHello(parsed, &back).ok());
+  EXPECT_EQ(back.name, "rt");
+  EXPECT_EQ(back.algo, AlgorithmId::kPmjJb);
+  EXPECT_EQ(back.spec.num_threads, 4);
+  EXPECT_EQ(back.spec.window_ms, 7u);
+  EXPECT_EQ(back.spec.jb_group_size, 2);
+  EXPECT_EQ(back.spec.radix_bits, 9);
+  EXPECT_EQ(back.spec.retry_max_attempts, 3);
+  EXPECT_TRUE(back.spec.fallback_enabled);
+}
+
+// --- The differential proof ----------------------------------------------
+
+// N tenants running concurrently through one daemon must each be
+// byte-identical — window for window — to the same spec run sequentially
+// through the offline pipeline. This is the tentpole invariant.
+TEST(ServeDifferential, ConcurrentTenantsMatchOfflineByteExact) {
+  const struct {
+    const char* name;
+    AlgorithmId id;
+    uint64_t seed;
+    uint32_t window_ms;
+  } kTenants[] = {
+      {"alpha", AlgorithmId::kNpj, 11, 3},
+      {"bravo", AlgorithmId::kPrj, 22, 4},
+      {"charlie", AlgorithmId::kShjJm, 33, 5},
+  };
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("diff");
+  options.pool_threads = 2;
+  options.max_tenants = 3;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::vector<MicroWorkload> workloads;
+  std::vector<PipelineResult> offline;
+  std::vector<JoinSpec> specs;
+  for (const auto& t : kTenants) {
+    workloads.push_back(TestWorkload(t.seed));
+    specs.push_back(TestSpec(t.window_ms));
+    offline.push_back(RunTumblingWindows(t.id, workloads.back().r,
+                                         workloads.back().s, specs.back()));
+    ASSERT_TRUE(offline.back().status.ok());
+    ASSERT_GT(offline.back().windows.size(), 1u);
+  }
+
+  std::vector<serve::ServeClient> clients(3);
+  std::vector<Status> statuses(3);
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      statuses[i] = DriveTenant(options.socket_path, kTenants[i].name,
+                                kTenants[i].id, specs[i], workloads[i],
+                                &clients[i]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  for (size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE(kTenants[i].name);
+    ASSERT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+    const auto& windows = clients[i].windows();
+    ASSERT_EQ(windows.size(), offline[i].windows.size());
+    for (size_t wi = 0; wi < windows.size(); ++wi) {
+      SCOPED_TRACE("window " + std::to_string(wi));
+      const WindowRun& expect = offline[i].windows[wi];
+      EXPECT_EQ(windows[wi].window_index, expect.window_index);
+      EXPECT_EQ(windows[wi].window_start_ms, expect.window_start_ms);
+      EXPECT_EQ(windows[wi].inputs, expect.result.inputs);
+      EXPECT_EQ(windows[wi].matches, expect.result.matches);
+      EXPECT_EQ(windows[wi].checksum, expect.result.checksum);
+      EXPECT_TRUE(windows[wi].ok()) << windows[wi].status_code;
+    }
+    EXPECT_EQ(clients[i].totals().matches, offline[i].total_matches);
+    EXPECT_EQ(clients[i].totals().checksum, offline[i].total_checksum);
+    EXPECT_EQ(clients[i].totals().inputs, offline[i].total_inputs);
+  }
+  EXPECT_EQ(server.stats().tenants_admitted, 3u);
+  EXPECT_EQ(server.stats().windows_done,
+            offline[0].windows.size() + offline[1].windows.size() +
+                offline[2].windows.size());
+}
+
+// --- Typed admission refusals --------------------------------------------
+
+TEST(ServeAdmission, TenantLimitRefusalIsResourceExhausted) {
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("limit");
+  options.pool_threads = 1;
+  options.max_tenants = 1;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  serve::TenantSpec first;
+  first.name = "first";
+  first.spec = TestSpec();
+  serve::ServeClient a;
+  ASSERT_TRUE(a.Connect(options.socket_path).ok());
+  ASSERT_TRUE(a.Hello(first).ok());
+
+  serve::TenantSpec second = first;
+  second.name = "second";
+  serve::ServeClient b;
+  ASSERT_TRUE(b.Connect(options.socket_path).ok());
+  const Status refused = b.Hello(second);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted)
+      << refused.ToString();
+
+  // The slot frees when the first tenant leaves; admission is a gauge, not
+  // a ratchet.
+  ASSERT_TRUE(a.End().ok());
+  a.Close();
+  serve::ServeClient c;
+  ASSERT_TRUE(c.Connect(options.socket_path).ok());
+  EXPECT_TRUE(c.Hello(second).ok());
+  EXPECT_TRUE(c.End().ok());
+  server.Shutdown();
+  EXPECT_EQ(server.stats().tenants_rejected, 1u);
+}
+
+TEST(ServeAdmission, OutOfOrderBatchWithoutIngestPolicyIsInvalidArgument) {
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("order");
+  options.pool_threads = 1;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  serve::TenantSpec tenant;
+  tenant.name = "strict";
+  tenant.spec = TestSpec();
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  ASSERT_TRUE(client.Hello(tenant).ok());
+
+  const Tuple ahead[] = {{10, 1}};
+  const Tuple behind[] = {{5, 2}};  // regression: 5 after 10
+  ASSERT_TRUE(client
+                  .SendBatch(std::span<const Tuple>(ahead, 1),
+                             std::span<const Tuple>())
+                  .ok());
+  const Status refused = client.SendBatch(std::span<const Tuple>(behind, 1),
+                                          std::span<const Tuple>());
+  EXPECT_EQ(refused.code(), StatusCode::kInvalidArgument)
+      << refused.ToString();
+
+  // The refusal is per-batch: the connection stays usable and the accepted
+  // tuple still seals.
+  ASSERT_TRUE(client.End().ok());
+  EXPECT_EQ(client.totals().inputs, 1u);
+  server.Shutdown();
+  EXPECT_EQ(server.stats().batches_rejected, 1u);
+}
+
+TEST(ServeAdmission, HelloWhileDrainingIsFailedPrecondition) {
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("drainhello");
+  options.pool_threads = 1;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.RequestDrain();
+
+  serve::TenantSpec tenant;
+  tenant.name = "late";
+  tenant.spec = TestSpec();
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  const Status refused = client.Hello(tenant);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+  server.Shutdown();
+}
+
+// --- Drain completeness ---------------------------------------------------
+
+// A drain must seal everything the daemon acked: the client that streamed
+// half its workload gets exactly the offline answer over that half, via a
+// spontaneous window/bye tail instead of a batch ack.
+TEST(ServeDrain, MidStreamDrainSealsEveryAckedTuple) {
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("drain");
+  options.pool_threads = 2;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const MicroWorkload w = TestWorkload(77);
+  const JoinSpec spec = TestSpec(3);
+
+  serve::TenantSpec tenant;
+  tenant.name = "half";
+  tenant.algo = AlgorithmId::kNpj;
+  tenant.spec = spec;
+  serve::ServeClient client;
+  ASSERT_TRUE(client.Connect(options.socket_path).ok());
+  ASSERT_TRUE(client.Hello(tenant).ok());
+
+  // First half of the timeline, acked before the drain starts.
+  const uint64_t mid = std::max<uint64_t>(w.r.MaxTs(), w.s.MaxTs()) / 2;
+  size_t ir = 0, is = 0;
+  while (ir < w.r.tuples.size() && w.r.tuples[ir].ts < mid) ++ir;
+  while (is < w.s.tuples.size() && w.s.tuples[is].ts < mid) ++is;
+  ASSERT_TRUE(client
+                  .SendBatch(std::span<const Tuple>(w.r.tuples.data(), ir),
+                             std::span<const Tuple>(w.s.tuples.data(), is))
+                  .ok());
+
+  server.RequestDrain();
+
+  // The next batch meets the drain: the daemon answers with the sealed tail
+  // for what it acked, never an error.
+  ASSERT_TRUE(client
+                  .SendBatch(std::span<const Tuple>(w.r.tuples.data() + ir,
+                                                    w.r.tuples.size() - ir),
+                             std::span<const Tuple>(w.s.tuples.data() + is,
+                                                    w.s.tuples.size() - is))
+                  .ok());
+  EXPECT_TRUE(client.drained());
+  ASSERT_TRUE(client.End().ok());  // no-op after a drain
+  server.Shutdown();
+
+  Stream half_r, half_s;
+  half_r.tuples.assign(w.r.tuples.begin(), w.r.tuples.begin() + ir);
+  half_s.tuples.assign(w.s.tuples.begin(), w.s.tuples.begin() + is);
+  const PipelineResult offline =
+      RunTumblingWindows(AlgorithmId::kNpj, half_r, half_s, spec);
+  ASSERT_TRUE(offline.status.ok());
+  EXPECT_EQ(client.windows().size(), offline.windows.size());
+  EXPECT_EQ(client.totals().matches, offline.total_matches);
+  EXPECT_EQ(client.totals().checksum, offline.total_checksum);
+}
+
+// --- Fair share -----------------------------------------------------------
+
+// A hot tenant saturating the pool must not starve a quiet one: both finish
+// byte-exact, and the pool's service accounting shows work crossing tenant
+// homes (the tenants really share workers).
+TEST(ServeFairShare, HotTenantDoesNotStarveQuietTenant) {
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("fair");
+  options.pool_threads = 2;
+  options.max_inflight = 2;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const MicroWorkload hot_w = TestWorkload(101, /*rate=*/600,
+                                           /*duration_ms=*/24);
+  const MicroWorkload quiet_w = TestWorkload(202, /*rate=*/100,
+                                             /*duration_ms=*/12);
+  const JoinSpec hot_spec = TestSpec(2);    // many small windows
+  const JoinSpec quiet_spec = TestSpec(6);  // a few windows
+  const PipelineResult hot_offline =
+      RunTumblingWindows(AlgorithmId::kNpj, hot_w.r, hot_w.s, hot_spec);
+  const PipelineResult quiet_offline = RunTumblingWindows(
+      AlgorithmId::kNpj, quiet_w.r, quiet_w.s, quiet_spec);
+  ASSERT_GT(hot_offline.windows.size(), quiet_offline.windows.size());
+
+  serve::ServeClient hot, quiet;
+  Status hot_status, quiet_status;
+  std::thread hot_thread([&] {
+    hot_status = DriveTenant(options.socket_path, "hot", AlgorithmId::kNpj,
+                             hot_spec, hot_w, &hot, /*chunks=*/6);
+  });
+  std::thread quiet_thread([&] {
+    quiet_status = DriveTenant(options.socket_path, "quiet",
+                               AlgorithmId::kNpj, quiet_spec, quiet_w,
+                               &quiet, /*chunks=*/3);
+  });
+  hot_thread.join();
+  quiet_thread.join();
+  server.Shutdown();
+
+  ASSERT_TRUE(hot_status.ok()) << hot_status.ToString();
+  ASSERT_TRUE(quiet_status.ok()) << quiet_status.ToString();
+  EXPECT_EQ(hot.totals().matches, hot_offline.total_matches);
+  EXPECT_EQ(hot.totals().checksum, hot_offline.total_checksum);
+  EXPECT_EQ(quiet.totals().matches, quiet_offline.total_matches);
+  EXPECT_EQ(quiet.totals().checksum, quiet_offline.total_checksum);
+  EXPECT_EQ(quiet.windows().size(), quiet_offline.windows.size());
+}
+
+// --- v9 run records -------------------------------------------------------
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> entries;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return entries;
+  while (dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name != "." && name != "..") entries.push_back(dir + "/" + name);
+  }
+  closedir(d);
+  return entries;
+}
+
+TEST(ServeRecords, EveryTenantWindowWritesAV9ServeBlock) {
+  const std::string dir = testing::TempDir() + "/iawj_serve_records_" +
+                          std::to_string(::getpid());
+  setenv("IAWJ_METRICS_DIR", dir.c_str(), 1);
+
+  serve::ServeOptions options;
+  options.socket_path = TestSocketPath("records");
+  options.pool_threads = 1;
+  serve::ServeServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const MicroWorkload w = TestWorkload(55);
+  serve::ServeClient client;
+  const Status status = DriveTenant(options.socket_path, "recorded",
+                                    AlgorithmId::kNpj, TestSpec(4), w,
+                                    &client);
+  server.Shutdown();
+  unsetenv("IAWJ_METRICS_DIR");
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_GT(client.windows().size(), 1u);
+
+  const std::vector<std::string> files = ListDir(dir);
+  ASSERT_EQ(files.size(), client.windows().size())
+      << "one v9 record per tenant window";
+  std::set<uint64_t> indices;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    json::Value record;
+    ASSERT_TRUE(json::Parse(buffer.str(), &record).ok()) << path;
+    EXPECT_GE(record.Find("record_version")->number, 9);
+    EXPECT_EQ(record.Find("bench")->string, "iawj_serve");
+    EXPECT_EQ(record.Find("workload")->string, "recorded");
+    const json::Value* serve = record.Find("serve");
+    ASSERT_NE(serve, nullptr) << path << " missing the serve block";
+    EXPECT_EQ(serve->Find("tenant")->string, "recorded");
+    EXPECT_GE(serve->Find("tenants_active")->number, 1);
+    EXPECT_GE(serve->Find("worker")->number, 0);
+    EXPECT_GE(serve->Find("wait_ms")->number, 0);
+    indices.insert(
+        static_cast<uint64_t>(serve->Find("window_index")->number));
+  }
+  EXPECT_EQ(indices.size(), client.windows().size())
+      << "serve blocks must cover every distinct window";
+}
+
+// --- Options resolution ---------------------------------------------------
+
+TEST(ServeOptions, FlagBeatsEnvBeatsDefault) {
+  unsetenv("IAWJ_SERVE_POOL_THREADS");
+  EXPECT_EQ(serve::ServeOptions::Resolve({}).pool_threads, 4);  // default
+
+  setenv("IAWJ_SERVE_POOL_THREADS", "7", 1);
+  EXPECT_EQ(serve::ServeOptions::Resolve({}).pool_threads, 7);  // env
+
+  serve::ServeOptions flags;
+  flags.pool_threads = 2;
+  EXPECT_EQ(serve::ServeOptions::Resolve(flags).pool_threads, 2);  // flag
+  unsetenv("IAWJ_SERVE_POOL_THREADS");
+
+  setenv("IAWJ_SERVE_MEM_SHARE", "2.5", 1);  // clamped to 1.0
+  EXPECT_DOUBLE_EQ(serve::ServeOptions::Resolve({}).mem_share, 1.0);
+  unsetenv("IAWJ_SERVE_MEM_SHARE");
+}
+
+// --- Help-table drift (tools/serve_flags.h vs tools/iawj_serve.cc) -------
+
+TEST(ServeFlags, HelpTextListsEveryTableEntryOnce) {
+  const std::string help = serve_cli::HelpText();
+  for (const serve_cli::FlagInfo& f : serve_cli::kFlags) {
+    EXPECT_NE(help.find("--" + std::string(f.name)), std::string::npos)
+        << "--" << f.name << " missing from HelpText()";
+  }
+  EXPECT_NE(help.find("usage:"), std::string::npos);
+  EXPECT_NE(help.find("Exit codes"), std::string::npos);
+}
+
+// Same two-way drift check flags_test runs for iawj_cli: the set of flags
+// iawj_serve.cc consumes must equal its help table exactly.
+TEST(ServeFlags, HelpTableMatchesFlagsConsumedByDaemon) {
+  const std::string path =
+      std::string(IAWJ_SOURCE_DIR) + "/tools/iawj_serve.cc";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  std::set<std::string> consumed;
+  const std::regex get_call(
+      R"(flags\.Get(?:String|Int|Double|Bool)\(\s*\"([a-z0-9-]+)\")");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(), get_call);
+       it != std::sregex_iterator(); ++it) {
+    consumed.insert((*it)[1].str());
+  }
+  ASSERT_FALSE(consumed.empty()) << "no flags.Get* calls found in " << path;
+
+  std::set<std::string> documented;
+  for (const serve_cli::FlagInfo& f : serve_cli::kFlags) {
+    EXPECT_TRUE(documented.insert(f.name).second)
+        << "duplicate help-table entry --" << f.name;
+  }
+  for (const std::string& name : consumed) {
+    EXPECT_TRUE(documented.count(name))
+        << "--" << name << " consumed by iawj_serve.cc but missing from "
+        << "tools/serve_flags.h";
+  }
+  for (const std::string& name : documented) {
+    EXPECT_TRUE(consumed.count(name))
+        << "--" << name << " documented in tools/serve_flags.h but never "
+        << "consumed by iawj_serve.cc";
+  }
+}
+
+}  // namespace
+}  // namespace iawj

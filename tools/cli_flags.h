@@ -89,6 +89,15 @@ inline constexpr FlagInfo kFlags[] = {
      "test aid: permute arrivals within this bound before ingest; needs an "
      "enabled ingest policy (default 0)"},
 
+    // Client mode (iawj_serve daemon).
+    {"connect", "<socket>",
+     "client mode: stream the workload to the iawj_serve daemon at this "
+     "Unix socket instead of executing locally (default off)"},
+    {"tenant", "<name>",
+     "client mode: tenant name registered with the daemon (default cli)"},
+    {"batch-ms", "<ms>",
+     "client mode: stream-ms of arrivals per batch frame (default 100)"},
+
     // Output.
     {"counters", "<mode>",
      "counter source: off|sim|pmu; pmu = hardware perf events, sim = "

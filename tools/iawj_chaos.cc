@@ -37,10 +37,25 @@
 // the reference over the ingested streams exactly and every quarantined
 // tuple must be accounted in the recovery log — disorder never silently
 // loses or duplicates a match.
+//
+// --serve-soak turns every schedule into a live multi-tenant daemon run: an
+// in-process iawj_serve instance on a throwaway Unix socket, 2–4 concurrent
+// tenant clients streaming drawn micro workloads, and three invariants —
+// fault-free tenants must be byte-identical (matches and checksum) to the
+// same spec run through the offline tumbling-window pipeline; faulted
+// tenants (window_fail under retry+fallback+skip supervision) must come
+// back typed with at most the offline match count; and a random mid-stream
+// SIGTERM-style drain must seal cleanly, every client receiving its
+// window/bye tail. Across the whole soak the shared pool must show
+// cross-tenant steals — tenants really multiplex, they don't partition.
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/fault.h"
@@ -52,6 +67,8 @@
 #include "src/join/supervisor.h"
 #include "src/join/window_pipeline.h"
 #include "src/memory/tracker.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
 #include "src/stream/disorder.h"
 
 namespace iawj {
@@ -477,6 +494,241 @@ void CheckSchedule(const Expectation& expect, const Outcome& out,
   }
 }
 
+// --- Serve soak -----------------------------------------------------------
+
+// One drawn tenant of a serve-soak schedule.
+struct ServeTenant {
+  std::string name;
+  AlgorithmId id = AlgorithmId::kNpj;
+  JoinSpec spec;
+  MicroSpec micro;
+};
+
+// Streams a tenant's workload to the daemon in timeline chunks and collects
+// its results. Any typed refusal or transport error lands in `status`.
+struct ServeOutcome {
+  Status status;
+  serve::ServeClient::Totals totals;
+  size_t windows = 0;
+  bool drained = false;
+  bool windows_typed = true;  // every window frame carried a known status
+};
+
+ServeOutcome DriveTenant(const std::string& socket_path,
+                         const ServeTenant& tenant, const Stream& r,
+                         const Stream& s) {
+  ServeOutcome out;
+  serve::ServeClient client;
+  serve::TenantSpec hello;
+  hello.name = tenant.name;
+  hello.algo = tenant.id;
+  hello.spec = tenant.spec;
+  if (out.status = client.Connect(socket_path); !out.status.ok()) return out;
+  if (out.status = client.Hello(hello); !out.status.ok()) return out;
+  // Four timeline chunks per stream: enough batches that eager sealing and
+  // a mid-stream drain both have frame boundaries to land on.
+  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  const uint64_t step = max_ts / 4 + 1;
+  size_t ir = 0, is = 0;
+  for (uint64_t t = 0; t <= max_ts && !client.drained(); t += step) {
+    const size_t ir0 = ir, is0 = is;
+    while (ir < r.tuples.size() && r.tuples[ir].ts < t + step) ++ir;
+    while (is < s.tuples.size() && s.tuples[is].ts < t + step) ++is;
+    out.status = client.SendBatch(
+        std::span<const Tuple>(r.tuples.data() + ir0, ir - ir0),
+        std::span<const Tuple>(s.tuples.data() + is0, is - is0));
+    if (!out.status.ok()) return out;
+  }
+  if (out.status = client.End(); !out.status.ok()) return out;
+  out.totals = client.totals();
+  out.windows = client.windows().size();
+  out.drained = client.drained();
+  for (const serve::WindowResult& window : client.windows()) {
+    StatusCode code;
+    if (!serve::ParseStatusCodeName(window.status_code, &code)) {
+      out.windows_typed = false;
+    }
+    if (!window.ok() && window.status_message.empty()) {
+      out.windows_typed = false;
+    }
+  }
+  return out;
+}
+
+int RunServeSoak(uint64_t schedules, uint64_t base_seed, bool verbose) {
+  Tally tally;
+  uint64_t total_steals = 0;
+  for (uint64_t i = 0; i < schedules; ++i) {
+    const uint64_t repro_seed = base_seed + i;
+    uint64_t x = repro_seed;
+    Rng rng(Rng::SplitMix64(&x));
+
+    const int tenants = 2 + static_cast<int>(rng.NextBounded(3));
+    const bool faulted = rng.NextBounded(3) == 0;
+    const bool drain_mid = !faulted && rng.NextBounded(4) == 0;
+
+    serve::ServeOptions options;
+    options.socket_path = "/tmp/iawj_chaos_serve_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(i) + ".sock";
+    options.pool_threads = 2 + static_cast<int>(rng.NextBounded(3));
+    options.max_tenants = tenants;
+    options.max_inflight = 1 + static_cast<int>(rng.NextBounded(4));
+    options.max_buffer_tuples = 1 << 22;
+    options.mem_share = 1.0;
+
+    std::vector<ServeTenant> draws(static_cast<size_t>(tenants));
+    std::vector<MicroWorkload> workloads(draws.size());
+    std::vector<PipelineResult> offline(draws.size());
+    for (size_t t = 0; t < draws.size(); ++t) {
+      ServeTenant& tenant = draws[t];
+      tenant.name = "soak" + std::to_string(i) + "t" + std::to_string(t);
+      tenant.id = kAllAlgorithms[rng.NextBounded(std::size(kAllAlgorithms))];
+      tenant.micro.rate_r = 200 + rng.NextBounded(400);
+      tenant.micro.rate_s = 200 + rng.NextBounded(400);
+      tenant.micro.window_ms = 8 + static_cast<uint32_t>(rng.NextBounded(9));
+      tenant.micro.dupe = 1.0 + static_cast<double>(rng.NextBounded(3));
+      tenant.micro.seed = rng.Next();
+      JoinSpec& spec = tenant.spec;
+      spec.num_threads = 1 + static_cast<int>(rng.NextBounded(2));
+      // Join window shorter than the stream: each tenant seals several
+      // tumbling windows, so eager sealing and window_index math get soaked,
+      // not just the end-of-stream tail.
+      spec.window_ms = 2 + static_cast<uint32_t>(rng.NextBounded(4));
+      // Explicitly off so an inherited IAWJ_SHED_WATERMARK / disorder env
+      // cannot change what the daemon runs vs the offline mirror.
+      spec.shed_watermark_per_ms = -1;
+      spec.disorder_slack_ms = -1;
+      spec.allowed_lateness_ms = -1;
+      if (tenant.id == AlgorithmId::kShjJb || tenant.id == AlgorithmId::kPmjJb) {
+        spec.jb_group_size = 1;  // must divide any drawn thread count
+      }
+      if (faulted) {
+        spec.retry_max_attempts = 3;
+        spec.fallback_enabled = true;
+        spec.skip_failed_windows = true;
+      }
+      workloads[t] = GenerateMicro(tenant.micro);
+      // The offline expectation runs before any fault is armed: this is the
+      // exact pipeline the daemon must reproduce tenant by tenant.
+      offline[t] = RunTumblingWindows(tenant.id, workloads[t].r,
+                                      workloads[t].s, spec);
+    }
+
+    if (faulted) {
+      const std::string spec_text =
+          "window_fail:" + std::to_string(1 + rng.NextBounded(4)) + ":" +
+          std::to_string(1 + rng.NextBounded(3));
+      if (const Status st = fault::Configure(spec_text); !st.ok()) {
+        Violation(&tally, repro_seed, "fault spec rejected", st.ToString());
+        continue;
+      }
+    } else {
+      fault::Clear();
+    }
+
+    serve::ServeServer server(options);
+    if (const Status st = server.Start(); !st.ok()) {
+      Violation(&tally, repro_seed, "daemon failed to start", st.ToString());
+      fault::Clear();
+      continue;
+    }
+
+    std::vector<ServeOutcome> outcomes(draws.size());
+    std::vector<std::thread> clients;
+    clients.reserve(draws.size());
+    for (size_t t = 0; t < draws.size(); ++t) {
+      clients.emplace_back([&, t] {
+        outcomes[t] = DriveTenant(options.socket_path, draws[t],
+                                  workloads[t].r, workloads[t].s);
+      });
+    }
+    if (drain_mid) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      server.RequestDrain();
+    }
+    for (std::thread& client : clients) client.join();
+    server.Shutdown();
+    total_steals += server.stats().cross_tenant_steals;
+    fault::Clear();
+
+    for (size_t t = 0; t < draws.size(); ++t) {
+      const ServeOutcome& out = outcomes[t];
+      if (!out.status.ok()) {
+        // The only legitimate refusal is a hello racing a mid-stream drain.
+        if (drain_mid &&
+            out.status.code() == StatusCode::kFailedPrecondition) {
+          ++tally.failed;
+          continue;
+        }
+        Violation(&tally, repro_seed,
+                  "tenant refused or lost mid-conversation",
+                  draws[t].name + ": " + out.status.ToString());
+        continue;
+      }
+      if (!out.windows_typed) {
+        Violation(&tally, repro_seed, "window result without a typed status",
+                  draws[t].name);
+        continue;
+      }
+      if (!faulted && !drain_mid) {
+        // The core tentpole invariant: a daemon tenant is byte-identical to
+        // the same spec offline — same window count, matches, checksum.
+        if (out.totals.matches != offline[t].total_matches ||
+            out.totals.checksum != offline[t].total_checksum ||
+            out.windows != offline[t].windows.size()) {
+          Violation(&tally, repro_seed, "daemon differs from offline run",
+                    draws[t].name + ": " +
+                        std::to_string(out.totals.matches) + "/" +
+                        std::to_string(out.totals.checksum) + "/" +
+                        std::to_string(out.windows) + " vs " +
+                        std::to_string(offline[t].total_matches) + "/" +
+                        std::to_string(offline[t].total_checksum) + "/" +
+                        std::to_string(offline[t].windows.size()));
+          continue;
+        }
+        ++tally.ok_exact;
+      } else {
+        // Drained or faulted: bounded loss only — never extra matches.
+        if (out.totals.matches > offline[t].total_matches) {
+          Violation(&tally, repro_seed, "more matches than offline",
+                    draws[t].name + ": " +
+                        std::to_string(out.totals.matches) + " > " +
+                        std::to_string(offline[t].total_matches));
+          continue;
+        }
+        if (out.totals.matches == offline[t].total_matches &&
+            out.totals.checksum == offline[t].total_checksum) {
+          ++tally.ok_exact;
+        } else {
+          ++tally.degraded;
+        }
+      }
+    }
+
+    if (verbose) {
+      std::printf("  #%llu tenants=%d%s%s steals=%llu\n",
+                  static_cast<unsigned long long>(i), tenants,
+                  faulted ? " faulted" : "", drain_mid ? " drained" : "",
+                  static_cast<unsigned long long>(
+                      server.stats().cross_tenant_steals));
+    }
+  }
+
+  // The whole point of one shared pool: over a soak of multi-tenant
+  // schedules, work must have crossed tenant homes at least once.
+  if (schedules >= 8 && total_steals == 0) {
+    Violation(&tally, base_seed, "no cross-tenant steals over the soak",
+              std::to_string(schedules) + " schedules");
+  }
+  std::printf(
+      "chaos serve soak done: %d exact, %d degraded, %d refused-clean, "
+      "%llu steal(s), %d violation(s)\n",
+      tally.ok_exact, tally.degraded, tally.failed,
+      static_cast<unsigned long long>(total_steals), tally.violations);
+  return tally.violations == 0 ? 0 : 1;
+}
+
 int Run(int argc, char** argv) {
   FlagParser flags;
   if (const Status status = flags.Parse(argc, argv); !status.ok()) {
@@ -488,18 +740,32 @@ int Run(int argc, char** argv) {
   const bool verbose = flags.GetBool("verbose", false);
   const bool spill_soak = flags.GetBool("spill-soak", false);
   const bool disorder_soak = flags.GetBool("disorder-soak", false);
-  if (spill_soak && disorder_soak) {
+  const bool serve_soak = flags.GetBool("serve-soak", false);
+  if (static_cast<int>(spill_soak) + static_cast<int>(disorder_soak) +
+          static_cast<int>(serve_soak) >
+      1) {
     std::fprintf(stderr,
-                 "error: --spill-soak and --disorder-soak are exclusive\n");
+                 "error: --spill-soak, --disorder-soak and --serve-soak "
+                 "are exclusive\n");
     return 1;
   }
   if (spill_soak) g_repro_flags = " --spill-soak";
   if (disorder_soak) g_repro_flags = " --disorder-soak";
+  if (serve_soak) g_repro_flags = " --serve-soak";
   if (const auto unknown = flags.Unknown(); !unknown.empty()) {
     std::string all;
     for (const auto& u : unknown) all += " --" + u;
     std::fprintf(stderr, "error: unknown flags:%s\n", all.c_str());
     return 1;
+  }
+
+  if (serve_soak) {
+    std::printf("chaos soak (serve): %llu schedule(s), base seed %llu "
+                "(reproduce schedule i: --schedules=1 --seed=%llu+i)\n",
+                static_cast<unsigned long long>(schedules),
+                static_cast<unsigned long long>(base_seed),
+                static_cast<unsigned long long>(base_seed));
+    return RunServeSoak(schedules, base_seed, verbose);
   }
 
   std::printf("chaos soak%s: %llu schedule(s), base seed %llu "

@@ -11,7 +11,9 @@
 // Supervised runs that needed intervention exit 9 (recovered: retries or
 // fallbacks, result complete) or 10 (degraded: windows skipped or tuples
 // shed, loss accounted); see README "Exit codes".
+#include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 
 #include "src/common/flags.h"
@@ -26,6 +28,7 @@
 #include "src/profiling/pmu.h"
 #include "src/profiling/run_record.h"
 #include "src/report/report.h"
+#include "src/serve/client.h"
 #include "src/stream/disorder.h"
 #include "tools/cli_flags.h"
 
@@ -87,6 +90,78 @@ int Fail(const Status& status) {
                std::string(StatusCodeName(status.code())).c_str(),
                std::string(status.message()).c_str());
   return ExitCodeFor(status.code());
+}
+
+// Client mode (--connect): stream the generated workload to an iawj_serve
+// daemon as one tenant, batch by batch along the arrival timeline, and
+// report the daemon's window results. Exit codes match local execution:
+// the first failed window's status maps through ExitCodeFor, a recovered
+// tenant exits 9, a degraded one 10. A daemon drain mid-stream (SIGTERM on
+// the server) is not an error: the daemon seals what it accepted and the
+// client reports those windows.
+int RunConnected(const std::string& socket_path, const std::string& tenant,
+                 AlgorithmId id, const JoinSpec& spec, const Stream& r,
+                 const Stream& s, uint32_t batch_ms,
+                 const std::string& workload_name) {
+  serve::TenantSpec hello;
+  hello.name = tenant;
+  hello.algo = id;
+  hello.spec = spec;
+  serve::ServeClient client;
+  if (const Status st = client.Connect(socket_path); !st.ok()) {
+    return Fail(st);
+  }
+  if (const Status st = client.Hello(hello); !st.ok()) return Fail(st);
+
+  // Walk both (sorted) streams in lockstep, one batch frame per batch_ms of
+  // the arrival timeline, so the daemon sees a live-paced tenant and can
+  // seal windows eagerly while the stream is still flowing.
+  const uint64_t max_ts = std::max<uint64_t>(r.MaxTs(), s.MaxTs());
+  size_t ir = 0, is = 0;
+  const uint64_t step = batch_ms > 0 ? batch_ms : 100;
+  for (uint64_t t = 0; t <= max_ts && !client.drained(); t += step) {
+    const uint64_t end = t + step;
+    const size_t ir0 = ir, is0 = is;
+    while (ir < r.tuples.size() && r.tuples[ir].ts < end) ++ir;
+    while (is < s.tuples.size() && s.tuples[is].ts < end) ++is;
+    if (ir == ir0 && is == is0) continue;
+    const Status sent = client.SendBatch(
+        std::span<const Tuple>(r.tuples.data() + ir0, ir - ir0),
+        std::span<const Tuple>(s.tuples.data() + is0, is - is0));
+    if (!sent.ok()) return Fail(sent);
+  }
+  if (const Status st = client.End(); !st.ok()) return Fail(st);
+
+  report::Table table({"tenant", "algo", "windows", "inputs", "matches",
+                       "checksum", "steals"});
+  uint64_t stolen = 0;
+  Status first_failure = Status::Ok();
+  for (const serve::WindowResult& window : client.windows()) {
+    if (window.stolen) ++stolen;
+    if (!window.ok() && first_failure.ok()) {
+      StatusCode code = StatusCode::kInternal;
+      serve::ParseStatusCodeName(window.status_code, &code);
+      first_failure = Status(code, window.status_message);
+    }
+  }
+  const serve::ServeClient::Totals& totals = client.totals();
+  table.AddRow({tenant, std::string(AlgorithmName(id)),
+                std::to_string(totals.windows), std::to_string(totals.inputs),
+                std::to_string(totals.matches),
+                std::to_string(totals.checksum), std::to_string(stolen)});
+  std::printf("served: %s over %s via %s\n", tenant.c_str(),
+              workload_name.c_str(), socket_path.c_str());
+  std::fputs(table.ToText().c_str(), stdout);
+  if (!first_failure.ok()) return Fail(first_failure);
+  if (totals.degraded) {
+    std::printf("degraded: daemon accounted bounded loss for this tenant\n");
+    return 10;
+  }
+  if (totals.recovered) {
+    std::printf("recovered: daemon retried or fell back for this tenant\n");
+    return 9;
+  }
+  return 0;
 }
 
 int Run(int argc, char** argv) {
@@ -212,6 +287,13 @@ int Run(int argc, char** argv) {
 
   const std::string algo = flags.GetString("algo", "npj");
   const auto windows = static_cast<uint32_t>(flags.GetInt("windows", 1));
+
+  // Client mode (serve/client.h): non-empty --connect streams the workload
+  // to a daemon instead of executing locally; dispatched below once every
+  // flag has been consumed.
+  const std::string connect = flags.GetString("connect", "");
+  const std::string tenant = flags.GetString("tenant", "cli");
+  const auto batch_ms = static_cast<uint32_t>(flags.GetInt("batch-ms", 100));
   const std::string csv_path = flags.GetString("csv", "");
   const std::string objective = flags.GetString("objective", "throughput");
 
@@ -256,6 +338,23 @@ int Run(int argc, char** argv) {
     const auto shuffle_seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     r = PermuteWithinSlack(r, shift, shuffle_seed);
     s = PermuteWithinSlack(s, shift, shuffle_seed + 1);
+  }
+
+  if (!connect.empty()) {
+    if (algo == "adaptive" || counters == "sim") {
+      return Fail("--connect does not support --algo=adaptive or "
+                  "--counters=sim (daemon tenants run fixed algorithms)");
+    }
+    AlgorithmId id;
+    if (!ParseAlgorithm(algo, &id)) {
+      return Fail("unknown --algo (npj|prj|mway|mpass|shj-jm|shj-jb|pmj-jm|"
+                  "pmj-jb|hhj)");
+    }
+    if (const Status status = spec.Validate(id); !status.ok()) {
+      return Fail(status.ToString());
+    }
+    return RunConnected(connect, tenant, id, spec, r, s, batch_ms,
+                        workload_name);
   }
 
   // --- Execute ---

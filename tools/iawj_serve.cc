@@ -1,0 +1,98 @@
+// iawj_serve — the multi-tenant intra-window join daemon (ISSUE 10).
+//
+// Examples:
+//   iawj_serve --socket=/tmp/iawj.sock
+//   IAWJ_SERVE_POOL_THREADS=8 iawj_serve --socket=/tmp/iawj.sock
+//   iawj_serve --socket=/tmp/iawj.sock --max-tenants=16 --mem-share=0.25
+//
+// One daemon multiplexes many logical queries (tenants) onto one shared
+// fair-share worker pool; clients speak the newline-framed JSON protocol
+// (src/serve/protocol.h), most conveniently through `iawj_cli
+// --connect=<socket>`. Every tenant window executes through the same
+// supervised join stack as offline runs and emits a v9 run record when
+// $IAWJ_METRICS_DIR is set. SIGTERM (or SIGINT) drains: in-flight and
+// buffered windows complete, clients receive their window/bye tails, run
+// records flush, and the daemon exits 0. See docs/OPERATIONS.md for the
+// operator runbook.
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "src/common/flags.h"
+#include "src/serve/server.h"
+#include "tools/serve_flags.h"
+
+namespace iawj {
+namespace {
+
+std::atomic<bool> g_terminate{false};
+
+void OnTerminate(int) { g_terminate.store(true, std::memory_order_relaxed); }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags;
+  if (const Status status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  if (flags.GetBool("help", false)) {
+    std::fputs(serve_cli::HelpText().c_str(), stdout);
+    return 0;
+  }
+
+  serve::ServeOptions options;
+  options.socket_path = flags.GetString("socket", "");
+  options.pool_threads = static_cast<int>(flags.GetInt("pool-threads", 0));
+  options.max_tenants = static_cast<int>(flags.GetInt("max-tenants", 0));
+  options.max_inflight = static_cast<int>(flags.GetInt("max-inflight", 0));
+  options.max_buffer_tuples = flags.GetInt("max-buffer", 0);
+  options.mem_share = flags.GetDouble("mem-share", 0);
+
+  if (const auto unknown = flags.Unknown(); !unknown.empty()) {
+    std::string all;
+    for (const auto& u : unknown) all += " --" + u;
+    return Fail("unknown flags:" + all);
+  }
+
+  serve::ServeServer server(options);
+  if (const Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 std::string(StatusCodeName(status.code())).c_str(),
+                 std::string(status.message()).c_str());
+    return status.code() == StatusCode::kInvalidArgument ? 2 : 3;
+  }
+
+  // Signal-driven drain: the handler only flips a flag; the main thread
+  // does the actual draining so nothing async-signal-unsafe runs in the
+  // handler.
+  std::signal(SIGTERM, OnTerminate);
+  std::signal(SIGINT, OnTerminate);
+  while (!g_terminate.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "iawj_serve: draining on signal\n");
+  server.Shutdown();  // blocks until every tenant's tail is sealed
+  const serve::ServeServer::ServerStats stats = server.stats();
+  std::printf("drained: %llu connection(s), %llu window(s) done, %llu shed, "
+              "%llu cross-tenant steal(s), %llu repartition(s)\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.windows_done),
+              static_cast<unsigned long long>(stats.windows_shed),
+              static_cast<unsigned long long>(stats.cross_tenant_steals),
+              static_cast<unsigned long long>(stats.repartitions));
+  return 0;
+}
+
+}  // namespace
+}  // namespace iawj
+
+int main(int argc, char** argv) { return iawj::Run(argc, argv); }

@@ -313,6 +313,41 @@ std::string CheckRecord(const json::Value& root, const std::string& where) {
     return where + ": record_version >= 8 but no kernels block";
   }
 
+  // v9: serve block, present only for windows executed inside the
+  // iawj_serve daemon. Carries the multi-tenant provenance (tenant,
+  // tumbling slot, pool state) that ties the record back to one tenant
+  // window of one daemon run.
+  if (const json::Value* serve = root.Find("serve"); serve != nullptr) {
+    if (version->number < 9) {
+      return where + ": serve block requires record_version >= 9";
+    }
+    if (!serve->is_object()) return where + ": serve is not an object";
+    const json::Value* tenant = serve->Find("tenant");
+    if (tenant == nullptr || !tenant->is_string() || tenant->string.empty()) {
+      return where + ": serve.tenant missing or empty";
+    }
+    for (const char* field :
+         {"window_index", "window_start_ms", "tenants_active", "queue_depth",
+          "cross_tenant_steals", "windows_shed", "wait_ms"}) {
+      const json::Value* v = serve->Find(field);
+      if (v == nullptr || !v->is_number() || v->number < 0) {
+        return where + ": serve." + field + " missing or negative";
+      }
+    }
+    const json::Value* worker = serve->Find("worker");
+    if (worker == nullptr || !worker->is_number() || worker->number < -1) {
+      return where + ": serve.worker missing or below -1";
+    }
+    const json::Value* stolen = serve->Find("stolen");
+    if (stolen == nullptr ||
+        stolen->kind != json::Value::Kind::kBool) {
+      return where + ": serve.stolen missing or not a boolean";
+    }
+    if (serve->Find("tenants_active")->number < 1) {
+      return where + ": serve.tenants_active < 1 on a served window";
+    }
+  }
+
   const json::Value* recovery = root.Find("recovery");
   if (recovery == nullptr) return "";  // unsupervised: no block to check
   if (version->number < 3) {
@@ -391,7 +426,8 @@ int CheckRecords(const std::string& path, bool verbose) {
     files.push_back(path);
   }
 
-  size_t supervised = 0, pmu_measured = 0, spilled = 0, ingested = 0;
+  size_t supervised = 0, pmu_measured = 0, spilled = 0, ingested = 0,
+         served = 0;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) return Fail("cannot open " + file);
@@ -407,6 +443,7 @@ int CheckRecords(const std::string& path, bool verbose) {
     if (root.Find("recovery") != nullptr) ++supervised;
     if (root.Find("spill") != nullptr) ++spilled;
     if (root.Find("ingest") != nullptr) ++ingested;
+    if (root.Find("serve") != nullptr) ++served;
     if (const json::Value* pmu = root.Find("pmu"); pmu != nullptr) {
       const json::Value* available = pmu->Find("available");
       if (IsBool(available) && available->boolean) ++pmu_measured;
@@ -416,8 +453,8 @@ int CheckRecords(const std::string& path, bool verbose) {
   std::printf(
       "OK: %zu record(s) validated, %zu with recovery blocks, "
       "%zu with measured pmu counters, %zu with spill blocks, "
-      "%zu with ingest blocks\n",
-      files.size(), supervised, pmu_measured, spilled, ingested);
+      "%zu with ingest blocks, %zu with serve blocks\n",
+      files.size(), supervised, pmu_measured, spilled, ingested, served);
   return 0;
 }
 
