@@ -56,33 +56,42 @@ int FairSharePool::AddTenant(const std::string& name) {
   // unbounded credit against long-lived tenants.
   uint64_t min_service = 0;
   bool first = true;
-  for (const TenantQueue& t : tenants_) {
+  for (const auto& [slot, t] : tenants_) {
     if (t.closed) continue;
     if (first || t.service_ns < min_service) min_service = t.service_ns;
     first = false;
   }
   queue.service_ns = first ? 0 : min_service;
-  tenants_.push_back(std::move(queue));
-  return static_cast<int>(tenants_.size()) - 1;
+  const int slot = next_slot_++;
+  tenants_.emplace(slot, std::move(queue));
+  return slot;
 }
 
 void FairSharePool::RemoveTenant(int tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return;
-  tenants_[static_cast<size_t>(tenant)].closed = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantQueue* queue = FindLocked(tenant);
+    if (queue == nullptr) return;
+    queue->closed = true;
+    ReapLocked(tenant);
+  }
+  // Submitters blocked on this slot must observe the close and give up.
+  idle_cv_.notify_all();
 }
 
 bool FairSharePool::Submit(int tenant, WindowJob job) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return false;
-  TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
-  idle_cv_.wait(lock, [this, &queue] {
-    return stopping_ || queue.closed ||
-           static_cast<int>(queue.pending.size()) + queue.running <
+  // The predicate re-fetches the queue on every evaluation: the slot may be
+  // closed and reclaimed while the wait has the lock dropped.
+  idle_cv_.wait(lock, [this, tenant] {
+    const TenantQueue* queue = FindLocked(tenant);
+    return stopping_ || queue == nullptr || queue->closed ||
+           static_cast<int>(queue->pending.size()) + queue->running <
                max_inflight_;
   });
-  if (stopping_ || queue.closed) return false;
-  queue.pending.push_back(
+  TenantQueue* queue = FindLocked(tenant);
+  if (stopping_ || queue == nullptr || queue->closed) return false;
+  queue->pending.push_back(
       PendingJob{std::move(job), std::chrono::steady_clock::now()});
   lock.unlock();
   work_cv_.notify_one();
@@ -91,10 +100,11 @@ bool FairSharePool::Submit(int tenant, WindowJob job) {
 
 void FairSharePool::WaitIdle(int tenant) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return;
-  TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
-  idle_cv_.wait(lock,
-                [&queue] { return queue.pending.empty() && queue.running == 0; });
+  idle_cv_.wait(lock, [this, tenant] {
+    const TenantQueue* queue = FindLocked(tenant);
+    return queue == nullptr ||
+           (queue->pending.empty() && queue->running == 0);
+  });
 }
 
 FairSharePool::Stats FairSharePool::stats() const {
@@ -104,18 +114,39 @@ FairSharePool::Stats FairSharePool::stats() const {
 
 uint64_t FairSharePool::TenantServiceNs(int tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (tenant < 0 || tenant >= static_cast<int>(tenants_.size())) return 0;
-  return tenants_[static_cast<size_t>(tenant)].service_ns;
+  const TenantQueue* queue = FindLocked(tenant);
+  return queue == nullptr ? 0 : queue->service_ns;
+}
+
+FairSharePool::TenantQueue* FairSharePool::FindLocked(int tenant) {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+const FairSharePool::TenantQueue* FairSharePool::FindLocked(
+    int tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void FairSharePool::ReapLocked(int tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  const TenantQueue& queue = it->second;
+  if (queue.closed && queue.pending.empty() && queue.running == 0) {
+    tenants_.erase(it);
+  }
 }
 
 int FairSharePool::PickTenantLocked() const {
   int best = -1;
-  for (size_t t = 0; t < tenants_.size(); ++t) {
-    const TenantQueue& queue = tenants_[t];
+  const TenantQueue* best_queue = nullptr;
+  for (const auto& [slot, queue] : tenants_) {
     if (queue.pending.empty()) continue;
-    if (best < 0 ||
-        queue.service_ns < tenants_[static_cast<size_t>(best)].service_ns) {
-      best = static_cast<int>(t);
+    if (best < 0 || queue.service_ns < best_queue->service_ns ||
+        (queue.service_ns == best_queue->service_ns && slot < best)) {
+      best = slot;
+      best_queue = &queue;
     }
   }
   return best;
@@ -126,15 +157,18 @@ void FairSharePool::WorkerLoop(int worker) {
   for (;;) {
     work_cv_.wait(lock,
                   [this] { return stopping_ || PickTenantLocked() >= 0; });
-    int tenant = PickTenantLocked();
+    const int tenant = PickTenantLocked();
     if (tenant < 0) {
       if (stopping_) return;  // stopping with nothing left: drain complete
       continue;
     }
-    TenantQueue& queue = tenants_[static_cast<size_t>(tenant)];
-    PendingJob job = std::move(queue.pending.front());
-    queue.pending.pop_front();
-    ++queue.running;
+    PendingJob job;
+    {
+      TenantQueue* queue = FindLocked(tenant);
+      job = std::move(queue->pending.front());
+      queue->pending.pop_front();
+      ++queue->running;
+    }
     const bool stolen =
         !workers_.empty() &&
         tenant % static_cast<int>(workers_.size()) != worker;
@@ -153,8 +187,13 @@ void FairSharePool::WorkerLoop(int worker) {
             .count());
 
     lock.lock();
-    --queue.running;
-    queue.service_ns += service_ns;
+    // Re-fetch: the map may have rehashed while the lock was dropped. The
+    // entry itself is still present — running > 0 blocks ReapLocked.
+    if (TenantQueue* queue = FindLocked(tenant)) {
+      --queue->running;
+      queue->service_ns += service_ns;
+      ReapLocked(tenant);
+    }
     stats_.total_service_ns += service_ns;
     ++stats_.jobs_done;
     idle_cv_.notify_all();

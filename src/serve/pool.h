@@ -33,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace iawj::serve {
@@ -64,12 +65,13 @@ class FairSharePool {
   void Stop();
 
   // Registers a tenant queue; the returned slot id names it in Submit.
-  // Slots are never reused within one pool lifetime, so a stale id from a
-  // departed tenant cannot alias a new one.
+  // Slot ids are monotonic and never reused within one pool lifetime, so a
+  // stale id from a departed tenant cannot alias a new one.
   int AddTenant(const std::string& name);
 
   // Marks the tenant's queue closed. Pending jobs still run; Submit on the
-  // slot becomes a no-op returning false.
+  // slot becomes a no-op returning false. The queue itself is reclaimed
+  // once its last job finishes, so dead tenants cost nothing at dispatch.
   void RemoveTenant(int tenant);
 
   // Enqueues a job, blocking while the tenant is at its in-flight bound.
@@ -100,13 +102,24 @@ class FairSharePool {
   };
 
   void WorkerLoop(int worker);
-  // Picks the least-serviced open queue with pending work; -1 when none.
+  // Looks up a tenant queue by slot id; nullptr for unknown or reclaimed
+  // slots. Pointer stability: unordered_map elements never move, and an
+  // entry is only erased (ReapLocked) once closed with no pending or
+  // running jobs — but NEVER cache the pointer across an unlock; re-fetch
+  // after every lock reacquisition and inside every wait predicate, because
+  // the queue may be reclaimed while the lock is dropped.
+  TenantQueue* FindLocked(int tenant);
+  const TenantQueue* FindLocked(int tenant) const;
+  // Erases the slot if it is closed and fully drained.
+  void ReapLocked(int tenant);
+  // Picks the least-serviced queue with pending work; -1 when none.
   int PickTenantLocked() const;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: work available / stopping
   std::condition_variable idle_cv_;   // submitters: slot freed / tenant idle
-  std::vector<TenantQueue> tenants_;
+  std::unordered_map<int, TenantQueue> tenants_;
+  int next_slot_ = 0;
   std::vector<std::thread> workers_;
   int max_inflight_ = 4;
   bool stopping_ = false;

@@ -352,6 +352,11 @@ Status FrameReader::ReadFrame(std::string* frame, bool* eof,
       buffer_.erase(0, nl + 1);
       return Status::Ok();
     }
+    if (buffer_.size() > max_frame_bytes_) {
+      return Status::InvalidArgument(
+          "frame exceeds the " + std::to_string(max_frame_bytes_) +
+          "-byte framing limit without a newline");
+    }
     if (poll_timeout_ms >= 0) {
       pollfd pfd{fd_, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, poll_timeout_ms);

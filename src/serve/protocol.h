@@ -109,13 +109,23 @@ Status WriteFrame(int fd, const std::string& json);
 // Buffered newline-framed reader. Not thread-safe.
 class FrameReader {
  public:
-  explicit FrameReader(int fd) : fd_(fd) {}
+  // The largest frame accepted before a newline arrives. A peer streaming
+  // an enormous (or newline-free) frame would otherwise grow the buffer
+  // without bound before any admission check sees the message; past the
+  // cap ReadFrame fails with InvalidArgument and the caller is expected to
+  // drop the connection. The server sizes the cap from its tuple-buffer
+  // admission bound (see ServeServer); this default covers every
+  // control-plane frame with room to spare.
+  static constexpr size_t kDefaultMaxFrameBytes = 64u << 20;  // 64 MiB
+
+  explicit FrameReader(int fd, size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
 
   // Reads one frame into *frame (newline stripped). Outcomes:
   //   ok + *eof=false              — one frame delivered
   //   ok + *eof=true               — orderly close, no frame
   //   ok + *timed_out=true         — poll_timeout_ms elapsed, no frame yet
-  //   !ok                          — transport error
+  //   !ok                          — transport error or oversized frame
   // poll_timeout_ms < 0 blocks indefinitely.
   Status ReadFrame(std::string* frame, bool* eof, int poll_timeout_ms = -1,
                    bool* timed_out = nullptr);
@@ -125,6 +135,7 @@ class FrameReader {
 
  private:
   int fd_;
+  size_t max_frame_bytes_;
   std::string buffer_;
 };
 

@@ -217,15 +217,16 @@ void ServeServer::Shutdown() {
   if (!started_.load(std::memory_order_relaxed)) return;
   if (shut_down_.exchange(true)) return;
   RequestDrain();
+  accept_stop_.store(true, std::memory_order_relaxed);
   if (accept_thread_.joinable()) accept_thread_.join();
   // Connection threads notice draining_ within one poll interval, seal
   // their tails, and finish; join them all before stopping the pool.
-  std::vector<std::thread> connections;
+  std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     connections.swap(connections_);
   }
-  for (std::thread& connection : connections) connection.join();
+  for (const auto& connection : connections) connection->thread.join();
   pool_.Stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -249,7 +250,10 @@ ServeServer::ServerStats ServeServer::stats() const {
 }
 
 void ServeServer::AcceptLoop() {
-  while (!draining_.load(std::memory_order_relaxed)) {
+  // Keeps accepting while draining: a latecomer's hello gets the typed
+  // failed_precondition refusal instead of hanging unanswered in the
+  // listen backlog. Only Shutdown stops the loop.
+  while (!accept_stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR) break;
@@ -261,15 +265,42 @@ void ServeServer::AcceptLoop() {
       ++stats_.connections;
     }
     std::lock_guard<std::mutex> lock(connections_mu_);
-    connections_.emplace_back([this, fd] {
+    // A long-lived daemon sees many short-lived clients; reaping here keeps
+    // connections_ bounded by the concurrent connection count rather than
+    // growing one joinable zombie thread per client ever served.
+    ReapConnectionsLocked();
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, fd, raw] {
       HandleConnection(fd);
       ::close(fd);
+      raw->done.store(true, std::memory_order_release);
     });
+    connections_.push_back(std::move(connection));
   }
 }
 
+void ServeServer::ReapConnectionsLocked() {
+  auto finished = [](const std::unique_ptr<Connection>& connection) {
+    return connection->done.load(std::memory_order_acquire);
+  };
+  for (const auto& connection : connections_) {
+    if (finished(connection)) connection->thread.join();
+  }
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(), finished),
+      connections_.end());
+}
+
 void ServeServer::HandleConnection(int fd) {
-  FrameReader reader(fd);
+  // Frame cap: the largest legitimate frame is a batch of max_buffer_tuples
+  // tuples (the shed path must still parse an over-budget batch to thin
+  // it), at most ~24 JSON bytes per tuple plus envelope. Anything larger is
+  // hostile or corrupt and tears down the connection before it can balloon
+  // daemon memory.
+  const size_t max_frame_bytes =
+      static_cast<size_t>(options_.max_buffer_tuples) * 32 + 4096;
+  FrameReader reader(fd, max_frame_bytes);
 
   // Hello + admission. The poll timeout keeps a silent connection from
   // pinning the drain.
@@ -708,7 +739,9 @@ void ServeServer::SubmitWindow(TenantSession* session, uint64_t start,
         context.serve.worker = worker;
         context.serve.stolen = stolen;
         MaybeWriteRunRecord(result, window_spec, context);
-        BumpCounter("serve.windows_done");
+        // Failed windows must not count: OPERATIONS.md keys troubleshooting
+        // on serve.windows_done agreeing with ServerStats::windows_done.
+        if (result.status.ok()) BumpCounter("serve.windows_done");
 
         session->completed.fetch_add(1, std::memory_order_relaxed);
         {

@@ -44,10 +44,12 @@
 // windows — finer partitions, better steal granularity, identical answer
 // (the match multiset is algorithm- and radix-invariant).
 //
-// Drain (SIGTERM): RequestDrain stops accepting, and every connection
-// seals its buffered tail as if the client had sent end — in-flight and
-// buffered windows complete, their v9 run records flush, clients receive
-// the full window/bye tail — then Shutdown joins everything.
+// Drain (SIGTERM): RequestDrain stops admitting tenants (late hellos are
+// still accepted and refused typed), and every connection seals its
+// buffered tail as if the client had sent end — in-flight and buffered
+// windows complete, their v9 run records flush, clients receive the full
+// window/bye tail — then Shutdown stops the accept loop and joins
+// everything.
 #ifndef IAWJ_SERVE_SERVER_H_
 #define IAWJ_SERVE_SERVER_H_
 
@@ -107,8 +109,10 @@ class ServeServer {
   // accept loop. FailedPrecondition when the path cannot be bound.
   Status Start();
 
-  // Begins draining: no new connections or tenants; existing connections
-  // seal and finish as if their client had sent end. Returns immediately.
+  // Begins draining: no new tenants (connections are still accepted so a
+  // latecomer's hello gets a typed failed_precondition refusal rather than
+  // hanging in the listen backlog); existing connections seal and finish
+  // as if their client had sent end. Returns immediately.
   void RequestDrain();
 
   // RequestDrain + joins every connection and the pool + removes the
@@ -128,7 +132,18 @@ class ServeServer {
  private:
   struct TenantSession;
 
+  // One client connection: its handler thread plus a completion flag the
+  // thread raises as its last act, so the accept loop can join and discard
+  // finished connections instead of accumulating joinable zombies for the
+  // daemon's lifetime.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void AcceptLoop();
+  // Joins and erases every connection whose handler has finished.
+  void ReapConnectionsLocked();
   void HandleConnection(int fd);
   // Seals windows, waits for the tenant's jobs, and (when `send` is true)
   // writes the window/bye tail to the client.
@@ -143,12 +158,13 @@ class ServeServer {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::atomic<bool> draining_{false};
+  std::atomic<bool> accept_stop_{false};  // set by Shutdown only
   std::atomic<bool> started_{false};
   std::atomic<bool> shut_down_{false};
   std::atomic<int> tenants_active_{0};
 
   std::mutex connections_mu_;
-  std::vector<std::thread> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;

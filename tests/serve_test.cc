@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <regex>
@@ -23,6 +24,7 @@
 #include "src/join/context.h"
 #include "src/join/window_pipeline.h"
 #include "src/serve/client.h"
+#include "src/serve/pool.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "tools/serve_flags.h"
@@ -88,6 +90,24 @@ Status DriveTenant(const std::string& socket, const std::string& name,
 }
 
 // --- Protocol round-trips -------------------------------------------------
+
+TEST(ServeProtocol, OversizedNewlineFreeFrameIsRefusedTyped) {
+  // A peer streaming bytes with no newline must hit the framing limit and
+  // get a typed refusal, not grow the reader's buffer without bound.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  serve::FrameReader reader(fds[0], /*max_frame_bytes=*/1024);
+  const std::string blob(2048, 'x');  // no newline anywhere
+  ASSERT_EQ(::write(fds[1], blob.data(), blob.size()),
+            static_cast<ssize_t>(blob.size()));
+  std::string frame;
+  bool eof = false;
+  const Status status = reader.ReadFrame(&frame, &eof);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+      << status.ToString();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
 
 TEST(ServeProtocol, WindowChecksumSurvivesFullUint64) {
   // Mix64 checksums use all 64 bits; a JSON number would truncate past
@@ -408,6 +428,44 @@ TEST(ServeFairShare, HotTenantDoesNotStarveQuietTenant) {
   EXPECT_EQ(quiet.totals().matches, quiet_offline.total_matches);
   EXPECT_EQ(quiet.totals().checksum, quiet_offline.total_checksum);
   EXPECT_EQ(quiet.windows().size(), quiet_offline.windows.size());
+}
+
+// Regression: tenant queues must stay address-stable while jobs run. The
+// pool once kept tenants in a std::vector, so a concurrent AddTenant (any
+// new client hello) could reallocate it under a worker's feet — dangling
+// the queue reference its post-job accounting wrote through. This churn
+// (every thread registering tenants while every other thread's jobs are in
+// flight) trips that as a use-after-free under TSan/ASan.
+TEST(ServePool, TenantChurnWhileJobsRunIsSafe) {
+  serve::FairSharePool pool;
+  pool.Start(/*threads=*/4, /*max_inflight=*/2);
+  constexpr int kTenantThreads = 8, kRounds = 25, kJobsPerRound = 3;
+  std::atomic<uint64_t> executed{0};
+  std::vector<std::thread> tenants;
+  tenants.reserve(kTenantThreads);
+  for (int t = 0; t < kTenantThreads; ++t) {
+    tenants.emplace_back([&pool, &executed, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int slot = pool.AddTenant("churn-" + std::to_string(t));
+        for (int j = 0; j < kJobsPerRound; ++j) {
+          ASSERT_TRUE(pool.Submit(slot, [&executed](int, bool, double) {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          }));
+        }
+        pool.WaitIdle(slot);
+        pool.RemoveTenant(slot);
+        // The drained slot is reclaimed: stale ids read as gone, not as
+        // some later tenant's account.
+        EXPECT_EQ(pool.TenantServiceNs(slot), 0u);
+      }
+    });
+  }
+  for (std::thread& tenant : tenants) tenant.join();
+  const uint64_t expected =
+      static_cast<uint64_t>(kTenantThreads) * kRounds * kJobsPerRound;
+  EXPECT_EQ(executed.load(), expected);
+  EXPECT_EQ(pool.stats().jobs_done, expected);
+  pool.Stop();
 }
 
 // --- v9 run records -------------------------------------------------------
